@@ -1,0 +1,54 @@
+// Reproduces the Section 7.1 coverage evaluation: AliCoCo covers ~75% of
+// rewritten user-needs queries over 30 monitored days; the legacy CPV
+// ontology only ~30%.
+
+#include <cstdio>
+
+#include "apps/coverage.h"
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "datagen/legacy_ontology.h"
+
+int main() {
+  using namespace alicoco;
+  std::printf(
+      "== Section 7.1: user-needs coverage, AliCoCo vs legacy CPV "
+      "ontology ==\n"
+      "Paper: ~75%% vs ~30%% over 30 continuous days.\n\n");
+
+  datagen::World world = [] {
+    bench::StageTimer t("generate world");
+    return datagen::World::Generate(bench::BenchWorldConfig());
+  }();
+  datagen::LegacyOntology legacy(world);
+  apps::CoverageEvaluator evaluator(&world.net(), &legacy);
+
+  apps::CoverageReport report;
+  {
+    bench::StageTimer t("30-day monitoring");
+    report =
+        evaluator.Run(world.needs_queries(), /*num_days=*/30,
+                      /*per_day=*/200, 13);
+  }
+
+  TablePrinter days("Daily coverage (measured)");
+  days.SetHeader({"day", "AliCoCo", "legacy CPV"});
+  for (size_t d = 0; d < report.days.size(); ++d) {
+    days.AddRow({std::to_string(d + 1),
+                 TablePrinter::Num(report.days[d].alicoco, 3),
+                 TablePrinter::Num(report.days[d].legacy, 3)});
+  }
+  days.Print();
+
+  TablePrinter summary("30-day mean coverage");
+  summary.SetHeader({"ontology", "measured", "paper"});
+  summary.AddRow({"AliCoCo", TablePrinter::Num(report.mean_alicoco, 3),
+                  "~0.75"});
+  summary.AddRow({"legacy CPV", TablePrinter::Num(report.mean_legacy, 3),
+                  "~0.30"});
+  summary.Print();
+  std::printf(
+      "\nShape check: AliCoCo should cover far more needs vocabulary than "
+      "the category/property-only baseline.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Substrate micro-benchmarks (google-benchmark): the hot paths every
+// harness exercises — graph ops, CRF lattices, BM25 scoring, segmenter
+// matching, and concept-net queries.
+
+#include <benchmark/benchmark.h>
+
+#include "kg/concept_net.h"
+#include "nn/crf.h"
+#include "nn/layers.h"
+#include "nn/rnn.h"
+#include "text/bm25.h"
+#include "text/segmenter.h"
+
+namespace {
+
+using namespace alicoco;
+
+void BM_MatMul(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  nn::Tensor a = nn::Tensor::Randn(n, n, 1.0f, &rng);
+  nn::Tensor b = nn::Tensor::Randn(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMulValue(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64);
+
+void BM_BiLstmForwardBackward(benchmark::State& state) {
+  int t = static_cast<int>(state.range(0));
+  Rng rng(2);
+  nn::ParameterStore store;
+  nn::BiLstm bilstm(&store, "b", 24, 24, &rng);
+  nn::Tensor x = nn::Tensor::Randn(t, 24, 0.5f, &rng);
+  for (auto _ : state) {
+    store.ZeroGrad();
+    nn::Graph g;
+    g.Backward(g.MeanAll(bilstm.Run(&g, g.Input(x))));
+  }
+  state.SetItemsProcessed(state.iterations() * t);
+}
+BENCHMARK(BM_BiLstmForwardBackward)->Arg(8)->Arg(24);
+
+void BM_CrfLoss(benchmark::State& state) {
+  int labels = static_cast<int>(state.range(0));
+  Rng rng(3);
+  nn::ParameterStore store;
+  nn::LinearChainCrf crf(&store, "crf", labels, &rng);
+  nn::Tensor e = nn::Tensor::Randn(12, labels, 0.5f, &rng);
+  std::vector<int> gold(12);
+  for (size_t i = 0; i < gold.size(); ++i) {
+    gold[i] = static_cast<int>(i) % labels;
+  }
+  for (auto _ : state) {
+    store.ZeroGrad();
+    nn::Graph g;
+    g.Backward(crf.NegLogLikelihood(&g, g.Input(e), gold));
+  }
+}
+BENCHMARK(BM_CrfLoss)->Arg(5)->Arg(23);
+
+void BM_CrfViterbi(benchmark::State& state) {
+  Rng rng(4);
+  nn::ParameterStore store;
+  nn::LinearChainCrf crf(&store, "crf", 23, &rng);
+  nn::Tensor e = nn::Tensor::Randn(12, 23, 0.5f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crf.Viterbi(e));
+  }
+}
+BENCHMARK(BM_CrfViterbi);
+
+void BM_Bm25TopK(benchmark::State& state) {
+  Rng rng(5);
+  text::Bm25Index index;
+  std::vector<std::string> vocab;
+  for (int i = 0; i < 500; ++i) vocab.push_back("w" + std::to_string(i));
+  for (int d = 0; d < 2000; ++d) {
+    std::vector<std::string> doc;
+    for (int j = 0; j < 8; ++j) {
+      doc.push_back(vocab[rng.Zipf(vocab.size(), 1.1)]);
+    }
+    index.AddDocument(d, doc);
+  }
+  index.Finalize();
+  std::vector<std::string> query = {vocab[3], vocab[17], vocab[140]};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.TopK(query, 10));
+  }
+}
+BENCHMARK(BM_Bm25TopK);
+
+void BM_SegmenterMatch(benchmark::State& state) {
+  Rng rng(6);
+  text::MaxMatchSegmenter segmenter;
+  for (int i = 0; i < 3000; ++i) {
+    segmenter.AddPhrase({"c" + std::to_string(i)}, "Category");
+    if (i % 3 == 0) {
+      segmenter.AddPhrase({"m" + std::to_string(i), "c" + std::to_string(i)},
+                          "Category");
+    }
+  }
+  std::vector<std::string> sentence;
+  for (int j = 0; j < 12; ++j) {
+    int id = static_cast<int>(rng.Uniform(3000));
+    sentence.push_back((j % 2 ? "m" : "c") + std::to_string(id));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(segmenter.Match(sentence));
+  }
+}
+BENCHMARK(BM_SegmenterMatch);
+
+void BM_ConceptNetQueries(benchmark::State& state) {
+  kg::ConceptNet net;
+  kg::ClassId category = *net.taxonomy().AddDomain("Category");
+  std::vector<kg::ConceptId> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(
+        *net.GetOrAddPrimitiveConcept("c" + std::to_string(i), category));
+    if (i > 0) (void)net.AddIsA(ids[i], ids[i / 2]);  // binary-ish tree
+  }
+  Rng rng(7);
+  for (auto _ : state) {
+    kg::ConceptId id = ids[rng.Uniform(ids.size())];
+    benchmark::DoNotOptimize(net.HypernymClosure(id));
+  }
+}
+BENCHMARK(BM_ConceptNetQueries);
+
+}  // namespace
+
+BENCHMARK_MAIN();

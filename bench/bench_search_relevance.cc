@@ -1,0 +1,106 @@
+// Reproduces Section 8.1.1: search relevance with isA expansion.
+//
+// Paper: AliCoCo's 10x larger isA inventory improves the semantic matching
+// AUC by ~1% absolute offline and cuts relevance bad cases by 4% online
+// ("jacket isA top").
+
+#include <cstdio>
+
+#include "apps/search_relevance.h"
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace alicoco;
+  std::printf(
+      "== Section 8.1.1: search relevance with isA expansion ==\n"
+      "Paper: +1%% AUC offline; -4%% relevance bad cases online.\n\n");
+
+  datagen::World world = [] {
+    bench::StageTimer t("generate world");
+    return datagen::World::Generate(bench::BenchWorldConfig());
+  }();
+  apps::SearchRelevance relevance(&world.net());
+  auto queries = relevance.BuildQueries(world, /*max_queries=*/32,
+                                        /*items_per_query=*/80, 17);
+  std::printf("queries: %zu hypernym-surface queries\n\n", queries.size());
+
+  auto without = relevance.Evaluate(queries, /*expand_isa=*/false);
+  auto with = relevance.Evaluate(queries, /*expand_isa=*/true);
+
+  TablePrinter table("Search relevance (measured)");
+  table.SetHeader({"matching", "AUC", "bad cases", "judged pairs"});
+  table.AddRow({"term match (no isA)", TablePrinter::Num(without.auc, 4),
+                std::to_string(without.bad_cases),
+                std::to_string(without.judged_pairs)});
+  table.AddRow({"term match + isA expansion", TablePrinter::Num(with.auc, 4),
+                std::to_string(with.bad_cases),
+                std::to_string(with.judged_pairs)});
+  double bad_drop =
+      without.bad_cases > 0
+          ? 100.0 * (1.0 - static_cast<double>(with.bad_cases) /
+                               static_cast<double>(without.bad_cases))
+          : 0.0;
+  table.AddRow({"delta", TablePrinter::Num(with.auc - without.auc, 4),
+                StringPrintf("-%.1f%%", bad_drop), ""});
+  table.Print();
+
+  // The paper's comparison: the former category taxonomy had 10x fewer isA
+  // relations than AliCoCo. Simulate it: a net with only the suffix-rule
+  // derived->head edges (what a CPV taxonomy encodes implicitly) and none
+  // of the token-disjoint head->group knowledge.
+  {
+    kg::ConceptNet former = world.net();  // same nodes and non-isA edges
+    // Rebuild a reduced-isA variant: fresh net sharing item ids.
+    kg::ConceptNet reduced;
+    datagen::BuildTaxonomy(&reduced.taxonomy());
+    auto category = *reduced.taxonomy().Find("Category");
+    for (const auto& p : world.net().primitives()) {
+      auto res = reduced.GetOrAddPrimitiveConcept(p.surface, category);
+      (void)res;
+    }
+    for (const auto& item : world.net().items()) {
+      auto id = *reduced.AddItem(item.title, category);
+      for (kg::ConceptId prim : world.net().PrimitivesForItem(item.id)) {
+        auto mapped =
+            reduced.FindPrimitive(world.net().Get(prim).surface, category);
+        if (mapped.has_value()) (void)reduced.LinkItemToPrimitive(id, *mapped);
+      }
+    }
+    // Former taxonomy: only same-token suffix edges ("rain boot" isA
+    // "boot"); AliCoCo additionally knows "boot" isA "<group>".
+    size_t former_edges = 0, alicoco_edges = 0;
+    for (const auto& p : world.net().primitives()) {
+      for (kg::ConceptId h : world.net().Hypernyms(p.id)) {
+        ++alicoco_edges;
+        const std::string& hypo = p.surface;
+        const std::string& hyper = world.net().Get(h).surface;
+        if (hypo.size() > hyper.size() &&
+            hypo.substr(hypo.size() - hyper.size()) == hyper) {
+          auto a = reduced.FindPrimitive(hypo, category);
+          auto b = reduced.FindPrimitive(hyper, category);
+          if (a && b && reduced.AddIsA(*a, *b).ok()) ++former_edges;
+        }
+      }
+    }
+    apps::SearchRelevance former_rel(&reduced);
+    // Re-point the queries at the reduced net's items (ids align by
+    // construction order).
+    auto former_report = former_rel.Evaluate(queries, /*expand_isa=*/true);
+    TablePrinter cmp("Former taxonomy vs AliCoCo (both with isA expansion)");
+    cmp.SetHeader({"ontology", "isA edges", "AUC", "bad cases"});
+    cmp.AddRow({"former category taxonomy", std::to_string(former_edges),
+                TablePrinter::Num(former_report.auc, 4),
+                std::to_string(former_report.bad_cases)});
+    cmp.AddRow({"AliCoCo", std::to_string(alicoco_edges),
+                TablePrinter::Num(with.auc, 4),
+                std::to_string(with.bad_cases)});
+    cmp.Print();
+  }
+  std::printf(
+      "\nShape check: expansion must raise AUC and remove bad cases; the "
+      "former taxonomy's smaller isA inventory must leave hypernym queries "
+      "unserved (the paper's 'jacket isA top' gap).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Quickstart: build the Figure-1 fragment of AliCoCo by hand with the public
+// API, then ask it the questions the paper motivates.
+//
+//   build/examples/quickstart
+
+#include <cstdio>
+
+#include "kg/concept_net.h"
+#include "kg/persistence.h"
+#include "kg/stats.h"
+
+using namespace alicoco;
+
+int main() {
+  kg::ConceptNet net;
+
+  // ---- Taxonomy (Section 3): a few domains and a Category subtree ----
+  auto& tax = net.taxonomy();
+  kg::ClassId category = *tax.AddDomain("Category");
+  kg::ClassId location = *tax.AddDomain("Location");
+  kg::ClassId event = *tax.AddDomain("Event");
+  kg::ClassId time = *tax.AddDomain("Time");
+  kg::ClassId season = *tax.AddClass("Season", time);
+  kg::ClassId clothing = *tax.AddClass("Clothing", category);
+  kg::ClassId kitchen = *tax.AddClass("Kitchen", category);
+
+  // Schema: typed relations over classes (Section 2).
+  (void)net.schema().AddRelation("suitable_when", category, season);
+
+  // ---- Primitive concepts (Section 4) ----
+  kg::ConceptId outdoor = *net.GetOrAddPrimitiveConcept("outdoor", location);
+  kg::ConceptId barbecue = *net.GetOrAddPrimitiveConcept("barbecue", event);
+  kg::ConceptId grill = *net.GetOrAddPrimitiveConcept("grill", kitchen);
+  kg::ConceptId cookware = *net.GetOrAddPrimitiveConcept("cookware", kitchen);
+  kg::ConceptId trousers =
+      *net.GetOrAddPrimitiveConcept("cotton-padded trousers", clothing);
+  kg::ConceptId winter = *net.GetOrAddPrimitiveConcept("winter", season);
+  (void)net.SetGloss(barbecue,
+                     {"grilling", "food", "outside", "needs", "grill"});
+
+  // isA inside the primitive layer; schema-typed relation.
+  (void)net.AddIsA(grill, cookware);
+  (void)net.AddTypedRelation("suitable_when", trousers, winter);
+
+  // ---- An e-commerce concept interpreting a user need (Section 5) ----
+  kg::EcConceptId outdoor_barbecue =
+      *net.GetOrAddEcConcept({"outdoor", "barbecue"});
+  (void)net.LinkEcToPrimitive(outdoor_barbecue, outdoor);
+  (void)net.LinkEcToPrimitive(outdoor_barbecue, barbecue);
+
+  // ---- Items and their associations (Section 6) ----
+  kg::ItemId steel_grill = *net.AddItem({"steel", "charcoal", "grill"},
+                                        kitchen);
+  kg::ItemId butter = *net.AddItem({"farm", "butter"}, category);
+  (void)net.LinkItemToPrimitive(steel_grill, grill);
+  (void)net.LinkItemToEc(steel_grill, outdoor_barbecue);
+  (void)net.LinkItemToEc(butter, outdoor_barbecue);
+
+  // ---- Ask the net the paper's questions ----
+  std::printf("Q: what do I need for an 'outdoor barbecue'?\n");
+  auto ec = net.FindEcConcept("outdoor barbecue");
+  for (kg::ItemId item : net.ItemsForEc(*ec)) {
+    std::printf("   item #%u:", item.value);
+    for (const auto& t : net.Get(item).title) std::printf(" %s", t.c_str());
+    std::printf("\n");
+  }
+
+  std::printf("\nQ: how is that need interpreted (primitive concepts)?\n");
+  for (kg::ConceptId p : net.PrimitivesForEc(*ec)) {
+    const auto& pc = net.Get(p);
+    std::printf("   %s  [%s]\n", pc.surface.c_str(),
+                tax.Get(tax.Domain(pc.cls)).name.c_str());
+  }
+
+  std::printf("\nQ: a user searches 'cookware' — is the steel grill "
+              "relevant?\n");
+  auto expanded = net.ExpandWithHypernyms("grill");
+  bool relevant = false;
+  for (const auto& term : expanded) relevant |= term == "cookware";
+  std::printf("   grill expands to {");
+  for (const auto& term : expanded) std::printf(" %s", term.c_str());
+  std::printf(" } -> %s\n", relevant ? "YES, via grill isA cookware" : "no");
+
+  std::printf("\nQ: when are cotton-padded trousers suitable?\n");
+  for (const auto& rel : net.TypedRelationsFrom(trousers)) {
+    std::printf("   %s %s %s\n", net.Get(rel.subject).surface.c_str(),
+                rel.relation.c_str(), net.Get(rel.object).surface.c_str());
+  }
+
+  std::printf("\nNet statistics:\n%s",
+              kg::StatisticsToTable(kg::ComputeStatistics(net)).c_str());
+
+  // Persist and reload.
+  std::string path = "/tmp/quickstart_net.txt";
+  Status st = kg::SaveConceptNet(net, path);
+  std::printf("saved to %s: %s\n", path.c_str(), st.ToString().c_str());
+  auto loaded = kg::LoadConceptNet(path);
+  std::printf("reloaded: %s (%zu primitive concepts)\n",
+              loaded.status().ToString().c_str(),
+              loaded.ok() ? loaded->num_primitive_concepts() : 0);
+  return 0;
+}

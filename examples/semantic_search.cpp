@@ -1,0 +1,111 @@
+// Semantic search over a generated world (Figure 2a + Section 8.1):
+// queries trigger concept cards; isA expansion rescues hypernym queries.
+//
+//   build/examples/semantic_search [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/question_answering.h"
+#include "apps/search_relevance.h"
+#include "datagen/world.h"
+#include "text/bm25.h"
+#include "text/tokenizer.h"
+
+using namespace alicoco;
+
+int main(int argc, char** argv) {
+  datagen::WorldConfig cfg;
+  cfg.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  cfg.num_items = 800;
+  cfg.num_good_ec_concepts = 120;
+  cfg.num_bad_ec_concepts = 60;
+  datagen::World world = datagen::World::Generate(cfg);
+  const kg::ConceptNet& net = world.net();
+  std::printf("world: %zu items, %zu e-commerce concepts\n\n",
+              net.num_items(), net.num_ec_concepts());
+
+  // Index item titles for keyword search.
+  text::Bm25Index index;
+  for (const auto& item : net.items()) {
+    index.AddDocument(item.id.value, item.title);
+  }
+  index.Finalize();
+
+  // Demo 1: a needs query triggers a concept card (Figure 2a).
+  const auto& gold = world.ec_gold();
+  const datagen::EcGold* card = nullptr;
+  for (const auto& g : gold) {
+    if (g.event_driven && g.items.size() >= 3 &&
+        net.Get(g.id).tokens.size() >= 2) {
+      card = &g;
+      break;
+    }
+  }
+  if (card != nullptr) {
+    const auto& card_concept = net.Get(card->id);
+    std::printf("user query: \"%s\"\n", card_concept.surface.c_str());
+    std::printf("keyword search (BM25 top 3):\n");
+    auto hits = index.TopK(card_concept.tokens, 3);
+    if (hits.empty()) std::printf("   (no keyword hits — semantic gap!)\n");
+    for (const auto& [id, score] : hits) {
+      std::printf("   item #%lld (%.2f)\n", static_cast<long long>(id),
+                  score);
+    }
+    std::printf("concept card \"%s\" (needs-driven, Figure 2a):\n",
+                card_concept.surface.c_str());
+    size_t shown = 0;
+    for (kg::ItemId item : net.ItemsForEc(card->id)) {
+      std::printf("   ");
+      for (const auto& t : net.Get(item).title) std::printf("%s ", t.c_str());
+      std::printf("\n");
+      if (++shown >= 5) break;
+    }
+    std::printf("   interpreted as:");
+    for (kg::ConceptId p : net.PrimitivesForEc(card->id)) {
+      std::printf(" <%s: %s>",
+                  world.DomainLabel(p).c_str(),
+                  net.Get(p).surface.c_str());
+    }
+    std::printf("\n\n");
+  }
+
+  // Demo 2: hypernym query rescued by isA expansion (Section 8.1.1).
+  if (!world.group_concepts().empty()) {
+    kg::ConceptId group = world.group_concepts()[0];
+    const std::string& query = net.Get(group).surface;
+    std::printf("user query: \"%s\" (a hypernym no item title contains)\n",
+                query.c_str());
+    auto keyword_hits = index.TopK({query}, 3);
+    std::printf("keyword search: %zu hits\n", keyword_hits.size());
+    apps::SearchRelevance relevance(&net);
+    size_t rescued = 0;
+    for (const auto& item : world.item_profiles()) {
+      if (relevance.Score(query, item.id, /*expand_isa=*/true) > 0) {
+        ++rescued;
+      }
+    }
+    std::printf("with isA expansion: %zu relevant items found\n", rescued);
+  }
+
+  // Demo 3: question answering (Section 8.1.2).
+  if (card != nullptr) {
+    apps::NeedsQuestionAnswerer qa(&net);
+    std::string question = "what should i prepare for hosting next week's " +
+                           net.Get(card->id).surface;
+    std::printf("\nuser asks: \"%s\"\n", question.c_str());
+    auto answer = qa.Answer(question, 4);
+    if (answer.has_value()) {
+      std::printf("recognized need \"%s\" (score %.2f); prepare:\n",
+                  answer->concept_surface.c_str(), answer->score);
+      for (kg::ItemId item : answer->items) {
+        std::printf("   ");
+        for (const auto& t : net.Get(item).title) {
+          std::printf("%s ", t.c_str());
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}

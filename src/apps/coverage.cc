@@ -1,0 +1,56 @@
+#include "apps/coverage.h"
+
+#include "common/logging.h"
+
+namespace alicoco::apps {
+
+CoverageEvaluator::CoverageEvaluator(const kg::ConceptNet* net,
+                                     const datagen::LegacyOntology* legacy)
+    : net_(net), legacy_(legacy) {
+  ALICOCO_CHECK(net != nullptr && legacy != nullptr);
+}
+
+double CoverageEvaluator::QueryCoverage(
+    const std::vector<std::string>& query) const {
+  if (query.empty()) return 0;
+  size_t known = 0;
+  for (const auto& token : query) {
+    if (!net_->FindPrimitive(token).empty()) ++known;
+  }
+  return static_cast<double>(known) / static_cast<double>(query.size());
+}
+
+CoverageReport CoverageEvaluator::Run(
+    const std::vector<std::vector<std::string>>& queries, int num_days,
+    size_t per_day, uint64_t seed) const {
+  ALICOCO_CHECK(!queries.empty());
+  Rng rng(seed);
+  CoverageReport report;
+  for (int day = 0; day < num_days; ++day) {
+    size_t total = 0, net_known = 0, legacy_known = 0;
+    for (size_t q = 0; q < per_day; ++q) {
+      const auto& query = queries[rng.Uniform(queries.size())];
+      for (const auto& token : query) {
+        ++total;
+        if (!net_->FindPrimitive(token).empty()) ++net_known;
+        if (legacy_->Knows(token)) ++legacy_known;
+      }
+    }
+    CoverageDay d;
+    if (total > 0) {
+      d.alicoco = static_cast<double>(net_known) / static_cast<double>(total);
+      d.legacy =
+          static_cast<double>(legacy_known) / static_cast<double>(total);
+    }
+    report.days.push_back(d);
+    report.mean_alicoco += d.alicoco;
+    report.mean_legacy += d.legacy;
+  }
+  if (!report.days.empty()) {
+    report.mean_alicoco /= static_cast<double>(report.days.size());
+    report.mean_legacy /= static_cast<double>(report.days.size());
+  }
+  return report;
+}
+
+}  // namespace alicoco::apps

@@ -1,0 +1,68 @@
+#include "apps/explanation.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace alicoco::apps {
+
+RecommendationExplainer::RecommendationExplainer(const kg::ConceptNet* net)
+    : net_(net) {
+  ALICOCO_CHECK(net != nullptr);
+}
+
+std::optional<Explanation> RecommendationExplainer::Explain(
+    const datagen::UserHistory& user, kg::ItemId item) const {
+  // Concepts the item satisfies.
+  std::unordered_map<uint32_t, double> candidates;
+  for (kg::EcConceptId ec : net_->EcConceptsForItem(item)) {
+    candidates[ec.value] = 0;
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  // History votes: clicked items sharing those concepts.
+  for (kg::ItemId clicked : user.clicked) {
+    if (clicked == item) continue;
+    for (kg::EcConceptId ec : net_->EcConceptsForItem(clicked)) {
+      auto it = candidates.find(ec.value);
+      if (it != candidates.end()) it->second += 1.0;
+    }
+  }
+  uint32_t best = 0;
+  double best_votes = 0;
+  for (const auto& [ec, votes] : candidates) {
+    if (votes > best_votes ||
+        (votes == best_votes && best_votes > 0 && ec < best)) {
+      best = ec;
+      best_votes = votes;
+    }
+  }
+  if (best_votes <= 0) return std::nullopt;
+
+  Explanation out;
+  out.concept_id = kg::EcConceptId(best);
+  out.concept_surface = net_->Get(out.concept_id).surface;
+  out.support = best_votes;
+  out.text = StringPrintf(
+      "recommended for \"%s\" — %.0f of your recent picks point at this "
+      "need",
+      out.concept_surface.c_str(), best_votes);
+  return out;
+}
+
+double RecommendationExplainer::ExplainableRate(
+    const std::vector<datagen::UserHistory>& users,
+    const std::vector<std::vector<kg::ItemId>>& recommendations) const {
+  ALICOCO_CHECK(users.size() == recommendations.size());
+  size_t total = 0, explained = 0;
+  for (size_t u = 0; u < users.size(); ++u) {
+    for (kg::ItemId item : recommendations[u]) {
+      ++total;
+      if (Explain(users[u], item).has_value()) ++explained;
+    }
+  }
+  return total > 0 ? static_cast<double>(explained) / total : 0.0;
+}
+
+}  // namespace alicoco::apps

@@ -1,0 +1,52 @@
+// Recommendation reasons (Section 8.2.2).
+//
+// "The advantages of e-commerce concepts include clarity and brevity, which
+// make them perfect recommendation reasons." Given a user and a recommended
+// item, find the e-commerce concept that best connects them — an inferred
+// need the user's history supports AND the item satisfies — and phrase it.
+
+#ifndef ALICOCO_APPS_EXPLANATION_H_
+#define ALICOCO_APPS_EXPLANATION_H_
+
+#include <optional>
+#include <string>
+
+#include "datagen/world.h"
+#include "kg/concept_net.h"
+
+namespace alicoco::apps {
+
+/// A concept-grounded recommendation reason.
+struct Explanation {
+  kg::EcConceptId concept_id;
+  std::string concept_surface;
+  double support = 0;  ///< history votes for the concept
+  /// Rendered reason, e.g. `recommended for "outdoor barbecue" — 3 of your
+  /// recent picks point at this need`.
+  std::string text;
+};
+
+/// Produces concept-grounded reasons over a concept net.
+class RecommendationExplainer {
+ public:
+  explicit RecommendationExplainer(const kg::ConceptNet* net);
+
+  /// Explains why `item` suits `user`: the concept with the most history
+  /// evidence among those associated with the item. nullopt when no shared
+  /// concept exists (the CF-style "people also viewed" fallback case).
+  std::optional<Explanation> Explain(const datagen::UserHistory& user,
+                                     kg::ItemId item) const;
+
+  /// Fraction of (user, recommended item) pairs that get a concept-grounded
+  /// reason — the paper's practicality argument vs NLG explanations.
+  double ExplainableRate(
+      const std::vector<datagen::UserHistory>& users,
+      const std::vector<std::vector<kg::ItemId>>& recommendations) const;
+
+ private:
+  const kg::ConceptNet* net_;
+};
+
+}  // namespace alicoco::apps
+
+#endif  // ALICOCO_APPS_EXPLANATION_H_

@@ -1,0 +1,184 @@
+#include "apps/recommender.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace alicoco::apps {
+
+void ItemCf::Fit(const std::vector<datagen::UserHistory>& users) {
+  std::unordered_map<uint32_t, double> item_count;
+  for (const auto& user : users) {
+    // Deduplicate within one user's history.
+    std::vector<uint32_t> items;
+    std::unordered_set<uint32_t> seen;
+    for (kg::ItemId item : user.clicked) {
+      if (seen.insert(item.value).second) items.push_back(item.value);
+    }
+    for (uint32_t a : items) {
+      ++item_count[a];
+      for (uint32_t b : items) {
+        if (a != b) sim_[a][b] += 1.0;
+      }
+    }
+  }
+  for (auto& [item, count] : item_count) {
+    norm_[item] = std::sqrt(count);
+  }
+  // Cosine normalization: sim(a,b) /= sqrt(n_a * n_b).
+  for (auto& [a, row] : sim_) {
+    for (auto& [b, v] : row) {
+      double denom = norm_[a] * norm_[b];
+      if (denom > 0) v /= denom;
+    }
+  }
+}
+
+std::vector<kg::ItemId> ItemCf::Recommend(const datagen::UserHistory& user,
+                                          size_t k) const {
+  std::unordered_set<uint32_t> owned;
+  for (kg::ItemId item : user.clicked) owned.insert(item.value);
+  std::unordered_map<uint32_t, double> scores;
+  for (kg::ItemId item : user.clicked) {
+    auto it = sim_.find(item.value);
+    if (it == sim_.end()) continue;
+    for (const auto& [candidate, s] : it->second) {
+      if (!owned.count(candidate)) scores[candidate] += s;
+    }
+  }
+  std::vector<std::pair<double, uint32_t>> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [item, s] : scores) ranked.emplace_back(s, item);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<kg::ItemId> out;
+  for (size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+    out.push_back(kg::ItemId(ranked[i].second));
+  }
+  return out;
+}
+
+CognitiveRecommender::CognitiveRecommender(const kg::ConceptNet* net)
+    : net_(net) {
+  ALICOCO_CHECK(net != nullptr);
+}
+
+std::vector<CognitiveRecommender::ConceptCard>
+CognitiveRecommender::Recommend(const datagen::UserHistory& user,
+                                size_t num_cards,
+                                size_t items_per_card) const {
+  // Vote for concepts linked to the clicked items; damp by concept size so
+  // huge generic concepts don't dominate.
+  std::unordered_map<uint32_t, double> votes;
+  for (kg::ItemId item : user.clicked) {
+    for (kg::EcConceptId ec : net_->EcConceptsForItem(item)) {
+      double size = static_cast<double>(net_->ItemsForEc(ec).size());
+      votes[ec.value] += 1.0 / std::log2(2.0 + size);
+    }
+  }
+  std::vector<std::pair<double, uint32_t>> ranked;
+  ranked.reserve(votes.size());
+  for (const auto& [ec, v] : votes) ranked.emplace_back(v, ec);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  std::unordered_set<uint32_t> owned;
+  for (kg::ItemId item : user.clicked) owned.insert(item.value);
+
+  std::vector<ConceptCard> cards;
+  for (size_t i = 0; i < ranked.size() && cards.size() < num_cards; ++i) {
+    ConceptCard card;
+    card.concept_id = kg::EcConceptId(ranked[i].second);
+    card.score = ranked[i].first;
+    // Highest-probability edges first (probabilistic associations).
+    for (const auto& [item, probability] :
+         net_->ItemsForEcRanked(card.concept_id)) {
+      (void)probability;
+      if (owned.count(item.value)) continue;
+      card.items.push_back(item);
+      if (card.items.size() >= items_per_card) break;
+    }
+    cards.push_back(std::move(card));
+  }
+  return cards;
+}
+
+RecommendationReport CompareRecommenders(const datagen::World& world,
+                                         size_t k_items, size_t num_cards) {
+  const auto& users = world.user_histories();
+  ALICOCO_CHECK(!users.empty());
+  ItemCf cf;
+  cf.Fit(users);
+  CognitiveRecommender cognitive(&world.net());
+
+  // Category-head of an item for novelty accounting.
+  auto head_of = [&](kg::ItemId item) -> uint32_t {
+    return world.item_profiles()[item.value].head.value;
+  };
+  auto need_items = [&](const datagen::UserHistory& user) {
+    std::unordered_set<uint32_t> gold;
+    for (kg::EcConceptId need : user.needs) {
+      for (kg::ItemId item : world.net().ItemsForEc(need)) {
+        gold.insert(item.value);
+      }
+    }
+    return gold;
+  };
+
+  RecommendationReport report;
+  size_t cf_total = 0, cf_novel = 0, cf_need = 0;
+  size_t cog_total = 0, cog_novel = 0, cog_need = 0;
+  size_t users_with_hit = 0, users_counted = 0;
+  size_t items_per_card = std::max<size_t>(1, k_items / num_cards);
+
+  for (const auto& user : users) {
+    std::unordered_set<uint32_t> history_heads;
+    for (kg::ItemId item : user.clicked) history_heads.insert(head_of(item));
+    auto gold_items = need_items(user);
+
+    auto cf_rec = cf.Recommend(user, k_items);
+    for (kg::ItemId item : cf_rec) {
+      ++cf_total;
+      if (!history_heads.count(head_of(item))) ++cf_novel;
+      if (gold_items.count(item.value)) ++cf_need;
+    }
+
+    auto cards = cognitive.Recommend(user, num_cards, items_per_card);
+    bool hit = false;
+    for (const auto& card : cards) {
+      if (std::find(user.needs.begin(), user.needs.end(), card.concept_id) !=
+          user.needs.end()) {
+        hit = true;
+      }
+      for (kg::ItemId item : card.items) {
+        ++cog_total;
+        if (!history_heads.count(head_of(item))) ++cog_novel;
+        if (gold_items.count(item.value)) ++cog_need;
+      }
+    }
+    ++users_counted;
+    users_with_hit += hit;
+  }
+
+  if (cf_total > 0) {
+    report.cf_novelty = static_cast<double>(cf_novel) / cf_total;
+    report.cf_need_item_rate = static_cast<double>(cf_need) / cf_total;
+  }
+  if (cog_total > 0) {
+    report.cognitive_novelty = static_cast<double>(cog_novel) / cog_total;
+    report.cog_need_item_rate = static_cast<double>(cog_need) / cog_total;
+  }
+  if (users_counted > 0) {
+    report.needs_hit_rate =
+        static_cast<double>(users_with_hit) / users_counted;
+  }
+  return report;
+}
+
+}  // namespace alicoco::apps

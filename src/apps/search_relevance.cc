@@ -1,0 +1,109 @@
+#include "apps/search_relevance.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "eval/metrics.h"
+
+namespace alicoco::apps {
+
+SearchRelevance::SearchRelevance(const kg::ConceptNet* net) : net_(net) {
+  ALICOCO_CHECK(net != nullptr);
+}
+
+std::vector<RelevanceQuery> SearchRelevance::BuildQueries(
+    const datagen::World& world, size_t max_queries, size_t items_per_query,
+    uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<RelevanceQuery> out;
+
+  // Query concepts: a mix of head surfaces (lexical match already works —
+  // most real queries) and group concepts (token-disjoint hypernyms, the
+  // paper's "jacket isA top" case that needs the knowledge).
+  std::vector<kg::ConceptId> query_concepts = world.group_concepts();
+  {
+    std::vector<kg::ConceptId> heads;
+    for (const auto& item : world.item_profiles()) heads.push_back(item.head);
+    std::sort(heads.begin(), heads.end());
+    heads.erase(std::unique(heads.begin(), heads.end()), heads.end());
+    rng.Shuffle(&heads);
+    size_t take = std::min(heads.size(), 3 * world.group_concepts().size());
+    query_concepts.insert(query_concepts.end(), heads.begin(),
+                          heads.begin() + take);
+  }
+  rng.Shuffle(&query_concepts);
+  const auto& items = world.item_profiles();
+  ALICOCO_CHECK(!items.empty());
+
+  // Precompute: item -> set of its category hypernym closure ids.
+  auto relevant_to = [&](const datagen::ItemProfile& item,
+                         kg::ConceptId query) {
+    if (item.category == query || item.head == query) return true;
+    auto closure = net_->HypernymClosure(item.category);
+    return std::find(closure.begin(), closure.end(), query) != closure.end();
+  };
+
+  for (kg::ConceptId qc : query_concepts) {
+    if (out.size() >= max_queries) break;
+    RelevanceQuery q;
+    q.query = net_->Get(qc).surface;
+    // Gather relevant items first.
+    std::vector<const datagen::ItemProfile*> rel, irrel;
+    for (const auto& item : items) {
+      (relevant_to(item, qc) ? rel : irrel).push_back(&item);
+    }
+    if (rel.empty() || irrel.empty()) continue;
+    rng.Shuffle(&rel);
+    rng.Shuffle(&irrel);
+    size_t n_rel = std::min(items_per_query / 2, rel.size());
+    size_t n_irrel = std::min(items_per_query - n_rel, irrel.size());
+    for (size_t i = 0; i < n_rel; ++i) {
+      q.items.push_back(rel[i]->id);
+      q.relevant.push_back(1);
+    }
+    for (size_t i = 0; i < n_irrel; ++i) {
+      q.items.push_back(irrel[i]->id);
+      q.relevant.push_back(0);
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+double SearchRelevance::Score(const std::string& query, kg::ItemId item,
+                              bool expand_isa) const {
+  std::unordered_set<std::string> item_terms;
+  const auto& title = net_->Get(item).title;
+  item_terms.insert(title.begin(), title.end());
+  if (expand_isa) {
+    // Expand with the hypernym closure of the item's linked primitive
+    // concepts ("jacket" contributes "top").
+    for (kg::ConceptId prim : net_->PrimitivesForItem(item)) {
+      for (kg::ConceptId hyper : net_->HypernymClosure(prim)) {
+        item_terms.insert(net_->Get(hyper).surface);
+      }
+    }
+  }
+  return item_terms.count(query) ? 1.0 : 0.0;
+}
+
+RelevanceReport SearchRelevance::Evaluate(
+    const std::vector<RelevanceQuery>& queries, bool expand_isa) const {
+  RelevanceReport report;
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (const auto& q : queries) {
+    for (size_t i = 0; i < q.items.size(); ++i) {
+      double s = Score(q.query, q.items[i], expand_isa);
+      scores.push_back(s);
+      labels.push_back(q.relevant[i]);
+      ++report.judged_pairs;
+      if (q.relevant[i] == 1 && s == 0.0) ++report.bad_cases;
+    }
+  }
+  report.auc = eval::Auc(scores, labels);
+  return report;
+}
+
+}  // namespace alicoco::apps

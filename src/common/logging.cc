@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace alicoco {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) { g_level.store(level); }
+LogLevel Logger::level() { return g_level.load(); }
+
+void Logger::Emit(LogLevel level, const char* file, int line,
+                  const std::string& message) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
+               message.c_str());
+}
+
+namespace internal {
+CheckFailure::CheckFailure(const char* file, int line, const char* expr) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << expr << " ";
+}
+CheckFailure::~CheckFailure() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace alicoco

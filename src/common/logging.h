@@ -1,0 +1,71 @@
+// Minimal leveled logging to stderr.
+//
+// Usage: ALICOCO_LOG(INFO) << "built " << n << " nodes";
+// Level filtering via Logger::SetLevel (benches silence INFO by default).
+
+#ifndef ALICOCO_COMMON_LOGGING_H_
+#define ALICOCO_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace alicoco {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log-level gate.
+class Logger {
+ public:
+  static void SetLevel(LogLevel level);
+  static LogLevel level();
+  static void Emit(LogLevel level, const char* file, int line,
+                   const std::string& message);
+};
+
+/// One log statement; streams accumulate and flush on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() {
+    if (level_ >= Logger::level()) {
+      Logger::Emit(level_, file_, line_, stream_.str());
+    }
+  }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+#define ALICOCO_LOG(severity)                                      \
+  ::alicoco::LogMessage(::alicoco::LogLevel::k##severity, __FILE__, \
+                        __LINE__)
+
+/// Hard invariant; aborts with a message when violated (all build types).
+#define ALICOCO_CHECK(cond)                                             \
+  if (!(cond))                                                          \
+  ::alicoco::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+namespace internal {
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr);
+  [[noreturn]] ~CheckFailure();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace alicoco
+
+#endif  // ALICOCO_COMMON_LOGGING_H_

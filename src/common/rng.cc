@@ -1,0 +1,122 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace alicoco {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::UniformFloat(float lo, float hi) {
+  return lo + static_cast<float>(NextDouble()) * (hi - lo);
+}
+
+double Rng::NextGaussian() {
+  if (have_gaussian_) {
+    have_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  have_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w > 0 ? w : 0;
+  if (total <= 0) return Uniform(weights.size());
+  double r = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] > 0 ? weights[i] : 0;
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  assert(n > 0);
+  // Inverse-CDF over precomputation-free harmonic approximation would be
+  // costly per call; use rejection-free cumulative walk for small n and a
+  // two-stage approximation otherwise.
+  if (n <= 1024) {
+    double total = 0.0;
+    for (size_t i = 1; i <= n; ++i) total += 1.0 / std::pow(double(i), s);
+    double r = NextDouble() * total;
+    double acc = 0.0;
+    for (size_t i = 1; i <= n; ++i) {
+      acc += 1.0 / std::pow(double(i), s);
+      if (r < acc) return i - 1;
+    }
+    return n - 1;
+  }
+  // Devroye's rejection method for large n.
+  double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    double u = NextDouble();
+    double v = NextDouble();
+    double x = std::floor(std::pow(u, -1.0 / (s - 1.0 + 1e-9)));
+    double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (x <= double(n) && v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<size_t>(x) - 1;
+    }
+  }
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace alicoco

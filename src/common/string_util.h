@@ -1,0 +1,37 @@
+// Lightweight string helpers used across the codebase.
+
+#ifndef ALICOCO_COMMON_STRING_UTIL_H_
+#define ALICOCO_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alicoco {
+
+/// Splits `s` on `delim`, omitting empty pieces.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Splits `s` on runs of ASCII whitespace.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string StripWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace alicoco
+
+#endif  // ALICOCO_COMMON_STRING_UTIL_H_

@@ -1,0 +1,62 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace alicoco {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  return StringPrintf("%.*f", precision, v);
+}
+
+std::string TablePrinter::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  if (!header_.empty()) measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  auto render = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t i = 0; i < cols; ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      line += " " + cell + std::string(width[i] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string rule = "+";
+  for (size_t i = 0; i < cols; ++i) rule += std::string(width[i] + 2, '-') + "+";
+  rule += "\n";
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule;
+  if (!header_.empty()) {
+    out += render(header_);
+    out += rule;
+  }
+  for (const auto& r : rows_) out += render(r);
+  out += rule;
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace alicoco

@@ -1,0 +1,43 @@
+// Fixed-width ASCII table rendering for the benchmark harnesses.
+//
+// Every bench binary prints the corresponding paper table/figure series
+// through this class so rows are aligned and machine-greppable.
+
+#ifndef ALICOCO_COMMON_TABLE_PRINTER_H_
+#define ALICOCO_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace alicoco {
+
+/// Collects rows of string cells and renders a padded table.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; pass "" for none.
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row; ragged rows are padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double v, int precision = 4);
+
+  /// Renders the full table.
+  std::string ToString() const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace alicoco
+
+#endif  // ALICOCO_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,51 @@
+// Fixed-size worker pool used by trainers for data-parallel scoring.
+
+#ifndef ALICOCO_COMMON_THREAD_POOL_H_
+#define ALICOCO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace alicoco {
+
+/// Simple FIFO thread pool. Submitted tasks must not throw.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace alicoco
+
+#endif  // ALICOCO_COMMON_THREAD_POOL_H_

@@ -1,0 +1,135 @@
+#include "concepts/candidate_generation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace alicoco::concepts {
+
+std::vector<PhraseCandidate> PhraseMiner::Mine(
+    const std::vector<std::vector<std::string>>& sentences,
+    const std::vector<std::string>& stopwords) const {
+  std::unordered_set<std::string> stop(stopwords.begin(), stopwords.end());
+  // Count n-grams up to max_len_.
+  std::unordered_map<std::string, size_t> counts;
+  size_t total_unigrams = 0;
+  for (const auto& tokens : sentences) {
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      ++total_unigrams;
+      std::string key;
+      for (size_t l = 1; l <= max_len_ && i + l <= tokens.size(); ++l) {
+        if (l > 1) key += ' ';
+        key += tokens[i + l - 1];
+        ++counts[key];
+      }
+    }
+  }
+  if (total_unigrams == 0) return {};
+
+  auto prob = [&](const std::string& key) {
+    auto it = counts.find(key);
+    return it == counts.end()
+               ? 0.0
+               : static_cast<double>(it->second) /
+                     static_cast<double>(total_unigrams);
+  };
+
+  std::vector<PhraseCandidate> out;
+  for (const auto& [key, freq] : counts) {
+    if (freq < min_count_) continue;
+    auto tokens = SplitString(key, ' ');
+    if (tokens.size() < 2) continue;
+    if (stop.count(tokens.front()) || stop.count(tokens.back())) continue;
+    // Cohesion: min normalized PMI over all binary splits.
+    double p_phrase = prob(key);
+    double best_split = 1e300;
+    for (size_t split = 1; split < tokens.size(); ++split) {
+      std::string left = JoinStrings(
+          std::vector<std::string>(tokens.begin(), tokens.begin() + split),
+          " ");
+      std::string right = JoinStrings(
+          std::vector<std::string>(tokens.begin() + split, tokens.end()),
+          " ");
+      double denom = prob(left) * prob(right);
+      double pmi = denom > 0 ? std::log(p_phrase / denom) : 0.0;
+      best_split = std::min(best_split, pmi);
+    }
+    double npmi = best_split / (-std::log(std::max(p_phrase, 1e-12)));
+    if (npmi <= 0) continue;
+    PhraseCandidate cand;
+    cand.tokens = tokens;
+    cand.frequency = freq;
+    cand.score = static_cast<double>(freq) * npmi;
+    out.push_back(std::move(cand));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.tokens < b.tokens;
+  });
+  return out;
+}
+
+ConceptPattern ConceptPattern::Parse(const std::string& spec) {
+  ConceptPattern pattern;
+  for (const auto& piece : SplitWhitespace(spec)) {
+    Slot slot;
+    if (EndsWith(piece, ":lit")) {
+      slot.literal = true;
+      slot.word = piece.substr(0, piece.size() - 4);
+    } else {
+      slot.cls = piece;
+    }
+    pattern.slots.push_back(std::move(slot));
+  }
+  return pattern;
+}
+
+PatternCombiner::PatternCombiner(const kg::ConceptNet* net) : net_(net) {
+  ALICOCO_CHECK(net != nullptr);
+}
+
+std::vector<std::vector<std::string>> PatternCombiner::Generate(
+    const ConceptPattern& pattern, size_t limit, Rng* rng) const {
+  // Pre-resolve the concept pool of every class slot.
+  std::vector<std::vector<kg::ConceptId>> pools(pattern.slots.size());
+  for (size_t s = 0; s < pattern.slots.size(); ++s) {
+    const auto& slot = pattern.slots[s];
+    if (slot.literal) continue;
+    auto cls = net_->taxonomy().Find(slot.cls);
+    if (!cls.ok()) return {};
+    for (kg::ClassId sub : net_->taxonomy().Subtree(*cls)) {
+      for (kg::ConceptId c : net_->PrimitivesOfClass(sub)) {
+        pools[s].push_back(c);
+      }
+    }
+    if (pools[s].empty()) return {};
+  }
+
+  std::vector<std::vector<std::string>> out;
+  std::unordered_set<std::string> seen;
+  size_t attempts = limit * 20 + 64;
+  for (size_t a = 0; a < attempts && out.size() < limit; ++a) {
+    std::vector<std::string> tokens;
+    for (size_t s = 0; s < pattern.slots.size(); ++s) {
+      const auto& slot = pattern.slots[s];
+      if (slot.literal) {
+        tokens.push_back(slot.word);
+      } else {
+        kg::ConceptId c = pools[s][rng->Uniform(pools[s].size())];
+        for (const auto& t : text::Tokenize(net_->Get(c).surface)) {
+          tokens.push_back(t);
+        }
+      }
+    }
+    std::string key = JoinStrings(tokens, " ");
+    if (seen.insert(key).second) out.push_back(std::move(tokens));
+  }
+  return out;
+}
+
+}  // namespace alicoco::concepts

@@ -1,0 +1,77 @@
+// Candidate e-commerce concept generation (Section 5.2.1).
+//
+// Two generators, as in the paper: an AutoPhrase-style miner that extracts
+// high-quality phrases from corpora (frequency + cohesion scoring), and a
+// pattern combiner that composes primitive concepts of specific classes
+// ("[Function] [Category] for [Event]", Table 1) to cover needs that are
+// too rare to be mined from text ("indoor barbecue").
+
+#ifndef ALICOCO_CONCEPTS_CANDIDATE_GENERATION_H_
+#define ALICOCO_CONCEPTS_CANDIDATE_GENERATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "kg/concept_net.h"
+
+namespace alicoco::concepts {
+
+/// A candidate phrase with its mining score.
+struct PhraseCandidate {
+  std::vector<std::string> tokens;
+  double score = 0;    ///< frequency x cohesion
+  size_t frequency = 0;
+};
+
+/// AutoPhrase-style frequent-phrase miner.
+class PhraseMiner {
+ public:
+  /// `min_count` — minimum n-gram frequency; `max_len` — longest phrase.
+  explicit PhraseMiner(size_t min_count = 3, size_t max_len = 4)
+      : min_count_(min_count), max_len_(max_len) {}
+
+  /// Mines candidate phrases (length >= 2) ranked by score. Cohesion is
+  /// normalized pointwise mutual information between the phrase's best
+  /// split halves; stopword-initial/final phrases are rejected.
+  std::vector<PhraseCandidate> Mine(
+      const std::vector<std::vector<std::string>>& sentences,
+      const std::vector<std::string>& stopwords) const;
+
+ private:
+  size_t min_count_;
+  size_t max_len_;
+};
+
+/// One Table-1 style pattern: a sequence of slots, each either a taxonomy
+/// class (filled by a primitive concept of that class subtree) or a literal
+/// function word.
+struct ConceptPattern {
+  struct Slot {
+    bool literal = false;
+    std::string word;      ///< literal word (when literal)
+    std::string cls;       ///< taxonomy class name (when !literal)
+  };
+  std::vector<Slot> slots;
+
+  /// Parses "Function Category for:lit Event" (":lit" marks literals).
+  static ConceptPattern Parse(const std::string& spec);
+};
+
+/// Composes new candidates from primitive concepts by pattern.
+class PatternCombiner {
+ public:
+  /// `net` supplies concept pools per class; must outlive the combiner.
+  explicit PatternCombiner(const kg::ConceptNet* net);
+
+  /// Generates up to `limit` distinct candidates for a pattern.
+  std::vector<std::vector<std::string>> Generate(const ConceptPattern& pattern,
+                                                 size_t limit, Rng* rng) const;
+
+ private:
+  const kg::ConceptNet* net_;
+};
+
+}  // namespace alicoco::concepts
+
+#endif  // ALICOCO_CONCEPTS_CANDIDATE_GENERATION_H_

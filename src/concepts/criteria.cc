@@ -1,0 +1,66 @@
+#include "concepts/criteria.h"
+
+#include <cctype>
+#include <cmath>
+
+namespace alicoco::concepts {
+
+bool PassesBasicCriteria(const std::vector<std::string>& tokens) {
+  if (tokens.empty() || tokens.size() > 6) return false;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].empty()) return false;
+    for (char c : tokens[i]) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-') {
+        return false;
+      }
+    }
+    if (i > 0 && tokens[i] == tokens[i - 1]) return false;
+  }
+  return true;
+}
+
+std::vector<float> WideFeatures::ToVector() const {
+  return {num_chars,      num_words,      avg_word_len, lm_score,
+          lm_perplexity,  avg_popularity, min_popularity, oov_rate};
+}
+
+WideFeatures ComputeWideFeatures(const std::vector<std::string>& tokens,
+                                 const text::NgramLm* lm,
+                                 const text::Vocabulary& corpus_vocab) {
+  WideFeatures f;
+  if (tokens.empty()) return f;
+  size_t chars = 0;
+  double pop_sum = 0;
+  double pop_min = 1e30;
+  size_t oov = 0;
+  for (const auto& t : tokens) {
+    chars += t.size();
+    int id = corpus_vocab.Id(t);
+    if (id == text::Vocabulary::kUnkId) {
+      ++oov;
+      pop_min = 0;
+      continue;
+    }
+    double pop = std::log1p(static_cast<double>(corpus_vocab.Count(id)));
+    pop_sum += pop;
+    pop_min = std::min(pop_min, pop);
+  }
+  f.num_chars = static_cast<float>(chars) / 10.0f;  // mild scaling
+  f.num_words = static_cast<float>(tokens.size());
+  f.avg_word_len =
+      static_cast<float>(chars) / static_cast<float>(tokens.size());
+  f.avg_popularity =
+      static_cast<float>(pop_sum / static_cast<double>(tokens.size()));
+  f.min_popularity = static_cast<float>(pop_min >= 1e30 ? 0 : pop_min);
+  f.oov_rate =
+      static_cast<float>(oov) / static_cast<float>(tokens.size());
+  if (lm != nullptr) {
+    double score = lm->ScoreSentence(tokens);
+    f.lm_score = static_cast<float>(score);
+    // Perplexity grows fast; log-scale it to keep features comparable.
+    f.lm_perplexity = static_cast<float>(std::log1p(lm->Perplexity(tokens)));
+  }
+  return f;
+}
+
+}  // namespace alicoco::concepts

@@ -1,0 +1,43 @@
+// The five criteria of a good e-commerce concept (Section 5.1) — heuristic
+// prechecks and the wide-feature extraction of Figure 5.
+
+#ifndef ALICOCO_CONCEPTS_CRITERIA_H_
+#define ALICOCO_CONCEPTS_CRITERIA_H_
+
+#include <string>
+#include <vector>
+
+#include "text/ngram_lm.h"
+#include "text/vocabulary.h"
+
+namespace alicoco::concepts {
+
+/// Cheap structural checks (Correctness/Clarity proxies): token count in
+/// [1, 6], no immediate duplicate tokens, all tokens non-empty alphanumeric.
+bool PassesBasicCriteria(const std::vector<std::string>& tokens);
+
+/// Pre-calculated wide features (Figure 5's Wide side): char/word counts,
+/// language-model fluency (the BERT-perplexity substitute), word popularity
+/// in the corpus, and OOV rate.
+struct WideFeatures {
+  static constexpr int kDim = 8;
+  float num_chars = 0;
+  float num_words = 0;
+  float avg_word_len = 0;
+  float lm_score = 0;        ///< mean log-prob per token (0 when lm == null)
+  float lm_perplexity = 0;   ///< scaled perplexity (0 when lm == null)
+  float avg_popularity = 0;  ///< mean log(1+count) of tokens in corpus vocab
+  float min_popularity = 0;  ///< min log(1+count)
+  float oov_rate = 0;        ///< fraction of tokens unknown to the vocab
+
+  /// Dense vector for the model input.
+  std::vector<float> ToVector() const;
+};
+
+WideFeatures ComputeWideFeatures(const std::vector<std::string>& tokens,
+                                 const text::NgramLm* lm,
+                                 const text::Vocabulary& corpus_vocab);
+
+}  // namespace alicoco::concepts
+
+#endif  // ALICOCO_CONCEPTS_CRITERIA_H_

@@ -1,0 +1,67 @@
+#include "datagen/grammar.h"
+
+namespace alicoco::datagen {
+namespace {
+const std::vector<std::string> kDeterminers = {"the", "a", "this", "my",
+                                               "your"};
+const std::vector<std::string> kCopulas = {"is", "are", "comes", "feels"};
+const std::vector<std::string> kIntensifiers = {"very", "really", "quite",
+                                                "so"};
+const std::vector<std::string> kConjunctions = {"and", "or", "with"};
+const std::vector<std::string> kFillerNouns = {"edition", "set", "pack",
+                                               "series", "bundle"};
+}  // namespace
+
+const std::vector<std::string>& CarrierVocabulary() {
+  static const std::vector<std::string>* kAll = [] {
+    auto* v = new std::vector<std::string>;
+    for (const auto& pool : {kDeterminers, kCopulas, kIntensifiers,
+                             kConjunctions, kFillerNouns}) {
+      v->insert(v->end(), pool.begin(), pool.end());
+    }
+    for (const char* w : {"for", "in", "such", "as", "you", "need", "needs",
+                          "every", "gifts"}) {
+      v->push_back(w);
+    }
+    return v;
+  }();
+  return *kAll;
+}
+
+SentenceBuilder& SentenceBuilder::Concept(
+    const std::vector<std::string>& tokens, const std::string& domain) {
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    s_.tokens.push_back(tokens[i]);
+    s_.gold_iob.push_back((i == 0 ? "B-" : "I-") + domain);
+  }
+  return *this;
+}
+
+SentenceBuilder& SentenceBuilder::O(const std::string& token) {
+  s_.tokens.push_back(token);
+  s_.gold_iob.push_back("O");
+  return *this;
+}
+
+SentenceBuilder& SentenceBuilder::O(const std::vector<std::string>& tokens) {
+  for (const auto& t : tokens) O(t);
+  return *this;
+}
+
+std::string Grammar::Determiner() {
+  return kDeterminers[rng_->Uniform(kDeterminers.size())];
+}
+std::string Grammar::Copula() {
+  return kCopulas[rng_->Uniform(kCopulas.size())];
+}
+std::string Grammar::Intensifier() {
+  return kIntensifiers[rng_->Uniform(kIntensifiers.size())];
+}
+std::string Grammar::Conjunction() {
+  return kConjunctions[rng_->Uniform(kConjunctions.size())];
+}
+std::string Grammar::FillerNoun() {
+  return kFillerNouns[rng_->Uniform(kFillerNouns.size())];
+}
+
+}  // namespace alicoco::datagen

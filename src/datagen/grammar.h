@@ -1,0 +1,71 @@
+// Carrier-text grammar: the "glue" words of the synthetic corpus and
+// helpers for assembling sentences with gold IOB labels.
+
+#ifndef ALICOCO_DATAGEN_GRAMMAR_H_
+#define ALICOCO_DATAGEN_GRAMMAR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace alicoco::datagen {
+
+/// One corpus sentence with per-token gold domain labels.
+struct Sentence {
+  enum class Source { kTitle, kQuery, kReview, kGuide };
+  Source source = Source::kTitle;
+  std::vector<std::string> tokens;
+  std::vector<std::string> gold_iob;  ///< "B-Category" / "I-Category" / "O"
+};
+
+/// Sentence assembly with label bookkeeping.
+class SentenceBuilder {
+ public:
+  explicit SentenceBuilder(Sentence::Source source) { s_.source = source; }
+
+  /// Appends a labeled concept span (IOB over the domain label).
+  SentenceBuilder& Concept(const std::vector<std::string>& tokens,
+                           const std::string& domain);
+
+  /// Appends one O-labeled carrier token.
+  SentenceBuilder& O(const std::string& token);
+
+  /// Appends several O-labeled carrier tokens.
+  SentenceBuilder& O(const std::vector<std::string>& tokens);
+
+  Sentence Build() { return std::move(s_); }
+
+ private:
+  Sentence s_;
+};
+
+/// Every closed-class carrier token the emitters may produce. Distant
+/// supervision treats these as inherently O-taggable when deciding whether
+/// a sentence is "perfectly matched" (Section 7.2).
+const std::vector<std::string>& CarrierVocabulary();
+
+/// Pools of closed-class carrier words (always O-labeled; the POS tagger
+/// knows them as PREP/OTHER).
+class Grammar {
+ public:
+  explicit Grammar(Rng* rng) : rng_(rng) {}
+
+  /// "the", "a", "this", ...
+  std::string Determiner();
+  /// "is", "are", "comes", ...
+  std::string Copula();
+  /// "very", "really", "quite", ...
+  std::string Intensifier();
+  /// "and", "or", "with".
+  std::string Conjunction();
+  /// Generic filler noun used in noisy titles ("edition", "set", "pack").
+  std::string FillerNoun();
+
+ private:
+  Rng* rng_;
+};
+
+}  // namespace alicoco::datagen
+
+#endif  // ALICOCO_DATAGEN_GRAMMAR_H_

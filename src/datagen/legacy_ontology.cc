@@ -1,0 +1,25 @@
+#include "datagen/legacy_ontology.h"
+
+#include "text/tokenizer.h"
+
+namespace alicoco::datagen {
+
+LegacyOntology::LegacyOntology(const World& world) {
+  const auto& net = world.net();
+  const auto& tax = net.taxonomy();
+  for (const auto& p : net.primitives()) {
+    std::string domain = tax.Get(tax.Domain(p.cls)).name;
+    if (domain == "Category" || domain == "Brand" || domain == "Color" ||
+        domain == "Material") {
+      for (const auto& tok : text::Tokenize(p.surface)) {
+        vocabulary_.insert(tok);
+      }
+    }
+  }
+}
+
+bool LegacyOntology::Knows(const std::string& token) const {
+  return vocabulary_.count(token) > 0;
+}
+
+}  // namespace alicoco::datagen

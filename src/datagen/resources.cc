@@ -1,0 +1,47 @@
+#include "datagen/resources.h"
+
+namespace alicoco::datagen {
+
+WorldResources::WorldResources(const World& world,
+                               const ResourcesConfig& config)
+    : world_(&world) {
+  for (const auto& s : world.sentences()) {
+    std::vector<int> ids;
+    ids.reserve(s.tokens.size());
+    for (const auto& t : s.tokens) ids.push_back(vocab_.Add(t));
+    corpus_ids_.push_back(std::move(ids));
+    lm_.AddSentence(s.tokens);
+  }
+  lm_.Finalize();
+
+  text::SkipgramConfig sg;
+  sg.dim = config.embedding_dim;
+  sg.epochs = config.embedding_epochs;
+  sg.subsample = 0;  // synthetic corpora are small; keep every occurrence
+  sg.seed = config.seed;
+  embeddings_ =
+      std::make_unique<text::SkipgramModel>(vocab_.size(), sg);
+  embeddings_->Train(corpus_ids_, vocab_);
+
+  gloss_encoder_ =
+      std::make_unique<text::GlossEncoder>(embeddings_.get(), &vocab_);
+  for (const auto& p : world.net().primitives()) {
+    if (!p.gloss.empty()) gloss_encoder_->ObserveDocument(p.gloss);
+  }
+  gloss_encoder_->FinalizeIdf();
+
+  context_ = std::make_unique<text::ContextMatrix>(corpus_ids_, *embeddings_,
+                                                   config.context_window);
+}
+
+std::vector<std::string> WorldResources::GlossOf(
+    const std::string& word) const {
+  auto senses = world_->net().FindPrimitive(word);
+  for (kg::ConceptId id : senses) {
+    const auto& gloss = world_->net().Get(id).gloss;
+    if (!gloss.empty()) return gloss;
+  }
+  return {};
+}
+
+}  // namespace alicoco::datagen

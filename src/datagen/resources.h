@@ -1,0 +1,60 @@
+// Shared derived resources over a generated world: the corpus vocabulary,
+// pretrained skip-gram embeddings, the n-gram language model, the gloss
+// encoder and the context matrix. Every downstream model consumes some
+// subset of these; building them once per world keeps tests and benches
+// fast and consistent.
+
+#ifndef ALICOCO_DATAGEN_RESOURCES_H_
+#define ALICOCO_DATAGEN_RESOURCES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/world.h"
+#include "text/gloss_encoder.h"
+#include "text/ngram_lm.h"
+#include "text/skipgram.h"
+#include "text/vocabulary.h"
+
+namespace alicoco::datagen {
+
+/// Knobs for the derived resources.
+struct ResourcesConfig {
+  int embedding_dim = 20;
+  int embedding_epochs = 8;
+  int context_window = 3;
+  uint64_t seed = 97;
+};
+
+/// Bundle of corpus-derived models. Construct once per world.
+class WorldResources {
+ public:
+  WorldResources(const World& world, const ResourcesConfig& config);
+
+  const text::Vocabulary& vocab() const { return vocab_; }
+  const text::SkipgramModel& embeddings() const { return *embeddings_; }
+  const text::NgramLm& lm() const { return lm_; }
+  const text::GlossEncoder& gloss_encoder() const { return *gloss_encoder_; }
+  const text::ContextMatrix& context_matrix() const { return *context_; }
+  const std::vector<std::vector<int>>& corpus_ids() const {
+    return corpus_ids_;
+  }
+
+  /// Gloss tokens of a word's first primitive-concept sense ({} if none) —
+  /// the "link each word to its encyclopedia article" step of Section 5.2.2.
+  std::vector<std::string> GlossOf(const std::string& word) const;
+
+ private:
+  const World* world_;
+  text::Vocabulary vocab_;
+  std::vector<std::vector<int>> corpus_ids_;
+  std::unique_ptr<text::SkipgramModel> embeddings_;
+  text::NgramLm lm_;
+  std::unique_ptr<text::GlossEncoder> gloss_encoder_;
+  std::unique_ptr<text::ContextMatrix> context_;
+};
+
+}  // namespace alicoco::datagen
+
+#endif  // ALICOCO_DATAGEN_RESOURCES_H_

@@ -1,0 +1,60 @@
+#include "datagen/vocab_gen.h"
+
+#include "common/logging.h"
+
+namespace alicoco::datagen {
+namespace {
+constexpr const char* kOnsets[] = {"b", "d", "f", "g", "k", "l", "m", "n",
+                                   "p", "r", "s", "t", "v", "z", "br", "dr",
+                                   "gr", "kl", "pl", "st", "tr", "sk"};
+constexpr const char* kVowels[] = {"a", "e", "i", "o", "u"};
+constexpr const char* kCodas[] = {"", "", "n", "r", "l", "m", "s", "k", "t"};
+}  // namespace
+
+std::string WordMinter::Syllable() {
+  std::string s = kOnsets[rng_.Uniform(std::size(kOnsets))];
+  s += kVowels[rng_.Uniform(std::size(kVowels))];
+  s += kCodas[rng_.Uniform(std::size(kCodas))];
+  return s;
+}
+
+std::string WordMinter::Stem(int syllables) {
+  std::string s;
+  for (int i = 0; i < syllables; ++i) s += Syllable();
+  return s;
+}
+
+std::string WordMinter::Unique(const std::string& base,
+                               const char* const* suffixes,
+                               size_t num_suffixes) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::string candidate = base;
+    if (num_suffixes > 0) candidate += suffixes[rng_.Uniform(num_suffixes)];
+    if (used_.insert(candidate).second) return candidate;
+    // Collision: extend the stem and retry.
+    return Unique(base + Syllable(), suffixes, num_suffixes);
+  }
+  ALICOCO_CHECK(false) << "word minting exhausted";
+  return "";
+}
+
+std::string WordMinter::MintNoun() {
+  return Unique(Stem(2 + static_cast<int>(rng_.Uniform(2))), nullptr, 0);
+}
+
+std::string WordMinter::MintAdjective() {
+  static constexpr const char* kSuffixes[] = {"y", "ish", "al"};
+  return Unique(Stem(2), kSuffixes, std::size(kSuffixes));
+}
+
+std::string WordMinter::MintGerund() {
+  static constexpr const char* kSuffixes[] = {"ing"};
+  return Unique(Stem(2), kSuffixes, std::size(kSuffixes));
+}
+
+std::string WordMinter::MintBrand() {
+  static constexpr const char* kSuffixes[] = {"ix", "ex", "on", "ora"};
+  return Unique(Stem(2), kSuffixes, std::size(kSuffixes));
+}
+
+}  // namespace alicoco::datagen

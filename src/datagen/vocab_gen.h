@@ -1,0 +1,53 @@
+// Synthetic word minting.
+//
+// Produces unique, pronounceable tokens with domain-appropriate morphology:
+// nouns for categories/brands/locations, adjective-shaped words ("-y",
+// "-ish", "-al") for functions/styles/colors, "-ing" forms for events — so
+// the lexicon-free fallbacks of the POS tagger behave as they would on real
+// e-commerce text.
+
+#ifndef ALICOCO_DATAGEN_VOCAB_GEN_H_
+#define ALICOCO_DATAGEN_VOCAB_GEN_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace alicoco::datagen {
+
+/// Mints unique synthetic tokens. Deterministic given the seed.
+class WordMinter {
+ public:
+  explicit WordMinter(uint64_t seed) : rng_(seed) {}
+
+  /// Bare noun, 2-3 syllables ("velkon").
+  std::string MintNoun();
+
+  /// Adjective-shaped token ("velkony", "tarmish", "plonal").
+  std::string MintAdjective();
+
+  /// Gerund-shaped token for events/actions ("velking").
+  std::string MintGerund();
+
+  /// Brand-shaped token ("velkonix", "tarmex").
+  std::string MintBrand();
+
+  /// Registers an externally-created token so it is never re-minted.
+  void Reserve(const std::string& token) { used_.insert(token); }
+
+  size_t minted() const { return used_.size(); }
+
+ private:
+  std::string Syllable();
+  std::string Stem(int syllables);
+  std::string Unique(const std::string& base, const char* const* suffixes,
+                     size_t num_suffixes);
+
+  Rng rng_;
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace alicoco::datagen
+
+#endif  // ALICOCO_DATAGEN_VOCAB_GEN_H_

@@ -1,0 +1,80 @@
+#include "datagen/world_spec.h"
+
+#include "common/logging.h"
+
+namespace alicoco::datagen {
+
+const std::vector<std::string>& DomainNames() {
+  static const std::vector<std::string> kDomains = {
+      "Audience", "Brand",    "Color",    "Design",       "Event",
+      "Function", "Category", "IP",       "Material",     "Modifier",
+      "Nature",   "Organization", "Pattern", "Location",  "Quantity",
+      "Shape",    "Smell",    "Style",    "Taste",        "Time"};
+  return kDomains;
+}
+
+TaxonomyHandles BuildTaxonomy(kg::Taxonomy* taxonomy) {
+  ALICOCO_CHECK(taxonomy->size() == 1) << "taxonomy must be fresh";
+  TaxonomyHandles h;
+  for (const auto& name : DomainNames()) {
+    kg::ClassId id = *taxonomy->AddDomain(name);
+    if (name == "Audience") h.audience = id;
+    else if (name == "Brand") h.brand = id;
+    else if (name == "Color") h.color = id;
+    else if (name == "Design") h.design = id;
+    else if (name == "Event") h.event = id;
+    else if (name == "Function") h.function = id;
+    else if (name == "Category") h.category = id;
+    else if (name == "IP") h.ip = id;
+    else if (name == "Material") h.material = id;
+    else if (name == "Modifier") h.modifier = id;
+    else if (name == "Nature") h.nature = id;
+    else if (name == "Organization") h.organization = id;
+    else if (name == "Pattern") h.pattern = id;
+    else if (name == "Location") h.location = id;
+    else if (name == "Quantity") h.quantity = id;
+    else if (name == "Shape") h.shape = id;
+    else if (name == "Smell") h.smell = id;
+    else if (name == "Style") h.style = id;
+    else if (name == "Taste") h.taste = id;
+    else if (name == "Time") h.time = id;
+  }
+
+  // Audience subtree (Table 1 addresses Audience->Human).
+  h.audience_human = *taxonomy->AddClass("Human", h.audience);
+  taxonomy->AddClass("Pet", h.audience);
+
+  // Event subtree (Table 1 addresses Event->Action).
+  h.event_action = *taxonomy->AddClass("Action", h.event);
+  taxonomy->AddClass("Holiday-Event", h.event);
+
+  // Time subtree.
+  h.time_season = *taxonomy->AddClass("Season", h.time);
+  h.time_holiday = *taxonomy->AddClass("Holiday", h.time);
+
+  // Category subtree: mid-level groups, each with leaf classes (Figure 3's
+  // "Category -> ClothingAndAccessory -> Clothing -> Dress" pattern).
+  struct Group {
+    const char* name;
+    std::vector<const char*> leaves;
+  };
+  const std::vector<Group> kGroups = {
+      {"Clothing", {"Dress", "Coat", "Trousers", "Hat", "Sock"}},
+      {"Footwear", {"Boot", "Sneaker", "Sandal"}},
+      {"Kitchen", {"Cookware", "Tableware", "Bakeware"}},
+      {"Outdoor", {"CampGear", "GrillGear", "SportGear"}},
+      {"Electronics", {"Phone", "Speaker", "Lamp"}},
+      {"HomeDecor", {"Curtain", "Rug", "Pillow"}},
+      {"Food", {"Snack", "Drink", "Pastry"}},
+      {"PersonalCare", {"Skincare", "Haircare"}},
+  };
+  for (const auto& group : kGroups) {
+    kg::ClassId mid = *taxonomy->AddClass(group.name, h.category);
+    for (const char* leaf : group.leaves) {
+      h.category_leaves.push_back(*taxonomy->AddClass(leaf, mid));
+    }
+  }
+  return h;
+}
+
+}  // namespace alicoco::datagen

@@ -1,0 +1,57 @@
+// Taxonomy specification of the synthetic e-commerce world.
+//
+// Mirrors Section 3 / Figure 3 / Table 2: exactly the 20 first-level domains
+// of AliCoCo, with Category carrying the deepest subtree (it is the backbone
+// of the platform) and Time/Location/Audience carrying the subclasses the
+// concept-generation patterns of Table 1 reference.
+
+#ifndef ALICOCO_DATAGEN_WORLD_SPEC_H_
+#define ALICOCO_DATAGEN_WORLD_SPEC_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/taxonomy.h"
+
+namespace alicoco::datagen {
+
+/// Names of the 20 domains, matching Table 2.
+const std::vector<std::string>& DomainNames();
+
+/// Handles to the classes the generators address directly.
+struct TaxonomyHandles {
+  kg::ClassId category;           // domain
+  kg::ClassId brand;
+  kg::ClassId color;
+  kg::ClassId design;
+  kg::ClassId function;
+  kg::ClassId material;
+  kg::ClassId pattern;
+  kg::ClassId shape;
+  kg::ClassId smell;
+  kg::ClassId taste;
+  kg::ClassId style;
+  kg::ClassId audience;
+  kg::ClassId audience_human;     // Audience->Human
+  kg::ClassId event;
+  kg::ClassId event_action;      // Event->Action
+  kg::ClassId ip;
+  kg::ClassId location;
+  kg::ClassId modifier;
+  kg::ClassId nature;
+  kg::ClassId organization;
+  kg::ClassId quantity;
+  kg::ClassId time;
+  kg::ClassId time_season;       // Time->Season
+  kg::ClassId time_holiday;      // Time->Holiday
+  std::vector<kg::ClassId> category_leaves;  // leaf classes under Category
+};
+
+/// Populates `taxonomy` (fresh, root-only) with the 20 domains and their
+/// subtrees. Returns handles to the addressed classes.
+TaxonomyHandles BuildTaxonomy(kg::Taxonomy* taxonomy);
+
+}  // namespace alicoco::datagen
+
+#endif  // ALICOCO_DATAGEN_WORLD_SPEC_H_

@@ -1,0 +1,97 @@
+#include "hypernym/patterns.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace alicoco::hypernym {
+
+PatternHypernymMiner::PatternHypernymMiner(
+    const std::vector<std::string>& vocabulary)
+    : vocabulary_(vocabulary),
+      vocab_set_(vocabulary.begin(), vocabulary.end()) {
+  for (const auto& surface : vocabulary_) {
+    max_len_ = std::max(max_len_, text::Tokenize(surface).size());
+  }
+}
+
+std::string PatternHypernymMiner::MatchAt(
+    const std::vector<std::string>& tokens, size_t pos, size_t* len) const {
+  std::string best;
+  size_t best_len = 0;
+  std::string key;
+  for (size_t l = 1; l <= max_len_ && pos + l <= tokens.size(); ++l) {
+    if (l > 1) key += ' ';
+    key += tokens[pos + l - 1];
+    if (vocab_set_.count(key)) {
+      best = key;
+      best_len = l;
+    }
+  }
+  *len = best_len;
+  return best;
+}
+
+std::vector<PatternPair> PatternHypernymMiner::MineHearst(
+    const std::vector<std::vector<std::string>>& sentences) const {
+  std::map<std::pair<std::string, std::string>, size_t> counts;
+  for (const auto& tokens : sentences) {
+    for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i] != "such" || tokens[i + 1] != "as") continue;
+      // Hypernym: the vocabulary surface ending right before "such".
+      std::string hyper;
+      for (size_t start = i >= max_len_ ? i - max_len_ : 0; start < i;
+           ++start) {
+        size_t len = 0;
+        std::string m = MatchAt(tokens, start, &len);
+        if (!m.empty() && start + len == i) hyper = m;
+      }
+      if (hyper.empty()) continue;
+      // Hyponyms: surfaces after "as", optionally continued by "and"/"or".
+      size_t pos = i + 2;
+      while (pos < tokens.size()) {
+        size_t len = 0;
+        std::string hypo = MatchAt(tokens, pos, &len);
+        if (hypo.empty()) break;
+        if (hypo != hyper) ++counts[{hypo, hyper}];
+        pos += len;
+        if (pos < tokens.size() &&
+            (tokens[pos] == "and" || tokens[pos] == "or")) {
+          ++pos;
+        } else {
+          break;
+        }
+      }
+    }
+  }
+  std::vector<PatternPair> out;
+  out.reserve(counts.size());
+  for (const auto& [pair, support] : counts) {
+    out.push_back(PatternPair{pair.first, pair.second,
+                              PatternPair::Source::kHearst, support});
+  }
+  return out;
+}
+
+std::vector<PatternPair> PatternHypernymMiner::MineSuffix() const {
+  std::vector<PatternPair> out;
+  for (const auto& surface : vocabulary_) {
+    auto tokens = text::Tokenize(surface);
+    if (tokens.size() < 2) continue;
+    // Longest proper suffix that is itself a vocabulary surface.
+    for (size_t start = 1; start < tokens.size(); ++start) {
+      std::string suffix = JoinStrings(
+          std::vector<std::string>(tokens.begin() + start, tokens.end()),
+          " ");
+      if (vocab_set_.count(suffix)) {
+        out.push_back(PatternPair{surface, suffix,
+                                  PatternPair::Source::kSuffix, 1});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace alicoco::hypernym

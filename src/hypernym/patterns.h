@@ -1,0 +1,54 @@
+// Pattern-based hypernym discovery (Section 4.2.1).
+//
+// Two sources, as in the paper: Hearst-style textual patterns ("Y such as
+// X") matched over the corpus, and the grammatical suffix-head rule ("XX
+// pants" must be a "pants" — the Chinese "XX裤" rule transposed to
+// token-level compounds).
+
+#ifndef ALICOCO_HYPERNYM_PATTERNS_H_
+#define ALICOCO_HYPERNYM_PATTERNS_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace alicoco::hypernym {
+
+/// A proposed hyponym -> hypernym pair with provenance.
+struct PatternPair {
+  std::string hypo;
+  std::string hyper;
+  enum class Source { kHearst, kSuffix } source = Source::kHearst;
+  size_t support = 1;  ///< corpus occurrences (Hearst only)
+};
+
+/// Extracts hypernym pairs among a known vocabulary of concept surfaces.
+class PatternHypernymMiner {
+ public:
+  /// `vocabulary` — candidate concept surfaces (possibly multi-token,
+  /// space-joined).
+  explicit PatternHypernymMiner(const std::vector<std::string>& vocabulary);
+
+  /// Scans sentences for "<Y> such as <X> (and <X>)*" where X and Y are
+  /// vocabulary surfaces. Deduplicates, accumulating support.
+  std::vector<PatternPair> MineHearst(
+      const std::vector<std::vector<std::string>>& sentences) const;
+
+  /// Applies the suffix-head rule to the vocabulary itself: a multi-token
+  /// surface whose trailing token(s) form another vocabulary surface is its
+  /// hyponym.
+  std::vector<PatternPair> MineSuffix() const;
+
+ private:
+  /// Longest vocabulary surface starting at `pos` (empty if none).
+  std::string MatchAt(const std::vector<std::string>& tokens,
+                      size_t pos, size_t* len) const;
+
+  std::vector<std::string> vocabulary_;
+  std::unordered_set<std::string> vocab_set_;
+  size_t max_len_ = 0;
+};
+
+}  // namespace alicoco::hypernym
+
+#endif  // ALICOCO_HYPERNYM_PATTERNS_H_

@@ -1,0 +1,126 @@
+#include "kg/graphviz.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace alicoco::kg {
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string EcNode(EcConceptId id) {
+  return "ec" + std::to_string(id.value);
+}
+std::string PrimNode(ConceptId id) {
+  return "p" + std::to_string(id.value);
+}
+std::string ItemNode(ItemId id) {
+  return "i" + std::to_string(id.value);
+}
+
+void EmitPrimitive(const ConceptNet& net, ConceptId id,
+                   const GraphvizOptions& options, std::ostringstream* out,
+                   std::unordered_set<uint32_t>* emitted) {
+  if (!emitted->insert(id.value).second) return;
+  const auto& concept_info = net.Get(id);
+  const auto& tax = net.taxonomy();
+  std::string label = concept_info.surface + "\\n[" +
+                      tax.Get(tax.Domain(concept_info.cls)).name + "]";
+  if (options.include_glosses && !concept_info.gloss.empty()) {
+    label += "\\n" + Escape(JoinStrings(concept_info.gloss, " "));
+  }
+  *out << "  " << PrimNode(id) << " [shape=box, style=rounded, label=\""
+       << Escape(label) << "\"];\n";
+}
+
+void EmitHypernyms(const ConceptNet& net, ConceptId id, size_t hops,
+                   const GraphvizOptions& options, std::ostringstream* out,
+                   std::unordered_set<uint32_t>* emitted) {
+  if (hops == 0) return;
+  for (ConceptId hyper : net.Hypernyms(id)) {
+    EmitPrimitive(net, hyper, options, out, emitted);
+    *out << "  " << PrimNode(id) << " -> " << PrimNode(hyper)
+         << " [label=\"isA\"];\n";
+    EmitHypernyms(net, hyper, hops - 1, options, out, emitted);
+  }
+}
+
+void EmitTypedRelations(const ConceptNet& net, ConceptId id,
+                        const GraphvizOptions& options,
+                        std::ostringstream* out,
+                        std::unordered_set<uint32_t>* emitted) {
+  if (!options.include_typed_relations) return;
+  for (const auto& rel : net.TypedRelationsFrom(id)) {
+    EmitPrimitive(net, rel.object, options, out, emitted);
+    *out << "  " << PrimNode(id) << " -> " << PrimNode(rel.object)
+         << " [label=\"" << Escape(rel.relation) << "\", style=dashed];\n";
+  }
+}
+
+}  // namespace
+
+std::string EcConceptNeighborhoodDot(const ConceptNet& net, EcConceptId id,
+                                     const GraphvizOptions& options) {
+  std::ostringstream out;
+  out << "digraph alicoco {\n  rankdir=LR;\n";
+  const auto& ec = net.Get(id);
+  out << "  " << EcNode(id)
+      << " [shape=doubleoctagon, style=filled, fillcolor=\"#ffe0b2\", "
+         "label=\""
+      << Escape(ec.surface) << "\"];\n";
+
+  std::unordered_set<uint32_t> emitted;
+  for (ConceptId prim : net.PrimitivesForEc(id)) {
+    EmitPrimitive(net, prim, options, &out, &emitted);
+    out << "  " << EcNode(id) << " -> " << PrimNode(prim)
+        << " [label=\"interprets\"];\n";
+    EmitHypernyms(net, prim, options.max_hypernym_hops, options, &out,
+                  &emitted);
+    EmitTypedRelations(net, prim, options, &out, &emitted);
+  }
+  for (EcConceptId parent : net.EcParents(id)) {
+    out << "  " << EcNode(parent) << " [shape=doubleoctagon, label=\""
+        << Escape(net.Get(parent).surface) << "\"];\n";
+    out << "  " << EcNode(id) << " -> " << EcNode(parent)
+        << " [label=\"isA\"];\n";
+  }
+  size_t shown = 0;
+  for (const auto& [item, probability] : net.ItemsForEcRanked(id)) {
+    if (shown++ >= options.max_items) break;
+    out << "  " << ItemNode(item) << " [shape=note, label=\""
+        << Escape(JoinStrings(net.Get(item).title, " ")) << "\"];\n";
+    out << "  " << ItemNode(item) << " -> " << EcNode(id) << " [label=\""
+        << StringPrintf("%.2f", probability) << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string PrimitiveNeighborhoodDot(const ConceptNet& net, ConceptId id,
+                                     const GraphvizOptions& options) {
+  std::ostringstream out;
+  out << "digraph alicoco {\n  rankdir=BT;\n";
+  std::unordered_set<uint32_t> emitted;
+  EmitPrimitive(net, id, options, &out, &emitted);
+  EmitHypernyms(net, id, options.max_hypernym_hops, options, &out, &emitted);
+  for (ConceptId hypo : net.Hyponyms(id)) {
+    EmitPrimitive(net, hypo, options, &out, &emitted);
+    out << "  " << PrimNode(hypo) << " -> " << PrimNode(id)
+        << " [label=\"isA\"];\n";
+  }
+  EmitTypedRelations(net, id, options, &out, &emitted);
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace alicoco::kg

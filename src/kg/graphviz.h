@@ -1,0 +1,34 @@
+// Graphviz DOT export of concept-net neighborhoods — inspection tooling for
+// the four-layer structure (render with `dot -Tsvg`).
+
+#ifndef ALICOCO_KG_GRAPHVIZ_H_
+#define ALICOCO_KG_GRAPHVIZ_H_
+
+#include <string>
+
+#include "kg/concept_net.h"
+
+namespace alicoco::kg {
+
+/// What to include in an export.
+struct GraphvizOptions {
+  size_t max_items = 6;        ///< items per e-commerce concept
+  size_t max_hypernym_hops = 2;
+  bool include_glosses = false;
+  bool include_typed_relations = true;
+};
+
+/// The neighborhood of one e-commerce concept: its interpretation, the
+/// hypernym context of those primitives, and a sample of associated items
+/// (edge labels carry probabilities when present). Returns a DOT digraph.
+std::string EcConceptNeighborhoodDot(const ConceptNet& net, EcConceptId id,
+                                     const GraphvizOptions& options = {});
+
+/// The hypernym neighborhood of one primitive concept (ancestors up to
+/// `max_hypernym_hops`, direct hyponyms, typed relations).
+std::string PrimitiveNeighborhoodDot(const ConceptNet& net, ConceptId id,
+                                     const GraphvizOptions& options = {});
+
+}  // namespace alicoco::kg
+
+#endif  // ALICOCO_KG_GRAPHVIZ_H_

@@ -1,0 +1,16 @@
+#include "kg/ids.h"
+
+#include "common/string_util.h"
+
+namespace alicoco::kg {
+
+std::string ToString(ClassId id) { return StringPrintf("class:%u", id.value); }
+std::string ToString(ConceptId id) {
+  return StringPrintf("concept:%u", id.value);
+}
+std::string ToString(EcConceptId id) {
+  return StringPrintf("ec_concept:%u", id.value);
+}
+std::string ToString(ItemId id) { return StringPrintf("item:%u", id.value); }
+
+}  // namespace alicoco::kg

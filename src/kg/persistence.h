@@ -1,0 +1,25 @@
+// Snapshot persistence for ConceptNet.
+//
+// A versioned, tab-separated text format. Node ids are dense and written in
+// insertion order, so a reloaded net assigns identical ids and all edges
+// round-trip exactly.
+
+#ifndef ALICOCO_KG_PERSISTENCE_H_
+#define ALICOCO_KG_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "kg/concept_net.h"
+
+namespace alicoco::kg {
+
+/// Writes the full net (taxonomy, schema, nodes, edges) to `path`.
+Status SaveConceptNet(const ConceptNet& net, const std::string& path);
+
+/// Reads a snapshot into a fresh net.
+Result<ConceptNet> LoadConceptNet(const std::string& path);
+
+}  // namespace alicoco::kg
+
+#endif  // ALICOCO_KG_PERSISTENCE_H_

@@ -1,0 +1,52 @@
+// Relation schema over the taxonomy (Section 2).
+//
+// A relation such as suitable_when(Category->Pants, Time->Season) constrains
+// which primitive-concept pairs a typed edge may connect: the subject's class
+// must descend from the relation's domain, the object's from its range.
+
+#ifndef ALICOCO_KG_SCHEMA_H_
+#define ALICOCO_KG_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "kg/taxonomy.h"
+
+namespace alicoco::kg {
+
+/// Signature of one typed relation.
+struct RelationDef {
+  std::string name;
+  ClassId domain;  ///< allowed subject classes (subtree)
+  ClassId range;   ///< allowed object classes (subtree)
+};
+
+/// Registry of relation signatures with type checking.
+class Schema {
+ public:
+  /// `taxonomy` must outlive the schema.
+  explicit Schema(const Taxonomy* taxonomy);
+
+  /// Registers a relation; fails on duplicate names or unknown classes.
+  Status AddRelation(const std::string& name, ClassId domain, ClassId range);
+
+  /// The definition for `name` (nullptr if unknown).
+  const RelationDef* Find(const std::string& name) const;
+
+  /// OK iff `name` exists and the classes satisfy its signature.
+  Status Validate(const std::string& name, ClassId subject_class,
+                  ClassId object_class) const;
+
+  const std::vector<RelationDef>& relations() const { return defs_; }
+
+ private:
+  const Taxonomy* taxonomy_;
+  std::vector<RelationDef> defs_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace alicoco::kg
+
+#endif  // ALICOCO_KG_SCHEMA_H_

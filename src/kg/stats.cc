@@ -1,0 +1,89 @@
+#include "kg/stats.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace alicoco::kg {
+
+NetStatistics ComputeStatistics(const ConceptNet& net) {
+  NetStatistics s;
+  s.num_primitive_concepts = net.num_primitive_concepts();
+  s.num_ec_concepts = net.num_ec_concepts();
+  s.num_items = net.num_items();
+  s.isa_primitive = net.num_isa_primitive();
+  s.isa_ec = net.num_isa_ec();
+  s.item_primitive = net.num_item_primitive_links();
+  s.item_ec = net.num_item_ec_links();
+  s.ec_primitive = net.num_ec_primitive_links();
+  s.typed_relations = net.typed_relations().size();
+  s.total_relations = s.isa_primitive + s.isa_ec + s.item_primitive +
+                      s.item_ec + s.ec_primitive + s.typed_relations;
+
+  const Taxonomy& tax = net.taxonomy();
+  for (ClassId domain : tax.Domains()) {
+    size_t count = 0;
+    for (ClassId cls : tax.Subtree(domain)) {
+      count += net.PrimitivesOfClass(cls).size();
+    }
+    s.per_domain.emplace_back(tax.Get(domain).name, count);
+  }
+  std::sort(s.per_domain.begin(), s.per_domain.end());
+
+  size_t linked_items = 0;
+  for (const Item& item : net.items()) {
+    bool linked = !net.PrimitivesForItem(item.id).empty() ||
+                  !net.EcConceptsForItem(item.id).empty();
+    linked_items += linked;
+  }
+  if (s.num_items > 0) {
+    s.avg_primitives_per_item =
+        static_cast<double>(s.item_primitive) / s.num_items;
+    s.avg_ec_per_item = static_cast<double>(s.item_ec) / s.num_items;
+    s.item_linkage_rate = static_cast<double>(linked_items) / s.num_items;
+  }
+  if (s.num_ec_concepts > 0) {
+    s.avg_items_per_ec = static_cast<double>(s.item_ec) / s.num_ec_concepts;
+  }
+  return s;
+}
+
+std::string StatisticsToTable(const NetStatistics& s) {
+  TablePrinter overall("Overall");
+  overall.SetHeader({"metric", "value"});
+  overall.AddRow({"# Primitive concepts", std::to_string(s.num_primitive_concepts)});
+  overall.AddRow({"# E-commerce concepts", std::to_string(s.num_ec_concepts)});
+  overall.AddRow({"# Items", std::to_string(s.num_items)});
+  overall.AddRow({"# Relations", std::to_string(s.total_relations)});
+
+  TablePrinter domains("Primitive concepts per domain");
+  domains.SetHeader({"domain", "count"});
+  for (const auto& [name, count] : s.per_domain) {
+    domains.AddRow({name, std::to_string(count)});
+  }
+
+  TablePrinter rels("Relations");
+  rels.SetHeader({"relation", "count"});
+  rels.AddRow({"# IsA in primitive concepts", std::to_string(s.isa_primitive)});
+  rels.AddRow({"# IsA in e-commerce concepts", std::to_string(s.isa_ec)});
+  rels.AddRow({"# Item - Primitive concepts", std::to_string(s.item_primitive)});
+  rels.AddRow({"# Item - E-commerce concepts", std::to_string(s.item_ec)});
+  rels.AddRow({"# E-commerce - Primitive cpts", std::to_string(s.ec_primitive)});
+  rels.AddRow({"# Schema-typed relations", std::to_string(s.typed_relations)});
+
+  TablePrinter density("Linkage");
+  density.SetHeader({"metric", "value"});
+  density.AddRow({"item linkage rate", TablePrinter::Num(s.item_linkage_rate, 3)});
+  density.AddRow({"avg primitive concepts per item",
+                  TablePrinter::Num(s.avg_primitives_per_item, 2)});
+  density.AddRow({"avg e-commerce concepts per item",
+                  TablePrinter::Num(s.avg_ec_per_item, 2)});
+  density.AddRow({"avg items per e-commerce concept",
+                  TablePrinter::Num(s.avg_items_per_ec, 2)});
+
+  return overall.ToString() + domains.ToString() + rels.ToString() +
+         density.ToString();
+}
+
+}  // namespace alicoco::kg

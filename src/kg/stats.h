@@ -1,0 +1,45 @@
+// Net statistics in the shape of Table 2.
+
+#ifndef ALICOCO_KG_STATS_H_
+#define ALICOCO_KG_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kg/concept_net.h"
+
+namespace alicoco::kg {
+
+/// Aggregate counts over a ConceptNet, mirroring the paper's Table 2 rows.
+struct NetStatistics {
+  size_t num_primitive_concepts = 0;
+  size_t num_ec_concepts = 0;
+  size_t num_items = 0;
+  size_t total_relations = 0;
+
+  /// (domain name, primitive-concept count) per first-level class.
+  std::vector<std::pair<std::string, size_t>> per_domain;
+
+  size_t isa_primitive = 0;      ///< isA edges among primitive concepts
+  size_t isa_ec = 0;             ///< isA edges among e-commerce concepts
+  size_t item_primitive = 0;     ///< item - primitive links
+  size_t item_ec = 0;            ///< item - e-commerce links
+  size_t ec_primitive = 0;       ///< e-commerce - primitive links
+  size_t typed_relations = 0;    ///< schema-typed relations
+
+  double avg_primitives_per_item = 0;  ///< "each item ... 14 primitive"
+  double avg_ec_per_item = 0;          ///< "... 135 e-commerce"
+  double avg_items_per_ec = 0;         ///< "each e-commerce ... 74,420 items"
+  double item_linkage_rate = 0;        ///< fraction of items with any link
+};
+
+/// Computes statistics over the current net contents.
+NetStatistics ComputeStatistics(const ConceptNet& net);
+
+/// Renders statistics as a Table-2-style ASCII table.
+std::string StatisticsToTable(const NetStatistics& stats);
+
+}  // namespace alicoco::kg
+
+#endif  // ALICOCO_KG_STATS_H_

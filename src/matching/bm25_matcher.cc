@@ -1,0 +1,30 @@
+#include "matching/bm25_matcher.h"
+
+#include <unordered_set>
+
+namespace alicoco::matching {
+
+void Bm25Matcher::Train(const MatchingDataset& dataset) {
+  std::unordered_set<int64_t> indexed;
+  auto add = [&](int64_t id, const std::vector<std::string>& tokens) {
+    if (id < 0 || !indexed.insert(id).second) return;
+    index_.AddDocument(id, tokens);
+  };
+  for (const auto& ex : dataset.train) add(ex.item_id, ex.item_tokens);
+  for (const auto& ex : dataset.test) add(ex.item_id, ex.item_tokens);
+  for (const auto& q : dataset.rank_queries) {
+    for (size_t i = 0; i < q.item_ids.size(); ++i) {
+      add(q.item_ids[i], q.item_tokens[i]);
+    }
+  }
+  index_.Finalize();
+}
+
+double Bm25Matcher::Score(const std::vector<std::string>& concept_tokens,
+                          const std::vector<std::string>& item_tokens,
+                          int64_t item_id) const {
+  (void)item_tokens;
+  return index_.Score(concept_tokens, item_id);
+}
+
+}  // namespace alicoco::matching

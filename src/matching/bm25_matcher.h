@@ -1,0 +1,29 @@
+// BM25 lexical baseline for Table 6 — no learning, pure term matching, so
+// it fails exactly where the paper says it does: semantic drift.
+
+#ifndef ALICOCO_MATCHING_BM25_MATCHER_H_
+#define ALICOCO_MATCHING_BM25_MATCHER_H_
+
+#include "matching/dataset.h"
+#include "text/bm25.h"
+
+namespace alicoco::matching {
+
+class Bm25Matcher : public Matcher {
+ public:
+  std::string name() const override { return "BM25"; }
+
+  /// Indexes every distinct item appearing in the dataset.
+  void Train(const MatchingDataset& dataset) override;
+
+  double Score(const std::vector<std::string>& concept_tokens,
+               const std::vector<std::string>& item_tokens,
+               int64_t item_id) const override;
+
+ private:
+  text::Bm25Index index_;
+};
+
+}  // namespace alicoco::matching
+
+#endif  // ALICOCO_MATCHING_BM25_MATCHER_H_

@@ -1,0 +1,153 @@
+#include "matching/knowledge_matcher.h"
+
+#include "common/logging.h"
+#include "matching/match_pyramid.h"
+
+namespace alicoco::matching {
+
+KnowledgeMatcher::KnowledgeMatcher(const KnowledgeMatcherConfig& config,
+                                   const KnowledgeResources& resources,
+                                   const text::SkipgramModel* embeddings,
+                                   const text::Vocabulary* corpus_vocab)
+    : NeuralMatcherBase(config.base, embeddings, corpus_vocab),
+      kcfg_(config),
+      res_(resources) {
+  ALICOCO_CHECK(res_.pos_tagger != nullptr) << "POS tagger required";
+  if (kcfg_.use_knowledge) {
+    ALICOCO_CHECK(res_.gloss_encoder != nullptr && res_.gloss_lookup &&
+                  res_.concept_classes && res_.num_classes > 0)
+        << "use_knowledge requires gloss and class resources";
+  }
+}
+
+void KnowledgeMatcher::BuildModel() {
+  int d = config_.embed_dim;
+  int f = kcfg_.cnn_filters;
+  emb_ = MakeEmbedding("emb");
+  pos_emb_ = std::make_unique<nn::Embedding>(
+      &store_, "pos_emb", text::kNumPosTags, kcfg_.pos_dim, &init_rng_);
+  int in_dim = d + kcfg_.pos_dim;
+  concept_cnn_ = std::make_unique<nn::Conv1D>(&store_, "concept_cnn", in_dim,
+                                              f, kcfg_.cnn_window,
+                                              &init_rng_);
+  item_cnn_ = std::make_unique<nn::Conv1D>(&store_, "item_cnn", in_dim, f,
+                                           kcfg_.cnn_window, &init_rng_);
+  att_w1_ = std::make_unique<nn::Linear>(&store_, "att_w1", f, f, &init_rng_);
+  att_w2_ = std::make_unique<nn::Linear>(&store_, "att_w2", f, f, &init_rng_);
+  att_v_ = store_.Create("att_v", f, 1, nn::ParameterStore::Init::kXavier,
+                         &init_rng_);
+  if (kcfg_.use_knowledge) {
+    gloss_proj_ = std::make_unique<nn::Linear>(
+        &store_, "gloss_proj", res_.gloss_encoder->dim(), d, &init_rng_);
+    class_emb_ = std::make_unique<nn::Embedding>(
+        &store_, "class_emb", res_.num_classes, d, &init_rng_);
+  }
+  for (int k = 0; k < kcfg_.pyramid_layers; ++k) {
+    // Near-identity init: layer 0 starts as a plain dot-product matrix (the
+    // MatchPyramid interaction); later layers perturb it so the K layers
+    // learn distinct similarity facets.
+    nn::Parameter* wk = store_.Create("pyramid" + std::to_string(k), d, d,
+                                      nn::ParameterStore::Init::kGaussian,
+                                      &init_rng_, 0.02f * (k + 1));
+    for (int j = 0; j < d; ++j) wk->value.At(j, j) += 1.0f;
+    pyramid_.push_back(wk);
+  }
+  int grid_feats = kcfg_.pool_grid * kcfg_.pool_grid + 4;
+  pyramid_mlp_ = std::make_unique<nn::Mlp>(
+      &store_, "pyramid_mlp",
+      std::vector<int>{kcfg_.pyramid_layers * grid_feats, config_.hidden},
+      &init_rng_);
+  int head_in = config_.hidden + (kcfg_.use_attention_channel ? 3 * f : 0);
+  head_ = std::make_unique<nn::Mlp>(
+      &store_, "head", std::vector<int>{head_in, config_.hidden, 1},
+      &init_rng_);
+}
+
+nn::Graph::Var KnowledgeMatcher::Logit(nn::Graph* g,
+                                       const std::vector<int>& concept_ids,
+                                       const std::vector<int>& item_ids,
+                                       bool train, Rng* rng) const {
+  auto encode_side = [&](const std::vector<int>& ids,
+                         const nn::Conv1D& cnn) {
+    std::vector<int> pos_ids;
+    pos_ids.reserve(ids.size());
+    for (int id : ids) {
+      pos_ids.push_back(
+          static_cast<int>(res_.pos_tagger->Tag(vocab_.Token(id))));
+    }
+    nn::Graph::Var words = emb_->Lookup(g, ids);
+    nn::Graph::Var pos = pos_emb_->Lookup(g, pos_ids);
+    nn::Graph::Var x = g->ConcatCols({words, pos});
+    x = g->Dropout(x, 0.1f, train, rng);
+    return cnn.Apply(g, x);
+  };
+
+  nn::Graph::Var w_enc = encode_side(concept_ids, *concept_cnn_);  // m x f
+  nn::Graph::Var t_enc = encode_side(item_ids, *item_cnn_);        // l x f
+
+  // Two-way additive attention (Eq. 11-14).
+  nn::Graph::Var att = g->AdditiveAttention(att_w1_->Apply(g, w_enc),
+                                            att_w2_->Apply(g, t_enc),
+                                            g->Use(att_v_));  // m x l
+  nn::Graph::Var alpha_w =
+      g->SoftmaxRows(g->Transpose(g->SumCols(att)));  // 1 x m
+  nn::Graph::Var alpha_t = g->SoftmaxRows(g->SumRows(att));  // 1 x l
+  nn::Graph::Var c = g->MatMul(alpha_w, w_enc);  // 1 x f
+  nn::Graph::Var i = g->MatMul(alpha_t, t_enc);  // 1 x f
+
+  // Knowledge sequence kw: concept word embeddings, plus gloss vectors and
+  // linked-class embeddings when knowledge is on (Eq. 15-16).
+  std::vector<nn::Graph::Var> kw_parts = {emb_->Lookup(g, concept_ids)};
+  if (kcfg_.use_knowledge) {
+    std::vector<std::string> tokens = vocab_.Decode(concept_ids);
+    nn::Tensor gloss_mat(static_cast<int>(tokens.size()),
+                         res_.gloss_encoder->dim());
+    for (size_t w = 0; w < tokens.size(); ++w) {
+      auto gloss = res_.gloss_lookup(tokens[w]);
+      if (gloss.empty()) continue;
+      auto vec = res_.gloss_encoder->Encode(gloss);
+      for (int k = 0; k < res_.gloss_encoder->dim(); ++k) {
+        gloss_mat.At(static_cast<int>(w), k) = vec[static_cast<size_t>(k)];
+      }
+    }
+    kw_parts.push_back(
+        g->Tanh(gloss_proj_->Apply(g, g->Input(std::move(gloss_mat)))));
+    std::vector<int> classes = res_.concept_classes(tokens);
+    if (!classes.empty()) {
+      for (int& cid : classes) {
+        ALICOCO_CHECK(cid >= 0 && cid < res_.num_classes);
+      }
+      kw_parts.push_back(class_emb_->Lookup(g, classes));
+    }
+  }
+  nn::Graph::Var kw = g->ConcatRows(kw_parts);          // (m+g+m') x d
+  nn::Graph::Var t_words = emb_->Lookup(g, item_ids);   // l x d
+
+  // K-layer bilinear matching pyramid (Eq. 16-17): per layer, a dynamic
+  // grid pool plus best-alignment statistics (the paper's per-layer CNN +
+  // max-pooling): max/mean of each side's best-match scores.
+  std::vector<nn::Graph::Var> layer_feats;
+  layer_feats.reserve(pyramid_.size());
+  for (nn::Parameter* wk : pyramid_) {
+    nn::Graph::Var match =
+        g->MatMul(g->MatMul(kw, g->Use(wk)), g->Transpose(t_words));
+    nn::Graph::Var col_best = g->MaxRows(match);                // 1 x l
+    nn::Graph::Var row_best = g->MaxRows(g->Transpose(match));  // 1 x m'
+    nn::Graph::Var stats = g->ConcatCols(
+        {g->MaxRows(g->Transpose(col_best)),   // best overall (cols)
+         g->MeanRows(g->Transpose(col_best)),  // mean col best
+         g->MaxRows(g->Transpose(row_best)),   // best overall (rows)
+         g->MeanRows(g->Transpose(row_best))});
+    layer_feats.push_back(
+        g->ConcatCols({DynamicGridPool(g, match, kcfg_.pool_grid), stats}));
+  }
+  nn::Graph::Var ci =
+      g->Tanh(pyramid_mlp_->Apply(g, g->ConcatCols(layer_feats)));
+
+  // Final score (Eq. 18); the elementwise product gives the MLP a direct
+  // similarity channel between the attended representations.
+  if (!kcfg_.use_attention_channel) return head_->Apply(g, ci);
+  return head_->Apply(g, g->ConcatCols({c, i, g->Mul(c, i), ci}));
+}
+
+}  // namespace alicoco::matching

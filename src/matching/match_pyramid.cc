@@ -1,0 +1,52 @@
+#include "matching/match_pyramid.h"
+
+#include <algorithm>
+
+namespace alicoco::matching {
+
+nn::Graph::Var DynamicGridPool(nn::Graph* g, nn::Graph::Var matrix,
+                               int grid) {
+  int rows = g->Value(matrix).rows();
+  int cols = g->Value(matrix).cols();
+  int gr = std::min(grid, rows);
+  int gc = std::min(grid, cols);
+  std::vector<nn::Graph::Var> cells;
+  cells.reserve(static_cast<size_t>(grid) * grid);
+  for (int r = 0; r < grid; ++r) {
+    // Degenerate inputs (fewer rows/cols than grid) reuse the last region.
+    int r0 = std::min(r, gr - 1) * rows / gr;
+    int r1 = (std::min(r, gr - 1) + 1) * rows / gr;
+    nn::Graph::Var row_slice = g->SliceRows(matrix, r0, std::max(1, r1 - r0));
+    for (int c = 0; c < grid; ++c) {
+      int c0 = std::min(c, gc - 1) * cols / gc;
+      int c1 = (std::min(c, gc - 1) + 1) * cols / gc;
+      nn::Graph::Var cell =
+          g->SliceCols(row_slice, c0, std::max(1, c1 - c0));
+      // Max over the region: max over rows then over the resulting row.
+      nn::Graph::Var m = g->MaxRows(cell);                 // 1 x w
+      cells.push_back(g->MaxRows(g->Transpose(m)));        // 1 x 1
+    }
+  }
+  return g->ConcatCols(cells);
+}
+
+void MatchPyramidMatcher::BuildModel() {
+  emb_ = MakeEmbedding("emb");
+  head_ = std::make_unique<nn::Mlp>(
+      &store_, "head", std::vector<int>{kGrid * kGrid, config_.hidden, 1},
+      &init_rng_);
+}
+
+nn::Graph::Var MatchPyramidMatcher::Logit(nn::Graph* g,
+                                          const std::vector<int>& concept_ids,
+                                          const std::vector<int>& item_ids,
+                                          bool train, Rng* rng) const {
+  nn::Graph::Var c = emb_->Lookup(g, concept_ids);
+  nn::Graph::Var i = emb_->Lookup(g, item_ids);
+  c = g->Dropout(c, 0.1f, train, rng);
+  // Interaction matrix: dot products of every word pair.
+  nn::Graph::Var interaction = g->MatMul(c, g->Transpose(i));  // m x l
+  return head_->Apply(g, DynamicGridPool(g, interaction, kGrid));
+}
+
+}  // namespace alicoco::matching

@@ -1,0 +1,103 @@
+#include "matching/neural_base.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace alicoco::matching {
+
+NeuralMatcherBase::NeuralMatcherBase(const NeuralMatcherConfig& config,
+                                     const text::SkipgramModel* embeddings,
+                                     const text::Vocabulary* corpus_vocab)
+    : config_(config),
+      pretrained_(embeddings),
+      corpus_vocab_(corpus_vocab),
+      init_rng_(config.seed) {
+  if (pretrained_ != nullptr) {
+    ALICOCO_CHECK(corpus_vocab_ != nullptr);
+    ALICOCO_CHECK(pretrained_->dim() == config_.embed_dim)
+        << "pretrained dim mismatch";
+  }
+}
+
+std::unique_ptr<nn::Embedding> NeuralMatcherBase::MakeEmbedding(
+    const std::string& name) {
+  auto emb = std::make_unique<nn::Embedding>(
+      &store_, name, vocab_.size(), config_.embed_dim, &init_rng_);
+  if (pretrained_ != nullptr) {
+    nn::Parameter* table = emb->parameter();
+    for (int wid = 2; wid < vocab_.size(); ++wid) {
+      int cid = corpus_vocab_->Id(vocab_.Token(wid));
+      if (cid <= text::Vocabulary::kUnkId ||
+          cid >= pretrained_->vocab_size()) {
+        continue;
+      }
+      const float* e = pretrained_->Embedding(cid);
+      for (int k = 0; k < config_.embed_dim; ++k) {
+        table->value.At(wid, k) = e[k];
+      }
+    }
+  }
+  return emb;
+}
+
+std::vector<int> NeuralMatcherBase::Encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<int> ids = vocab_.Encode(tokens);
+  if (ids.empty()) ids.push_back(text::Vocabulary::kUnkId);
+  return ids;
+}
+
+void NeuralMatcherBase::Train(const MatchingDataset& dataset) {
+  ALICOCO_CHECK(!trained_);
+  ALICOCO_CHECK(!dataset.train.empty());
+  for (const auto& ex : dataset.train) {
+    for (const auto& t : ex.concept_tokens) vocab_.Add(t);
+    for (const auto& t : ex.item_tokens) vocab_.Add(t);
+  }
+  ObserveVocabulary();
+  BuildModel();
+
+  nn::Adam adam(config_.lr);
+  Rng rng(config_.seed ^ 0xBEAD);
+  std::vector<size_t> order(dataset.train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    store_.ZeroGrad();
+    int in_batch = 0;
+    for (size_t idx : order) {
+      const auto& ex = dataset.train[idx];
+      nn::Graph g;
+      nn::Graph::Var logit = Logit(&g, Encode(ex.concept_tokens),
+                                   Encode(ex.item_tokens), true, &rng);
+      nn::Tensor target(1, 1);
+      target.At(0, 0) = static_cast<float>(ex.label);
+      g.Backward(g.SigmoidCrossEntropyWithLogits(logit, target));
+      if (++in_batch >= config_.batch_size) {
+        adam.Step(&store_);
+        store_.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      adam.Step(&store_);
+      store_.ZeroGrad();
+    }
+  }
+  trained_ = true;
+}
+
+double NeuralMatcherBase::Score(const std::vector<std::string>& concept_tokens,
+                                const std::vector<std::string>& item_tokens,
+                                int64_t item_id) const {
+  (void)item_id;
+  ALICOCO_CHECK(trained_) << name() << " scored before Train";
+  nn::Graph g;
+  nn::Graph::Var logit =
+      Logit(&g, Encode(concept_tokens), Encode(item_tokens), false, nullptr);
+  float x = g.Value(logit).At(0, 0);
+  return 1.0 / (1.0 + std::exp(-static_cast<double>(x)));
+}
+
+}  // namespace alicoco::matching

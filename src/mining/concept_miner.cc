@@ -1,0 +1,55 @@
+#include "mining/concept_miner.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "eval/metrics.h"
+
+namespace alicoco::mining {
+
+ConceptMiner::ConceptMiner(DistantSupervisor* supervisor,
+                           const SequenceLabeler* labeler,
+                           AnnotationOracle oracle)
+    : supervisor_(supervisor), labeler_(labeler), oracle_(std::move(oracle)) {
+  ALICOCO_CHECK(supervisor_ != nullptr && labeler_ != nullptr);
+}
+
+MiningEpochStats ConceptMiner::RunEpoch(
+    const std::vector<std::vector<std::string>>& sentences,
+    size_t min_support) {
+  MiningEpochStats stats;
+  stats.sentences = sentences.size();
+
+  // Collect predicted spans with support counts.
+  std::map<std::pair<std::string, std::string>, size_t> counts;
+  for (const auto& tokens : sentences) {
+    if (tokens.empty()) continue;
+    auto tags = labeler_->Predict(tokens);
+    for (const auto& span : eval::DecodeIob(tags)) {
+      std::vector<std::string> piece(tokens.begin() + span.begin,
+                                     tokens.begin() + span.end);
+      std::string surface = JoinStrings(piece, " ");
+      ++counts[{surface, span.type}];
+    }
+  }
+
+  for (const auto& [key, support] : counts) {
+    const auto& [surface, domain] = key;
+    if (support < min_support) continue;
+    if (supervisor_->Knows(surface, domain)) continue;
+    ++stats.candidates;
+    if (oracle_(surface, domain)) {
+      supervisor_->AddEntry(surface, domain);
+      accepted_.push_back(MinedCandidate{surface, domain, support});
+      ++stats.accepted;
+    }
+  }
+  stats.precision = stats.candidates > 0
+                        ? static_cast<double>(stats.accepted) /
+                              static_cast<double>(stats.candidates)
+                        : 0.0;
+  return stats;
+}
+
+}  // namespace alicoco::mining

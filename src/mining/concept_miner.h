@@ -1,0 +1,67 @@
+// The continuous mining loop of Section 7.2.
+//
+// Each epoch: run the trained sequence labeler over raw corpus text, collect
+// predicted spans absent from the current dictionary, send a batch to the
+// (simulated) human annotators, and add the accepted ones to the dictionary
+// — the paper's "~64K candidates, ~10K accepted per epoch" machinery.
+
+#ifndef ALICOCO_MINING_CONCEPT_MINER_H_
+#define ALICOCO_MINING_CONCEPT_MINER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mining/distant_supervision.h"
+#include "mining/sequence_labeler.h"
+
+namespace alicoco::mining {
+
+/// Simulated crowdsourcing oracle: decides if (surface, domain) is a real
+/// concept. Backed by the world's gold vocabulary in tests and benches.
+using AnnotationOracle =
+    std::function<bool(const std::string& surface, const std::string& domain)>;
+
+/// A mined candidate concept.
+struct MinedCandidate {
+  std::string surface;
+  std::string domain;
+  size_t support = 0;  ///< occurrences across the epoch's corpus
+};
+
+/// Per-epoch accounting (the paper's Section 7.2 numbers).
+struct MiningEpochStats {
+  size_t sentences = 0;
+  size_t candidates = 0;      ///< distinct new (surface, domain) proposed
+  size_t accepted = 0;        ///< passed the oracle, added to dictionary
+  double precision = 0;       ///< accepted / candidates
+};
+
+/// Discovery loop driver. Owns neither the labeler nor the supervisor.
+class ConceptMiner {
+ public:
+  /// `supervisor` provides (and grows) the dictionary; `labeler` must be
+  /// trained; `oracle` simulates manual checking.
+  ConceptMiner(DistantSupervisor* supervisor, const SequenceLabeler* labeler,
+               AnnotationOracle oracle);
+
+  /// Runs one epoch over `sentences`: predicts spans, filters known ones,
+  /// oracle-checks the rest, grows the dictionary with accepted concepts.
+  /// `min_support` drops hapax candidates.
+  MiningEpochStats RunEpoch(
+      const std::vector<std::vector<std::string>>& sentences,
+      size_t min_support = 2);
+
+  /// All concepts accepted so far, in acceptance order.
+  const std::vector<MinedCandidate>& accepted() const { return accepted_; }
+
+ private:
+  DistantSupervisor* supervisor_;
+  const SequenceLabeler* labeler_;
+  AnnotationOracle oracle_;
+  std::vector<MinedCandidate> accepted_;
+};
+
+}  // namespace alicoco::mining
+
+#endif  // ALICOCO_MINING_CONCEPT_MINER_H_

@@ -1,0 +1,68 @@
+#include "mining/distant_supervision.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+
+namespace alicoco::mining {
+
+DistantSupervisor::DistantSupervisor(
+    const std::vector<std::pair<std::string, std::string>>& dictionary,
+    const std::vector<std::string>& stopwords)
+    : stopwords_(stopwords.begin(), stopwords.end()) {
+  for (const auto& [surface, label] : dictionary) AddEntry(surface, label);
+}
+
+void DistantSupervisor::AddEntry(const std::string& surface,
+                                 const std::string& label) {
+  segmenter_.AddPhrase(text::Tokenize(surface), label);
+  entry_keys_.insert(surface + "\t" + label);
+}
+
+bool DistantSupervisor::Knows(const std::string& surface,
+                              const std::string& label) const {
+  return entry_keys_.count(surface + "\t" + label) > 0;
+}
+
+std::vector<LabeledSentence> DistantSupervisor::Label(
+    const std::vector<std::vector<std::string>>& sentences,
+    Stats* stats) const {
+  Stats local;
+  std::vector<LabeledSentence> out;
+  for (const auto& tokens : sentences) {
+    ++local.total;
+    if (tokens.empty()) {
+      ++local.unmatched;
+      continue;
+    }
+    text::Segmentation seg = segmenter_.Match(tokens);
+    if (seg.covered_tokens == 0) {
+      ++local.unmatched;
+      continue;
+    }
+    if (seg.ambiguous) {
+      ++local.ambiguous;
+      continue;
+    }
+    // Perfect-match filter: every uncovered token must be a stopword.
+    if (!stopwords_.empty()) {
+      bool imperfect = false;
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        if (seg.iob[i] == "O" && !stopwords_.count(tokens[i])) {
+          imperfect = true;
+          break;
+        }
+      }
+      if (imperfect) {
+        ++local.imperfect;
+        continue;
+      }
+    }
+    ++local.kept;
+    out.push_back(LabeledSentence{tokens, std::move(seg.iob)});
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace alicoco::mining

@@ -1,0 +1,68 @@
+// Distant supervision for primitive-concept mining (Section 7.2).
+//
+// A dictionary of known (surface, domain) pairs is max-matched against raw
+// corpus sentences; sentences whose matching is ambiguous (several optimal
+// labelings, or a matched phrase carrying several labels) are dropped, and
+// the rest become IOB training data for the sequence labeler — exactly the
+// paper's bootstrap.
+
+#ifndef ALICOCO_MINING_DISTANT_SUPERVISION_H_
+#define ALICOCO_MINING_DISTANT_SUPERVISION_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "text/segmenter.h"
+
+namespace alicoco::mining {
+
+/// One auto-labeled training sentence.
+struct LabeledSentence {
+  std::vector<std::string> tokens;
+  std::vector<std::string> iob;
+};
+
+/// Labels sentences with a concept dictionary via max-matching.
+class DistantSupervisor {
+ public:
+  /// `dictionary` holds (surface, domain-label) pairs; surfaces may be
+  /// multi-token (space-joined). `stopwords` are carrier tokens that are
+  /// inherently O-taggable; any OTHER uncovered token makes a sentence
+  /// imperfect and drops it (the paper keeps only sentences where "all
+  /// words can be tagged by only one unique label").
+  DistantSupervisor(
+      const std::vector<std::pair<std::string, std::string>>& dictionary,
+      const std::vector<std::string>& stopwords = {});
+
+  /// Adds one more dictionary entry (mining loop grows the dictionary).
+  void AddEntry(const std::string& surface, const std::string& label);
+
+  struct Stats {
+    size_t total = 0;      ///< sentences seen
+    size_t ambiguous = 0;  ///< dropped: ambiguous matching
+    size_t unmatched = 0;  ///< dropped: no dictionary hit at all
+    size_t imperfect = 0;  ///< dropped: uncovered non-stopword token
+    size_t kept = 0;       ///< labeled sentences produced
+  };
+
+  /// Labels a corpus; drops ambiguous and hit-less sentences.
+  std::vector<LabeledSentence> Label(
+      const std::vector<std::vector<std::string>>& sentences,
+      Stats* stats = nullptr) const;
+
+  /// True if (surface, label) is already in the dictionary.
+  bool Knows(const std::string& surface, const std::string& label) const;
+
+  const text::MaxMatchSegmenter& segmenter() const { return segmenter_; }
+  size_t dictionary_size() const { return segmenter_.num_entries(); }
+
+ private:
+  text::MaxMatchSegmenter segmenter_;
+  std::unordered_set<std::string> entry_keys_;  // "surface\tlabel"
+  std::unordered_set<std::string> stopwords_;
+};
+
+}  // namespace alicoco::mining
+
+#endif  // ALICOCO_MINING_DISTANT_SUPERVISION_H_

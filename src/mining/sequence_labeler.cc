@@ -1,0 +1,176 @@
+#include "mining/sequence_labeler.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/logging.h"
+#include "nn/serialize.h"
+
+namespace alicoco::mining {
+
+SequenceLabeler::SequenceLabeler(const SequenceLabelerConfig& config)
+    : config_(config), init_rng_(config.seed) {}
+
+int SequenceLabeler::LabelId(const std::string& label) const {
+  auto it = label_ids_.find(label);
+  return it == label_ids_.end() ? 0 : it->second;  // unknown -> O
+}
+
+void SequenceLabeler::Train(const std::vector<LabeledSentence>& data) {
+  ALICOCO_CHECK(!trained_) << "Train may be called once";
+  ALICOCO_CHECK(!data.empty());
+
+  // Build vocabulary and label inventory.
+  label_names_ = {"O"};
+  label_ids_["O"] = 0;
+  for (const auto& s : data) {
+    for (const auto& t : s.tokens) vocab_.Add(t);
+    for (const auto& l : s.iob) {
+      if (!label_ids_.count(l)) {
+        label_ids_[l] = static_cast<int>(label_names_.size());
+        label_names_.push_back(l);
+      }
+    }
+  }
+
+  BuildModel();
+
+  nn::Adam adam(config_.lr);
+  Rng rng(config_.seed ^ 0xFEED);
+  std::vector<size_t> order(data.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    store_.ZeroGrad();
+    int in_batch = 0;
+    for (size_t idx : order) {
+      const LabeledSentence& s = data[idx];
+      if (s.tokens.empty()) continue;
+      std::vector<int> ids = vocab_.Encode(s.tokens);
+      for (int& id : ids) {
+        if (rng.Bernoulli(config_.word_unk_prob)) {
+          id = text::Vocabulary::kUnkId;
+        }
+      }
+      std::vector<int> gold;
+      gold.reserve(s.iob.size());
+      for (const auto& l : s.iob) gold.push_back(LabelId(l));
+      nn::Graph g;
+      nn::Graph::Var emissions = Emissions(&g, ids, /*train=*/true, &rng);
+      g.Backward(crf_->NegLogLikelihood(&g, emissions, gold));
+      if (++in_batch >= config_.batch_size) {
+        adam.Step(&store_);
+        store_.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      adam.Step(&store_);
+      store_.ZeroGrad();
+    }
+  }
+  trained_ = true;
+}
+
+void SequenceLabeler::BuildModel() {
+  int num_labels = static_cast<int>(label_names_.size());
+  embedding_ = std::make_unique<nn::Embedding>(
+      &store_, "emb", vocab_.size(), config_.word_dim, &init_rng_);
+  bilstm_ = std::make_unique<nn::BiLstm>(&store_, "bilstm", config_.word_dim,
+                                         config_.hidden_dim, &init_rng_);
+  proj_ = std::make_unique<nn::Linear>(&store_, "proj",
+                                       2 * config_.hidden_dim, num_labels,
+                                       &init_rng_);
+  crf_ = std::make_unique<nn::LinearChainCrf>(&store_, "crf", num_labels,
+                                              &init_rng_);
+}
+
+Status SequenceLabeler::Save(const std::string& path) const {
+  if (!trained_) return Status::FailedPrecondition("Save before Train");
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << "ALICOCO_LABELER v1\n";
+  out << config_.word_dim << ' ' << config_.hidden_dim << "\n";
+  out << vocab_.size() << "\n";
+  // Ids 0/1 are the implicit specials.
+  for (int id = 2; id < vocab_.size(); ++id) out << vocab_.Token(id) << "\n";
+  out << label_names_.size() << "\n";
+  for (const auto& label : label_names_) out << label << "\n";
+  if (!out) return Status::IOError("write failed: " + path);
+  return nn::SaveParameters(store_, path + ".weights");
+}
+
+Result<SequenceLabeler> SequenceLabeler::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "ALICOCO_LABELER v1") {
+    return Status::Corruption("bad labeler header in " + path);
+  }
+  SequenceLabelerConfig config;
+  size_t vocab_size = 0, num_labels = 0;
+  if (!(in >> config.word_dim >> config.hidden_dim >> vocab_size)) {
+    return Status::Corruption("truncated labeler header");
+  }
+  std::getline(in, line);  // consume rest of line
+  SequenceLabeler labeler(config);
+  for (size_t i = 2; i < vocab_size; ++i) {
+    if (!std::getline(in, line) || line.empty()) {
+      return Status::Corruption("truncated vocabulary");
+    }
+    labeler.vocab_.Add(line);
+  }
+  if (!(in >> num_labels)) return Status::Corruption("missing label count");
+  std::getline(in, line);
+  for (size_t i = 0; i < num_labels; ++i) {
+    if (!std::getline(in, line) || line.empty()) {
+      return Status::Corruption("truncated labels");
+    }
+    labeler.label_ids_[line] = static_cast<int>(labeler.label_names_.size());
+    labeler.label_names_.push_back(line);
+  }
+  labeler.BuildModel();
+  ALICOCO_RETURN_NOT_OK(
+      nn::LoadParameters(&labeler.store_, path + ".weights"));
+  labeler.trained_ = true;
+  return labeler;
+}
+
+nn::Graph::Var SequenceLabeler::Emissions(nn::Graph* g,
+                                          const std::vector<int>& ids,
+                                          bool train, Rng* rng) const {
+  nn::Graph::Var x = embedding_->Lookup(g, ids);
+  x = g->Dropout(x, config_.dropout, train, rng);
+  nn::Graph::Var h = bilstm_->Run(g, x);
+  return proj_->Apply(g, h);
+}
+
+std::vector<std::string> SequenceLabeler::Predict(
+    const std::vector<std::string>& tokens) const {
+  ALICOCO_CHECK(trained_) << "Predict before Train";
+  if (tokens.empty()) return {};
+  std::vector<int> ids = vocab_.Encode(tokens);
+  nn::Graph g;
+  nn::Graph::Var emissions =
+      Emissions(&g, ids, /*train=*/false, nullptr);
+  std::vector<int> path = crf_->Viterbi(g.Value(emissions));
+  std::vector<std::string> out;
+  out.reserve(path.size());
+  for (int id : path) out.push_back(label_names_[static_cast<size_t>(id)]);
+  return out;
+}
+
+eval::BinaryMetrics SequenceLabeler::Evaluate(
+    const std::vector<LabeledSentence>& gold) const {
+  std::vector<std::vector<std::string>> gold_tags, pred_tags;
+  gold_tags.reserve(gold.size());
+  pred_tags.reserve(gold.size());
+  for (const auto& s : gold) {
+    gold_tags.push_back(s.iob);
+    pred_tags.push_back(Predict(s.tokens));
+  }
+  return eval::SpanF1(gold_tags, pred_tags);
+}
+
+}  // namespace alicoco::mining

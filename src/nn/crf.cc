@@ -1,0 +1,245 @@
+#include "nn/crf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace alicoco::nn {
+namespace {
+constexpr double kNegInf = -1e30;
+
+double LogSumExp(const std::vector<double>& v) {
+  double mx = kNegInf;
+  for (double x : v) mx = std::max(mx, x);
+  if (mx <= kNegInf / 2) return kNegInf;
+  double acc = 0.0;
+  for (double x : v) acc += std::exp(x - mx);
+  return mx + std::log(acc);
+}
+}  // namespace
+
+LinearChainCrf::LinearChainCrf(ParameterStore* store, const std::string& name,
+                               int num_labels, Rng* rng)
+    : num_labels_(num_labels) {
+  trans_ = store->Create(name + ".trans", num_labels, num_labels,
+                         ParameterStore::Init::kGaussian, rng, 0.05f);
+  start_ = store->Create(name + ".start", 1, num_labels,
+                         ParameterStore::Init::kGaussian, rng, 0.05f);
+  end_ = store->Create(name + ".end", 1, num_labels,
+                       ParameterStore::Init::kGaussian, rng, 0.05f);
+}
+
+LinearChainCrf::Lattice LinearChainCrf::ForwardBackward(
+    const Tensor& emissions,
+    const std::vector<std::vector<int>>* allowed) const {
+  int t_len = emissions.rows();
+  int l = num_labels_;
+  ALICOCO_CHECK(t_len > 0 && emissions.cols() == l);
+
+  auto is_allowed = [&](int t, int j) {
+    if (allowed == nullptr) return true;
+    const auto& set = (*allowed)[static_cast<size_t>(t)];
+    return std::find(set.begin(), set.end(), j) != set.end();
+  };
+  auto emit = [&](int t, int j) -> double {
+    return is_allowed(t, j) ? static_cast<double>(emissions.At(t, j))
+                            : kNegInf;
+  };
+
+  std::vector<std::vector<double>> alpha(
+      static_cast<size_t>(t_len), std::vector<double>(static_cast<size_t>(l)));
+  std::vector<std::vector<double>> beta = alpha;
+
+  for (int j = 0; j < l; ++j) {
+    alpha[0][static_cast<size_t>(j)] =
+        static_cast<double>(start_->value.At(0, j)) + emit(0, j);
+  }
+  std::vector<double> scratch(static_cast<size_t>(l));
+  for (int t = 1; t < t_len; ++t) {
+    for (int j = 0; j < l; ++j) {
+      double ej = emit(t, j);
+      if (ej <= kNegInf / 2) {
+        alpha[static_cast<size_t>(t)][static_cast<size_t>(j)] = kNegInf;
+        continue;
+      }
+      for (int i = 0; i < l; ++i) {
+        scratch[static_cast<size_t>(i)] =
+            alpha[static_cast<size_t>(t - 1)][static_cast<size_t>(i)] +
+            static_cast<double>(trans_->value.At(i, j));
+      }
+      alpha[static_cast<size_t>(t)][static_cast<size_t>(j)] =
+          LogSumExp(scratch) + ej;
+    }
+  }
+  for (int j = 0; j < l; ++j) {
+    scratch[static_cast<size_t>(j)] =
+        alpha[static_cast<size_t>(t_len - 1)][static_cast<size_t>(j)] +
+        static_cast<double>(end_->value.At(0, j));
+  }
+  double log_z = LogSumExp(scratch);
+  ALICOCO_CHECK(log_z > kNegInf / 2) << "CRF lattice has no allowed path";
+
+  for (int j = 0; j < l; ++j) {
+    beta[static_cast<size_t>(t_len - 1)][static_cast<size_t>(j)] =
+        static_cast<double>(end_->value.At(0, j));
+  }
+  for (int t = t_len - 2; t >= 0; --t) {
+    for (int i = 0; i < l; ++i) {
+      for (int j = 0; j < l; ++j) {
+        scratch[static_cast<size_t>(j)] =
+            static_cast<double>(trans_->value.At(i, j)) + emit(t + 1, j) +
+            beta[static_cast<size_t>(t + 1)][static_cast<size_t>(j)];
+      }
+      beta[static_cast<size_t>(t)][static_cast<size_t>(i)] =
+          LogSumExp(scratch);
+    }
+  }
+
+  Lattice lat;
+  lat.log_z = log_z;
+  lat.unary = Tensor(t_len, l);
+  lat.pair = Tensor(l, l);
+  for (int t = 0; t < t_len; ++t) {
+    for (int j = 0; j < l; ++j) {
+      double lp = alpha[static_cast<size_t>(t)][static_cast<size_t>(j)] +
+                  beta[static_cast<size_t>(t)][static_cast<size_t>(j)] - log_z;
+      lat.unary.At(t, j) = lp <= kNegInf / 2
+                               ? 0.0f
+                               : static_cast<float>(std::exp(lp));
+    }
+  }
+  for (int t = 1; t < t_len; ++t) {
+    for (int i = 0; i < l; ++i) {
+      double ai = alpha[static_cast<size_t>(t - 1)][static_cast<size_t>(i)];
+      if (ai <= kNegInf / 2) continue;
+      for (int j = 0; j < l; ++j) {
+        double ej = emit(t, j);
+        if (ej <= kNegInf / 2) continue;
+        double lp = ai + static_cast<double>(trans_->value.At(i, j)) + ej +
+                    beta[static_cast<size_t>(t)][static_cast<size_t>(j)] -
+                    log_z;
+        if (lp > kNegInf / 2) {
+          lat.pair.At(i, j) += static_cast<float>(std::exp(lp));
+        }
+      }
+    }
+  }
+  return lat;
+}
+
+Graph::Var LinearChainCrf::LatticeLoss(
+    Graph* g, Graph::Var emissions,
+    const std::vector<std::vector<int>>& numerator_sets) {
+  const Tensor& e = g->Value(emissions);
+  int t_len = e.rows();
+  ALICOCO_CHECK(static_cast<int>(numerator_sets.size()) == t_len)
+      << "numerator set size mismatch";
+  Lattice full = ForwardBackward(e, nullptr);
+  Lattice restricted = ForwardBackward(e, &numerator_sets);
+
+  Tensor loss(1, 1);
+  loss.At(0, 0) = static_cast<float>(full.log_z - restricted.log_z);
+
+  // d loss / d emissions = unary_full - unary_restricted (x upstream grad);
+  // same pattern for transitions, start, end.
+  Tensor d_emit = full.unary;
+  d_emit.Axpy(-1.0f, restricted.unary);
+  Tensor d_trans = full.pair;
+  d_trans.Axpy(-1.0f, restricted.pair);
+  Tensor d_start(1, num_labels_);
+  Tensor d_end(1, num_labels_);
+  for (int j = 0; j < num_labels_; ++j) {
+    d_start.At(0, j) = full.unary.At(0, j) - restricted.unary.At(0, j);
+    d_end.At(0, j) =
+        full.unary.At(t_len - 1, j) - restricted.unary.At(t_len - 1, j);
+  }
+
+  Parameter* trans = trans_;
+  Parameter* start = start_;
+  Parameter* end = end_;
+  return g->Custom(
+      std::move(loss),
+      [g, emissions, trans, start, end, d_emit = std::move(d_emit),
+       d_trans = std::move(d_trans), d_start = std::move(d_start),
+       d_end = std::move(d_end)](const Tensor& out_grad) {
+        float go = out_grad.At(0, 0);
+        if (go == 0.0f) return;
+        Tensor scaled = d_emit;
+        scaled.Scale(go);
+        g->AccumulateGrad(emissions, scaled);
+        trans->grad.Axpy(go, d_trans);
+        start->grad.Axpy(go, d_start);
+        end->grad.Axpy(go, d_end);
+      });
+}
+
+Graph::Var LinearChainCrf::NegLogLikelihood(Graph* g, Graph::Var emissions,
+                                            const std::vector<int>& gold) {
+  std::vector<std::vector<int>> sets;
+  sets.reserve(gold.size());
+  for (int y : gold) {
+    ALICOCO_CHECK(y >= 0 && y < num_labels_) << "gold label out of range";
+    sets.push_back({y});
+  }
+  return LatticeLoss(g, emissions, sets);
+}
+
+Graph::Var LinearChainCrf::FuzzyNegLogLikelihood(
+    Graph* g, Graph::Var emissions,
+    const std::vector<std::vector<int>>& allowed) {
+  for (const auto& set : allowed) {
+    ALICOCO_CHECK(!set.empty()) << "fuzzy CRF requires non-empty label sets";
+  }
+  return LatticeLoss(g, emissions, allowed);
+}
+
+std::vector<int> LinearChainCrf::Viterbi(const Tensor& emissions) const {
+  int t_len = emissions.rows();
+  int l = num_labels_;
+  ALICOCO_CHECK(t_len > 0 && emissions.cols() == l);
+  std::vector<std::vector<double>> delta(
+      static_cast<size_t>(t_len), std::vector<double>(static_cast<size_t>(l)));
+  std::vector<std::vector<int>> back(
+      static_cast<size_t>(t_len), std::vector<int>(static_cast<size_t>(l), 0));
+  for (int j = 0; j < l; ++j) {
+    delta[0][static_cast<size_t>(j)] =
+        static_cast<double>(start_->value.At(0, j)) +
+        static_cast<double>(emissions.At(0, j));
+  }
+  for (int t = 1; t < t_len; ++t) {
+    for (int j = 0; j < l; ++j) {
+      double best = kNegInf;
+      int arg = 0;
+      for (int i = 0; i < l; ++i) {
+        double s = delta[static_cast<size_t>(t - 1)][static_cast<size_t>(i)] +
+                   static_cast<double>(trans_->value.At(i, j));
+        if (s > best) {
+          best = s;
+          arg = i;
+        }
+      }
+      delta[static_cast<size_t>(t)][static_cast<size_t>(j)] =
+          best + static_cast<double>(emissions.At(t, j));
+      back[static_cast<size_t>(t)][static_cast<size_t>(j)] = arg;
+    }
+  }
+  double best = kNegInf;
+  int arg = 0;
+  for (int j = 0; j < l; ++j) {
+    double s = delta[static_cast<size_t>(t_len - 1)][static_cast<size_t>(j)] +
+               static_cast<double>(end_->value.At(0, j));
+    if (s > best) {
+      best = s;
+      arg = j;
+    }
+  }
+  std::vector<int> path(static_cast<size_t>(t_len));
+  path[static_cast<size_t>(t_len - 1)] = arg;
+  for (int t = t_len - 1; t > 0; --t) {
+    arg = back[static_cast<size_t>(t)][static_cast<size_t>(arg)];
+    path[static_cast<size_t>(t - 1)] = arg;
+  }
+  return path;
+}
+
+}  // namespace alicoco::nn

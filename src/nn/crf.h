@@ -1,0 +1,66 @@
+// Linear-chain CRF and fuzzy CRF losses (Sections 4.1 and 5.3.2).
+//
+// The standard CRF supplies the BiLSTM-CRF sequence labeler of Figure 4.
+// The fuzzy variant implements Eq. 8: the numerator marginalizes over ALL
+// label sequences consistent with a per-position set of allowed labels,
+// which handles concepts whose words legitimately carry several classes
+// ("village" as Location or Style).
+
+#ifndef ALICOCO_NN_CRF_H_
+#define ALICOCO_NN_CRF_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+
+namespace alicoco::nn {
+
+/// Linear-chain CRF with learned transition, start and end scores.
+/// Emissions are a T x L matrix produced by an upstream encoder.
+class LinearChainCrf {
+ public:
+  LinearChainCrf(ParameterStore* store, const std::string& name,
+                 int num_labels, Rng* rng);
+
+  /// -log p(gold | emissions). `gold` holds one label id per timestep.
+  Graph::Var NegLogLikelihood(Graph* g, Graph::Var emissions,
+                              const std::vector<int>& gold);
+
+  /// Fuzzy-CRF loss: -log sum_{y in allowed} p(y | emissions), where
+  /// `allowed[t]` is the non-empty set of permissible labels at step t.
+  Graph::Var FuzzyNegLogLikelihood(
+      Graph* g, Graph::Var emissions,
+      const std::vector<std::vector<int>>& allowed);
+
+  /// MAP decoding of an emission matrix.
+  std::vector<int> Viterbi(const Tensor& emissions) const;
+
+  int num_labels() const { return num_labels_; }
+
+ private:
+  struct Lattice {
+    double log_z = 0;
+    Tensor unary;  // T x L posterior marginals
+    Tensor pair;   // L x L summed pairwise marginals
+  };
+
+  /// Forward-backward in log space; `allowed` restricts the lattice when
+  /// non-null (disallowed states get -inf potential).
+  Lattice ForwardBackward(const Tensor& emissions,
+                          const std::vector<std::vector<int>>* allowed) const;
+
+  /// Shared loss construction: log Z(full) - log Z(restricted-to-gold-or-
+  /// allowed), with gradient (marginals_full - marginals_restricted).
+  Graph::Var LatticeLoss(Graph* g, Graph::Var emissions,
+                         const std::vector<std::vector<int>>& numerator_sets);
+
+  int num_labels_;
+  Parameter* trans_;  // L x L: trans[i][j] = score of i -> j
+  Parameter* start_;  // 1 x L
+  Parameter* end_;    // 1 x L
+};
+
+}  // namespace alicoco::nn
+
+#endif  // ALICOCO_NN_CRF_H_

@@ -1,0 +1,164 @@
+// Tape-based reverse-mode autodiff.
+//
+// Models build a fresh Graph per example (define-by-run), compose ops into a
+// scalar loss, call Backward(), and the gradients of every Parameter used in
+// the graph accumulate into Parameter::grad. An Optimizer then applies the
+// accumulated batch gradient.
+//
+// The op set covers exactly what the paper's architectures need: matmul and
+// elementwise math for MLPs, slicing/concat for LSTM gates, windowed concat
+// for 1-D CNNs, softmax for attention, pooling, embedding gather, the
+// additive two-way attention of Eq. 11, and stable sigmoid cross-entropy.
+
+#ifndef ALICOCO_NN_GRAPH_H_
+#define ALICOCO_NN_GRAPH_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace alicoco::nn {
+
+/// A trainable tensor with an accumulated gradient.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;  ///< same shape as value; zeroed by ZeroGrad
+};
+
+/// Owns all parameters of a model; optimizers iterate over it.
+class ParameterStore {
+ public:
+  enum class Init { kZero, kXavier, kGaussian };
+
+  /// Creates a named parameter. Names must be unique within the store.
+  Parameter* Create(const std::string& name, int rows, int cols, Init init,
+                    Rng* rng, float gaussian_stddev = 0.1f);
+
+  /// Looks up a parameter by name (nullptr if absent).
+  Parameter* Get(const std::string& name) const;
+
+  /// Zeroes every gradient.
+  void ZeroGrad();
+
+  /// All parameters, in creation order.
+  const std::vector<std::unique_ptr<Parameter>>& params() const {
+    return params_;
+  }
+
+  /// Total number of scalar weights.
+  size_t TotalWeights() const;
+
+ private:
+  std::vector<std::unique_ptr<Parameter>> params_;
+};
+
+/// Dynamic computation graph. `Var` handles index nodes inside one graph and
+/// must not be mixed across graphs.
+class Graph {
+ public:
+  using Var = int;
+
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  /// Leaf holding a constant value (no gradient flows out of the graph).
+  Var Input(Tensor value);
+
+  /// Leaf bound to a trainable parameter; Backward accumulates into p->grad.
+  Var Use(Parameter* p);
+
+  /// Value / gradient of a node (gradient valid after Backward).
+  const Tensor& Value(Var v) const { return nodes_[v]->value; }
+  const Tensor& Grad(Var v) const { return nodes_[v]->grad; }
+
+  // ---- arithmetic ----
+  Var MatMul(Var a, Var b);
+  /// Elementwise add. `b` may also be 1 x C (row broadcast over a's rows) or
+  /// 1 x 1 (scalar broadcast).
+  Var Add(Var a, Var b);
+  /// Elementwise subtract (same shape only).
+  Var Sub(Var a, Var b);
+  /// Elementwise (Hadamard) product, same shape.
+  Var Mul(Var a, Var b);
+  Var ScalarMul(Var a, float s);
+  Var AddScalar(Var a, float s);
+
+  // ---- nonlinearities ----
+  Var Sigmoid(Var a);
+  Var Tanh(Var a);
+  Var Relu(Var a);
+  /// Softmax independently over each row.
+  Var SoftmaxRows(Var a);
+
+  // ---- shape ----
+  Var Transpose(Var a);
+  Var ConcatCols(const std::vector<Var>& vars);
+  Var ConcatRows(const std::vector<Var>& vars);
+  Var SliceRows(Var a, int begin, int count);
+  Var SliceCols(Var a, int begin, int count);
+  /// Row i of result = concat of rows [i-k/2, i+k/2] of a, zero-padded at the
+  /// borders: T x D -> T x (k*D). `k` must be odd.
+  Var ConcatWindow(Var a, int k);
+
+  // ---- reductions ----
+  Var SumAll(Var a);    ///< 1x1
+  Var MeanAll(Var a);   ///< 1x1
+  Var SumRows(Var a);   ///< 1 x C: sum over rows
+  Var SumCols(Var a);   ///< R x 1: sum over cols
+  Var MeanRows(Var a);  ///< 1 x C: mean over rows
+  Var MaxRows(Var a);   ///< 1 x C: max over rows (subgradient to argmax)
+
+  // ---- lookup / regularization ----
+  /// Gathers rows of `table` by id: len(ids) x dim. Gradients scatter-add
+  /// into the table. Ids must be in range.
+  Var EmbeddingLookup(Parameter* table, const std::vector<int>& ids);
+  /// Inverted dropout; identity when !train.
+  Var Dropout(Var a, float p, bool train, Rng* rng);
+
+  // ---- attention / losses ----
+  /// att[i][j] = v^T tanh(a_i + b_j)  (Eq. 11). a: m x d, b: l x d,
+  /// v: d x 1 -> m x l.
+  Var AdditiveAttention(Var a, Var b, Var v);
+  /// Mean over elements of sigmoid cross-entropy between logits and 0/1
+  /// targets (targets same shape as logits, constant). Returns 1x1.
+  Var SigmoidCrossEntropyWithLogits(Var logits, Tensor targets);
+
+  /// Escape hatch for ops with hand-derived gradients (the CRF losses):
+  /// creates a node with `value` whose backward invokes `backward` with the
+  /// node's output gradient. The closure must push gradients to its inputs
+  /// via AccumulateGrad / Parameter::grad.
+  Var Custom(Tensor value,
+             std::function<void(const Tensor& out_grad)> backward);
+
+  /// Adds `g` into the gradient buffer of node `v` (for Custom backwards).
+  void AccumulateGrad(Var v, const Tensor& g);
+
+  /// Runs reverse-mode accumulation from `loss` (must be 1x1). Parameter
+  /// gradients accumulate (call ParameterStore::ZeroGrad between batches).
+  void Backward(Var loss);
+
+  /// Number of nodes (diagnostics).
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;
+    std::function<void()> backward;  // may be empty (constants)
+  };
+
+  Var NewNode(Tensor value, std::function<void()> backward = nullptr);
+  Tensor& GradRef(Var v) { return nodes_[v]->grad; }
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace alicoco::nn
+
+#endif  // ALICOCO_NN_GRAPH_H_

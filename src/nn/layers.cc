@@ -1,0 +1,84 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace alicoco::nn {
+
+Linear::Linear(ParameterStore* store, const std::string& name, int in_dim,
+               int out_dim, Rng* rng)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  w_ = store->Create(name + ".W", in_dim, out_dim,
+                     ParameterStore::Init::kXavier, rng);
+  b_ = store->Create(name + ".b", 1, out_dim, ParameterStore::Init::kZero,
+                     nullptr);
+}
+
+Graph::Var Linear::Apply(Graph* g, Graph::Var x) const {
+  return g->Add(g->MatMul(x, g->Use(w_)), g->Use(b_));
+}
+
+Embedding::Embedding(ParameterStore* store, const std::string& name,
+                     int vocab, int dim, Rng* rng)
+    : vocab_(vocab), dim_(dim) {
+  table_ = store->Create(name + ".table", vocab, dim,
+                         ParameterStore::Init::kGaussian, rng, 0.08f);
+}
+
+Graph::Var Embedding::Lookup(Graph* g, const std::vector<int>& ids) const {
+  return g->EmbeddingLookup(table_, ids);
+}
+
+void Embedding::LoadPretrained(const std::vector<float>& table) {
+  ALICOCO_CHECK(table.size() == table_->value.size())
+      << "pretrained table size mismatch";
+  std::copy(table.begin(), table.end(), table_->value.data());
+}
+
+Conv1D::Conv1D(ParameterStore* store, const std::string& name, int in_dim,
+               int filters, int window, Rng* rng)
+    : window_(window), proj_(store, name, in_dim * window, filters, rng) {
+  ALICOCO_CHECK(window >= 1 && window % 2 == 1) << "Conv1D window must be odd";
+}
+
+Graph::Var Conv1D::Apply(Graph* g, Graph::Var x) const {
+  return g->Relu(proj_.Apply(g, g->ConcatWindow(x, window_)));
+}
+
+SelfAttention::SelfAttention(ParameterStore* store, const std::string& name,
+                             int dim, Rng* rng, bool residual)
+    : dim_(dim),
+      residual_(residual),
+      q_(store, name + ".q", dim, dim, rng),
+      k_(store, name + ".k", dim, dim, rng),
+      v_(store, name + ".v", dim, dim, rng) {}
+
+Graph::Var SelfAttention::Apply(Graph* g, Graph::Var x) const {
+  Graph::Var q = q_.Apply(g, x);
+  Graph::Var k = k_.Apply(g, x);
+  Graph::Var v = v_.Apply(g, x);
+  float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
+  Graph::Var scores =
+      g->ScalarMul(g->MatMul(q, g->Transpose(k)), scale);
+  Graph::Var attended = g->MatMul(g->SoftmaxRows(scores), v);
+  return residual_ ? g->Add(x, attended) : attended;
+}
+
+Mlp::Mlp(ParameterStore* store, const std::string& name,
+         const std::vector<int>& dims, Rng* rng) {
+  ALICOCO_CHECK(dims.size() >= 2) << "Mlp needs at least {in, out}";
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(store, name + ".fc" + std::to_string(i), dims[i],
+                         dims[i + 1], rng);
+  }
+}
+
+Graph::Var Mlp::Apply(Graph* g, Graph::Var x) const {
+  Graph::Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Apply(g, h);
+    if (i + 1 < layers_.size()) h = g->Tanh(h);
+  }
+  return h;
+}
+
+}  // namespace alicoco::nn

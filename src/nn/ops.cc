@@ -1,0 +1,599 @@
+// Implementations of Graph ops with their reverse-mode closures.
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/graph.h"
+
+namespace alicoco::nn {
+
+Graph::Var Graph::MatMul(Var a, Var b) {
+  const Tensor& av = nodes_[a]->value;
+  const Tensor& bv = nodes_[b]->value;
+  Var out = NewNode(MatMulValue(av, bv));
+  nodes_[out]->backward = [this, out, a, b] {
+    const Tensor& g = nodes_[out]->grad;
+    // dA += g * B^T ; dB += A^T * g
+    MatMulTransBAccum(g, nodes_[b]->value, &nodes_[a]->grad);
+    MatMulTransAAccum(nodes_[a]->value, g, &nodes_[b]->grad);
+  };
+  return out;
+}
+
+Graph::Var Graph::Add(Var a, Var b) {
+  const Tensor& av = nodes_[a]->value;
+  const Tensor& bv = nodes_[b]->value;
+  Tensor v = av;
+  if (bv.SameShape(av)) {
+    v.AddInPlace(bv);
+    Var out = NewNode(std::move(v));
+    nodes_[out]->backward = [this, out, a, b] {
+      nodes_[a]->grad.AddInPlace(nodes_[out]->grad);
+      nodes_[b]->grad.AddInPlace(nodes_[out]->grad);
+    };
+    return out;
+  }
+  if (bv.rows() == 1 && bv.cols() == av.cols()) {  // row broadcast
+    for (int i = 0; i < v.rows(); ++i) {
+      float* row = v.Row(i);
+      const float* brow = bv.Row(0);
+      for (int j = 0; j < v.cols(); ++j) row[j] += brow[j];
+    }
+    Var out = NewNode(std::move(v));
+    nodes_[out]->backward = [this, out, a, b] {
+      const Tensor& g = nodes_[out]->grad;
+      nodes_[a]->grad.AddInPlace(g);
+      Tensor& bg = nodes_[b]->grad;
+      for (int i = 0; i < g.rows(); ++i) {
+        const float* grow = g.Row(i);
+        float* bgrow = bg.Row(0);
+        for (int j = 0; j < g.cols(); ++j) bgrow[j] += grow[j];
+      }
+    };
+    return out;
+  }
+  ALICOCO_CHECK(bv.rows() == 1 && bv.cols() == 1)
+      << "Add broadcast requires same shape, 1xC, or 1x1";
+  float s = bv.At(0, 0);
+  for (int i = 0; i < v.rows(); ++i) {
+    float* row = v.Row(i);
+    for (int j = 0; j < v.cols(); ++j) row[j] += s;
+  }
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a, b] {
+    const Tensor& g = nodes_[out]->grad;
+    nodes_[a]->grad.AddInPlace(g);
+    float acc = 0.0f;
+    for (int i = 0; i < g.rows(); ++i) {
+      const float* grow = g.Row(i);
+      for (int j = 0; j < g.cols(); ++j) acc += grow[j];
+    }
+    nodes_[b]->grad.At(0, 0) += acc;
+  };
+  return out;
+}
+
+Graph::Var Graph::Sub(Var a, Var b) {
+  const Tensor& av = nodes_[a]->value;
+  const Tensor& bv = nodes_[b]->value;
+  ALICOCO_CHECK(av.SameShape(bv)) << "Sub requires same shapes";
+  Tensor v = av;
+  v.Axpy(-1.0f, bv);
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a, b] {
+    nodes_[a]->grad.AddInPlace(nodes_[out]->grad);
+    nodes_[b]->grad.Axpy(-1.0f, nodes_[out]->grad);
+  };
+  return out;
+}
+
+Graph::Var Graph::Mul(Var a, Var b) {
+  const Tensor& av = nodes_[a]->value;
+  const Tensor& bv = nodes_[b]->value;
+  ALICOCO_CHECK(av.SameShape(bv)) << "Mul requires same shapes";
+  Tensor v(av.rows(), av.cols());
+  for (size_t i = 0; i < v.size(); ++i) v.data()[i] = av.data()[i] * bv.data()[i];
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a, b] {
+    const Tensor& g = nodes_[out]->grad;
+    const Tensor& av2 = nodes_[a]->value;
+    const Tensor& bv2 = nodes_[b]->value;
+    Tensor& ag = nodes_[a]->grad;
+    Tensor& bg = nodes_[b]->grad;
+    for (size_t i = 0; i < g.size(); ++i) {
+      ag.data()[i] += g.data()[i] * bv2.data()[i];
+      bg.data()[i] += g.data()[i] * av2.data()[i];
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::ScalarMul(Var a, float s) {
+  Tensor v = nodes_[a]->value;
+  v.Scale(s);
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a, s] {
+    nodes_[a]->grad.Axpy(s, nodes_[out]->grad);
+  };
+  return out;
+}
+
+Graph::Var Graph::AddScalar(Var a, float s) {
+  Tensor v = nodes_[a]->value;
+  for (size_t i = 0; i < v.size(); ++i) v.data()[i] += s;
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a] {
+    nodes_[a]->grad.AddInPlace(nodes_[out]->grad);
+  };
+  return out;
+}
+
+Graph::Var Graph::Sigmoid(Var a) {
+  Tensor v = nodes_[a]->value;
+  for (size_t i = 0; i < v.size(); ++i) {
+    float x = v.data()[i];
+    v.data()[i] = x >= 0 ? 1.0f / (1.0f + std::exp(-x))
+                         : std::exp(x) / (1.0f + std::exp(x));
+  }
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a] {
+    const Tensor& y = nodes_[out]->value;
+    const Tensor& g = nodes_[out]->grad;
+    Tensor& ag = nodes_[a]->grad;
+    for (size_t i = 0; i < g.size(); ++i) {
+      float yi = y.data()[i];
+      ag.data()[i] += g.data()[i] * yi * (1.0f - yi);
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::Tanh(Var a) {
+  Tensor v = nodes_[a]->value;
+  for (size_t i = 0; i < v.size(); ++i) v.data()[i] = std::tanh(v.data()[i]);
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a] {
+    const Tensor& y = nodes_[out]->value;
+    const Tensor& g = nodes_[out]->grad;
+    Tensor& ag = nodes_[a]->grad;
+    for (size_t i = 0; i < g.size(); ++i) {
+      float yi = y.data()[i];
+      ag.data()[i] += g.data()[i] * (1.0f - yi * yi);
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::Relu(Var a) {
+  Tensor v = nodes_[a]->value;
+  for (size_t i = 0; i < v.size(); ++i) v.data()[i] = std::max(0.0f, v.data()[i]);
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a] {
+    const Tensor& x = nodes_[a]->value;
+    const Tensor& g = nodes_[out]->grad;
+    Tensor& ag = nodes_[a]->grad;
+    for (size_t i = 0; i < g.size(); ++i) {
+      if (x.data()[i] > 0) ag.data()[i] += g.data()[i];
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::SoftmaxRows(Var a) {
+  const Tensor& x = nodes_[a]->value;
+  Tensor v(x.rows(), x.cols());
+  for (int i = 0; i < x.rows(); ++i) {
+    const float* xr = x.Row(i);
+    float* vr = v.Row(i);
+    float mx = xr[0];
+    for (int j = 1; j < x.cols(); ++j) mx = std::max(mx, xr[j]);
+    float total = 0.0f;
+    for (int j = 0; j < x.cols(); ++j) {
+      vr[j] = std::exp(xr[j] - mx);
+      total += vr[j];
+    }
+    for (int j = 0; j < x.cols(); ++j) vr[j] /= total;
+  }
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a] {
+    const Tensor& y = nodes_[out]->value;
+    const Tensor& g = nodes_[out]->grad;
+    Tensor& ag = nodes_[a]->grad;
+    for (int i = 0; i < y.rows(); ++i) {
+      const float* yr = y.Row(i);
+      const float* gr = g.Row(i);
+      float dot = 0.0f;
+      for (int j = 0; j < y.cols(); ++j) dot += yr[j] * gr[j];
+      float* agr = ag.Row(i);
+      for (int j = 0; j < y.cols(); ++j) {
+        agr[j] += yr[j] * (gr[j] - dot);
+      }
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::Transpose(Var a) {
+  const Tensor& x = nodes_[a]->value;
+  Tensor v(x.cols(), x.rows());
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) v.At(j, i) = x.At(i, j);
+  }
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a] {
+    const Tensor& g = nodes_[out]->grad;
+    Tensor& ag = nodes_[a]->grad;
+    for (int i = 0; i < g.rows(); ++i) {
+      for (int j = 0; j < g.cols(); ++j) ag.At(j, i) += g.At(i, j);
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::ConcatCols(const std::vector<Var>& vars) {
+  ALICOCO_CHECK(!vars.empty());
+  int rows = nodes_[vars[0]]->value.rows();
+  int cols = 0;
+  for (Var v : vars) {
+    ALICOCO_CHECK(nodes_[v]->value.rows() == rows)
+        << "ConcatCols row mismatch";
+    cols += nodes_[v]->value.cols();
+  }
+  Tensor out_t(rows, cols);
+  int off = 0;
+  for (Var v : vars) {
+    const Tensor& x = nodes_[v]->value;
+    for (int i = 0; i < rows; ++i) {
+      std::copy(x.Row(i), x.Row(i) + x.cols(), out_t.Row(i) + off);
+    }
+    off += x.cols();
+  }
+  Var out = NewNode(std::move(out_t));
+  std::vector<Var> parents = vars;
+  nodes_[out]->backward = [this, out, parents] {
+    const Tensor& g = nodes_[out]->grad;
+    int off2 = 0;
+    for (Var v : parents) {
+      Tensor& vg = nodes_[v]->grad;
+      for (int i = 0; i < g.rows(); ++i) {
+        const float* grow = g.Row(i) + off2;
+        float* vrow = vg.Row(i);
+        for (int j = 0; j < vg.cols(); ++j) vrow[j] += grow[j];
+      }
+      off2 += vg.cols();
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::ConcatRows(const std::vector<Var>& vars) {
+  ALICOCO_CHECK(!vars.empty());
+  int cols = nodes_[vars[0]]->value.cols();
+  int rows = 0;
+  for (Var v : vars) {
+    ALICOCO_CHECK(nodes_[v]->value.cols() == cols)
+        << "ConcatRows col mismatch";
+    rows += nodes_[v]->value.rows();
+  }
+  Tensor out_t(rows, cols);
+  int off = 0;
+  for (Var v : vars) {
+    const Tensor& x = nodes_[v]->value;
+    for (int i = 0; i < x.rows(); ++i) {
+      std::copy(x.Row(i), x.Row(i) + cols, out_t.Row(off + i));
+    }
+    off += x.rows();
+  }
+  Var out = NewNode(std::move(out_t));
+  std::vector<Var> parents = vars;
+  nodes_[out]->backward = [this, out, parents] {
+    const Tensor& g = nodes_[out]->grad;
+    int off2 = 0;
+    for (Var v : parents) {
+      Tensor& vg = nodes_[v]->grad;
+      for (int i = 0; i < vg.rows(); ++i) {
+        const float* grow = g.Row(off2 + i);
+        float* vrow = vg.Row(i);
+        for (int j = 0; j < vg.cols(); ++j) vrow[j] += grow[j];
+      }
+      off2 += vg.rows();
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::SliceRows(Var a, int begin, int count) {
+  const Tensor& x = nodes_[a]->value;
+  ALICOCO_CHECK(begin >= 0 && count >= 0 && begin + count <= x.rows());
+  Tensor v(count, x.cols());
+  for (int i = 0; i < count; ++i) {
+    std::copy(x.Row(begin + i), x.Row(begin + i) + x.cols(), v.Row(i));
+  }
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a, begin, count] {
+    const Tensor& g = nodes_[out]->grad;
+    Tensor& ag = nodes_[a]->grad;
+    for (int i = 0; i < count; ++i) {
+      const float* grow = g.Row(i);
+      float* arow = ag.Row(begin + i);
+      for (int j = 0; j < g.cols(); ++j) arow[j] += grow[j];
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::SliceCols(Var a, int begin, int count) {
+  const Tensor& x = nodes_[a]->value;
+  ALICOCO_CHECK(begin >= 0 && count >= 0 && begin + count <= x.cols());
+  Tensor v(x.rows(), count);
+  for (int i = 0; i < x.rows(); ++i) {
+    std::copy(x.Row(i) + begin, x.Row(i) + begin + count, v.Row(i));
+  }
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a, begin, count] {
+    const Tensor& g = nodes_[out]->grad;
+    Tensor& ag = nodes_[a]->grad;
+    for (int i = 0; i < g.rows(); ++i) {
+      const float* grow = g.Row(i);
+      float* arow = ag.Row(i) + begin;
+      for (int j = 0; j < count; ++j) arow[j] += grow[j];
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::ConcatWindow(Var a, int k) {
+  ALICOCO_CHECK(k >= 1 && k % 2 == 1) << "ConcatWindow requires odd k";
+  const Tensor& x = nodes_[a]->value;
+  int t = x.rows(), d = x.cols();
+  int half = k / 2;
+  Tensor v(t, k * d);
+  for (int i = 0; i < t; ++i) {
+    for (int w = -half; w <= half; ++w) {
+      int src = i + w;
+      float* dst = v.Row(i) + (w + half) * d;
+      if (src >= 0 && src < t) {
+        std::copy(x.Row(src), x.Row(src) + d, dst);
+      }
+    }
+  }
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a, k, half, t, d] {
+    (void)k;
+    const Tensor& g = nodes_[out]->grad;
+    Tensor& ag = nodes_[a]->grad;
+    for (int i = 0; i < t; ++i) {
+      for (int w = -half; w <= half; ++w) {
+        int src = i + w;
+        if (src < 0 || src >= t) continue;
+        const float* grow = g.Row(i) + (w + half) * d;
+        float* arow = ag.Row(src);
+        for (int j = 0; j < d; ++j) arow[j] += grow[j];
+      }
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::SumAll(Var a) {
+  const Tensor& x = nodes_[a]->value;
+  Tensor v(1, 1);
+  float acc = 0.0f;
+  for (size_t i = 0; i < x.size(); ++i) acc += x.data()[i];
+  v.At(0, 0) = acc;
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a] {
+    float g = nodes_[out]->grad.At(0, 0);
+    Tensor& ag = nodes_[a]->grad;
+    for (size_t i = 0; i < ag.size(); ++i) ag.data()[i] += g;
+  };
+  return out;
+}
+
+Graph::Var Graph::MeanAll(Var a) {
+  const Tensor& x = nodes_[a]->value;
+  float inv = 1.0f / static_cast<float>(x.size());
+  return ScalarMul(SumAll(a), inv);
+}
+
+Graph::Var Graph::SumRows(Var a) {
+  const Tensor& x = nodes_[a]->value;
+  Tensor v(1, x.cols());
+  for (int i = 0; i < x.rows(); ++i) {
+    const float* xr = x.Row(i);
+    for (int j = 0; j < x.cols(); ++j) v.At(0, j) += xr[j];
+  }
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a] {
+    const Tensor& g = nodes_[out]->grad;
+    Tensor& ag = nodes_[a]->grad;
+    for (int i = 0; i < ag.rows(); ++i) {
+      float* arow = ag.Row(i);
+      for (int j = 0; j < ag.cols(); ++j) arow[j] += g.At(0, j);
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::SumCols(Var a) {
+  const Tensor& x = nodes_[a]->value;
+  Tensor v(x.rows(), 1);
+  for (int i = 0; i < x.rows(); ++i) {
+    const float* xr = x.Row(i);
+    float acc = 0.0f;
+    for (int j = 0; j < x.cols(); ++j) acc += xr[j];
+    v.At(i, 0) = acc;
+  }
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a] {
+    const Tensor& g = nodes_[out]->grad;
+    Tensor& ag = nodes_[a]->grad;
+    for (int i = 0; i < ag.rows(); ++i) {
+      float gi = g.At(i, 0);
+      float* arow = ag.Row(i);
+      for (int j = 0; j < ag.cols(); ++j) arow[j] += gi;
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::MeanRows(Var a) {
+  const Tensor& x = nodes_[a]->value;
+  ALICOCO_CHECK(x.rows() > 0);
+  return ScalarMul(SumRows(a), 1.0f / static_cast<float>(x.rows()));
+}
+
+Graph::Var Graph::MaxRows(Var a) {
+  const Tensor& x = nodes_[a]->value;
+  ALICOCO_CHECK(x.rows() > 0);
+  Tensor v(1, x.cols());
+  std::vector<int> argmax(static_cast<size_t>(x.cols()), 0);
+  for (int j = 0; j < x.cols(); ++j) {
+    float best = x.At(0, j);
+    for (int i = 1; i < x.rows(); ++i) {
+      if (x.At(i, j) > best) {
+        best = x.At(i, j);
+        argmax[static_cast<size_t>(j)] = i;
+      }
+    }
+    v.At(0, j) = best;
+  }
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a, argmax] {
+    const Tensor& g = nodes_[out]->grad;
+    Tensor& ag = nodes_[a]->grad;
+    for (int j = 0; j < g.cols(); ++j) {
+      ag.At(argmax[static_cast<size_t>(j)], j) += g.At(0, j);
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::EmbeddingLookup(Parameter* table,
+                                  const std::vector<int>& ids) {
+  ALICOCO_CHECK(table != nullptr && !ids.empty());
+  int d = table->value.cols();
+  Tensor v(static_cast<int>(ids.size()), d);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    int id = ids[i];
+    ALICOCO_CHECK(id >= 0 && id < table->value.rows())
+        << "embedding id out of range: " << id;
+    std::copy(table->value.Row(id), table->value.Row(id) + d,
+              v.Row(static_cast<int>(i)));
+  }
+  Var out = NewNode(std::move(v));
+  std::vector<int> ids_copy = ids;
+  nodes_[out]->backward = [this, out, table, ids_copy, d] {
+    const Tensor& g = nodes_[out]->grad;
+    for (size_t i = 0; i < ids_copy.size(); ++i) {
+      const float* grow = g.Row(static_cast<int>(i));
+      float* trow = table->grad.Row(ids_copy[i]);
+      for (int j = 0; j < d; ++j) trow[j] += grow[j];
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::Dropout(Var a, float p, bool train, Rng* rng) {
+  if (!train || p <= 0.0f) return a;
+  ALICOCO_CHECK(p < 1.0f && rng != nullptr);
+  const Tensor& x = nodes_[a]->value;
+  float scale = 1.0f / (1.0f - p);
+  std::vector<float> mask(x.size());
+  for (auto& m : mask) m = rng->Bernoulli(p) ? 0.0f : scale;
+  Tensor v(x.rows(), x.cols());
+  for (size_t i = 0; i < x.size(); ++i) v.data()[i] = x.data()[i] * mask[i];
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a, mask] {
+    const Tensor& g = nodes_[out]->grad;
+    Tensor& ag = nodes_[a]->grad;
+    for (size_t i = 0; i < g.size(); ++i) ag.data()[i] += g.data()[i] * mask[i];
+  };
+  return out;
+}
+
+Graph::Var Graph::AdditiveAttention(Var a, Var b, Var v) {
+  const Tensor& at = nodes_[a]->value;
+  const Tensor& bt = nodes_[b]->value;
+  const Tensor& vt = nodes_[v]->value;
+  int m = at.rows(), l = bt.rows(), d = at.cols();
+  ALICOCO_CHECK(bt.cols() == d && vt.rows() == d && vt.cols() == 1)
+      << "AdditiveAttention shapes";
+  Tensor out_t(m, l);
+  // Cache tanh values for backward (m*l*d floats; sequences are short).
+  auto tanh_cache = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(m) * l * d);
+  for (int i = 0; i < m; ++i) {
+    const float* ar = at.Row(i);
+    for (int j = 0; j < l; ++j) {
+      const float* br = bt.Row(j);
+      float acc = 0.0f;
+      float* cache = tanh_cache->data() +
+                     (static_cast<size_t>(i) * l + j) * d;
+      for (int k = 0; k < d; ++k) {
+        float th = std::tanh(ar[k] + br[k]);
+        cache[k] = th;
+        acc += vt.At(k, 0) * th;
+      }
+      out_t.At(i, j) = acc;
+    }
+  }
+  Var out = NewNode(std::move(out_t));
+  nodes_[out]->backward = [this, out, a, b, v, tanh_cache, m, l, d] {
+    const Tensor& g = nodes_[out]->grad;
+    const Tensor& vt2 = nodes_[v]->value;
+    Tensor& ag = nodes_[a]->grad;
+    Tensor& bg = nodes_[b]->grad;
+    Tensor& vg = nodes_[v]->grad;
+    for (int i = 0; i < m; ++i) {
+      float* agr = ag.Row(i);
+      for (int j = 0; j < l; ++j) {
+        float gij = g.At(i, j);
+        if (gij == 0.0f) continue;
+        const float* cache = tanh_cache->data() +
+                             (static_cast<size_t>(i) * l + j) * d;
+        float* bgr = bg.Row(j);
+        for (int k = 0; k < d; ++k) {
+          float th = cache[k];
+          float common = gij * vt2.At(k, 0) * (1.0f - th * th);
+          agr[k] += common;
+          bgr[k] += common;
+          vg.At(k, 0) += gij * th;
+        }
+      }
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::SigmoidCrossEntropyWithLogits(Var logits, Tensor targets) {
+  const Tensor& x = nodes_[logits]->value;
+  ALICOCO_CHECK(x.SameShape(targets));
+  // loss = mean( max(x,0) - x*z + log(1+exp(-|x|)) )
+  Tensor v(1, 1);
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    float xi = x.data()[i];
+    float zi = targets.data()[i];
+    acc += std::max(xi, 0.0f) - xi * zi +
+           std::log1p(std::exp(-std::fabs(xi)));
+  }
+  v.At(0, 0) = static_cast<float>(acc / static_cast<double>(x.size()));
+  Var out = NewNode(std::move(v));
+  auto tgt = std::make_shared<Tensor>(std::move(targets));
+  nodes_[out]->backward = [this, out, logits, tgt] {
+    float g = nodes_[out]->grad.At(0, 0) /
+              static_cast<float>(tgt->size());
+    const Tensor& x2 = nodes_[logits]->value;
+    Tensor& lg = nodes_[logits]->grad;
+    for (size_t i = 0; i < x2.size(); ++i) {
+      float xi = x2.data()[i];
+      float sig = xi >= 0 ? 1.0f / (1.0f + std::exp(-xi))
+                          : std::exp(xi) / (1.0f + std::exp(xi));
+      lg.data()[i] += g * (sig - tgt->data()[i]);
+    }
+  };
+  return out;
+}
+
+}  // namespace alicoco::nn

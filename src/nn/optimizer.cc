@@ -1,0 +1,50 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace alicoco::nn {
+
+double Optimizer::ClipGlobalNorm(ParameterStore* store, double max_norm) {
+  double sq = 0.0;
+  for (const auto& p : store->params()) sq += p->grad.SquaredNorm();
+  double norm = std::sqrt(sq);
+  if (max_norm > 0 && norm > max_norm) {
+    float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (const auto& p : store->params()) p->grad.Scale(scale);
+  }
+  return norm;
+}
+
+void Sgd::Step(ParameterStore* store) {
+  ClipGlobalNorm(store, clip_norm_);
+  for (const auto& p : store->params()) {
+    p->value.Axpy(-lr_, p->grad);
+  }
+}
+
+void Adam::Step(ParameterStore* store) {
+  ClipGlobalNorm(store, clip_norm_);
+  ++t_;
+  float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (const auto& p : store->params()) {
+    auto& slot = slots_[p.get()];
+    if (slot.m.empty()) {
+      slot.m = Tensor(p->value.rows(), p->value.cols());
+      slot.v = Tensor(p->value.rows(), p->value.cols());
+    }
+    float* m = slot.m.data();
+    float* v = slot.v.data();
+    const float* g = p->grad.data();
+    float* w = p->value.data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      float mhat = m[i] / bc1;
+      float vhat = v[i] / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace alicoco::nn

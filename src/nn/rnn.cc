@@ -1,0 +1,71 @@
+#include "nn/rnn.h"
+
+namespace alicoco::nn {
+
+LstmCell::LstmCell(ParameterStore* store, const std::string& name,
+                   int input_dim, int hidden_dim, Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  wx_ = store->Create(name + ".Wx", input_dim, 4 * hidden_dim,
+                      ParameterStore::Init::kXavier, rng);
+  wh_ = store->Create(name + ".Wh", hidden_dim, 4 * hidden_dim,
+                      ParameterStore::Init::kXavier, rng);
+  b_ = store->Create(name + ".b", 1, 4 * hidden_dim,
+                     ParameterStore::Init::kZero, nullptr);
+  // Positive forget-gate bias stabilizes early training.
+  for (int j = hidden_dim; j < 2 * hidden_dim; ++j) b_->value.At(0, j) = 1.0f;
+}
+
+LstmCell::State LstmCell::Initial(Graph* g) const {
+  return State{g->Input(Tensor(1, hidden_dim_)),
+               g->Input(Tensor(1, hidden_dim_))};
+}
+
+LstmCell::State LstmCell::Step(Graph* g, Graph::Var x,
+                               const State& prev) const {
+  Graph::Var gates =
+      g->Add(g->Add(g->MatMul(x, g->Use(wx_)), g->MatMul(prev.h, g->Use(wh_))),
+             g->Use(b_));
+  int h = hidden_dim_;
+  Graph::Var i_gate = g->Sigmoid(g->SliceCols(gates, 0, h));
+  Graph::Var f_gate = g->Sigmoid(g->SliceCols(gates, h, h));
+  Graph::Var o_gate = g->Sigmoid(g->SliceCols(gates, 2 * h, h));
+  Graph::Var g_gate = g->Tanh(g->SliceCols(gates, 3 * h, h));
+  Graph::Var c = g->Add(g->Mul(f_gate, prev.c), g->Mul(i_gate, g_gate));
+  Graph::Var h_out = g->Mul(o_gate, g->Tanh(c));
+  return State{h_out, c};
+}
+
+BiLstm::BiLstm(ParameterStore* store, const std::string& name, int input_dim,
+               int hidden_dim, Rng* rng)
+    : fwd_(store, name + ".fwd", input_dim, hidden_dim, rng),
+      bwd_(store, name + ".bwd", input_dim, hidden_dim, rng) {}
+
+Graph::Var BiLstm::Run(Graph* g, Graph::Var x) const {
+  int t = g->Value(x).rows();
+  ALICOCO_CHECK(t > 0) << "BiLstm on empty sequence";
+  std::vector<Graph::Var> rows;
+  rows.reserve(static_cast<size_t>(t));
+  for (int i = 0; i < t; ++i) rows.push_back(g->SliceRows(x, i, 1));
+
+  std::vector<Graph::Var> fwd_h(static_cast<size_t>(t));
+  LstmCell::State state = fwd_.Initial(g);
+  for (int i = 0; i < t; ++i) {
+    state = fwd_.Step(g, rows[static_cast<size_t>(i)], state);
+    fwd_h[static_cast<size_t>(i)] = state.h;
+  }
+  std::vector<Graph::Var> bwd_h(static_cast<size_t>(t));
+  state = bwd_.Initial(g);
+  for (int i = t - 1; i >= 0; --i) {
+    state = bwd_.Step(g, rows[static_cast<size_t>(i)], state);
+    bwd_h[static_cast<size_t>(i)] = state.h;
+  }
+  std::vector<Graph::Var> combined(static_cast<size_t>(t));
+  for (int i = 0; i < t; ++i) {
+    combined[static_cast<size_t>(i)] =
+        g->ConcatCols({fwd_h[static_cast<size_t>(i)],
+                       bwd_h[static_cast<size_t>(i)]});
+  }
+  return g->ConcatRows(combined);
+}
+
+}  // namespace alicoco::nn

@@ -1,0 +1,59 @@
+// LSTM and BiLSTM built from generic graph ops (Figures 4, 5, 6).
+
+#ifndef ALICOCO_NN_RNN_H_
+#define ALICOCO_NN_RNN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/layers.h"
+
+namespace alicoco::nn {
+
+/// One LSTM cell; gate order in the packed weights is [i, f, o, g].
+class LstmCell {
+ public:
+  LstmCell(ParameterStore* store, const std::string& name, int input_dim,
+           int hidden_dim, Rng* rng);
+
+  struct State {
+    Graph::Var h;
+    Graph::Var c;
+  };
+
+  /// Zero initial state.
+  State Initial(Graph* g) const;
+
+  /// One step: x is 1 x input_dim.
+  State Step(Graph* g, Graph::Var x, const State& prev) const;
+
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int input_dim_, hidden_dim_;
+  Parameter* wx_;  // input_dim x 4H
+  Parameter* wh_;  // H x 4H
+  Parameter* b_;   // 1 x 4H
+};
+
+/// Bidirectional LSTM over a sequence matrix.
+class BiLstm {
+ public:
+  BiLstm(ParameterStore* store, const std::string& name, int input_dim,
+         int hidden_dim, Rng* rng);
+
+  /// x: T x input_dim -> T x 2*hidden_dim (forward ++ backward states).
+  Graph::Var Run(Graph* g, Graph::Var x) const;
+
+  int output_dim() const { return 2 * fwd_.hidden_dim(); }
+
+ private:
+  LstmCell fwd_;
+  LstmCell bwd_;
+};
+
+}  // namespace alicoco::nn
+
+#endif  // ALICOCO_NN_RNN_H_

@@ -1,0 +1,23 @@
+// Binary (de)serialization of parameter stores (model checkpoints).
+
+#ifndef ALICOCO_NN_SERIALIZE_H_
+#define ALICOCO_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/graph.h"
+
+namespace alicoco::nn {
+
+/// Writes every parameter (name, shape, weights) to `path`.
+Status SaveParameters(const ParameterStore& store, const std::string& path);
+
+/// Loads weights by parameter name into an already-constructed store.
+/// Fails on missing names or shape mismatches; extra names in the file are
+/// an error too (guards against loading the wrong checkpoint).
+Status LoadParameters(ParameterStore* store, const std::string& path);
+
+}  // namespace alicoco::nn
+
+#endif  // ALICOCO_NN_SERIALIZE_H_

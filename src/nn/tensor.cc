@@ -1,0 +1,112 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+
+namespace alicoco::nn {
+
+Tensor Tensor::FromVector(int rows, int cols, std::vector<float> data) {
+  ALICOCO_CHECK(static_cast<size_t>(rows) * static_cast<size_t>(cols) ==
+                data.size())
+      << "FromVector shape mismatch";
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.data_ = std::move(data);
+  return t;
+}
+
+Tensor Tensor::Randn(int rows, int cols, float stddev, Rng* rng) {
+  Tensor t(rows, cols);
+  for (auto& v : t.data_) {
+    v = stddev * static_cast<float>(rng->NextGaussian());
+  }
+  return t;
+}
+
+Tensor Tensor::Xavier(int rows, int cols, Rng* rng) {
+  Tensor t(rows, cols);
+  float bound = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (auto& v : t.data_) v = rng->UniformFloat(-bound, bound);
+  return t;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  ALICOCO_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Axpy(float scale, const Tensor& other) {
+  ALICOCO_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+void Tensor::Scale(float s) {
+  for (auto& v : data_) v *= s;
+}
+
+double Tensor::SquaredNorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+Tensor MatMulValue(const Tensor& a, const Tensor& b) {
+  ALICOCO_CHECK(a.cols() == b.rows()) << "matmul shapes " << a.rows() << "x"
+                                      << a.cols() << " * " << b.rows() << "x"
+                                      << b.cols();
+  Tensor c(a.rows(), b.cols());
+  MatMulAccum(a, b, &c);
+  return c;
+}
+
+void MatMulAccum(const Tensor& a, const Tensor& b, Tensor* c) {
+  ALICOCO_CHECK(a.cols() == b.rows() && c->rows() == a.rows() &&
+                c->cols() == b.cols());
+  int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c->Row(i);
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransBAccum(const Tensor& a, const Tensor& b, Tensor* c) {
+  // C (m x n) += A (m x k) * B^T where B is (n x k).
+  ALICOCO_CHECK(a.cols() == b.cols() && c->rows() == a.rows() &&
+                c->cols() == b.rows());
+  int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c->Row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.Row(j);
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+void MatMulTransAAccum(const Tensor& a, const Tensor& b, Tensor* c) {
+  // C (k x n) += A^T * B where A is (m x k), B is (m x n).
+  ALICOCO_CHECK(a.rows() == b.rows() && c->rows() == a.cols() &&
+                c->cols() == b.cols());
+  int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    const float* brow = b.Row(i);
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c->Row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace alicoco::nn

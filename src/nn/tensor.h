@@ -1,0 +1,93 @@
+// Dense row-major float matrix — the value type of the autodiff graph.
+//
+// All models in this repo operate on small 2-D tensors (sequence length x
+// feature dim, batch handled as an outer loop), so a matrix type suffices.
+
+#ifndef ALICOCO_NN_TENSOR_H_
+#define ALICOCO_NN_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace alicoco::nn {
+
+/// 2-D float matrix, row-major, zero-initialized.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f) {
+    ALICOCO_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  /// Wraps an existing buffer; `data.size()` must equal rows*cols.
+  static Tensor FromVector(int rows, int cols, std::vector<float> data);
+
+  /// rows x cols of N(0, stddev) noise.
+  static Tensor Randn(int rows, int cols, float stddev, Rng* rng);
+
+  /// Xavier/Glorot uniform init for a fan_in x fan_out weight.
+  static Tensor Xavier(int rows, int cols, Rng* rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& At(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float At(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float* Row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* Row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  bool SameShape(const Tensor& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Zero() { Fill(0.0f); }
+
+  /// this += other (shapes must match).
+  void AddInPlace(const Tensor& other);
+
+  /// this += scale * other.
+  void Axpy(float scale, const Tensor& other);
+
+  /// Scales all entries.
+  void Scale(float s);
+
+  /// Frobenius-norm squared.
+  double SquaredNorm() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B (shapes validated).
+Tensor MatMulValue(const Tensor& a, const Tensor& b);
+
+/// C += A * B.
+void MatMulAccum(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// C += A * B^T.
+void MatMulTransBAccum(const Tensor& a, const Tensor& b, Tensor* c);
+
+/// C += A^T * B.
+void MatMulTransAAccum(const Tensor& a, const Tensor& b, Tensor* c);
+
+}  // namespace alicoco::nn
+
+#endif  // ALICOCO_NN_TENSOR_H_

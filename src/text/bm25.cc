@@ -1,0 +1,85 @@
+#include "text/bm25.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alicoco::text {
+
+void Bm25Index::AddDocument(int64_t doc_id,
+                            const std::vector<std::string>& tokens) {
+  finalized_ = false;
+  Doc doc;
+  doc.id = doc_id;
+  doc.length = tokens.size();
+  for (const auto& t : tokens) ++doc.tf[t];
+  size_t pos = docs_.size();
+  for (const auto& [term, tf] : doc.tf) {
+    (void)tf;
+    ++df_[term];
+    postings_[term].push_back(pos);
+  }
+  id_to_pos_[doc_id] = pos;
+  docs_.push_back(std::move(doc));
+}
+
+void Bm25Index::Finalize() {
+  double total = 0.0;
+  for (const auto& d : docs_) total += static_cast<double>(d.length);
+  avg_len_ = docs_.empty() ? 0.0 : total / static_cast<double>(docs_.size());
+  finalized_ = true;
+}
+
+double Bm25Index::Idf(const std::string& term) const {
+  auto it = df_.find(term);
+  double n = static_cast<double>(docs_.size());
+  double df = it == df_.end() ? 0.0 : static_cast<double>(it->second);
+  return std::log((n - df + 0.5) / (df + 0.5) + 1.0);
+}
+
+double Bm25Index::ScoreDoc(const std::vector<std::string>& query,
+                           const Doc& doc) const {
+  double score = 0.0;
+  double len_norm =
+      k1_ * (1.0 - b_ + b_ * static_cast<double>(doc.length) /
+                            (avg_len_ > 0 ? avg_len_ : 1.0));
+  for (const auto& q : query) {
+    auto it = doc.tf.find(q);
+    if (it == doc.tf.end()) continue;
+    double tf = static_cast<double>(it->second);
+    score += Idf(q) * tf * (k1_ + 1.0) / (tf + len_norm);
+  }
+  return score;
+}
+
+double Bm25Index::Score(const std::vector<std::string>& query,
+                        int64_t doc_id) const {
+  if (!finalized_) return 0.0;
+  auto it = id_to_pos_.find(doc_id);
+  if (it == id_to_pos_.end()) return 0.0;
+  return ScoreDoc(query, docs_[it->second]);
+}
+
+std::vector<std::pair<int64_t, double>> Bm25Index::TopK(
+    const std::vector<std::string>& query, size_t k) const {
+  std::vector<std::pair<int64_t, double>> out;
+  if (!finalized_ || k == 0) return out;
+  // Gather candidate docs from postings of query terms.
+  std::unordered_map<size_t, double> scores;
+  for (const auto& q : query) {
+    auto it = postings_.find(q);
+    if (it == postings_.end()) continue;
+    for (size_t pos : it->second) {
+      if (!scores.count(pos)) scores[pos] = ScoreDoc(query, docs_[pos]);
+    }
+  }
+  out.reserve(scores.size());
+  for (const auto& [pos, s] : scores) out.emplace_back(docs_[pos].id, s);
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace alicoco::text

@@ -1,0 +1,59 @@
+// BM25 inverted index — the classic IR baseline of Table 6 and the lexical
+// retrieval substrate for the search-relevance application (Section 8.1.1).
+
+#ifndef ALICOCO_TEXT_BM25_H_
+#define ALICOCO_TEXT_BM25_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace alicoco::text {
+
+/// Okapi BM25 over tokenized documents.
+class Bm25Index {
+ public:
+  /// Standard parameters: k1 controls term-frequency saturation, b length
+  /// normalization.
+  explicit Bm25Index(double k1 = 1.2, double b = 0.75) : k1_(k1), b_(b) {}
+
+  /// Adds a document; `doc_id` is the caller's identifier (need not be dense).
+  void AddDocument(int64_t doc_id, const std::vector<std::string>& tokens);
+
+  /// Recomputes idf statistics. Call after the last AddDocument; scoring
+  /// before Finalize() returns 0.
+  void Finalize();
+
+  /// BM25 score of `query` against one indexed document (0 if unknown id).
+  double Score(const std::vector<std::string>& query, int64_t doc_id) const;
+
+  /// Top-k documents for `query`, highest score first.
+  std::vector<std::pair<int64_t, double>> TopK(
+      const std::vector<std::string>& query, size_t k) const;
+
+  size_t num_documents() const { return docs_.size(); }
+
+ private:
+  struct Doc {
+    int64_t id;
+    std::unordered_map<std::string, int> tf;
+    size_t length;
+  };
+
+  double Idf(const std::string& term) const;
+  double ScoreDoc(const std::vector<std::string>& query, const Doc& doc) const;
+
+  double k1_, b_;
+  bool finalized_ = false;
+  double avg_len_ = 0.0;
+  std::vector<Doc> docs_;
+  std::unordered_map<int64_t, size_t> id_to_pos_;
+  std::unordered_map<std::string, int64_t> df_;
+  // term -> postings (positions into docs_)
+  std::unordered_map<std::string, std::vector<size_t>> postings_;
+};
+
+}  // namespace alicoco::text
+
+#endif  // ALICOCO_TEXT_BM25_H_

@@ -1,0 +1,108 @@
+#include "text/gloss_encoder.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace alicoco::text {
+
+GlossEncoder::GlossEncoder(const SkipgramModel* model, const Vocabulary* vocab)
+    : model_(model), vocab_(vocab) {
+  ALICOCO_CHECK(model != nullptr && vocab != nullptr);
+}
+
+void GlossEncoder::ObserveDocument(const std::vector<std::string>& tokens) {
+  std::unordered_set<int> seen;
+  for (const auto& t : tokens) {
+    int id = vocab_->Id(t);
+    if (id > Vocabulary::kUnkId) seen.insert(id);
+  }
+  for (int id : seen) ++df_[id];
+  ++num_docs_;
+}
+
+void GlossEncoder::FinalizeIdf() { idf_ready_ = num_docs_ > 0; }
+
+std::vector<float> GlossEncoder::Encode(
+    const std::vector<std::string>& tokens) const {
+  int d = model_->dim();
+  std::vector<float> out(static_cast<size_t>(d), 0.0f);
+  double total_weight = 0.0;
+  for (const auto& t : tokens) {
+    int id = vocab_->Id(t);
+    if (id <= Vocabulary::kUnkId || id >= model_->vocab_size()) continue;
+    double w = 1.0;
+    if (idf_ready_) {
+      auto it = df_.find(id);
+      double df = it == df_.end() ? 0.0 : static_cast<double>(it->second);
+      w = std::log((static_cast<double>(num_docs_) + 1.0) / (df + 1.0)) + 1.0;
+    }
+    const float* e = model_->Embedding(id);
+    for (int k = 0; k < d; ++k) out[static_cast<size_t>(k)] += static_cast<float>(w) * e[k];
+    total_weight += w;
+  }
+  if (total_weight > 0) {
+    float norm = 0.0f;
+    for (float v : out) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm > 1e-8f) {
+      for (float& v : out) v /= norm;
+    }
+  }
+  return out;
+}
+
+ContextMatrix::ContextMatrix(const std::vector<std::vector<int>>& corpus,
+                             const SkipgramModel& model, int window)
+    : dim_(model.dim()),
+      rows_(static_cast<size_t>(model.vocab_size()),
+            std::vector<float>()),
+      zero_(static_cast<size_t>(model.dim()), 0.0f) {
+  std::vector<std::vector<double>> acc(
+      static_cast<size_t>(model.vocab_size()),
+      std::vector<double>());
+  std::vector<int64_t> counts(static_cast<size_t>(model.vocab_size()), 0);
+  for (const auto& sentence : corpus) {
+    for (size_t i = 0; i < sentence.size(); ++i) {
+      int w = sentence[i];
+      if (w <= Vocabulary::kUnkId || w >= model.vocab_size()) continue;
+      for (int off = -window; off <= window; ++off) {
+        if (off == 0) continue;
+        int64_t j = static_cast<int64_t>(i) + off;
+        if (j < 0 || j >= static_cast<int64_t>(sentence.size())) continue;
+        int ctx = sentence[static_cast<size_t>(j)];
+        if (ctx <= Vocabulary::kUnkId || ctx >= model.vocab_size()) continue;
+        auto& a = acc[static_cast<size_t>(w)];
+        if (a.empty()) a.assign(static_cast<size_t>(dim_), 0.0);
+        const float* e = model.Embedding(ctx);
+        for (int k = 0; k < dim_; ++k) a[static_cast<size_t>(k)] += e[k];
+        ++counts[static_cast<size_t>(w)];
+      }
+    }
+  }
+  for (size_t w = 0; w < acc.size(); ++w) {
+    if (counts[w] == 0) continue;
+    auto& row = rows_[w];
+    row.assign(static_cast<size_t>(dim_), 0.0f);
+    double norm_acc = 0.0;
+    for (int k = 0; k < dim_; ++k) {
+      double v = acc[w][static_cast<size_t>(k)] / static_cast<double>(counts[w]);
+      row[static_cast<size_t>(k)] = static_cast<float>(v);
+      norm_acc += v * v;
+    }
+    float norm = static_cast<float>(std::sqrt(norm_acc));
+    if (norm > 1e-8f) {
+      for (float& v : row) v /= norm;
+    }
+  }
+}
+
+const std::vector<float>& ContextMatrix::Row(int id) const {
+  if (id < 0 || static_cast<size_t>(id) >= rows_.size() || rows_[static_cast<size_t>(id)].empty()) {
+    return zero_;
+  }
+  return rows_[static_cast<size_t>(id)];
+}
+
+}  // namespace alicoco::text

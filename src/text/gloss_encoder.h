@@ -1,0 +1,72 @@
+// Dense document encodings: the Doc2vec substitute.
+//
+// Two uses in the paper:
+//  * gloss vectors — each word is linked to an encyclopedia gloss whose
+//    Doc2vec encoding injects external knowledge (Sections 5.2.2 and 6);
+//  * the textual matrix TM — each word's surrounding corpus contexts are
+//    encoded to augment the concept tagger (Section 5.3.1).
+// GlossEncoder encodes token sequences as idf-weighted embedding averages;
+// ContextMatrix aggregates each word's corpus context windows.
+
+#ifndef ALICOCO_TEXT_GLOSS_ENCODER_H_
+#define ALICOCO_TEXT_GLOSS_ENCODER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/skipgram.h"
+#include "text/vocabulary.h"
+
+namespace alicoco::text {
+
+/// Encodes short documents (glosses) into fixed vectors using a trained
+/// embedding table with idf weighting.
+class GlossEncoder {
+ public:
+  /// `model` and `vocab` must outlive the encoder.
+  GlossEncoder(const SkipgramModel* model, const Vocabulary* vocab);
+
+  /// Accumulates document frequencies for idf weighting (optional; uniform
+  /// weights if never called).
+  void ObserveDocument(const std::vector<std::string>& tokens);
+
+  /// Finishes idf computation over observed documents.
+  void FinalizeIdf();
+
+  /// Encodes tokens into a dim()-sized vector (idf-weighted mean of word
+  /// embeddings, L2-normalized; zero vector for empty/unknown-only input).
+  std::vector<float> Encode(const std::vector<std::string>& tokens) const;
+
+  int dim() const { return model_->dim(); }
+
+ private:
+  const SkipgramModel* model_;
+  const Vocabulary* vocab_;
+  std::unordered_map<int, int64_t> df_;
+  int64_t num_docs_ = 0;
+  bool idf_ready_ = false;
+};
+
+/// Per-word aggregated context embeddings over a corpus (the TM matrix of
+/// Figure 6): row w = mean embedding of the words co-occurring with w.
+class ContextMatrix {
+ public:
+  /// Builds the matrix from an id corpus with a symmetric window.
+  ContextMatrix(const std::vector<std::vector<int>>& corpus,
+                const SkipgramModel& model, int window);
+
+  /// Context vector for word id (zeros for unseen words).
+  const std::vector<float>& Row(int id) const;
+
+  int dim() const { return dim_; }
+
+ private:
+  int dim_;
+  std::vector<std::vector<float>> rows_;
+  std::vector<float> zero_;
+};
+
+}  // namespace alicoco::text
+
+#endif  // ALICOCO_TEXT_GLOSS_ENCODER_H_

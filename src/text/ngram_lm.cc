@@ -1,0 +1,111 @@
+#include "text/ngram_lm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace alicoco::text {
+namespace {
+constexpr const char* kBos = "<s>";
+constexpr const char* kEos = "</s>";
+constexpr double kFloorProb = 1e-7;
+}  // namespace
+
+void NgramLm::AddSentence(const std::vector<std::string>& tokens) {
+  ALICOCO_CHECK(!finalized_) << "AddSentence after Finalize";
+  std::vector<std::string> s;
+  s.reserve(tokens.size() + 3);
+  s.push_back(kBos);
+  s.push_back(kBos);
+  s.insert(s.end(), tokens.begin(), tokens.end());
+  s.push_back(kEos);
+  for (size_t i = 2; i < s.size(); ++i) {
+    ++uni_[s[i]];
+    ++total_unigrams_;
+    std::string bi = s[i - 1] + " " + s[i];
+    if (++bi_[bi] == 1) {
+      ++bi_ctx_types_[s[i - 1]];
+      ++continuation_[s[i]];
+      ++total_bigram_types_;
+    }
+    ++bi_ctx_total_[s[i - 1]];
+    std::string ctx2 = s[i - 2] + " " + s[i - 1];
+    std::string tri = ctx2 + " " + s[i];
+    if (++tri_[tri] == 1) ++tri_ctx_types_[ctx2];
+    ++tri_ctx_total_[ctx2];
+  }
+}
+
+void NgramLm::Finalize() { finalized_ = true; }
+
+double NgramLm::UnigramProb(const std::string& w) const {
+  if (total_bigram_types_ == 0) return kFloorProb;
+  auto it = continuation_.find(w);
+  double cont = it == continuation_.end() ? 0.0
+                                          : static_cast<double>(it->second);
+  // Reserve a small mass for unseen words.
+  double p = (cont + 0.5) /
+             (static_cast<double>(total_bigram_types_) +
+              0.5 * static_cast<double>(continuation_.size() + 1));
+  return std::max(p, kFloorProb);
+}
+
+double NgramLm::BigramProb(const std::string& w1, const std::string& w) const {
+  auto total_it = bi_ctx_total_.find(w1);
+  double p_uni = UnigramProb(w);
+  if (total_it == bi_ctx_total_.end() || total_it->second == 0) return p_uni;
+  double total = static_cast<double>(total_it->second);
+  auto cnt_it = bi_.find(w1 + " " + w);
+  double cnt = cnt_it == bi_.end() ? 0.0 : static_cast<double>(cnt_it->second);
+  auto types_it = bi_ctx_types_.find(w1);
+  double types = types_it == bi_ctx_types_.end()
+                     ? 0.0
+                     : static_cast<double>(types_it->second);
+  double lambda = discount_ * types / total;
+  double p = std::max(cnt - discount_, 0.0) / total + lambda * p_uni;
+  return std::max(p, kFloorProb);
+}
+
+double NgramLm::LogProb(const std::string& w2, const std::string& w1,
+                        const std::string& w) const {
+  ALICOCO_CHECK(finalized_) << "LogProb before Finalize";
+  std::string ctx2 = w2 + " " + w1;
+  auto total_it = tri_ctx_total_.find(ctx2);
+  double p_bi = BigramProb(w1, w);
+  if (total_it == tri_ctx_total_.end() || total_it->second == 0) {
+    return std::log(p_bi);
+  }
+  double total = static_cast<double>(total_it->second);
+  auto cnt_it = tri_.find(ctx2 + " " + w);
+  double cnt = cnt_it == tri_.end() ? 0.0 : static_cast<double>(cnt_it->second);
+  auto types_it = tri_ctx_types_.find(ctx2);
+  double types = types_it == tri_ctx_types_.end()
+                     ? 0.0
+                     : static_cast<double>(types_it->second);
+  double lambda = discount_ * types / total;
+  double p = std::max(cnt - discount_, 0.0) / total + lambda * p_bi;
+  return std::log(std::max(p, kFloorProb));
+}
+
+double NgramLm::ScoreSentence(const std::vector<std::string>& tokens) const {
+  if (tokens.empty()) return std::log(kFloorProb);
+  std::vector<std::string> s;
+  s.reserve(tokens.size() + 3);
+  s.push_back(kBos);
+  s.push_back(kBos);
+  s.insert(s.end(), tokens.begin(), tokens.end());
+  s.push_back(kEos);
+  double sum = 0.0;
+  size_t count = 0;
+  for (size_t i = 2; i < s.size(); ++i) {
+    sum += LogProb(s[i - 2], s[i - 1], s[i]);
+    ++count;
+  }
+  return sum / static_cast<double>(count);
+}
+
+double NgramLm::Perplexity(const std::vector<std::string>& tokens) const {
+  return std::exp(-ScoreSentence(tokens));
+}
+
+}  // namespace alicoco::text

@@ -1,0 +1,68 @@
+// Interpolated Kneser-Ney n-gram language model.
+//
+// Stands in for the e-commerce-corpus BERT of Section 5.2.2: its role there
+// is a single wide feature — the perplexity of a candidate concept phrase —
+// measuring fluency/coherence. An interpolated KN trigram model provides the
+// same signal on the synthetic corpus.
+
+#ifndef ALICOCO_TEXT_NGRAM_LM_H_
+#define ALICOCO_TEXT_NGRAM_LM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace alicoco::text {
+
+/// Trigram LM with interpolated Kneser-Ney smoothing over token strings.
+/// Sentences are implicitly wrapped in <s> ... </s>.
+class NgramLm {
+ public:
+  /// `discount` is the absolute-discount mass (0 < d < 1).
+  explicit NgramLm(double discount = 0.75) : discount_(discount) {}
+
+  /// Accumulates counts from one sentence.
+  void AddSentence(const std::vector<std::string>& tokens);
+
+  /// Finalizes continuation counts. Must be called once after all
+  /// AddSentence calls and before scoring.
+  void Finalize();
+
+  /// log P(w | w2 w1) in natural log. Unseen histories back off smoothly;
+  /// fully unknown words receive a small floor probability.
+  double LogProb(const std::string& w2, const std::string& w1,
+                 const std::string& w) const;
+
+  /// Per-token perplexity of a sentence, exp(-mean log prob).
+  double Perplexity(const std::vector<std::string>& tokens) const;
+
+  /// Mean log-probability per token (higher = more fluent).
+  double ScoreSentence(const std::vector<std::string>& tokens) const;
+
+  int64_t total_unigrams() const { return total_unigrams_; }
+
+ private:
+  double UnigramProb(const std::string& w) const;
+  double BigramProb(const std::string& w1, const std::string& w) const;
+
+  double discount_;
+  bool finalized_ = false;
+
+  std::unordered_map<std::string, int64_t> uni_;
+  std::unordered_map<std::string, int64_t> bi_;    // "w1 w"
+  std::unordered_map<std::string, int64_t> tri_;   // "w2 w1 w"
+  // Context totals and distinct-successor counts for normalization.
+  std::unordered_map<std::string, int64_t> bi_ctx_total_;   // "w1"
+  std::unordered_map<std::string, int64_t> bi_ctx_types_;   // "w1"
+  std::unordered_map<std::string, int64_t> tri_ctx_total_;  // "w2 w1"
+  std::unordered_map<std::string, int64_t> tri_ctx_types_;  // "w2 w1"
+  // Kneser-Ney continuation counts: #distinct left contexts of w.
+  std::unordered_map<std::string, int64_t> continuation_;
+  int64_t total_bigram_types_ = 0;
+  int64_t total_unigrams_ = 0;
+};
+
+}  // namespace alicoco::text
+
+#endif  // ALICOCO_TEXT_NGRAM_LM_H_

@@ -1,0 +1,69 @@
+#include "text/pos_tagger.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace alicoco::text {
+
+const char* PosTagName(PosTag tag) {
+  switch (tag) {
+    case PosTag::kNoun:
+      return "NOUN";
+    case PosTag::kAdj:
+      return "ADJ";
+    case PosTag::kVerb:
+      return "VERB";
+    case PosTag::kPrep:
+      return "PREP";
+    case PosTag::kNum:
+      return "NUM";
+    case PosTag::kOther:
+      return "OTHER";
+  }
+  return "?";
+}
+
+PosTagger::PosTagger() {
+  // Closed-class function words used by the grammar emitters.
+  for (const char* w : {"for", "in", "on", "with", "of", "under", "at",
+                        "from", "to", "by"}) {
+    lexicon_[w] = PosTag::kPrep;
+  }
+  for (const char* w : {"the", "a", "an", "and", "or", "is", "are", "this",
+                        "that", "my", "your"}) {
+    lexicon_[w] = PosTag::kOther;
+  }
+}
+
+void PosTagger::AddLexeme(const std::string& word, PosTag tag) {
+  lexicon_[word] = tag;
+}
+
+PosTag PosTagger::Tag(const std::string& token) const {
+  auto it = lexicon_.find(token);
+  if (it != lexicon_.end()) return it->second;
+  bool all_digits = !token.empty();
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      all_digits = false;
+      break;
+    }
+  }
+  if (all_digits) return PosTag::kNum;
+  if (EndsWith(token, "y") || EndsWith(token, "ish") || EndsWith(token, "al")) {
+    return PosTag::kAdj;
+  }
+  if (EndsWith(token, "ing") || EndsWith(token, "ize")) return PosTag::kVerb;
+  return PosTag::kNoun;
+}
+
+std::vector<PosTag> PosTagger::TagSequence(
+    const std::vector<std::string>& tokens) const {
+  std::vector<PosTag> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) out.push_back(Tag(t));
+  return out;
+}
+
+}  // namespace alicoco::text

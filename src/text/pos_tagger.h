@@ -1,0 +1,56 @@
+// Lexicon-backed part-of-speech tagger.
+//
+// The paper's models consume POS-tag embeddings (Sections 5.2.2, 5.3.1, 6)
+// from an off-the-shelf tagger. Our synthetic world knows each word's
+// syntactic role, so the tagger is a lexicon with suffix-based fallbacks —
+// the same interface, deterministic output.
+
+#ifndef ALICOCO_TEXT_POS_TAGGER_H_
+#define ALICOCO_TEXT_POS_TAGGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace alicoco::text {
+
+/// Coarse POS tags used by the downstream models.
+enum class PosTag : int {
+  kNoun = 0,
+  kAdj = 1,
+  kVerb = 2,
+  kPrep = 3,
+  kNum = 4,
+  kOther = 5,
+};
+
+constexpr int kNumPosTags = 6;
+
+/// Returns the tag's display name ("NOUN").
+const char* PosTagName(PosTag tag);
+
+/// Lexicon tagger with deterministic fallbacks.
+class PosTagger {
+ public:
+  PosTagger();
+
+  /// Registers a word's tag (world generator calls this for every vocab
+  /// word it mints).
+  void AddLexeme(const std::string& word, PosTag tag);
+
+  /// Tags one token: lexicon hit, else digit check, else suffix heuristics,
+  /// else NOUN.
+  PosTag Tag(const std::string& token) const;
+
+  /// Tags a token sequence.
+  std::vector<PosTag> TagSequence(const std::vector<std::string>& tokens) const;
+
+  size_t lexicon_size() const { return lexicon_.size(); }
+
+ private:
+  std::unordered_map<std::string, PosTag> lexicon_;
+};
+
+}  // namespace alicoco::text
+
+#endif  // ALICOCO_TEXT_POS_TAGGER_H_

@@ -1,0 +1,109 @@
+#include "text/segmenter.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace alicoco::text {
+
+void MaxMatchSegmenter::AddPhrase(const std::vector<std::string>& tokens,
+                                  const std::string& label) {
+  if (tokens.empty()) return;
+  std::string key = JoinStrings(tokens, " ");
+  auto& labels = dict_[key];
+  if (std::find(labels.begin(), labels.end(), label) == labels.end()) {
+    labels.push_back(label);
+    ++num_entries_;
+  }
+  max_phrase_len_ = std::max(max_phrase_len_, tokens.size());
+}
+
+std::vector<PhraseMatch> MaxMatchSegmenter::AllOccurrences(
+    const std::vector<std::string>& tokens) const {
+  std::vector<PhraseMatch> out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    std::string key;
+    for (size_t len = 1; len <= max_phrase_len_ && i + len <= tokens.size();
+         ++len) {
+      if (len > 1) key += ' ';
+      key += tokens[i + len - 1];
+      auto it = dict_.find(key);
+      if (it == dict_.end()) continue;
+      for (const auto& label : it->second) {
+        out.push_back(PhraseMatch{i, i + len, label, key});
+      }
+    }
+  }
+  return out;
+}
+
+Segmentation MaxMatchSegmenter::Match(
+    const std::vector<std::string>& tokens) const {
+  Segmentation seg;
+  size_t n = tokens.size();
+  seg.iob.assign(n, "O");
+  if (n == 0) return seg;
+
+  auto occurrences = AllOccurrences(tokens);
+
+  // matches_at[i]: occurrence indices starting at token i. A phrase with
+  // several labels contributes several occurrences; any chosen span whose
+  // phrase has >1 label makes the sentence ambiguous.
+  std::vector<std::vector<size_t>> matches_at(n);
+  for (size_t m = 0; m < occurrences.size(); ++m) {
+    matches_at[occurrences[m].begin].push_back(m);
+  }
+
+  // DP over positions: best[i] = (max covered tokens, min segment count)
+  // achievable for suffix starting at i; count[i] = number of distinct
+  // optimal labeled segmentations (capped to avoid overflow).
+  constexpr int64_t kCountCap = 1'000'000;
+  std::vector<int64_t> covered(n + 1, 0), pieces(n + 1, 0), ways(n + 1, 1);
+  std::vector<size_t> choice(n + 1, SIZE_MAX);  // occurrence idx or SIZE_MAX
+  for (size_t i = n; i-- > 0;) {
+    // Option: leave token i unmatched.
+    covered[i] = covered[i + 1];
+    pieces[i] = pieces[i + 1];
+    ways[i] = ways[i + 1];
+    choice[i] = SIZE_MAX;
+    for (size_t m : matches_at[i]) {
+      const auto& occ = occurrences[m];
+      int64_t c = static_cast<int64_t>(occ.end - occ.begin) + covered[occ.end];
+      int64_t p = 1 + pieces[occ.end];
+      if (c > covered[i] || (c == covered[i] && p < pieces[i])) {
+        covered[i] = c;
+        pieces[i] = p;
+        ways[i] = ways[occ.end];
+        choice[i] = m;
+      } else if (c == covered[i] && p == pieces[i]) {
+        // Another distinct optimal labeling exists.
+        ways[i] = std::min(kCountCap, ways[i] + ways[occ.end]);
+      }
+    }
+  }
+
+  seg.covered_tokens = static_cast<size_t>(covered[0]);
+  seg.ambiguous = ways[0] > 1;
+
+  // Reconstruct one optimal segmentation.
+  size_t i = 0;
+  while (i < n) {
+    if (choice[i] == SIZE_MAX) {
+      ++i;
+      continue;
+    }
+    const auto& occ = occurrences[choice[i]];
+    seg.matches.push_back(occ);
+    seg.iob[occ.begin] = "B-" + occ.label;
+    for (size_t j = occ.begin + 1; j < occ.end; ++j) {
+      seg.iob[j] = "I-" + occ.label;
+    }
+    // A chosen phrase carrying multiple labels is inherently ambiguous.
+    auto it = dict_.find(occ.phrase);
+    if (it != dict_.end() && it->second.size() > 1) seg.ambiguous = true;
+    i = occ.end;
+  }
+  return seg;
+}
+
+}  // namespace alicoco::text

@@ -1,0 +1,72 @@
+// Dictionary-driven max-matching segmenter (Section 7.2).
+//
+// The paper bootstraps sequence-labeling training data by distant
+// supervision: a dynamic-programming max-matching of known primitive-concept
+// phrases against corpus sentences, assigning IOB domain labels, and keeping
+// only sentences whose matching is unambiguous. This class implements that
+// matcher: phrases (multi-token) map to one or more class labels; Match()
+// returns the maximal-coverage segmentation and flags ambiguity.
+
+#ifndef ALICOCO_TEXT_SEGMENTER_H_
+#define ALICOCO_TEXT_SEGMENTER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace alicoco::text {
+
+/// One matched phrase occurrence inside a sentence.
+struct PhraseMatch {
+  size_t begin = 0;      ///< first token index
+  size_t end = 0;        ///< one past last token index
+  std::string label;     ///< class label of the matched phrase
+  std::string phrase;    ///< the canonical phrase (space-joined)
+};
+
+/// Result of segmenting one sentence.
+struct Segmentation {
+  std::vector<PhraseMatch> matches;  ///< chosen non-overlapping matches
+  std::vector<std::string> iob;      ///< per-token IOB tags ("B-X"/"I-X"/"O")
+  bool ambiguous = false;            ///< true if another distinct labeling
+                                     ///< achieves the same coverage, or a
+                                     ///< matched phrase has several labels
+  size_t covered_tokens = 0;         ///< tokens inside chosen matches
+};
+
+/// Forward max-matching dictionary segmenter.
+class MaxMatchSegmenter {
+ public:
+  MaxMatchSegmenter() = default;
+
+  /// Registers a phrase (sequence of tokens) under a class label. The same
+  /// phrase may carry multiple labels (sense ambiguity).
+  void AddPhrase(const std::vector<std::string>& tokens,
+                 const std::string& label);
+
+  /// Number of distinct (phrase, label) entries.
+  size_t num_entries() const { return num_entries_; }
+
+  /// Longest registered phrase, in tokens.
+  size_t max_phrase_len() const { return max_phrase_len_; }
+
+  /// Segments `tokens` by dynamic programming that maximizes the number of
+  /// covered tokens (ties broken toward fewer, hence longer, matches).
+  Segmentation Match(const std::vector<std::string>& tokens) const;
+
+  /// All dictionary occurrences in `tokens`, including overlapping ones.
+  std::vector<PhraseMatch> AllOccurrences(
+      const std::vector<std::string>& tokens) const;
+
+ private:
+  // phrase (space-joined tokens) -> labels
+  std::unordered_map<std::string, std::vector<std::string>> dict_;
+  size_t max_phrase_len_ = 0;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace alicoco::text
+
+#endif  // ALICOCO_TEXT_SEGMENTER_H_

@@ -1,0 +1,44 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace alicoco::text {
+
+std::vector<std::string> Tokenize(std::string_view raw) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : raw) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      cur.push_back(static_cast<char>(std::tolower(uc)));
+    } else if (c == '-' && !cur.empty()) {
+      cur.push_back('-');  // keep hyphenated compounds as one token
+    } else {
+      if (!cur.empty()) {
+        while (!cur.empty() && cur.back() == '-') cur.pop_back();
+        if (!cur.empty()) out.push_back(cur);
+        cur.clear();
+      }
+    }
+  }
+  if (!cur.empty()) {
+    while (!cur.empty() && cur.back() == '-') cur.pop_back();
+    if (!cur.empty()) out.push_back(cur);
+  }
+  return out;
+}
+
+std::vector<std::string> Chars(std::string_view token) {
+  std::vector<std::string> out;
+  out.reserve(token.size());
+  for (char c : token) out.emplace_back(1, c);
+  return out;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  return JoinStrings(tokens, " ");
+}
+
+}  // namespace alicoco::text

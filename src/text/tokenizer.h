@@ -1,0 +1,28 @@
+// Tokenization utilities.
+//
+// The synthetic corpus is already word-delimited; the tokenizer lower-cases,
+// strips punctuation and exposes the char view of a token (the analogue of
+// Chinese characters used by the char-level encoders in Figures 5 and 6).
+
+#ifndef ALICOCO_TEXT_TOKENIZER_H_
+#define ALICOCO_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alicoco::text {
+
+/// Splits raw text into lower-case word tokens. Punctuation separates tokens
+/// and is dropped; digits are kept inside tokens.
+std::vector<std::string> Tokenize(std::string_view raw);
+
+/// Splits a token into single-character strings ("dress" -> d,r,e,s,s).
+std::vector<std::string> Chars(std::string_view token);
+
+/// Joins tokens with single spaces (inverse of Tokenize for clean input).
+std::string JoinTokens(const std::vector<std::string>& tokens);
+
+}  // namespace alicoco::text
+
+#endif  // ALICOCO_TEXT_TOKENIZER_H_

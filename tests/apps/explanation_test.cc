@@ -1,0 +1,100 @@
+#include "apps/explanation.h"
+
+#include <gtest/gtest.h>
+
+namespace alicoco::apps {
+namespace {
+
+struct Fixture {
+  kg::ConceptNet net;
+  kg::EcConceptId barbecue, baking;
+  kg::ItemId grill, butter, whisk, tray, unrelated;
+  datagen::UserHistory user;
+
+  Fixture() {
+    kg::ClassId category = *net.taxonomy().AddDomain("Category");
+    barbecue = *net.GetOrAddEcConcept({"outdoor", "barbecue"});
+    baking = *net.GetOrAddEcConcept({"tools", "for", "baking"});
+    grill = *net.AddItem({"grill"}, category);
+    butter = *net.AddItem({"butter"}, category);
+    whisk = *net.AddItem({"whisk"}, category);
+    tray = *net.AddItem({"tray"}, category);
+    unrelated = *net.AddItem({"rug"}, category);
+    EXPECT_TRUE(net.LinkItemToEc(grill, barbecue).ok());
+    EXPECT_TRUE(net.LinkItemToEc(butter, barbecue).ok());
+    EXPECT_TRUE(net.LinkItemToEc(whisk, baking).ok());
+    EXPECT_TRUE(net.LinkItemToEc(tray, baking).ok());
+    EXPECT_TRUE(net.LinkItemToEc(butter, baking).ok());
+    // User has baked: clicked whisk and butter.
+    user.clicked = {whisk, butter};
+  }
+};
+
+TEST(ExplanationTest, PicksTheSharedNeed) {
+  Fixture f;
+  RecommendationExplainer explainer(&f.net);
+  // Recommending the tray: both history items support "tools for baking"
+  // (whisk directly, butter via its baking link).
+  auto ex = explainer.Explain(f.user, f.tray);
+  ASSERT_TRUE(ex.has_value());
+  EXPECT_EQ(ex->concept_surface, "tools for baking");
+  EXPECT_DOUBLE_EQ(ex->support, 2.0);
+  EXPECT_NE(ex->text.find("tools for baking"), std::string::npos);
+}
+
+TEST(ExplanationTest, WeighsEvidenceNotJustMembership) {
+  Fixture f;
+  RecommendationExplainer explainer(&f.net);
+  // Recommending butter (in both concepts): baking has 1 history vote
+  // (whisk), barbecue has 0 (grill not in history).
+  auto ex = explainer.Explain(f.user, f.butter);
+  ASSERT_TRUE(ex.has_value());
+  EXPECT_EQ(ex->concept_surface, "tools for baking");
+}
+
+TEST(ExplanationTest, NoSharedConceptNoReason) {
+  Fixture f;
+  RecommendationExplainer explainer(&f.net);
+  // The rug belongs to no concept.
+  EXPECT_FALSE(explainer.Explain(f.user, f.unrelated).has_value());
+  // The grill's only concept has zero history support.
+  datagen::UserHistory cold;
+  cold.clicked = {f.whisk};
+  EXPECT_FALSE(explainer.Explain(cold, f.grill).has_value());
+}
+
+TEST(ExplanationTest, ExplainableRate) {
+  Fixture f;
+  RecommendationExplainer explainer(&f.net);
+  std::vector<datagen::UserHistory> users = {f.user, f.user};
+  std::vector<std::vector<kg::ItemId>> recs = {{f.tray, f.unrelated},
+                                               {f.tray}};
+  // 2 of 3 pairs explainable.
+  EXPECT_NEAR(explainer.ExplainableRate(users, recs), 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(explainer.ExplainableRate({}, {}), 0.0);
+}
+
+TEST(ExplanationTest, WorksOnGeneratedWorld) {
+  datagen::WorldConfig cfg;
+  cfg.seed = 121;
+  cfg.num_items = 500;
+  cfg.num_users = 60;
+  datagen::World world = datagen::World::Generate(cfg);
+  RecommendationExplainer explainer(&world.net());
+  // Explain the gold need items for each user: should be highly explainable.
+  size_t total = 0, explained = 0;
+  for (const auto& user : world.user_histories()) {
+    for (kg::EcConceptId need : user.needs) {
+      auto items = world.net().ItemsForEc(need);
+      if (items.empty()) continue;
+      ++total;
+      auto ex = explainer.Explain(user, items[0]);
+      if (ex.has_value()) ++explained;
+    }
+  }
+  ASSERT_GT(total, 20u);
+  EXPECT_GT(static_cast<double>(explained) / total, 0.8);
+}
+
+}  // namespace
+}  // namespace alicoco::apps

@@ -1,0 +1,128 @@
+#include "apps/question_answering.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/world.h"
+#include "text/tokenizer.h"
+
+namespace alicoco::apps {
+namespace {
+
+// Hand-built net: the paper's barbecue scenario.
+struct Fixture {
+  kg::ConceptNet net;
+  kg::EcConceptId outdoor_barbecue, barbecue_ec;
+  kg::ItemId grill_item;
+
+  Fixture() {
+    auto& tax = net.taxonomy();
+    kg::ClassId category = *tax.AddDomain("Category");
+    kg::ClassId location = *tax.AddDomain("Location");
+    kg::ClassId event = *tax.AddDomain("Event");
+    kg::ConceptId outdoor = *net.GetOrAddPrimitiveConcept("outdoor", location);
+    kg::ConceptId barbecue = *net.GetOrAddPrimitiveConcept("barbecue", event);
+    outdoor_barbecue = *net.GetOrAddEcConcept({"outdoor", "barbecue"});
+    barbecue_ec = *net.GetOrAddEcConcept({"barbecue"});
+    EXPECT_TRUE(net.LinkEcToPrimitive(outdoor_barbecue, outdoor).ok());
+    EXPECT_TRUE(net.LinkEcToPrimitive(outdoor_barbecue, barbecue).ok());
+    EXPECT_TRUE(net.LinkEcToPrimitive(barbecue_ec, barbecue).ok());
+    EXPECT_TRUE(net.AddEcIsA(outdoor_barbecue, barbecue_ec).ok());
+    grill_item = *net.AddItem({"steel", "grill"}, category);
+    EXPECT_TRUE(net.LinkItemToEc(grill_item, outdoor_barbecue).ok());
+    EXPECT_TRUE(net.LinkItemToEc(grill_item, barbecue_ec).ok());
+  }
+};
+
+TEST(QaTest, AnswersThePapersQuestion) {
+  Fixture f;
+  NeedsQuestionAnswerer qa(&f.net);
+  auto answer = qa.Answer(
+      "What should I prepare for hosting next week's outdoor barbecue?");
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(answer->concept_surface, "outdoor barbecue");
+  ASSERT_EQ(answer->items.size(), 1u);
+  EXPECT_EQ(answer->items[0], f.grill_item);
+  // Interpretation names both primitive concepts with their domains.
+  ASSERT_EQ(answer->interpretation.size(), 2u);
+  EXPECT_EQ(answer->interpretation[0].first, "Location");
+  EXPECT_EQ(answer->interpretation[1].second, "barbecue");
+}
+
+TEST(QaTest, LongerSurfaceOutranksItsParent) {
+  Fixture f;
+  NeedsQuestionAnswerer qa(&f.net);
+  auto answers = qa.AnswerAll("planning an outdoor barbecue party");
+  ASSERT_GE(answers.size(), 2u);
+  EXPECT_EQ(answers[0].concept_surface, "outdoor barbecue");
+  EXPECT_EQ(answers[1].concept_surface, "barbecue");
+  EXPECT_GT(answers[0].score, answers[1].score);
+}
+
+TEST(QaTest, PrimitiveMentionRecallsInterpretingConcepts) {
+  Fixture f;
+  NeedsQuestionAnswerer qa(&f.net);
+  // "outdoor" alone is not an e-commerce concept surface, but it interprets
+  // "outdoor barbecue".
+  auto answer = qa.Answer("something nice and outdoor please");
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(answer->concept_surface, "outdoor barbecue");
+  EXPECT_LT(answer->score, 1.0);  // indirect match scores below direct
+}
+
+TEST(QaTest, RelatedNeedsComeFromIsA) {
+  Fixture f;
+  NeedsQuestionAnswerer qa(&f.net);
+  auto answer = qa.Answer("outdoor barbecue");
+  ASSERT_TRUE(answer.has_value());
+  ASSERT_EQ(answer->related_needs.size(), 1u);
+  EXPECT_EQ(answer->related_needs[0], "barbecue");
+}
+
+TEST(QaTest, NoNeedNoAnswer) {
+  Fixture f;
+  NeedsQuestionAnswerer qa(&f.net);
+  EXPECT_FALSE(qa.Answer("completely unrelated gibberish").has_value());
+  EXPECT_FALSE(qa.Answer("").has_value());
+}
+
+TEST(QaTest, MaxItemsRespected) {
+  Fixture f;
+  // Add more items to the concept.
+  kg::ClassId category = *f.net.taxonomy().Find("Category");
+  for (int i = 0; i < 10; ++i) {
+    kg::ItemId item =
+        *f.net.AddItem({"extra", "item" + std::to_string(i)}, category);
+    ASSERT_TRUE(f.net.LinkItemToEc(item, f.outdoor_barbecue).ok());
+  }
+  NeedsQuestionAnswerer qa(&f.net);
+  auto answer = qa.Answer("outdoor barbecue", /*max_items=*/4);
+  ASSERT_TRUE(answer.has_value());
+  EXPECT_EQ(answer->items.size(), 4u);
+}
+
+TEST(QaTest, WorksOnGeneratedWorld) {
+  datagen::WorldConfig cfg;
+  cfg.seed = 111;
+  cfg.num_items = 400;
+  cfg.num_good_ec_concepts = 60;
+  cfg.num_bad_ec_concepts = 30;
+  datagen::World world = datagen::World::Generate(cfg);
+  NeedsQuestionAnswerer qa(&world.net());
+  size_t answered = 0, with_items = 0;
+  size_t asked = 0;
+  for (const auto& g : world.ec_gold()) {
+    if (g.items.empty()) continue;
+    if (++asked > 30) break;
+    std::string question =
+        "what do i need for " + world.net().Get(g.id).surface;
+    auto answer = qa.Answer(question);
+    if (!answer.has_value()) continue;
+    ++answered;
+    if (answer->concept_id == g.id && !answer->items.empty()) ++with_items;
+  }
+  EXPECT_GT(answered, 25u);
+  EXPECT_GT(with_items, 20u);
+}
+
+}  // namespace
+}  // namespace alicoco::apps

@@ -1,0 +1,69 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace alicoco {
+namespace {
+
+TEST(SplitStringTest, Basic) {
+  auto v = SplitString("a,b,c", ',');
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[2], "c");
+}
+
+TEST(SplitStringTest, SkipsEmptyPieces) {
+  auto v = SplitString(",a,,b,", ',');
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "b");
+}
+
+TEST(SplitStringTest, EmptyInput) {
+  EXPECT_TRUE(SplitString("", ',').empty());
+}
+
+TEST(SplitWhitespaceTest, MixedWhitespace) {
+  auto v = SplitWhitespace("  foo\tbar \n baz ");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], "bar");
+}
+
+TEST(JoinStringsTest, RoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(JoinStrings(parts, "-"), "x-y-z");
+  EXPECT_EQ(JoinStrings({}, "-"), "");
+  EXPECT_EQ(JoinStrings({"solo"}, "-"), "solo");
+}
+
+TEST(ToLowerTest, Basic) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+}
+
+TEST(StripWhitespaceTest, Basic) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("\t\n"), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(PrefixSuffixTest, Basic) {
+  EXPECT_TRUE(StartsWith("rain-boot", "rain"));
+  EXPECT_FALSE(StartsWith("rain", "rain-boot"));
+  EXPECT_TRUE(EndsWith("rain-boot", "boot"));
+  EXPECT_FALSE(EndsWith("boot", "rain-boot"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringPrintfTest, Formats) {
+  EXPECT_EQ(StringPrintf("%d-%s-%.2f", 7, "ab", 1.5), "7-ab-1.50");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+}
+
+TEST(StringPrintfTest, LongOutput) {
+  std::string big(500, 'x');
+  EXPECT_EQ(StringPrintf("%s!", big.c_str()).size(), 501u);
+}
+
+}  // namespace
+}  // namespace alicoco

@@ -1,0 +1,51 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace alicoco {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t("Table X");
+  t.SetHeader({"Model", "AUC"});
+  t.AddRow({"BM25", "0.77"});
+  t.AddRow({"Ours", "0.87"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("Table X"), std::string::npos);
+  EXPECT_NE(s.find("| Model |"), std::string::npos);
+  EXPECT_NE(s.find("| BM25 "), std::string::npos);
+  EXPECT_NE(s.find("| Ours "), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsRaggedRows) {
+  TablePrinter t("");
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::string s = t.ToString();
+  // Every rendered line between rules has the same length.
+  size_t first_len = 0;
+  for (size_t pos = 0; pos < s.size();) {
+    size_t end = s.find('\n', pos);
+    if (end == std::string::npos) break;
+    size_t len = end - pos;
+    if (first_len == 0) first_len = len;
+    EXPECT_EQ(len, first_len);
+    pos = end + 1;
+  }
+}
+
+TEST(TablePrinterTest, NumFormatting) {
+  EXPECT_EQ(TablePrinter::Num(0.12345), "0.1235");  // rounds to even digit
+  EXPECT_EQ(TablePrinter::Num(0.1, 2), "0.10");
+  EXPECT_EQ(TablePrinter::Num(12, 0), "12");
+}
+
+TEST(TablePrinterTest, NoHeaderStillRenders) {
+  TablePrinter t("");
+  t.AddRow({"only", "row"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| only | row |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alicoco

@@ -1,0 +1,61 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace alicoco {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItems) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 20; ++i) pool.Submit([&count] { count.fetch_add(1); });
+    pool.Wait();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace alicoco

@@ -1,0 +1,95 @@
+#include "concepts/candidate_generation.h"
+
+#include <gtest/gtest.h>
+
+namespace alicoco::concepts {
+namespace {
+
+TEST(PhraseMinerTest, FindsCohesivePhrase) {
+  // "rain boot" always co-occurs; "the boot" crosses a stopword boundary.
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 10; ++i) {
+    corpus.push_back({"the", "rain", "boot", "arrived"});
+    corpus.push_back({"buy", "rain", "boot", "now"});
+  }
+  corpus.push_back({"the", "boot"});
+  PhraseMiner miner(/*min_count=*/3, /*max_len=*/3);
+  auto phrases = miner.Mine(corpus, {"the", "buy", "now", "arrived"});
+  ASSERT_FALSE(phrases.empty());
+  EXPECT_EQ(phrases[0].tokens,
+            (std::vector<std::string>{"rain", "boot"}));
+  EXPECT_GE(phrases[0].frequency, 20u);
+  // No phrase starts or ends with a stopword.
+  for (const auto& p : phrases) {
+    EXPECT_NE(p.tokens.front(), "the");
+    EXPECT_NE(p.tokens.back(), "the");
+  }
+}
+
+TEST(PhraseMinerTest, RespectsMinCount) {
+  std::vector<std::vector<std::string>> corpus = {{"rare", "pair"}};
+  PhraseMiner miner(/*min_count=*/2);
+  EXPECT_TRUE(miner.Mine(corpus, {}).empty());
+}
+
+TEST(PhraseMinerTest, EmptyCorpus) {
+  PhraseMiner miner;
+  EXPECT_TRUE(miner.Mine({}, {}).empty());
+}
+
+TEST(ConceptPatternTest, ParsesSpec) {
+  auto p = ConceptPattern::Parse("Function Category for:lit Event");
+  ASSERT_EQ(p.slots.size(), 4u);
+  EXPECT_FALSE(p.slots[0].literal);
+  EXPECT_EQ(p.slots[0].cls, "Function");
+  EXPECT_TRUE(p.slots[2].literal);
+  EXPECT_EQ(p.slots[2].word, "for");
+  EXPECT_EQ(p.slots[3].cls, "Event");
+}
+
+TEST(PatternCombinerTest, GeneratesFromClasses) {
+  kg::ConceptNet net;
+  kg::ClassId function = *net.taxonomy().AddDomain("Function");
+  kg::ClassId category = *net.taxonomy().AddDomain("Category");
+  kg::ClassId shoes = *net.taxonomy().AddClass("Shoes", category);
+  net.GetOrAddPrimitiveConcept("warm", function);
+  net.GetOrAddPrimitiveConcept("boot", shoes);
+  net.GetOrAddPrimitiveConcept("sandal", shoes);
+
+  PatternCombiner combiner(&net);
+  Rng rng(1);
+  auto candidates = combiner.Generate(
+      ConceptPattern::Parse("Function Category"), 10, &rng);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_LE(candidates.size(), 2u);  // warm boot / warm sandal
+  for (const auto& c : candidates) {
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_EQ(c[0], "warm");
+  }
+  // Subtree resolution: concepts of the leaf class fill the Category slot.
+}
+
+TEST(PatternCombinerTest, LiteralSlots) {
+  kg::ConceptNet net;
+  kg::ClassId event = *net.taxonomy().AddDomain("Event");
+  net.GetOrAddPrimitiveConcept("traveling", event);
+  PatternCombiner combiner(&net);
+  Rng rng(2);
+  auto candidates =
+      combiner.Generate(ConceptPattern::Parse("gifts:lit for:lit Event"), 5,
+                        &rng);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0],
+            (std::vector<std::string>{"gifts", "for", "traveling"}));
+}
+
+TEST(PatternCombinerTest, UnknownClassYieldsNothing) {
+  kg::ConceptNet net;
+  PatternCombiner combiner(&net);
+  Rng rng(3);
+  EXPECT_TRUE(
+      combiner.Generate(ConceptPattern::Parse("Nope"), 5, &rng).empty());
+}
+
+}  // namespace
+}  // namespace alicoco::concepts

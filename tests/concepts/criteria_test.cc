@@ -1,0 +1,70 @@
+#include "concepts/criteria.h"
+
+#include <gtest/gtest.h>
+
+namespace alicoco::concepts {
+namespace {
+
+TEST(BasicCriteriaTest, AcceptsCleanPhrases) {
+  EXPECT_TRUE(PassesBasicCriteria({"warm", "hat"}));
+  EXPECT_TRUE(PassesBasicCriteria({"outdoor-ready", "grill"}));
+  EXPECT_TRUE(PassesBasicCriteria({"a"}));
+}
+
+TEST(BasicCriteriaTest, RejectsStructuralProblems) {
+  EXPECT_FALSE(PassesBasicCriteria({}));
+  EXPECT_FALSE(
+      PassesBasicCriteria({"a", "b", "c", "d", "e", "f", "g"}));  // too long
+  EXPECT_FALSE(PassesBasicCriteria({"warm", "warm", "hat"}));  // duplicate
+  EXPECT_FALSE(PassesBasicCriteria({"bad!", "token"}));        // punctuation
+  EXPECT_FALSE(PassesBasicCriteria({""}));
+}
+
+TEST(WideFeaturesTest, CountsAndPopularity) {
+  text::Vocabulary vocab;
+  for (int i = 0; i < 7; ++i) vocab.Add("warm");
+  vocab.Add("hat");
+  auto f = ComputeWideFeatures({"warm", "hat"}, nullptr, vocab);
+  EXPECT_FLOAT_EQ(f.num_words, 2.0f);
+  EXPECT_FLOAT_EQ(f.num_chars, 0.7f);  // 7 chars / 10
+  EXPECT_FLOAT_EQ(f.avg_word_len, 3.5f);
+  EXPECT_GT(f.avg_popularity, 0.0f);
+  EXPECT_EQ(f.oov_rate, 0.0f);
+  EXPECT_EQ(f.lm_score, 0.0f);  // no LM supplied
+}
+
+TEST(WideFeaturesTest, OovTracked) {
+  text::Vocabulary vocab;
+  vocab.Add("warm");
+  auto f = ComputeWideFeatures({"warm", "zzz"}, nullptr, vocab);
+  EXPECT_FLOAT_EQ(f.oov_rate, 0.5f);
+  EXPECT_FLOAT_EQ(f.min_popularity, 0.0f);
+}
+
+TEST(WideFeaturesTest, LmSeparatesFluentFromScrambled) {
+  text::NgramLm lm;
+  for (int i = 0; i < 30; ++i) lm.AddSentence({"warm", "hat", "for", "kids"});
+  lm.Finalize();
+  text::Vocabulary vocab;
+  for (const char* w : {"warm", "hat", "for", "kids"}) vocab.Add(w);
+  auto fluent = ComputeWideFeatures({"warm", "hat", "for", "kids"}, &lm, vocab);
+  auto scrambled =
+      ComputeWideFeatures({"kids", "for", "hat", "warm"}, &lm, vocab);
+  EXPECT_GT(fluent.lm_score, scrambled.lm_score);
+  EXPECT_LT(fluent.lm_perplexity, scrambled.lm_perplexity);
+}
+
+TEST(WideFeaturesTest, VectorHasDeclaredDim) {
+  text::Vocabulary vocab;
+  auto f = ComputeWideFeatures({"x"}, nullptr, vocab);
+  EXPECT_EQ(f.ToVector().size(), static_cast<size_t>(WideFeatures::kDim));
+}
+
+TEST(WideFeaturesTest, EmptyTokens) {
+  text::Vocabulary vocab;
+  auto f = ComputeWideFeatures({}, nullptr, vocab);
+  EXPECT_EQ(f.num_words, 0.0f);
+}
+
+}  // namespace
+}  // namespace alicoco::concepts

@@ -1,0 +1,181 @@
+// Tests for the world's goodness oracle and the perfect-match distant
+// supervision filter — the two places where the world plays "annotator".
+
+#include <gtest/gtest.h>
+
+#include "datagen/grammar.h"
+#include "datagen/world.h"
+#include "mining/distant_supervision.h"
+#include "text/tokenizer.h"
+
+namespace alicoco::datagen {
+namespace {
+
+const World& SharedWorld() {
+  static const World* world = [] {
+    WorldConfig cfg;
+    cfg.seed = 91;
+    cfg.heads_per_leaf = 2;
+    cfg.derived_per_head = 3;
+    cfg.per_domain_vocab = 10;
+    cfg.num_events = 8;
+    cfg.num_items = 300;
+    cfg.num_good_ec_concepts = 100;
+    cfg.num_bad_ec_concepts = 100;
+    cfg.titles = 500;
+    cfg.reviews = 300;
+    cfg.guides = 200;
+    cfg.queries = 150;
+    cfg.num_users = 10;
+    cfg.num_needs_queries = 50;
+    return new World(World::Generate(cfg));
+  }();
+  return *world;
+}
+
+TEST(GoodnessOracleTest, AcceptsEveryGoldConcept) {
+  const World& w = SharedWorld();
+  for (const auto& t : w.tagged_concepts()) {
+    EXPECT_TRUE(w.IsGoodConcept(t.tokens))
+        << text::JoinTokens(t.tokens);
+  }
+}
+
+TEST(GoodnessOracleTest, RejectsEveryGeneratedBadCandidate) {
+  const World& w = SharedWorld();
+  for (const auto& c : w.concept_candidates()) {
+    if (!c.good) {
+      EXPECT_FALSE(w.IsGoodConcept(c.tokens))
+          << text::JoinTokens(c.tokens) << " flaw "
+          << static_cast<int>(c.flaw);
+    }
+  }
+}
+
+TEST(GoodnessOracleTest, AcceptsSimpleAttributeCategoryPairs) {
+  // A compatible [Function][Category] pair is a concept even though the
+  // gold generation never sampled it (oracle generalizes beyond the list).
+  const World& w = SharedWorld();
+  const auto& net = w.net();
+  size_t found_good = 0, found_bad = 0;
+  auto cat_domain = *net.taxonomy().Find("Category");
+  auto fn_domain = *net.taxonomy().Find("Function");
+  std::vector<std::string> functions, heads;
+  for (const auto& p : net.primitives()) {
+    auto domain = net.taxonomy().Domain(p.cls);
+    if (domain == fn_domain) functions.push_back(p.surface);
+    if (domain == cat_domain && text::Tokenize(p.surface).size() == 1) {
+      heads.push_back(p.surface);
+    }
+  }
+  for (const auto& fn : functions) {
+    for (const auto& head : heads) {
+      if (w.IsGoodConcept({fn, head})) ++found_good;
+      else ++found_bad;
+    }
+  }
+  // The compatibility model marks roughly half the pairs compatible.
+  EXPECT_GT(found_good, 0u);
+  EXPECT_GT(found_bad, 0u);
+}
+
+TEST(GoodnessOracleTest, RejectsStructuralJunk) {
+  const World& w = SharedWorld();
+  EXPECT_FALSE(w.IsGoodConcept({}));
+  EXPECT_FALSE(w.IsGoodConcept({"totally", "unknown", "words"}));
+  EXPECT_FALSE(w.IsGoodConcept(
+      {"a", "b", "c", "d", "e", "f", "g"}));  // too long
+}
+
+TEST(GoodnessOracleTest, BareEventIsAConcept) {
+  const World& w = SharedWorld();
+  // Every event-driven single-primitive gold concept passes.
+  for (const auto& g : w.ec_gold()) {
+    if (g.interpretation.size() == 1 && g.event_driven) {
+      EXPECT_TRUE(w.IsGoodConcept(w.net().Get(g.id).tokens));
+    }
+  }
+}
+
+TEST(PerfectMatchFilterTest, DropsSentencesWithUnknownContentWords) {
+  std::vector<std::pair<std::string, std::string>> dict = {
+      {"boot", "Category"}, {"warm", "Function"}};
+  mining::DistantSupervisor with_stop(dict, {"the", "and"});
+  mining::DistantSupervisor::Stats stats;
+  auto labeled = with_stop.Label(
+      {
+          {"the", "warm", "boot"},       // perfect: carriers + matches
+          {"the", "mystery", "boot"},    // imperfect: unknown content word
+          {"warm", "and", "boot"},       // perfect
+      },
+      &stats);
+  EXPECT_EQ(stats.kept, 2u);
+  EXPECT_EQ(stats.imperfect, 1u);
+}
+
+TEST(PerfectMatchFilterTest, NoStopwordsMeansNoImperfectFilter) {
+  std::vector<std::pair<std::string, std::string>> dict = {
+      {"boot", "Category"}};
+  mining::DistantSupervisor no_stop(dict);
+  mining::DistantSupervisor::Stats stats;
+  auto labeled = no_stop.Label({{"anything", "boot"}}, &stats);
+  EXPECT_EQ(stats.kept, 1u);
+  EXPECT_EQ(stats.imperfect, 0u);
+}
+
+TEST(CarrierVocabularyTest, ContainsGrammarWords) {
+  const auto& carrier = CarrierVocabulary();
+  auto has = [&](const char* w) {
+    return std::find(carrier.begin(), carrier.end(), w) != carrier.end();
+  };
+  EXPECT_TRUE(has("the"));
+  EXPECT_TRUE(has("for"));
+  EXPECT_TRUE(has("such"));
+  EXPECT_TRUE(has("gifts"));
+  EXPECT_TRUE(has("needs"));
+}
+
+// Parameterized determinism sweep: every seed produces a self-consistent
+// world whose core invariants hold.
+class WorldSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WorldSeedSweep, InvariantsHoldAcrossSeeds) {
+  WorldConfig cfg;
+  cfg.seed = GetParam();
+  cfg.heads_per_leaf = 2;
+  cfg.derived_per_head = 2;
+  cfg.per_domain_vocab = 8;
+  cfg.num_events = 6;
+  cfg.num_items = 150;
+  cfg.num_good_ec_concepts = 30;
+  cfg.num_bad_ec_concepts = 30;
+  cfg.titles = 200;
+  cfg.reviews = 100;
+  cfg.guides = 80;
+  cfg.queries = 60;
+  cfg.num_users = 8;
+  cfg.num_needs_queries = 30;
+  World w = World::Generate(cfg);
+
+  EXPECT_EQ(w.net().taxonomy().Domains().size(), 20u);
+  EXPECT_EQ(w.net().num_items(), 150u);
+  EXPECT_EQ(w.tagged_concepts().size(), 30u);
+  // Gold concepts always satisfy the oracle; sentences stay aligned.
+  for (const auto& t : w.tagged_concepts()) {
+    EXPECT_TRUE(w.IsGoodConcept(t.tokens));
+  }
+  for (const auto& s : w.sentences()) {
+    EXPECT_EQ(s.tokens.size(), s.gold_iob.size());
+  }
+  // isA stays acyclic by construction: closure never contains the start.
+  for (const auto& p : w.net().primitives()) {
+    auto closure = w.net().HypernymClosure(p.id);
+    EXPECT_EQ(std::count(closure.begin(), closure.end(), p.id), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace alicoco::datagen

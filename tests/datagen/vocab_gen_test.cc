@@ -1,0 +1,58 @@
+#include "datagen/vocab_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace alicoco::datagen {
+namespace {
+
+TEST(WordMinterTest, MintsUniqueWords) {
+  WordMinter minter(1);
+  std::unordered_set<std::string> seen;
+  for (int i = 0; i < 2000; ++i) {
+    std::string w = minter.MintNoun();
+    EXPECT_TRUE(seen.insert(w).second) << "duplicate " << w;
+  }
+}
+
+TEST(WordMinterTest, DeterministicForSeed) {
+  WordMinter a(9), b(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.MintNoun(), b.MintNoun());
+}
+
+TEST(WordMinterTest, AdjectivesCarryAdjectiveSuffix) {
+  WordMinter minter(2);
+  for (int i = 0; i < 200; ++i) {
+    std::string w = minter.MintAdjective();
+    EXPECT_TRUE(EndsWith(w, "y") || EndsWith(w, "ish") || EndsWith(w, "al"))
+        << w;
+  }
+}
+
+TEST(WordMinterTest, GerundsEndWithIng) {
+  WordMinter minter(3);
+  for (int i = 0; i < 200; ++i) EXPECT_TRUE(EndsWith(minter.MintGerund(), "ing"));
+}
+
+TEST(WordMinterTest, ReserveBlocksCollision) {
+  WordMinter a(4);
+  std::string first = a.MintNoun();
+  WordMinter b(4);
+  b.Reserve(first);
+  EXPECT_NE(b.MintNoun(), first);
+}
+
+TEST(WordMinterTest, WordsAreLowercaseAlpha) {
+  WordMinter minter(5);
+  for (int i = 0; i < 100; ++i) {
+    for (char c : minter.MintBrand()) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z');
+    }
+  }
+}
+
+}  // namespace
+}  // namespace alicoco::datagen

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+
+namespace alicoco::eval {
+namespace {
+
+TEST(BootstrapTest, ContainsTrueMeanForGaussianSample) {
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(5.0 + rng.NextGaussian());
+  auto ci = BootstrapCi(values, 500, 0.95, 7);
+  EXPECT_NEAR(ci.mean, 5.0, 0.25);
+  EXPECT_LT(ci.lo, ci.mean);
+  EXPECT_GT(ci.hi, ci.mean);
+  EXPECT_LT(ci.lo, 5.0 + 0.25);
+  EXPECT_GT(ci.hi, 5.0 - 0.25);
+}
+
+TEST(BootstrapTest, DegenerateSample) {
+  auto ci = BootstrapCi({3.0, 3.0, 3.0}, 100, 0.9, 1);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.0);
+}
+
+TEST(BootstrapTest, EmptyInput) {
+  auto ci = BootstrapCi({}, 100, 0.95, 1);
+  EXPECT_DOUBLE_EQ(ci.mean, 0.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 0.0);
+  EXPECT_DOUBLE_EQ(BootstrapCi({1.0}, 0, 0.95, 1).mean, 0.0);
+}
+
+TEST(BootstrapTest, DeterministicForSeed) {
+  std::vector<double> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto a = BootstrapCi(values, 300, 0.95, 42);
+  auto b = BootstrapCi(values, 300, 0.95, 42);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapTest, WiderConfidenceWiderInterval) {
+  Rng rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(rng.NextGaussian());
+  auto narrow = BootstrapCi(values, 800, 0.80, 11);
+  auto wide = BootstrapCi(values, 800, 0.99, 11);
+  EXPECT_LE(wide.lo, narrow.lo);
+  EXPECT_GE(wide.hi, narrow.hi);
+}
+
+}  // namespace
+}  // namespace alicoco::eval

@@ -1,0 +1,71 @@
+#include "hypernym/patterns.h"
+
+#include <gtest/gtest.h>
+
+namespace alicoco::hypernym {
+namespace {
+
+PatternHypernymMiner BuildMiner() {
+  return PatternHypernymMiner(
+      {"boot", "rain boot", "snow boot", "footwear", "grill"});
+}
+
+TEST(HearstTest, ExtractsSuchAsPairs) {
+  auto miner = BuildMiner();
+  auto pairs = miner.MineHearst(
+      {{"footwear", "such", "as", "boot", "and", "grill"}});
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].hypo, "boot");
+  EXPECT_EQ(pairs[0].hyper, "footwear");
+  EXPECT_EQ(pairs[1].hypo, "grill");
+  EXPECT_EQ(pairs[1].hyper, "footwear");
+}
+
+TEST(HearstTest, MatchesMultiTokenSurfaces) {
+  auto miner = BuildMiner();
+  auto pairs =
+      miner.MineHearst({{"boot", "such", "as", "rain", "boot"}});
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].hypo, "rain boot");
+  EXPECT_EQ(pairs[0].hyper, "boot");
+}
+
+TEST(HearstTest, AccumulatesSupport) {
+  auto miner = BuildMiner();
+  std::vector<std::vector<std::string>> corpus(
+      3, {"footwear", "such", "as", "boot"});
+  auto pairs = miner.MineHearst(corpus);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].support, 3u);
+}
+
+TEST(HearstTest, IgnoresNonVocabularyWords) {
+  auto miner = BuildMiner();
+  EXPECT_TRUE(
+      miner.MineHearst({{"things", "such", "as", "stuff"}}).empty());
+  EXPECT_TRUE(miner.MineHearst({{"no", "pattern", "here"}}).empty());
+  EXPECT_TRUE(miner.MineHearst({{"such", "as"}}).empty());
+}
+
+TEST(HearstTest, SkipsSelfPairs) {
+  auto miner = BuildMiner();
+  EXPECT_TRUE(miner.MineHearst({{"boot", "such", "as", "boot"}}).empty());
+}
+
+TEST(SuffixTest, FindsHeadSuffix) {
+  auto miner = BuildMiner();
+  auto pairs = miner.MineSuffix();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].hypo, "rain boot");
+  EXPECT_EQ(pairs[0].hyper, "boot");
+  EXPECT_EQ(pairs[0].source, PatternPair::Source::kSuffix);
+  EXPECT_EQ(pairs[1].hypo, "snow boot");
+}
+
+TEST(SuffixTest, NoFalsePositivesOnDisjointSurfaces) {
+  PatternHypernymMiner miner({"jacket", "top"});
+  EXPECT_TRUE(miner.MineSuffix().empty());
+}
+
+}  // namespace
+}  // namespace alicoco::hypernym

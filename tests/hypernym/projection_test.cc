@@ -1,0 +1,151 @@
+// Projection learning + active learning on a small synthetic world.
+
+#include <gtest/gtest.h>
+
+#include "datagen/world.h"
+#include "hypernym/active_learning.h"
+#include "hypernym/projection_model.h"
+#include "text/skipgram.h"
+
+namespace alicoco::hypernym {
+namespace {
+
+struct Fixture {
+  datagen::World world;
+  text::Vocabulary vocab;
+  std::unique_ptr<text::SkipgramModel> embeddings;
+
+  Fixture()
+      : world(datagen::World::Generate([] {
+          datagen::WorldConfig cfg;
+          cfg.seed = 33;
+          cfg.heads_per_leaf = 2;
+          cfg.derived_per_head = 4;
+          cfg.per_domain_vocab = 10;
+          cfg.num_events = 8;
+          cfg.num_items = 600;
+          cfg.num_good_ec_concepts = 40;
+          cfg.num_bad_ec_concepts = 40;
+          cfg.titles = 1200;
+          cfg.reviews = 400;
+          cfg.guides = 500;
+          cfg.queries = 300;
+          cfg.num_users = 10;
+          cfg.num_needs_queries = 50;
+          return cfg;
+        }())) {
+    std::vector<std::vector<int>> corpus;
+    for (const auto& s : world.sentences()) {
+      std::vector<int> ids;
+      for (const auto& t : s.tokens) ids.push_back(vocab.Add(t));
+      corpus.push_back(ids);
+    }
+    text::SkipgramConfig sg;
+    sg.dim = 20;
+    sg.epochs = 8;
+    sg.subsample = 0;  // tiny corpus: keep every occurrence
+    embeddings = std::make_unique<text::SkipgramModel>(vocab.size(), sg);
+    embeddings->Train(corpus, vocab);
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+TEST(ProjectionModelTest, BeatsChanceOnHypernymRanking) {
+  Fixture& f = SharedFixture();
+  auto ds = BuildHypernymDataset(f.world.hypernym_gold(),
+                                 f.world.category_vocabulary(),
+                                 /*negatives_per_positive=*/20,
+                                 /*test_candidates=*/30, 5);
+  ASSERT_FALSE(ds.pool.empty());
+  ASSERT_FALSE(ds.test.empty());
+  ProjectionConfig cfg;
+  cfg.epochs = 3;
+  auto metrics = TrainOnPoolAndEvaluate(f.embeddings.get(), &f.vocab, cfg, ds);
+  // Chance MAP with 1 positive among ~31 candidates is ~0.11.
+  EXPECT_GT(metrics.map, 0.35);
+  EXPECT_GT(metrics.mrr, 0.35);
+}
+
+TEST(ProjectionModelTest, ScoreIsProbability) {
+  Fixture& f = SharedFixture();
+  ProjectionConfig cfg;
+  cfg.epochs = 1;
+  ProjectionModel model(f.embeddings.get(), &f.vocab, cfg);
+  std::vector<LabeledPair> tiny = {
+      {f.world.hypernym_gold()[0].hypo, f.world.hypernym_gold()[0].hyper, 1},
+      {f.world.hypernym_gold()[0].hypo, "nonsense", 0}};
+  model.Train(tiny);
+  double s = model.Score("anything", "else");
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(DatasetTest, SplitsAndNegativeRatio) {
+  Fixture& f = SharedFixture();
+  int n_ratio = 10;
+  auto ds = BuildHypernymDataset(f.world.hypernym_gold(),
+                                 f.world.category_vocabulary(), n_ratio, 20,
+                                 7);
+  size_t gold = f.world.hypernym_gold().size();
+  size_t train_pos = gold * 7 / 10;
+  EXPECT_EQ(ds.pool.size(), train_pos * (1 + n_ratio));
+  // No positive pair sampled as negative.
+  for (const auto& p : ds.pool) {
+    if (p.label == 0) {
+      bool is_gold = false;
+      for (const auto& g : f.world.hypernym_gold()) {
+        if (g.hypo == p.hypo && g.hyper == p.hyper) is_gold = true;
+      }
+      EXPECT_FALSE(is_gold);
+    }
+  }
+  for (const auto& q : ds.test) {
+    EXPECT_GE(q.candidates.size(), 21u);
+    EXPECT_EQ(q.candidates.size(), q.labels.size());
+    EXPECT_EQ(q.labels[0], 1);
+  }
+}
+
+TEST(ActiveLearningTest, AllStrategiesLearn) {
+  Fixture& f = SharedFixture();
+  auto ds = BuildHypernymDataset(f.world.hypernym_gold(),
+                                 f.world.category_vocabulary(), 20, 30, 9);
+  ActiveLearningConfig cfg;
+  cfg.per_round = ds.pool.size() / 6;
+  cfg.max_rounds = 4;
+  cfg.patience = 4;
+  cfg.model.epochs = 2;
+  ActiveLearner learner(f.embeddings.get(), &f.vocab, cfg);
+  for (auto strategy :
+       {SamplingStrategy::kRandom, SamplingStrategy::kUncertainty,
+        SamplingStrategy::kConfidence, SamplingStrategy::kUcs}) {
+    auto result = learner.Run(strategy, ds, 11);
+    ASSERT_FALSE(result.rounds.empty()) << StrategyName(strategy);
+    EXPECT_GT(result.best_map, 0.2) << StrategyName(strategy);
+    // Labeled counts grow monotonically.
+    for (size_t i = 1; i < result.rounds.size(); ++i) {
+      EXPECT_GT(result.rounds[i].labeled_total,
+                result.rounds[i - 1].labeled_total);
+    }
+  }
+}
+
+TEST(ActiveLearningTest, LabeledToReachFindsRound) {
+  ActiveLearningResult r;
+  r.rounds = {{100, {0.2, 0, 0}}, {200, {0.5, 0, 0}}, {300, {0.6, 0, 0}}};
+  EXPECT_EQ(r.LabeledToReach(0.45), 200u);
+  EXPECT_EQ(r.LabeledToReach(0.1), 100u);
+  EXPECT_EQ(r.LabeledToReach(0.9), 0u);
+}
+
+TEST(StrategyNameTest, Names) {
+  EXPECT_STREQ(StrategyName(SamplingStrategy::kUcs), "UCS");
+  EXPECT_STREQ(StrategyName(SamplingStrategy::kRandom), "Random");
+}
+
+}  // namespace
+}  // namespace alicoco::hypernym

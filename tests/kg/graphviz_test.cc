@@ -1,0 +1,86 @@
+#include "kg/graphviz.h"
+
+#include <gtest/gtest.h>
+
+namespace alicoco::kg {
+namespace {
+
+struct Fixture {
+  ConceptNet net;
+  EcConceptId ob;
+  ConceptId grill, cookware, outdoor, winter;
+  ItemId item;
+
+  Fixture() {
+    ClassId category = *net.taxonomy().AddDomain("Category");
+    ClassId location = *net.taxonomy().AddDomain("Location");
+    ClassId time = *net.taxonomy().AddDomain("Time");
+    ClassId season = *net.taxonomy().AddClass("Season", time);
+    EXPECT_TRUE(
+        net.schema().AddRelation("suitable_when", category, season).ok());
+    grill = *net.GetOrAddPrimitiveConcept("grill", category);
+    cookware = *net.GetOrAddPrimitiveConcept("cookware", category);
+    outdoor = *net.GetOrAddPrimitiveConcept("outdoor", location);
+    winter = *net.GetOrAddPrimitiveConcept("winter", season);
+    EXPECT_TRUE(net.AddIsA(grill, cookware).ok());
+    EXPECT_TRUE(net.AddTypedRelation("suitable_when", grill, winter).ok());
+    ob = *net.GetOrAddEcConcept({"outdoor", "barbecue"});
+    EXPECT_TRUE(net.LinkEcToPrimitive(ob, outdoor).ok());
+    EXPECT_TRUE(net.LinkEcToPrimitive(ob, grill).ok());
+    item = *net.AddItem({"steel", "grill"}, category);
+    EXPECT_TRUE(net.LinkItemToEc(item, ob, 0.87).ok());
+  }
+};
+
+TEST(GraphvizTest, EcNeighborhoodContainsAllLayers) {
+  Fixture f;
+  std::string dot = EcConceptNeighborhoodDot(f.net, f.ob);
+  EXPECT_NE(dot.find("digraph alicoco"), std::string::npos);
+  EXPECT_NE(dot.find("outdoor barbecue"), std::string::npos);
+  EXPECT_NE(dot.find("interprets"), std::string::npos);
+  EXPECT_NE(dot.find("grill"), std::string::npos);
+  EXPECT_NE(dot.find("cookware"), std::string::npos);      // hypernym hop
+  EXPECT_NE(dot.find("steel grill"), std::string::npos);   // item
+  EXPECT_NE(dot.find("0.87"), std::string::npos);          // probability
+  EXPECT_NE(dot.find("suitable_when"), std::string::npos); // typed relation
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(GraphvizTest, OptionsControlContent) {
+  Fixture f;
+  GraphvizOptions opt;
+  opt.include_typed_relations = false;
+  opt.max_hypernym_hops = 0;
+  opt.max_items = 0;
+  std::string dot = EcConceptNeighborhoodDot(f.net, f.ob, opt);
+  EXPECT_EQ(dot.find("suitable_when"), std::string::npos);
+  EXPECT_EQ(dot.find("cookware"), std::string::npos);
+  EXPECT_EQ(dot.find("steel grill"), std::string::npos);
+  EXPECT_NE(dot.find("grill"), std::string::npos);  // interpretation stays
+}
+
+TEST(GraphvizTest, PrimitiveNeighborhood) {
+  Fixture f;
+  std::string dot = PrimitiveNeighborhoodDot(f.net, f.cookware);
+  EXPECT_NE(dot.find("cookware"), std::string::npos);
+  EXPECT_NE(dot.find("grill"), std::string::npos);  // hyponym
+  EXPECT_NE(dot.find("isA"), std::string::npos);
+}
+
+TEST(GraphvizTest, EscapesQuotes) {
+  ConceptNet net;
+  ClassId category = *net.taxonomy().AddDomain("Category");
+  ConceptId weird = *net.GetOrAddPrimitiveConcept("8\" tablet", category);
+  std::string dot = PrimitiveNeighborhoodDot(net, weird);
+  EXPECT_NE(dot.find("8\\\" tablet"), std::string::npos);
+}
+
+TEST(GraphvizTest, BalancedBraces) {
+  Fixture f;
+  std::string dot = EcConceptNeighborhoodDot(f.net, f.ob);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+}  // namespace
+}  // namespace alicoco::kg

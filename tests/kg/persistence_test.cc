@@ -1,0 +1,108 @@
+#include "kg/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "kg/stats.h"
+
+namespace alicoco::kg {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+ConceptNet BuildNet() {
+  ConceptNet net;
+  auto& tax = net.taxonomy();
+  ClassId category = *tax.AddDomain("Category");
+  ClassId event = *tax.AddDomain("Event");
+  ClassId time = *tax.AddDomain("Time");
+  ClassId season = *tax.AddClass("Season", time);
+  EXPECT_TRUE(net.schema().AddRelation("suitable_when", category, season).ok());
+
+  ConceptId grill = *net.GetOrAddPrimitiveConcept("grill", category);
+  ConceptId cookware = *net.GetOrAddPrimitiveConcept("cookware", category);
+  ConceptId barbecue = *net.GetOrAddPrimitiveConcept("barbecue", event);
+  ConceptId winter = *net.GetOrAddPrimitiveConcept("winter", season);
+  EXPECT_TRUE(net.SetGloss(grill, {"metal", "rack", "for", "cooking"}).ok());
+  EXPECT_TRUE(net.AddIsA(grill, cookware).ok());
+  EXPECT_TRUE(net.AddTypedRelation("suitable_when", grill, winter).ok());
+
+  EcConceptId ob = *net.GetOrAddEcConcept({"outdoor", "barbecue"});
+  EcConceptId any = *net.GetOrAddEcConcept({"barbecue"});
+  EXPECT_TRUE(net.AddEcIsA(ob, any).ok());
+  EXPECT_TRUE(net.LinkEcToPrimitive(ob, barbecue).ok());
+
+  ItemId item = *net.AddItem({"steel", "grill"}, category);
+  EXPECT_TRUE(net.LinkItemToPrimitive(item, grill).ok());
+  EXPECT_TRUE(net.LinkItemToEc(item, ob).ok());
+  return net;
+}
+
+TEST(PersistenceTest, RoundTripPreservesEverything) {
+  ConceptNet net = BuildNet();
+  std::string path = TempPath("net.txt");
+  ASSERT_TRUE(SaveConceptNet(net, path).ok());
+  auto loaded = LoadConceptNet(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ConceptNet& net2 = *loaded;
+
+  EXPECT_EQ(net2.taxonomy().size(), net.taxonomy().size());
+  EXPECT_EQ(net2.num_primitive_concepts(), net.num_primitive_concepts());
+  EXPECT_EQ(net2.num_ec_concepts(), net.num_ec_concepts());
+  EXPECT_EQ(net2.num_items(), net.num_items());
+  EXPECT_EQ(net2.num_isa_primitive(), net.num_isa_primitive());
+  EXPECT_EQ(net2.num_isa_ec(), net.num_isa_ec());
+  EXPECT_EQ(net2.num_ec_primitive_links(), net.num_ec_primitive_links());
+  EXPECT_EQ(net2.num_item_primitive_links(), net.num_item_primitive_links());
+  EXPECT_EQ(net2.num_item_ec_links(), net.num_item_ec_links());
+  EXPECT_EQ(net2.typed_relations().size(), net.typed_relations().size());
+
+  // Content-level check: ids and surfaces coincide.
+  auto grill = net2.FindPrimitive("grill");
+  ASSERT_EQ(grill.size(), 1u);
+  EXPECT_EQ(net2.Get(grill[0]).gloss.size(), 4u);
+  auto ob = net2.FindEcConcept("outdoor barbecue");
+  ASSERT_TRUE(ob.has_value());
+  EXPECT_EQ(net2.ItemsForEc(*ob).size(), 1u);
+  auto closure = net2.HypernymClosure(grill[0]);
+  ASSERT_EQ(closure.size(), 1u);
+  EXPECT_EQ(net2.Get(closure[0]).surface, "cookware");
+}
+
+TEST(PersistenceTest, StatisticsIdenticalAfterRoundTrip) {
+  ConceptNet net = BuildNet();
+  std::string path = TempPath("net2.txt");
+  ASSERT_TRUE(SaveConceptNet(net, path).ok());
+  auto loaded = LoadConceptNet(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(StatisticsToTable(ComputeStatistics(net)),
+            StatisticsToTable(ComputeStatistics(*loaded)));
+}
+
+TEST(PersistenceTest, MissingFile) {
+  EXPECT_TRUE(LoadConceptNet("/no/such/file").status().IsIOError());
+}
+
+TEST(PersistenceTest, BadHeaderRejected) {
+  std::string path = TempPath("bad.txt");
+  std::ofstream(path) << "WRONG HEADER\n";
+  EXPECT_TRUE(LoadConceptNet(path).status().IsCorruption());
+}
+
+TEST(PersistenceTest, TruncatedFileRejected) {
+  ConceptNet net = BuildNet();
+  std::string path = TempPath("trunc.txt");
+  ASSERT_TRUE(SaveConceptNet(net, path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path) << content.substr(0, content.size() / 2);
+  EXPECT_TRUE(LoadConceptNet(path).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace alicoco::kg

@@ -1,0 +1,76 @@
+#include "kg/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace alicoco::kg {
+namespace {
+
+struct Fixture {
+  Taxonomy tax;
+  ClassId category, pants, time, season;
+
+  Fixture() {
+    category = *tax.AddDomain("Category");
+    pants = *tax.AddClass("Pants", category);
+    time = *tax.AddDomain("Time");
+    season = *tax.AddClass("Season", time);
+  }
+};
+
+TEST(SchemaTest, AddAndFind) {
+  Fixture f;
+  Schema schema(&f.tax);
+  ASSERT_TRUE(schema.AddRelation("suitable_when", f.category, f.season).ok());
+  const RelationDef* def = schema.Find("suitable_when");
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->domain, f.category);
+  EXPECT_EQ(schema.Find("nope"), nullptr);
+}
+
+TEST(SchemaTest, DuplicateRejected) {
+  Fixture f;
+  Schema schema(&f.tax);
+  ASSERT_TRUE(schema.AddRelation("r", f.category, f.season).ok());
+  EXPECT_TRUE(schema.AddRelation("r", f.time, f.season).IsAlreadyExists());
+}
+
+TEST(SchemaTest, UnknownClassRejected) {
+  Fixture f;
+  Schema schema(&f.tax);
+  EXPECT_TRUE(schema.AddRelation("r", ClassId(999), f.season).IsNotFound());
+}
+
+TEST(SchemaTest, ValidateSubclassesAllowed) {
+  Fixture f;
+  Schema schema(&f.tax);
+  ASSERT_TRUE(schema.AddRelation("suitable_when", f.category, f.season).ok());
+  // Pants is a descendant of Category: OK.
+  EXPECT_TRUE(schema.Validate("suitable_when", f.pants, f.season).ok());
+  // Exact classes: OK.
+  EXPECT_TRUE(schema.Validate("suitable_when", f.category, f.season).ok());
+}
+
+TEST(SchemaTest, ValidateRejectsWrongClasses) {
+  Fixture f;
+  Schema schema(&f.tax);
+  ASSERT_TRUE(schema.AddRelation("suitable_when", f.category, f.season).ok());
+  // Subject outside Category subtree.
+  EXPECT_TRUE(
+      schema.Validate("suitable_when", f.season, f.season).IsInvalidArgument());
+  // Object outside Season subtree.
+  EXPECT_TRUE(
+      schema.Validate("suitable_when", f.pants, f.pants).IsInvalidArgument());
+  // Unknown relation.
+  EXPECT_TRUE(schema.Validate("nope", f.pants, f.season).IsNotFound());
+}
+
+TEST(SchemaTest, RelationsEnumerated) {
+  Fixture f;
+  Schema schema(&f.tax);
+  schema.AddRelation("a", f.category, f.season);
+  schema.AddRelation("b", f.time, f.category);
+  EXPECT_EQ(schema.relations().size(), 2u);
+}
+
+}  // namespace
+}  // namespace alicoco::kg

@@ -1,0 +1,69 @@
+#include "kg/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace alicoco::kg {
+namespace {
+
+TEST(StatsTest, EmptyNet) {
+  ConceptNet net;
+  auto s = ComputeStatistics(net);
+  EXPECT_EQ(s.num_primitive_concepts, 0u);
+  EXPECT_EQ(s.total_relations, 0u);
+  EXPECT_EQ(s.item_linkage_rate, 0.0);
+  EXPECT_FALSE(StatisticsToTable(s).empty());
+}
+
+TEST(StatsTest, CountsAndAverages) {
+  ConceptNet net;
+  ClassId category = *net.taxonomy().AddDomain("Category");
+  ClassId event = *net.taxonomy().AddDomain("Event");
+  ClassId clothing = *net.taxonomy().AddClass("Clothing", category);
+
+  ConceptId c1 = *net.GetOrAddPrimitiveConcept("dress", clothing);
+  ConceptId c2 = *net.GetOrAddPrimitiveConcept("clothes", category);
+  ConceptId e1 = *net.GetOrAddPrimitiveConcept("party", event);
+  (void)e1;
+  ASSERT_TRUE(net.AddIsA(c1, c2).ok());
+
+  EcConceptId ec = *net.GetOrAddEcConcept({"party", "dress"});
+  ASSERT_TRUE(net.LinkEcToPrimitive(ec, c1).ok());
+
+  ItemId i1 = *net.AddItem({"silk", "dress"}, clothing);
+  ItemId i2 = *net.AddItem({"unlinked"}, clothing);
+  (void)i2;
+  ASSERT_TRUE(net.LinkItemToPrimitive(i1, c1).ok());
+  ASSERT_TRUE(net.LinkItemToEc(i1, ec).ok());
+
+  auto s = ComputeStatistics(net);
+  EXPECT_EQ(s.num_primitive_concepts, 3u);
+  EXPECT_EQ(s.num_ec_concepts, 1u);
+  EXPECT_EQ(s.num_items, 2u);
+  EXPECT_EQ(s.isa_primitive, 1u);
+  EXPECT_EQ(s.ec_primitive, 1u);
+  EXPECT_EQ(s.item_primitive, 1u);
+  EXPECT_EQ(s.item_ec, 1u);
+  EXPECT_EQ(s.total_relations, 4u);
+  EXPECT_DOUBLE_EQ(s.item_linkage_rate, 0.5);
+  EXPECT_DOUBLE_EQ(s.avg_items_per_ec, 1.0);
+
+  // Per-domain counts: Category subtree holds 2, Event 1.
+  ASSERT_EQ(s.per_domain.size(), 2u);
+  EXPECT_EQ(s.per_domain[0].first, "Category");
+  EXPECT_EQ(s.per_domain[0].second, 2u);
+  EXPECT_EQ(s.per_domain[1].first, "Event");
+  EXPECT_EQ(s.per_domain[1].second, 1u);
+}
+
+TEST(StatsTest, TableMentionsAllSections) {
+  ConceptNet net;
+  net.taxonomy().AddDomain("Category");
+  std::string table = StatisticsToTable(ComputeStatistics(net));
+  EXPECT_NE(table.find("Overall"), std::string::npos);
+  EXPECT_NE(table.find("per domain"), std::string::npos);
+  EXPECT_NE(table.find("Relations"), std::string::npos);
+  EXPECT_NE(table.find("Linkage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alicoco::kg

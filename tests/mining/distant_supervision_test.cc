@@ -1,0 +1,68 @@
+#include "mining/distant_supervision.h"
+
+#include <gtest/gtest.h>
+
+namespace alicoco::mining {
+namespace {
+
+DistantSupervisor BuildSupervisor() {
+  return DistantSupervisor({{"outdoor", "Location"},
+                            {"barbecue", "Event"},
+                            {"rain boot", "Category"},
+                            {"boot", "Category"}});
+}
+
+TEST(DistantSupervisionTest, LabelsCleanSentence) {
+  auto sup = BuildSupervisor();
+  DistantSupervisor::Stats stats;
+  auto labeled = sup.Label({{"great", "outdoor", "barbecue"}}, &stats);
+  ASSERT_EQ(labeled.size(), 1u);
+  EXPECT_EQ(labeled[0].iob,
+            (std::vector<std::string>{"O", "B-Location", "B-Event"}));
+  EXPECT_EQ(stats.kept, 1u);
+}
+
+TEST(DistantSupervisionTest, DropsUnmatchedSentences) {
+  auto sup = BuildSupervisor();
+  DistantSupervisor::Stats stats;
+  auto labeled = sup.Label({{"hello", "world"}, {}}, &stats);
+  EXPECT_TRUE(labeled.empty());
+  EXPECT_EQ(stats.unmatched, 2u);
+}
+
+TEST(DistantSupervisionTest, DropsAmbiguousSentences) {
+  std::vector<std::pair<std::string, std::string>> dict = {
+      {"village", "Location"}, {"village", "Style"}};
+  DistantSupervisor sup(dict);
+  DistantSupervisor::Stats stats;
+  auto labeled = sup.Label({{"village", "skirt"}}, &stats);
+  EXPECT_TRUE(labeled.empty());
+  EXPECT_EQ(stats.ambiguous, 1u);
+}
+
+TEST(DistantSupervisionTest, PrefersLongestMatch) {
+  auto sup = BuildSupervisor();
+  auto labeled = sup.Label({{"new", "rain", "boot"}});
+  ASSERT_EQ(labeled.size(), 1u);
+  EXPECT_EQ(labeled[0].iob,
+            (std::vector<std::string>{"O", "B-Category", "I-Category"}));
+}
+
+TEST(DistantSupervisionTest, GrowsWithAddEntry) {
+  auto sup = BuildSupervisor();
+  EXPECT_FALSE(sup.Knows("grill", "Category"));
+  sup.AddEntry("grill", "Category");
+  EXPECT_TRUE(sup.Knows("grill", "Category"));
+  auto labeled = sup.Label({{"a", "grill"}});
+  ASSERT_EQ(labeled.size(), 1u);
+  EXPECT_EQ(labeled[0].iob[1], "B-Category");
+}
+
+TEST(DistantSupervisionTest, KnowsIsLabelSpecific) {
+  auto sup = BuildSupervisor();
+  EXPECT_TRUE(sup.Knows("boot", "Category"));
+  EXPECT_FALSE(sup.Knows("boot", "Event"));
+}
+
+}  // namespace
+}  // namespace alicoco::mining

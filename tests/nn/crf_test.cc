@@ -1,0 +1,133 @@
+#include "nn/crf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace alicoco::nn {
+namespace {
+
+TEST(CrfTest, ViterbiFollowsDominantEmissions) {
+  Rng rng(1);
+  ParameterStore store;
+  LinearChainCrf crf(&store, "crf", 3, &rng);
+  // Near-zero random transitions; strong emissions decide.
+  Tensor e(4, 3);
+  e.At(0, 1) = 5;
+  e.At(1, 0) = 5;
+  e.At(2, 2) = 5;
+  e.At(3, 2) = 5;
+  auto path = crf.Viterbi(e);
+  EXPECT_EQ(path, (std::vector<int>{1, 0, 2, 2}));
+}
+
+TEST(CrfTest, TransitionsCanOverrideWeakEmissions) {
+  Rng rng(2);
+  ParameterStore store;
+  LinearChainCrf crf(&store, "crf", 2, &rng);
+  Parameter* trans = store.Get("crf.trans");
+  // Label 0 strongly repels itself; 0 -> 1 strongly favored.
+  trans->value.At(0, 0) = -10;
+  trans->value.At(0, 1) = 10;
+  trans->value.At(1, 1) = 10;
+  Tensor e(3, 2);
+  e.At(0, 0) = 2;  // slight pull toward 0 everywhere
+  e.At(1, 0) = 0.1f;
+  e.At(2, 0) = 0.1f;
+  auto path = crf.Viterbi(e);
+  EXPECT_EQ(path[0], 0);
+  EXPECT_EQ(path[1], 1);
+  EXPECT_EQ(path[2], 1);
+}
+
+TEST(CrfTest, NllDecreasesWithBetterEmissions) {
+  Rng rng(3);
+  ParameterStore store;
+  LinearChainCrf crf(&store, "crf", 2, &rng);
+  std::vector<int> gold = {0, 1};
+  Tensor weak(2, 2);
+  Tensor strong(2, 2);
+  strong.At(0, 0) = 4;
+  strong.At(1, 1) = 4;
+  Graph g;
+  float weak_nll = g.Value(crf.NegLogLikelihood(&g, g.Input(weak), gold))
+                       .At(0, 0);
+  float strong_nll =
+      g.Value(crf.NegLogLikelihood(&g, g.Input(strong), gold)).At(0, 0);
+  EXPECT_GT(weak_nll, strong_nll);
+  EXPECT_GE(strong_nll, 0.0f);
+}
+
+TEST(CrfTest, NllIsNonNegative) {
+  Rng rng(4);
+  ParameterStore store;
+  LinearChainCrf crf(&store, "crf", 3, &rng);
+  Graph g;
+  Tensor e = Tensor::Randn(5, 3, 1.0f, &rng);
+  std::vector<int> gold = {0, 1, 2, 1, 0};
+  float nll = g.Value(crf.NegLogLikelihood(&g, g.Input(e), gold)).At(0, 0);
+  EXPECT_GE(nll, -1e-5f);
+}
+
+TEST(CrfTest, FuzzyLossAtMostStrictLoss) {
+  // Marginalizing over a superset of paths can only increase the numerator,
+  // so fuzzy NLL <= strict NLL for any containing label set.
+  Rng rng(5);
+  ParameterStore store;
+  LinearChainCrf crf(&store, "crf", 3, &rng);
+  Tensor e = Tensor::Randn(4, 3, 1.0f, &rng);
+  std::vector<int> gold = {2, 0, 1, 1};
+  std::vector<std::vector<int>> fuzzy = {{2}, {0, 1}, {1}, {1, 2}};
+  Graph g;
+  float strict = g.Value(crf.NegLogLikelihood(&g, g.Input(e), gold)).At(0, 0);
+  float relaxed =
+      g.Value(crf.FuzzyNegLogLikelihood(&g, g.Input(e), fuzzy)).At(0, 0);
+  EXPECT_LE(relaxed, strict + 1e-5f);
+}
+
+TEST(CrfTest, FuzzyWithFullSetsIsZeroLoss) {
+  // Numerator lattice == full lattice => loss = 0.
+  Rng rng(6);
+  ParameterStore store;
+  LinearChainCrf crf(&store, "crf", 2, &rng);
+  Tensor e = Tensor::Randn(3, 2, 1.0f, &rng);
+  std::vector<std::vector<int>> all = {{0, 1}, {0, 1}, {0, 1}};
+  Graph g;
+  float loss = g.Value(crf.FuzzyNegLogLikelihood(&g, g.Input(e), all)).At(0, 0);
+  EXPECT_NEAR(loss, 0.0f, 1e-4f);
+}
+
+TEST(CrfTest, SingleTimestepSequence) {
+  Rng rng(7);
+  ParameterStore store;
+  LinearChainCrf crf(&store, "crf", 3, &rng);
+  Tensor e(1, 3);
+  e.At(0, 2) = 3;
+  auto path = crf.Viterbi(e);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 2);
+  Graph g;
+  float nll =
+      g.Value(crf.NegLogLikelihood(&g, g.Input(e), {2})).At(0, 0);
+  EXPECT_GE(nll, 0.0f);
+  EXPECT_LT(nll, 1.0f);  // label 2 dominates
+}
+
+TEST(CrfTest, TrainingSeparatesAlternatingPattern) {
+  // Emissions are uninformative; only transitions can learn "alternate 0/1".
+  Rng rng(8);
+  ParameterStore store;
+  LinearChainCrf crf(&store, "crf", 2, &rng);
+  std::vector<int> gold = {0, 1, 0, 1, 0, 1};
+  Tensor e(6, 2);  // all-zero emissions
+  for (int step = 0; step < 200; ++step) {
+    store.ZeroGrad();
+    Graph g;
+    g.Backward(crf.NegLogLikelihood(&g, g.Input(e), gold));
+    for (const auto& p : store.params()) p->value.Axpy(-0.5f, p->grad);
+  }
+  EXPECT_EQ(crf.Viterbi(e), gold);
+}
+
+}  // namespace
+}  // namespace alicoco::nn

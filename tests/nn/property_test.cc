@@ -1,0 +1,255 @@
+// Property-based and parameterized sweeps over the neural substrate:
+// the CRF losses are validated against brute-force enumeration of all
+// label sequences, and core ops are gradient-checked across shapes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/crf.h"
+#include "nn/graph.h"
+#include "nn/rnn.h"
+
+namespace alicoco::nn {
+namespace {
+
+// ---------- CRF vs brute force ----------
+
+struct CrfCase {
+  int timesteps;
+  int labels;
+  uint64_t seed;
+};
+
+class CrfBruteForceTest : public ::testing::TestWithParam<CrfCase> {};
+
+// Enumerates all L^T paths and sums exp(score) directly.
+double BruteForceLogZ(const Tensor& emissions, const Tensor& trans,
+                      const Tensor& start, const Tensor& end,
+                      const std::vector<std::vector<int>>* allowed) {
+  int t_len = emissions.rows();
+  int l = emissions.cols();
+  std::vector<int> path(static_cast<size_t>(t_len), 0);
+  double total = 0.0;
+  for (;;) {
+    bool ok = true;
+    if (allowed != nullptr) {
+      for (int t = 0; t < t_len && ok; ++t) {
+        const auto& set = (*allowed)[static_cast<size_t>(t)];
+        ok = std::find(set.begin(), set.end(),
+                       path[static_cast<size_t>(t)]) != set.end();
+      }
+    }
+    if (ok) {
+      double score = start.At(0, path[0]) + end.At(0, path.back());
+      for (int t = 0; t < t_len; ++t) {
+        score += emissions.At(t, path[static_cast<size_t>(t)]);
+        if (t > 0) {
+          score += trans.At(path[static_cast<size_t>(t - 1)],
+                            path[static_cast<size_t>(t)]);
+        }
+      }
+      total += std::exp(score);
+    }
+    // Next path in lexicographic order.
+    int pos = t_len - 1;
+    while (pos >= 0 && ++path[static_cast<size_t>(pos)] == l) {
+      path[static_cast<size_t>(pos)] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  return std::log(total);
+}
+
+TEST_P(CrfBruteForceTest, NllMatchesEnumeration) {
+  const CrfCase& param = GetParam();
+  Rng rng(param.seed);
+  ParameterStore store;
+  LinearChainCrf crf(&store, "crf", param.labels, &rng);
+  Tensor e = Tensor::Randn(param.timesteps, param.labels, 0.8f, &rng);
+  const Tensor& trans = store.Get("crf.trans")->value;
+  const Tensor& start = store.Get("crf.start")->value;
+  const Tensor& end = store.Get("crf.end")->value;
+
+  // Gold path.
+  std::vector<int> gold(static_cast<size_t>(param.timesteps));
+  for (auto& y : gold) y = static_cast<int>(rng.Uniform(param.labels));
+  std::vector<std::vector<int>> gold_sets;
+  for (int y : gold) gold_sets.push_back({y});
+
+  double log_z = BruteForceLogZ(e, trans, start, end, nullptr);
+  double log_num = BruteForceLogZ(e, trans, start, end, &gold_sets);
+  double expected_nll = log_z - log_num;
+
+  Graph g;
+  float nll = g.Value(crf.NegLogLikelihood(&g, g.Input(e), gold)).At(0, 0);
+  EXPECT_NEAR(nll, expected_nll, 1e-3)
+      << "T=" << param.timesteps << " L=" << param.labels;
+}
+
+TEST_P(CrfBruteForceTest, FuzzyNllMatchesEnumeration) {
+  const CrfCase& param = GetParam();
+  Rng rng(param.seed ^ 0xF00D);
+  ParameterStore store;
+  LinearChainCrf crf(&store, "crf", param.labels, &rng);
+  Tensor e = Tensor::Randn(param.timesteps, param.labels, 0.8f, &rng);
+  const Tensor& trans = store.Get("crf.trans")->value;
+  const Tensor& start = store.Get("crf.start")->value;
+  const Tensor& end = store.Get("crf.end")->value;
+
+  // Random non-empty allowed sets.
+  std::vector<std::vector<int>> allowed(
+      static_cast<size_t>(param.timesteps));
+  for (auto& set : allowed) {
+    for (int y = 0; y < param.labels; ++y) {
+      if (rng.Bernoulli(0.5)) set.push_back(y);
+    }
+    if (set.empty()) set.push_back(static_cast<int>(rng.Uniform(param.labels)));
+  }
+
+  double log_z = BruteForceLogZ(e, trans, start, end, nullptr);
+  double log_num = BruteForceLogZ(e, trans, start, end, &allowed);
+  double expected = log_z - log_num;
+
+  Graph g;
+  float nll =
+      g.Value(crf.FuzzyNegLogLikelihood(&g, g.Input(e), allowed)).At(0, 0);
+  EXPECT_NEAR(nll, expected, 1e-3);
+}
+
+TEST_P(CrfBruteForceTest, ViterbiFindsArgmaxPath) {
+  const CrfCase& param = GetParam();
+  Rng rng(param.seed ^ 0xBEEF);
+  ParameterStore store;
+  LinearChainCrf crf(&store, "crf", param.labels, &rng);
+  Tensor e = Tensor::Randn(param.timesteps, param.labels, 1.0f, &rng);
+  const Tensor& trans = store.Get("crf.trans")->value;
+  const Tensor& start = store.Get("crf.start")->value;
+  const Tensor& end = store.Get("crf.end")->value;
+
+  auto path_score = [&](const std::vector<int>& path) {
+    double score = start.At(0, path[0]) + end.At(0, path.back());
+    for (int t = 0; t < param.timesteps; ++t) {
+      score += e.At(t, path[static_cast<size_t>(t)]);
+      if (t > 0) {
+        score += trans.At(path[static_cast<size_t>(t - 1)],
+                          path[static_cast<size_t>(t)]);
+      }
+    }
+    return score;
+  };
+
+  // Brute-force best path.
+  std::vector<int> best(static_cast<size_t>(param.timesteps), 0);
+  std::vector<int> cur = best;
+  double best_score = path_score(best);
+  for (;;) {
+    int pos = param.timesteps - 1;
+    while (pos >= 0 && ++cur[static_cast<size_t>(pos)] == param.labels) {
+      cur[static_cast<size_t>(pos)] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+    double s = path_score(cur);
+    if (s > best_score) {
+      best_score = s;
+      best = cur;
+    }
+  }
+  auto viterbi = crf.Viterbi(e);
+  EXPECT_NEAR(path_score(viterbi), best_score, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallLattices, CrfBruteForceTest,
+    ::testing::Values(CrfCase{1, 2, 1}, CrfCase{2, 2, 2}, CrfCase{3, 2, 3},
+                      CrfCase{4, 3, 4}, CrfCase{5, 3, 5}, CrfCase{3, 4, 6},
+                      CrfCase{6, 2, 7}, CrfCase{2, 5, 8}),
+    [](const ::testing::TestParamInfo<CrfCase>& info) {
+      return "T" + std::to_string(info.param.timesteps) + "L" +
+             std::to_string(info.param.labels);
+    });
+
+// ---------- parameterized gradient sweep over shapes ----------
+
+struct ShapeCase {
+  int rows;
+  int cols;
+};
+
+class OpGradSweep : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(OpGradSweep, ChainedOpsMatchFiniteDifference) {
+  const auto& shape = GetParam();
+  Rng rng(static_cast<uint64_t>(shape.rows * 131 + shape.cols));
+  ParameterStore store;
+  Parameter* a = store.Create("a", shape.rows, shape.cols,
+                              ParameterStore::Init::kGaussian, &rng, 0.4f);
+  Tensor weights = Tensor::Randn(shape.rows, shape.cols, 1.0f, &rng);
+
+  auto loss_fn = [&](Graph* g) {
+    Graph::Var x = g->Use(a);
+    Graph::Var y = g->Tanh(g->ScalarMul(x, 1.3f));
+    Graph::Var z = g->Mul(g->SoftmaxRows(x), g->Input(weights));
+    return g->MeanAll(g->Add(y, z));
+  };
+
+  store.ZeroGrad();
+  {
+    Graph g;
+    g.Backward(loss_fn(&g));
+  }
+  Tensor analytic = a->grad;
+  const float eps = 1e-3f;
+  for (int i = 0; i < shape.rows; ++i) {
+    for (int j = 0; j < shape.cols; ++j) {
+      float orig = a->value.At(i, j);
+      a->value.At(i, j) = orig + eps;
+      Graph gp;
+      float plus = gp.Value(loss_fn(&gp)).At(0, 0);
+      a->value.At(i, j) = orig - eps;
+      Graph gm;
+      float minus = gm.Value(loss_fn(&gm)).At(0, 0);
+      a->value.At(i, j) = orig;
+      float numeric = (plus - minus) / (2 * eps);
+      EXPECT_NEAR(analytic.At(i, j), numeric, 2e-2)
+          << shape.rows << "x" << shape.cols << " [" << i << "," << j << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, OpGradSweep,
+                         ::testing::Values(ShapeCase{1, 1}, ShapeCase{1, 7},
+                                           ShapeCase{5, 1}, ShapeCase{3, 4},
+                                           ShapeCase{8, 8}),
+                         [](const ::testing::TestParamInfo<ShapeCase>& info) {
+                           return std::to_string(info.param.rows) + "x" +
+                                  std::to_string(info.param.cols);
+                         });
+
+// ---------- BiLSTM length sweep ----------
+
+class BiLstmLengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BiLstmLengthSweep, OutputShapeAndFiniteness) {
+  int t = GetParam();
+  Rng rng(static_cast<uint64_t>(t));
+  ParameterStore store;
+  BiLstm bilstm(&store, "b", 4, 6, &rng);
+  Graph g;
+  Graph::Var out = bilstm.Run(&g, g.Input(Tensor::Randn(t, 4, 0.8f, &rng)));
+  EXPECT_EQ(g.Value(out).rows(), t);
+  EXPECT_EQ(g.Value(out).cols(), 12);
+  for (size_t i = 0; i < g.Value(out).size(); ++i) {
+    EXPECT_TRUE(std::isfinite(g.Value(out).data()[i]));
+  }
+  // Backward runs without aborting.
+  g.Backward(g.MeanAll(out));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, BiLstmLengthSweep,
+                         ::testing::Values(1, 2, 3, 8, 16, 40));
+
+}  // namespace
+}  // namespace alicoco::nn

@@ -1,0 +1,99 @@
+#include "nn/rnn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace alicoco::nn {
+namespace {
+
+TEST(LstmCellTest, StateShapes) {
+  Rng rng(1);
+  ParameterStore store;
+  LstmCell cell(&store, "c", 3, 5, &rng);
+  Graph g;
+  auto s0 = cell.Initial(&g);
+  EXPECT_EQ(g.Value(s0.h).cols(), 5);
+  auto s1 = cell.Step(&g, g.Input(Tensor::Randn(1, 3, 1.0f, &rng)), s0);
+  EXPECT_EQ(g.Value(s1.h).rows(), 1);
+  EXPECT_EQ(g.Value(s1.h).cols(), 5);
+  EXPECT_EQ(g.Value(s1.c).cols(), 5);
+}
+
+TEST(LstmCellTest, ForgetBiasInitialized) {
+  Rng rng(2);
+  ParameterStore store;
+  LstmCell cell(&store, "c", 2, 3, &rng);
+  Parameter* b = store.Get("c.b");
+  ASSERT_NE(b, nullptr);
+  // Gate order [i, f, o, g]: forget block = cols [3, 6).
+  for (int j = 3; j < 6; ++j) EXPECT_FLOAT_EQ(b->value.At(0, j), 1.0f);
+  EXPECT_FLOAT_EQ(b->value.At(0, 0), 0.0f);
+}
+
+TEST(LstmCellTest, StatefulAcrossSteps) {
+  Rng rng(3);
+  ParameterStore store;
+  LstmCell cell(&store, "c", 2, 4, &rng);
+  Graph g;
+  Tensor x = Tensor::Randn(1, 2, 1.0f, &rng);
+  auto s0 = cell.Initial(&g);
+  auto s1 = cell.Step(&g, g.Input(x), s0);
+  auto s2 = cell.Step(&g, g.Input(x), s1);
+  // Same input, different hidden state => outputs differ.
+  bool differ = false;
+  for (int j = 0; j < 4; ++j) {
+    if (std::fabs(g.Value(s1.h).At(0, j) - g.Value(s2.h).At(0, j)) > 1e-7f) {
+      differ = true;
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(BiLstmTest, OutputShape) {
+  Rng rng(4);
+  ParameterStore store;
+  BiLstm bi(&store, "bi", 3, 4, &rng);
+  EXPECT_EQ(bi.output_dim(), 8);
+  Graph g;
+  auto out = bi.Run(&g, g.Input(Tensor::Randn(6, 3, 0.5f, &rng)));
+  EXPECT_EQ(g.Value(out).rows(), 6);
+  EXPECT_EQ(g.Value(out).cols(), 8);
+}
+
+TEST(BiLstmTest, BackwardHalfSeesFuture) {
+  // Change the LAST input token; the backward state at position 0 must move.
+  Rng rng(5);
+  ParameterStore store;
+  BiLstm bi(&store, "bi", 2, 3, &rng);
+  Tensor x1 = Tensor::Randn(4, 2, 0.8f, &rng);
+  Tensor x2 = x1;
+  x2.At(3, 0) += 2.0f;
+  Graph g1, g2;
+  auto o1 = bi.Run(&g1, g1.Input(x1));
+  auto o2 = bi.Run(&g2, g2.Input(x2));
+  // Forward half (cols [0,3)) at t=0 unchanged; backward half changes.
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(g1.Value(o1).At(0, j), g2.Value(o2).At(0, j));
+  }
+  bool backward_changed = false;
+  for (int j = 3; j < 6; ++j) {
+    if (std::fabs(g1.Value(o1).At(0, j) - g2.Value(o2).At(0, j)) > 1e-6f) {
+      backward_changed = true;
+    }
+  }
+  EXPECT_TRUE(backward_changed);
+}
+
+TEST(BiLstmTest, SingleTokenSequence) {
+  Rng rng(6);
+  ParameterStore store;
+  BiLstm bi(&store, "bi", 2, 3, &rng);
+  Graph g;
+  auto out = bi.Run(&g, g.Input(Tensor::Randn(1, 2, 0.5f, &rng)));
+  EXPECT_EQ(g.Value(out).rows(), 1);
+  EXPECT_EQ(g.Value(out).cols(), 6);
+}
+
+}  // namespace
+}  // namespace alicoco::nn

@@ -1,0 +1,110 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace alicoco::nn {
+namespace {
+
+TEST(TensorTest, ConstructZeroed) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6u);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(t.At(i, j), 0.0f);
+  }
+}
+
+TEST(TensorTest, FromVectorRowMajor) {
+  Tensor t = Tensor::FromVector(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(t.At(0, 0), 1);
+  EXPECT_EQ(t.At(0, 1), 2);
+  EXPECT_EQ(t.At(1, 0), 3);
+  EXPECT_EQ(t.At(1, 1), 4);
+}
+
+TEST(TensorTest, RowPointerMatchesAt) {
+  Tensor t = Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.Row(1)[2], t.At(1, 2));
+}
+
+TEST(TensorTest, AddAxpyScale) {
+  Tensor a = Tensor::FromVector(1, 3, {1, 2, 3});
+  Tensor b = Tensor::FromVector(1, 3, {10, 20, 30});
+  a.AddInPlace(b);
+  EXPECT_EQ(a.At(0, 1), 22);
+  a.Axpy(-1.0f, b);
+  EXPECT_EQ(a.At(0, 1), 2);
+  a.Scale(3.0f);
+  EXPECT_EQ(a.At(0, 2), 9);
+}
+
+TEST(TensorTest, SquaredNorm) {
+  Tensor a = Tensor::FromVector(1, 2, {3, 4});
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 25.0);
+}
+
+TEST(TensorTest, RandnAndXavierInRange) {
+  Rng rng(7);
+  Tensor g = Tensor::Randn(50, 50, 0.1f, &rng);
+  double mean = 0;
+  for (int i = 0; i < 50; ++i) {
+    for (int j = 0; j < 50; ++j) mean += g.At(i, j);
+  }
+  mean /= 2500;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+
+  Tensor x = Tensor::Xavier(10, 20, &rng);
+  float bound = std::sqrt(6.0f / 30.0f);
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      EXPECT_LE(std::fabs(x.At(i, j)), bound + 1e-6f);
+    }
+  }
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Tensor a = Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMulValue(a, b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_EQ(c.At(0, 0), 58);
+  EXPECT_EQ(c.At(0, 1), 64);
+  EXPECT_EQ(c.At(1, 0), 139);
+  EXPECT_EQ(c.At(1, 1), 154);
+}
+
+TEST(MatMulTest, TransBAccum) {
+  // C (1x2) += A (1x3) * B^T with B (2x3).
+  Tensor a = Tensor::FromVector(1, 3, {1, 2, 3});
+  Tensor b = Tensor::FromVector(2, 3, {1, 0, 0, 0, 1, 0});
+  Tensor c(1, 2);
+  MatMulTransBAccum(a, b, &c);
+  EXPECT_EQ(c.At(0, 0), 1);
+  EXPECT_EQ(c.At(0, 1), 2);
+}
+
+TEST(MatMulTest, TransAAccum) {
+  // C (3x1) += A^T (3x2 <- A 2x3) * B (2x1).
+  Tensor a = Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(2, 1, {1, 1});
+  Tensor c(3, 1);
+  MatMulTransAAccum(a, b, &c);
+  EXPECT_EQ(c.At(0, 0), 5);
+  EXPECT_EQ(c.At(1, 0), 7);
+  EXPECT_EQ(c.At(2, 0), 9);
+}
+
+TEST(MatMulTest, AccumAddsOntoExisting) {
+  Tensor a = Tensor::FromVector(1, 1, {2});
+  Tensor b = Tensor::FromVector(1, 1, {3});
+  Tensor c = Tensor::FromVector(1, 1, {10});
+  MatMulAccum(a, b, &c);
+  EXPECT_EQ(c.At(0, 0), 16);
+}
+
+}  // namespace
+}  // namespace alicoco::nn

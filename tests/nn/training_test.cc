@@ -1,0 +1,144 @@
+// End-to-end learning sanity checks: small models must actually fit small
+// datasets on the autodiff substrate.
+
+#include <gtest/gtest.h>
+
+#include "nn/crf.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/rnn.h"
+
+namespace alicoco::nn {
+namespace {
+
+TEST(TrainingTest, MlpLearnsXor) {
+  Rng rng(1);
+  ParameterStore store;
+  Mlp mlp(&store, "mlp", {2, 8, 1}, &rng);
+  Adam adam(0.05f);
+  std::vector<std::pair<Tensor, float>> data = {
+      {Tensor::FromVector(1, 2, {0, 0}), 0},
+      {Tensor::FromVector(1, 2, {0, 1}), 1},
+      {Tensor::FromVector(1, 2, {1, 0}), 1},
+      {Tensor::FromVector(1, 2, {1, 1}), 0},
+  };
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    store.ZeroGrad();
+    for (const auto& [x, y] : data) {
+      Graph g;
+      Graph::Var logit = mlp.Apply(&g, g.Input(x));
+      Tensor target(1, 1);
+      target.At(0, 0) = y;
+      g.Backward(g.SigmoidCrossEntropyWithLogits(logit, target));
+    }
+    adam.Step(&store);
+  }
+  for (const auto& [x, y] : data) {
+    Graph g;
+    float logit = g.Value(mlp.Apply(&g, g.Input(x))).At(0, 0);
+    EXPECT_EQ(logit > 0, y > 0.5f) << "input (" << x.At(0, 0) << ","
+                                   << x.At(0, 1) << ")";
+  }
+}
+
+TEST(TrainingTest, BiLstmCrfLearnsToyTagging) {
+  // Vocabulary: 0 pad, 1 "the", 2 "red"(ADJ), 3 "dress"(NOUN), 4 "runs"(V).
+  // Task: tag ADJ/NOUN/OTHER; needs context only mildly.
+  Rng rng(2);
+  ParameterStore store;
+  Embedding emb(&store, "emb", 5, 8, &rng);
+  BiLstm bilstm(&store, "bi", 8, 8, &rng);
+  Linear proj(&store, "proj", 16, 3, &rng);
+  LinearChainCrf crf(&store, "crf", 3, &rng);
+  Adam adam(0.03f);
+
+  std::vector<std::pair<std::vector<int>, std::vector<int>>> data = {
+      {{1, 2, 3}, {2, 0, 1}},  // the red dress -> O ADJ NOUN
+      {{2, 3, 4}, {0, 1, 2}},  // red dress runs -> ADJ NOUN O
+      {{3, 4}, {1, 2}},        // dress runs -> NOUN O
+      {{1, 3}, {2, 1}},        // the dress -> O NOUN
+  };
+  for (int epoch = 0; epoch < 120; ++epoch) {
+    store.ZeroGrad();
+    for (const auto& [ids, gold] : data) {
+      Graph g;
+      Graph::Var h = bilstm.Run(&g, emb.Lookup(&g, ids));
+      Graph::Var e = proj.Apply(&g, h);
+      g.Backward(crf.NegLogLikelihood(&g, e, gold));
+    }
+    adam.Step(&store);
+  }
+  int correct = 0, total = 0;
+  for (const auto& [ids, gold] : data) {
+    Graph g;
+    Graph::Var h = bilstm.Run(&g, emb.Lookup(&g, ids));
+    Graph::Var e = proj.Apply(&g, h);
+    auto pred = crf.Viterbi(g.Value(e));
+    for (size_t t = 0; t < gold.size(); ++t) {
+      total += 1;
+      correct += pred[t] == gold[t];
+    }
+  }
+  EXPECT_EQ(correct, total);
+}
+
+TEST(TrainingTest, AttentionMatcherLearnsPairRule) {
+  // Score pairs (query, doc): positive iff the query id is even AND the doc
+  // contains at least one id < 6 — a conjunctive rule the additive
+  // attention (Eq. 11) plus max-pooling can represent.
+  Rng rng(3);
+  ParameterStore store;
+  Embedding emb(&store, "emb", 10, 8, &rng);
+  Linear w1(&store, "w1", 8, 8, &rng);
+  Linear w2(&store, "w2", 8, 8, &rng);
+  Parameter* v = store.Create("v", 8, 1, ParameterStore::Init::kXavier, &rng);
+  Mlp head(&store, "head", {1, 4, 1}, &rng);
+  Adam adam(0.05f);
+
+  auto forward = [&](Graph* g, int query, const std::vector<int>& doc) {
+    Graph::Var q = w1.Apply(g, emb.Lookup(g, {query}));
+    Graph::Var d = w2.Apply(g, emb.Lookup(g, doc));
+    Graph::Var att = g->AdditiveAttention(q, d, g->Use(v));  // 1 x len
+    Graph::Var best = g->MaxRows(g->Transpose(att));         // 1 x 1
+    return head.Apply(g, best);
+  };
+
+  Rng data_rng(4);
+  std::vector<std::tuple<int, std::vector<int>, float>> data;
+  for (int i = 0; i < 200; ++i) {
+    int q = 2 + static_cast<int>(data_rng.Uniform(8));
+    std::vector<int> doc;
+    for (int j = 0; j < 4; ++j) {
+      doc.push_back(2 + static_cast<int>(data_rng.Uniform(8)));
+    }
+    bool has_low = false;
+    for (int d : doc) has_low |= d < 6;
+    bool label = (q % 2 == 0) && has_low;
+    data.emplace_back(q, doc, label ? 1.0f : 0.0f);
+  }
+  for (int epoch = 0; epoch < 80; ++epoch) {
+    store.ZeroGrad();
+    int n = 0;
+    for (const auto& [q, doc, y] : data) {
+      Graph g;
+      Tensor target(1, 1);
+      target.At(0, 0) = y;
+      g.Backward(g.SigmoidCrossEntropyWithLogits(forward(&g, q, doc), target));
+      if (++n % 16 == 0) {
+        adam.Step(&store);
+        store.ZeroGrad();
+      }
+    }
+    adam.Step(&store);
+  }
+  int correct = 0;
+  for (const auto& [q, doc, y] : data) {
+    Graph g;
+    float logit = g.Value(forward(&g, q, doc)).At(0, 0);
+    correct += (logit > 0) == (y > 0.5f);
+  }
+  EXPECT_GT(correct, 180);  // >90% train accuracy
+}
+
+}  // namespace
+}  // namespace alicoco::nn

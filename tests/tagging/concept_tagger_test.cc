@@ -1,0 +1,150 @@
+// Concept-tagger tests (Section 7.5) on a generated world.
+
+#include "tagging/concept_tagger.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/resources.h"
+#include "datagen/world.h"
+
+namespace alicoco::tagging {
+namespace {
+
+struct Fixture {
+  datagen::World world;
+  datagen::WorldResources resources;
+  std::vector<TaggedExample> train, test;
+
+  static datagen::WorldConfig WorldCfg() {
+    datagen::WorldConfig cfg;
+    cfg.seed = 51;
+    cfg.heads_per_leaf = 2;
+    cfg.derived_per_head = 3;
+    cfg.per_domain_vocab = 12;
+    cfg.num_events = 10;
+    cfg.num_items = 400;
+    cfg.num_good_ec_concepts = 180;
+    cfg.num_bad_ec_concepts = 40;
+    cfg.titles = 800;
+    cfg.reviews = 400;
+    cfg.guides = 300;
+    cfg.queries = 200;
+    cfg.num_users = 10;
+    cfg.num_needs_queries = 50;
+    cfg.ambiguous_fraction = 0.25;  // plenty of fuzzy supervision
+    return cfg;
+  }
+
+  Fixture()
+      : world(datagen::World::Generate(WorldCfg())),
+        resources(world, datagen::ResourcesConfig{}) {
+    Rng rng(5);
+    auto tagged = world.tagged_concepts();
+    std::vector<size_t> order(tagged.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.Shuffle(&order);
+    for (size_t i = 0; i < order.size(); ++i) {
+      const auto& t = tagged[order[i]];
+      TaggedExample ex{t.tokens, t.allowed_iob};
+      // Primary label must come first in allowed sets (world guarantees).
+      if (i < order.size() * 7 / 10) {
+        train.push_back(std::move(ex));
+      } else {
+        test.push_back(std::move(ex));
+      }
+    }
+  }
+
+  TaggerResources Res() const {
+    TaggerResources r;
+    r.pos_tagger = &world.pos_tagger();
+    r.context_matrix = &resources.context_matrix();
+    r.corpus_vocab = &resources.vocab();
+    return r;
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+TEST(ConceptTaggerTest, FullModelTagsWell) {
+  Fixture& f = SharedFixture();
+  ConceptTaggerConfig cfg;
+  cfg.epochs = 5;
+  ConceptTagger tagger(cfg, f.Res());
+  tagger.Train(f.train);
+  auto m = tagger.Evaluate(f.test);
+  EXPECT_GT(m.f1, 0.7);
+}
+
+TEST(ConceptTaggerTest, BaselineAlsoLearns) {
+  Fixture& f = SharedFixture();
+  ConceptTaggerConfig cfg;
+  cfg.use_fuzzy_crf = false;
+  cfg.use_knowledge = false;
+  cfg.epochs = 5;
+  ConceptTagger tagger(cfg, f.Res());
+  tagger.Train(f.train);
+  auto m = tagger.Evaluate(f.test);
+  EXPECT_GT(m.f1, 0.5);
+}
+
+TEST(ConceptTaggerTest, PredictShapesAndLabels) {
+  Fixture& f = SharedFixture();
+  ConceptTaggerConfig cfg;
+  cfg.epochs = 1;
+  ConceptTagger tagger(cfg, f.Res());
+  tagger.Train(f.train);
+  EXPECT_TRUE(tagger.Predict({}).empty());
+  auto tags = tagger.Predict(f.test[0].tokens);
+  EXPECT_EQ(tags.size(), f.test[0].tokens.size());
+  for (const auto& t : tags) {
+    EXPECT_NE(std::find(tagger.labels().begin(), tagger.labels().end(), t),
+              tagger.labels().end());
+  }
+  // OOV input decodes without crashing.
+  auto oov = tagger.Predict({"zzzz", "qqqq"});
+  EXPECT_EQ(oov.size(), 2u);
+}
+
+TEST(ConceptTaggerTest, DisambiguatesByContext) {
+  // Build a focused dataset around one ambiguous surface: "X event" tags X
+  // as Location, "X season category" tags X as Style.
+  std::vector<TaggedExample> data;
+  for (int i = 0; i < 40; ++i) {
+    data.push_back(TaggedExample{
+        {"shore", "camping"},
+        {{"B-Location", "B-Style"}, {"B-Event"}}});
+    data.push_back(TaggedExample{
+        {"shore", "winter", "boot"},
+        {{"B-Style", "B-Location"}, {"B-Time"}, {"B-Category"}}});
+  }
+  text::PosTagger pos;
+  TaggerResources res;
+  res.pos_tagger = &pos;
+  ConceptTaggerConfig cfg;
+  cfg.use_knowledge = false;
+  cfg.use_fuzzy_crf = true;
+  cfg.epochs = 8;
+  ConceptTagger tagger(cfg, res);
+  tagger.Train(data);
+  auto t1 = tagger.Predict({"shore", "camping"});
+  auto t2 = tagger.Predict({"shore", "winter", "boot"});
+  EXPECT_EQ(t1[1], "B-Event");
+  EXPECT_EQ(t2[1], "B-Time");
+  EXPECT_EQ(t2[2], "B-Category");
+  // The ambiguous token resolves to SOME defensible label in both contexts.
+  EXPECT_TRUE(t1[0] == "B-Location" || t1[0] == "B-Style");
+  EXPECT_TRUE(t2[0] == "B-Location" || t2[0] == "B-Style");
+}
+
+TEST(ConceptTaggerTest, MissingPosTaggerAborts) {
+  ConceptTaggerConfig cfg;
+  TaggerResources empty;
+  EXPECT_DEATH(ConceptTagger(cfg, empty), "POS tagger");
+}
+
+}  // namespace
+}  // namespace alicoco::tagging

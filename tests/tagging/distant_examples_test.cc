@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "tagging/concept_tagger.h"
+
+namespace alicoco::tagging {
+namespace {
+
+text::MaxMatchSegmenter BuildDict() {
+  text::MaxMatchSegmenter dict;
+  dict.AddPhrase({"warm"}, "Function");
+  dict.AddPhrase({"hat"}, "Category");
+  dict.AddPhrase({"rain", "boot"}, "Category");
+  dict.AddPhrase({"village"}, "Location");
+  dict.AddPhrase({"village"}, "Style");
+  return dict;
+}
+
+TEST(DistantExamplesTest, LabelsFullyMatchedPhrases) {
+  auto dict = BuildDict();
+  auto examples = BuildDistantExamples(dict, {{"warm", "hat"}});
+  ASSERT_EQ(examples.size(), 1u);
+  EXPECT_EQ(examples[0].allowed_iob[0],
+            (std::vector<std::string>{"B-Function"}));
+  EXPECT_EQ(examples[0].allowed_iob[1],
+            (std::vector<std::string>{"B-Category"}));
+}
+
+TEST(DistantExamplesTest, MultiTokenSpansGetIobContinuation) {
+  auto dict = BuildDict();
+  auto examples = BuildDistantExamples(dict, {{"rain", "boot"}});
+  ASSERT_EQ(examples.size(), 1u);
+  EXPECT_EQ(examples[0].allowed_iob[0].front(), "B-Category");
+  EXPECT_EQ(examples[0].allowed_iob[1].front(), "I-Category");
+}
+
+TEST(DistantExamplesTest, DropsPartiallyMatchedPhrases) {
+  auto dict = BuildDict();
+  auto examples =
+      BuildDistantExamples(dict, {{"warm", "mystery"}, {"warm", "hat"}});
+  ASSERT_EQ(examples.size(), 1u);
+  EXPECT_EQ(examples[0].tokens[1], "hat");
+}
+
+TEST(DistantExamplesTest, CarrierWordsMayStayUncovered) {
+  auto dict = BuildDict();
+  auto examples =
+      BuildDistantExamples(dict, {{"warm", "hat", "for", "you"}},
+                           {"for", "you"});
+  ASSERT_EQ(examples.size(), 1u);
+  EXPECT_EQ(examples[0].allowed_iob[2], (std::vector<std::string>{"O"}));
+  // Without the carrier list the same phrase is dropped.
+  EXPECT_TRUE(
+      BuildDistantExamples(dict, {{"warm", "hat", "for", "you"}}).empty());
+}
+
+TEST(DistantExamplesTest, AmbiguousSurfaceYieldsFuzzySets) {
+  auto dict = BuildDict();
+  // "village" carries two labels; the max-match is ambiguous, but the
+  // distant example keeps BOTH as allowed labels for fuzzy training.
+  auto examples = BuildDistantExamples(dict, {{"village", "hat"}});
+  ASSERT_EQ(examples.size(), 1u);
+  const auto& allowed = examples[0].allowed_iob[0];
+  EXPECT_EQ(allowed.size(), 2u);
+  EXPECT_NE(std::find(allowed.begin(), allowed.end(), "B-Location"),
+            allowed.end());
+  EXPECT_NE(std::find(allowed.begin(), allowed.end(), "B-Style"),
+            allowed.end());
+}
+
+TEST(DistantExamplesTest, AugmentationTrainsATagger) {
+  auto dict = BuildDict();
+  std::vector<std::vector<std::string>> phrases;
+  for (int i = 0; i < 30; ++i) {
+    phrases.push_back({"warm", "hat"});
+    phrases.push_back({"rain", "boot"});
+  }
+  auto examples = BuildDistantExamples(dict, phrases);
+  ASSERT_EQ(examples.size(), 60u);
+  text::PosTagger pos;
+  TaggerResources res;
+  res.pos_tagger = &pos;
+  ConceptTaggerConfig cfg;
+  cfg.use_knowledge = false;
+  cfg.epochs = 5;
+  ConceptTagger tagger(cfg, res);
+  tagger.Train(examples);
+  auto tags = tagger.Predict({"warm", "hat"});
+  EXPECT_EQ(tags[0], "B-Function");
+  EXPECT_EQ(tags[1], "B-Category");
+}
+
+TEST(DistantExamplesTest, EmptyInputs) {
+  auto dict = BuildDict();
+  EXPECT_TRUE(BuildDistantExamples(dict, {}).empty());
+  EXPECT_TRUE(BuildDistantExamples(dict, {{}}).empty());
+}
+
+}  // namespace
+}  // namespace alicoco::tagging

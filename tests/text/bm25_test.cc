@@ -1,0 +1,90 @@
+#include "text/bm25.h"
+
+#include <gtest/gtest.h>
+
+namespace alicoco::text {
+namespace {
+
+Bm25Index BuildIndex() {
+  Bm25Index idx;
+  idx.AddDocument(1, {"outdoor", "barbecue", "grill", "charcoal"});
+  idx.AddDocument(2, {"warm", "winter", "coat", "wool"});
+  idx.AddDocument(3, {"barbecue", "sauce", "bottle"});
+  idx.Finalize();
+  return idx;
+}
+
+TEST(Bm25Test, MatchingDocScoresHigher) {
+  auto idx = BuildIndex();
+  EXPECT_GT(idx.Score({"barbecue", "grill"}, 1),
+            idx.Score({"barbecue", "grill"}, 2));
+}
+
+TEST(Bm25Test, NoOverlapScoresZero) {
+  auto idx = BuildIndex();
+  EXPECT_DOUBLE_EQ(idx.Score({"zzz"}, 1), 0.0);
+}
+
+TEST(Bm25Test, UnknownDocScoresZero) {
+  auto idx = BuildIndex();
+  EXPECT_DOUBLE_EQ(idx.Score({"barbecue"}, 99), 0.0);
+}
+
+TEST(Bm25Test, TopKOrdersByScore) {
+  auto idx = BuildIndex();
+  auto top = idx.TopK({"barbecue"}, 5);
+  ASSERT_EQ(top.size(), 2u);  // only docs 1 and 3 contain the term
+  // Doc 3 is shorter, so its tf is less dampened by length normalization.
+  EXPECT_EQ(top[0].first, 3);
+  EXPECT_EQ(top[1].first, 1);
+  EXPECT_GE(top[0].second, top[1].second);
+}
+
+TEST(Bm25Test, TopKRespectsLimit) {
+  auto idx = BuildIndex();
+  auto top = idx.TopK({"barbecue"}, 1);
+  EXPECT_EQ(top.size(), 1u);
+  EXPECT_TRUE(idx.TopK({"barbecue"}, 0).empty());
+}
+
+TEST(Bm25Test, RareTermOutweighsCommonTerm) {
+  Bm25Index idx;
+  // "common" in every doc; "rare" only in doc 2.
+  idx.AddDocument(1, {"common", "alpha"});
+  idx.AddDocument(2, {"common", "rare"});
+  idx.AddDocument(3, {"common", "beta"});
+  idx.Finalize();
+  auto top = idx.TopK({"rare", "common"}, 3);
+  ASSERT_GE(top.size(), 1u);
+  EXPECT_EQ(top[0].first, 2);
+}
+
+TEST(Bm25Test, ScoringBeforeFinalizeReturnsZero) {
+  Bm25Index idx;
+  idx.AddDocument(1, {"a"});
+  EXPECT_DOUBLE_EQ(idx.Score({"a"}, 1), 0.0);
+  EXPECT_TRUE(idx.TopK({"a"}, 3).empty());
+}
+
+TEST(Bm25Test, EmptyIndex) {
+  Bm25Index idx;
+  idx.Finalize();
+  EXPECT_TRUE(idx.TopK({"a"}, 3).empty());
+  EXPECT_EQ(idx.num_documents(), 0u);
+}
+
+TEST(Bm25Test, TermFrequencySaturates) {
+  Bm25Index idx;
+  idx.AddDocument(1, {"x"});
+  idx.AddDocument(2, {"x", "x", "x", "x", "x", "x", "x", "x"});
+  idx.AddDocument(3, {"y"});
+  idx.Finalize();
+  double s1 = idx.Score({"x"}, 1);
+  double s2 = idx.Score({"x"}, 2);
+  // More occurrences help, but sub-linearly (k1 saturation).
+  EXPECT_GT(s2, s1);
+  EXPECT_LT(s2, 8 * s1);
+}
+
+}  // namespace
+}  // namespace alicoco::text

@@ -1,0 +1,111 @@
+#include "text/gloss_encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace alicoco::text {
+namespace {
+
+struct Fixture {
+  Vocabulary vocab;
+  std::vector<std::vector<int>> corpus;
+  SkipgramModel model;
+
+  Fixture() : model(Build(), SkipgramConfig{.dim = 8, .epochs = 2, .seed = 5}) {
+    model.Train(corpus, vocab);
+  }
+
+  int Build() {
+    Rng rng(31);
+    std::vector<std::string> words = {"festival", "moon", "cake", "gift",
+                                      "lantern", "warm", "coat", "winter"};
+    for (int i = 0; i < 300; ++i) {
+      std::vector<int> sent;
+      for (int j = 0; j < 5; ++j) {
+        sent.push_back(vocab.Add(words[rng.Uniform(words.size())]));
+      }
+      corpus.push_back(sent);
+    }
+    return vocab.size();
+  }
+};
+
+TEST(GlossEncoderTest, EncodesToUnitVector) {
+  Fixture f;
+  GlossEncoder enc(&f.model, &f.vocab);
+  auto v = enc.Encode({"festival", "moon", "cake"});
+  ASSERT_EQ(v.size(), 8u);
+  float norm = 0;
+  for (float x : v) norm += x * x;
+  EXPECT_NEAR(std::sqrt(norm), 1.0f, 1e-4);
+}
+
+TEST(GlossEncoderTest, EmptyOrUnknownGivesZero) {
+  Fixture f;
+  GlossEncoder enc(&f.model, &f.vocab);
+  for (float x : enc.Encode({})) EXPECT_EQ(x, 0.0f);
+  for (float x : enc.Encode({"zzz", "qqq"})) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(GlossEncoderTest, IdfDownweightsUbiquitousWords) {
+  Fixture f;
+  GlossEncoder enc(&f.model, &f.vocab);
+  // "festival" appears in every doc; "cake" in one.
+  for (int i = 0; i < 50; ++i) {
+    enc.ObserveDocument({"festival", i == 0 ? "cake" : "gift"});
+  }
+  enc.FinalizeIdf();
+  auto with_rare = enc.Encode({"festival", "cake"});
+  // Direction should lean toward the rare word "cake": cosine with pure cake
+  // vector exceeds cosine with pure festival vector.
+  auto cake = enc.Encode({"cake"});
+  auto fest = enc.Encode({"festival"});
+  float dot_cake = 0, dot_fest = 0;
+  for (size_t k = 0; k < with_rare.size(); ++k) {
+    dot_cake += with_rare[k] * cake[k];
+    dot_fest += with_rare[k] * fest[k];
+  }
+  EXPECT_GT(dot_cake, dot_fest);
+}
+
+TEST(GlossEncoderTest, SameInputSameOutput) {
+  Fixture f;
+  GlossEncoder enc(&f.model, &f.vocab);
+  auto a = enc.Encode({"warm", "coat"});
+  auto b = enc.Encode({"warm", "coat"});
+  EXPECT_EQ(a, b);
+}
+
+TEST(ContextMatrixTest, RowsForSeenWordsNonZero) {
+  Fixture f;
+  ContextMatrix tm(f.corpus, f.model, 2);
+  int id = f.vocab.Id("moon");
+  const auto& row = tm.Row(id);
+  ASSERT_EQ(row.size(), 8u);
+  float norm = 0;
+  for (float x : row) norm += x * x;
+  EXPECT_NEAR(std::sqrt(norm), 1.0f, 1e-4);
+}
+
+TEST(ContextMatrixTest, UnseenWordGetsZeroRow) {
+  Fixture f;
+  ContextMatrix tm(f.corpus, f.model, 2);
+  for (float x : tm.Row(-1)) EXPECT_EQ(x, 0.0f);
+  for (float x : tm.Row(999999)) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(ContextMatrixTest, SimilarContextsSimilarRows) {
+  // "moon" and "cake" both co-occur with everything uniformly in the toy
+  // corpus, so their context rows should be highly similar.
+  Fixture f;
+  ContextMatrix tm(f.corpus, f.model, 2);
+  const auto& a = tm.Row(f.vocab.Id("moon"));
+  const auto& b = tm.Row(f.vocab.Id("cake"));
+  float dot = 0;
+  for (size_t k = 0; k < a.size(); ++k) dot += a[k] * b[k];
+  EXPECT_GT(dot, 0.8f);
+}
+
+}  // namespace
+}  // namespace alicoco::text

@@ -1,0 +1,73 @@
+#include "text/ngram_lm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace alicoco::text {
+namespace {
+
+NgramLm TrainToy() {
+  NgramLm lm;
+  for (int i = 0; i < 20; ++i) {
+    lm.AddSentence({"warm", "hat", "for", "traveling"});
+    lm.AddSentence({"warm", "coat", "for", "winter"});
+    lm.AddSentence({"christmas", "gifts", "for", "grandpa"});
+  }
+  lm.Finalize();
+  return lm;
+}
+
+TEST(NgramLmTest, SeenSentenceMoreFluentThanShuffled) {
+  auto lm = TrainToy();
+  double good = lm.Perplexity({"warm", "hat", "for", "traveling"});
+  double bad = lm.Perplexity({"traveling", "for", "hat", "warm"});
+  EXPECT_LT(good, bad);
+}
+
+TEST(NgramLmTest, UnknownWordsRaisePerplexity) {
+  auto lm = TrainToy();
+  double seen = lm.Perplexity({"warm", "hat"});
+  double unseen = lm.Perplexity({"qqq", "zzz"});
+  EXPECT_LT(seen, unseen);
+}
+
+TEST(NgramLmTest, LogProbIsFiniteAndNegative) {
+  auto lm = TrainToy();
+  double lp = lm.LogProb("warm", "hat", "for");
+  EXPECT_TRUE(std::isfinite(lp));
+  EXPECT_LT(lp, 0.0);
+  // Completely unseen context backs off without blowing up.
+  double lp2 = lm.LogProb("alpha", "beta", "gamma");
+  EXPECT_TRUE(std::isfinite(lp2));
+}
+
+TEST(NgramLmTest, HigherCountHigherProb) {
+  NgramLm lm;
+  for (int i = 0; i < 30; ++i) lm.AddSentence({"a", "b"});
+  for (int i = 0; i < 3; ++i) lm.AddSentence({"a", "c"});
+  lm.Finalize();
+  EXPECT_GT(lm.LogProb("<s>", "a", "b"), lm.LogProb("<s>", "a", "c"));
+}
+
+TEST(NgramLmTest, EmptySentencePerplexityFinite) {
+  auto lm = TrainToy();
+  EXPECT_TRUE(std::isfinite(lm.Perplexity({})));
+}
+
+TEST(NgramLmTest, ScoreSentenceMatchesPerplexity) {
+  auto lm = TrainToy();
+  std::vector<std::string> s = {"warm", "hat"};
+  EXPECT_NEAR(std::exp(-lm.ScoreSentence(s)), lm.Perplexity(s), 1e-9);
+}
+
+TEST(NgramLmTest, TotalsTracked) {
+  NgramLm lm;
+  lm.AddSentence({"x", "y"});
+  lm.Finalize();
+  // 2 words + </s>.
+  EXPECT_EQ(lm.total_unigrams(), 3);
+}
+
+}  // namespace
+}  // namespace alicoco::text

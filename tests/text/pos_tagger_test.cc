@@ -1,0 +1,53 @@
+#include "text/pos_tagger.h"
+
+#include <gtest/gtest.h>
+
+namespace alicoco::text {
+namespace {
+
+TEST(PosTaggerTest, BuiltinFunctionWords) {
+  PosTagger tagger;
+  EXPECT_EQ(tagger.Tag("for"), PosTag::kPrep);
+  EXPECT_EQ(tagger.Tag("in"), PosTag::kPrep);
+  EXPECT_EQ(tagger.Tag("the"), PosTag::kOther);
+}
+
+TEST(PosTaggerTest, LexiconWins) {
+  PosTagger tagger;
+  tagger.AddLexeme("barbecue", PosTag::kVerb);
+  EXPECT_EQ(tagger.Tag("barbecue"), PosTag::kVerb);
+  tagger.AddLexeme("barbecue", PosTag::kNoun);  // update
+  EXPECT_EQ(tagger.Tag("barbecue"), PosTag::kNoun);
+}
+
+TEST(PosTaggerTest, SuffixFallbacks) {
+  PosTagger tagger;
+  EXPECT_EQ(tagger.Tag("sunny"), PosTag::kAdj);
+  EXPECT_EQ(tagger.Tag("traveling"), PosTag::kVerb);
+  EXPECT_EQ(tagger.Tag("grill"), PosTag::kNoun);
+}
+
+TEST(PosTaggerTest, Digits) {
+  PosTagger tagger;
+  EXPECT_EQ(tagger.Tag("800"), PosTag::kNum);
+  EXPECT_NE(tagger.Tag("800g"), PosTag::kNum);
+}
+
+TEST(PosTaggerTest, TagSequence) {
+  PosTagger tagger;
+  tagger.AddLexeme("hat", PosTag::kNoun);
+  auto tags = tagger.TagSequence({"warmy", "hat", "for", "traveling"});
+  ASSERT_EQ(tags.size(), 4u);
+  EXPECT_EQ(tags[0], PosTag::kAdj);
+  EXPECT_EQ(tags[1], PosTag::kNoun);
+  EXPECT_EQ(tags[2], PosTag::kPrep);
+  EXPECT_EQ(tags[3], PosTag::kVerb);
+}
+
+TEST(PosTaggerTest, Names) {
+  EXPECT_STREQ(PosTagName(PosTag::kNoun), "NOUN");
+  EXPECT_STREQ(PosTagName(PosTag::kNum), "NUM");
+}
+
+}  // namespace
+}  // namespace alicoco::text

@@ -1,0 +1,108 @@
+#include "text/segmenter.h"
+
+#include <gtest/gtest.h>
+
+namespace alicoco::text {
+namespace {
+
+MaxMatchSegmenter BuildDict() {
+  MaxMatchSegmenter seg;
+  seg.AddPhrase({"outdoor"}, "Location");
+  seg.AddPhrase({"barbecue"}, "Event");
+  seg.AddPhrase({"cotton", "padded", "trousers"}, "Category");
+  seg.AddPhrase({"trousers"}, "Category");
+  return seg;
+}
+
+TEST(SegmenterTest, SingleTokenMatches) {
+  auto seg = BuildDict().Match({"great", "outdoor", "barbecue", "fun"});
+  ASSERT_EQ(seg.matches.size(), 2u);
+  EXPECT_EQ(seg.iob[0], "O");
+  EXPECT_EQ(seg.iob[1], "B-Location");
+  EXPECT_EQ(seg.iob[2], "B-Event");
+  EXPECT_EQ(seg.iob[3], "O");
+  EXPECT_FALSE(seg.ambiguous);
+  EXPECT_EQ(seg.covered_tokens, 2u);
+}
+
+TEST(SegmenterTest, PrefersLongerMatch) {
+  auto seg = BuildDict().Match({"cotton", "padded", "trousers"});
+  ASSERT_EQ(seg.matches.size(), 1u);
+  EXPECT_EQ(seg.matches[0].phrase, "cotton padded trousers");
+  EXPECT_EQ(seg.iob[0], "B-Category");
+  EXPECT_EQ(seg.iob[1], "I-Category");
+  EXPECT_EQ(seg.iob[2], "I-Category");
+  EXPECT_EQ(seg.covered_tokens, 3u);
+}
+
+TEST(SegmenterTest, MultiLabelPhraseIsAmbiguous) {
+  MaxMatchSegmenter seg;
+  seg.AddPhrase({"village"}, "Location");
+  seg.AddPhrase({"village"}, "Style");
+  auto s = seg.Match({"village", "skirt"});
+  EXPECT_TRUE(s.ambiguous);
+}
+
+TEST(SegmenterTest, NonOverlappingUnambiguous) {
+  MaxMatchSegmenter seg;
+  seg.AddPhrase({"warm"}, "Function");
+  seg.AddPhrase({"hat"}, "Category");
+  auto s = seg.Match({"warm", "hat"});
+  EXPECT_FALSE(s.ambiguous);
+  EXPECT_EQ(s.covered_tokens, 2u);
+}
+
+TEST(SegmenterTest, OverlapResolvedByCoverage) {
+  MaxMatchSegmenter seg;
+  seg.AddPhrase({"ice", "cream"}, "Category");
+  seg.AddPhrase({"cream"}, "Category");
+  auto s = seg.Match({"ice", "cream"});
+  // Two-token match covers more; single "cream" is strictly worse.
+  ASSERT_EQ(s.matches.size(), 1u);
+  EXPECT_EQ(s.matches[0].phrase, "ice cream");
+  EXPECT_FALSE(s.ambiguous);
+}
+
+TEST(SegmenterTest, EqualCoverageAlternativesAreAmbiguous) {
+  MaxMatchSegmenter seg;
+  // "a b" vs "b c" both cover 2 of 3 tokens: two optima.
+  seg.AddPhrase({"a", "b"}, "X");
+  seg.AddPhrase({"b", "c"}, "Y");
+  auto s = seg.Match({"a", "b", "c"});
+  EXPECT_TRUE(s.ambiguous);
+  EXPECT_EQ(s.covered_tokens, 2u);
+}
+
+TEST(SegmenterTest, EmptySentence) {
+  auto s = BuildDict().Match({});
+  EXPECT_TRUE(s.matches.empty());
+  EXPECT_TRUE(s.iob.empty());
+  EXPECT_FALSE(s.ambiguous);
+}
+
+TEST(SegmenterTest, NoMatches) {
+  auto s = BuildDict().Match({"hello", "world"});
+  EXPECT_TRUE(s.matches.empty());
+  EXPECT_EQ(s.iob[0], "O");
+  EXPECT_EQ(s.covered_tokens, 0u);
+}
+
+TEST(SegmenterTest, AllOccurrencesIncludesOverlaps) {
+  MaxMatchSegmenter seg;
+  seg.AddPhrase({"ice", "cream"}, "Category");
+  seg.AddPhrase({"cream"}, "Category");
+  auto occ = seg.AllOccurrences({"ice", "cream"});
+  EXPECT_EQ(occ.size(), 2u);
+}
+
+TEST(SegmenterTest, EntryCountingDeduplicates) {
+  MaxMatchSegmenter seg;
+  seg.AddPhrase({"x"}, "A");
+  seg.AddPhrase({"x"}, "A");  // duplicate ignored
+  seg.AddPhrase({"x"}, "B");
+  EXPECT_EQ(seg.num_entries(), 2u);
+  EXPECT_EQ(seg.max_phrase_len(), 1u);
+}
+
+}  // namespace
+}  // namespace alicoco::text

@@ -1,0 +1,60 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace alicoco::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  auto t = Tokenize("Warm Hat for Traveling");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], "warm");
+  EXPECT_EQ(t[3], "traveling");
+}
+
+TEST(TokenizerTest, DropsPunctuation) {
+  auto t = Tokenize("grills, butter; and (charcoal)!");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], "grills");
+  EXPECT_EQ(t[3], "charcoal");
+}
+
+TEST(TokenizerTest, KeepsHyphenCompounds) {
+  auto t = Tokenize("cotton-padded trousers");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], "cotton-padded");
+}
+
+TEST(TokenizerTest, TrailingHyphenStripped) {
+  auto t = Tokenize("odd- case");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], "odd");
+}
+
+TEST(TokenizerTest, KeepsDigits) {
+  auto t = Tokenize("800g cakes");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], "800g");
+}
+
+TEST(TokenizerTest, EmptyAndPunctOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("... !!!").empty());
+}
+
+TEST(CharsTest, SplitsToSingletons) {
+  auto c = Chars("abc");
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], "a");
+  EXPECT_EQ(c[2], "c");
+  EXPECT_TRUE(Chars("").empty());
+}
+
+TEST(JoinTokensTest, InverseOfTokenizeOnCleanInput) {
+  std::vector<std::string> toks = {"outdoor", "barbecue"};
+  EXPECT_EQ(JoinTokens(toks), "outdoor barbecue");
+  EXPECT_EQ(Tokenize(JoinTokens(toks)), toks);
+}
+
+}  // namespace
+}  // namespace alicoco::text
