@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_negatives.dir/bench_fig9_negatives.cc.o"
+  "CMakeFiles/bench_fig9_negatives.dir/bench_fig9_negatives.cc.o.d"
+  "bench_fig9_negatives"
+  "bench_fig9_negatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_negatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_recommendation.cc" "bench/CMakeFiles/bench_recommendation.dir/bench_recommendation.cc.o" "gcc" "bench/CMakeFiles/bench_recommendation.dir/bench_recommendation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alicoco_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_hypernym.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_concepts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_tagging.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

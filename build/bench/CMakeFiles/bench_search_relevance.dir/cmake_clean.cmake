@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_search_relevance.dir/bench_search_relevance.cc.o"
+  "CMakeFiles/bench_search_relevance.dir/bench_search_relevance.cc.o.d"
+  "bench_search_relevance"
+  "bench_search_relevance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_relevance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

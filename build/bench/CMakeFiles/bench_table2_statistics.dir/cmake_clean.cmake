@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_statistics.dir/bench_table2_statistics.cc.o"
+  "CMakeFiles/bench_table2_statistics.dir/bench_table2_statistics.cc.o.d"
+  "bench_table2_statistics"
+  "bench_table2_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_tagging.dir/bench_table5_tagging.cc.o"
+  "CMakeFiles/bench_table5_tagging.dir/bench_table5_tagging.cc.o.d"
+  "bench_table5_tagging"
+  "bench_table5_tagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_alicoco.dir/build_alicoco.cpp.o"
+  "CMakeFiles/build_alicoco.dir/build_alicoco.cpp.o.d"
+  "build_alicoco"
+  "build_alicoco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_alicoco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

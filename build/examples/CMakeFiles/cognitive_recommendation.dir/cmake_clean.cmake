@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cognitive_recommendation.dir/cognitive_recommendation.cpp.o"
+  "CMakeFiles/cognitive_recommendation.dir/cognitive_recommendation.cpp.o.d"
+  "cognitive_recommendation"
+  "cognitive_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cognitive_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

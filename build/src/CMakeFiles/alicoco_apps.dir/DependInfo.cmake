@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/coverage.cc" "src/CMakeFiles/alicoco_apps.dir/apps/coverage.cc.o" "gcc" "src/CMakeFiles/alicoco_apps.dir/apps/coverage.cc.o.d"
+  "/root/repo/src/apps/explanation.cc" "src/CMakeFiles/alicoco_apps.dir/apps/explanation.cc.o" "gcc" "src/CMakeFiles/alicoco_apps.dir/apps/explanation.cc.o.d"
+  "/root/repo/src/apps/question_answering.cc" "src/CMakeFiles/alicoco_apps.dir/apps/question_answering.cc.o" "gcc" "src/CMakeFiles/alicoco_apps.dir/apps/question_answering.cc.o.d"
+  "/root/repo/src/apps/recommender.cc" "src/CMakeFiles/alicoco_apps.dir/apps/recommender.cc.o" "gcc" "src/CMakeFiles/alicoco_apps.dir/apps/recommender.cc.o.d"
+  "/root/repo/src/apps/relation_inference.cc" "src/CMakeFiles/alicoco_apps.dir/apps/relation_inference.cc.o" "gcc" "src/CMakeFiles/alicoco_apps.dir/apps/relation_inference.cc.o.d"
+  "/root/repo/src/apps/search_relevance.cc" "src/CMakeFiles/alicoco_apps.dir/apps/search_relevance.cc.o" "gcc" "src/CMakeFiles/alicoco_apps.dir/apps/search_relevance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alicoco_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

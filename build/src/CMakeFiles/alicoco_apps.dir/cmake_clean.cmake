@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alicoco_apps.dir/apps/coverage.cc.o"
+  "CMakeFiles/alicoco_apps.dir/apps/coverage.cc.o.d"
+  "CMakeFiles/alicoco_apps.dir/apps/explanation.cc.o"
+  "CMakeFiles/alicoco_apps.dir/apps/explanation.cc.o.d"
+  "CMakeFiles/alicoco_apps.dir/apps/question_answering.cc.o"
+  "CMakeFiles/alicoco_apps.dir/apps/question_answering.cc.o.d"
+  "CMakeFiles/alicoco_apps.dir/apps/recommender.cc.o"
+  "CMakeFiles/alicoco_apps.dir/apps/recommender.cc.o.d"
+  "CMakeFiles/alicoco_apps.dir/apps/relation_inference.cc.o"
+  "CMakeFiles/alicoco_apps.dir/apps/relation_inference.cc.o.d"
+  "CMakeFiles/alicoco_apps.dir/apps/search_relevance.cc.o"
+  "CMakeFiles/alicoco_apps.dir/apps/search_relevance.cc.o.d"
+  "libalicoco_apps.a"
+  "libalicoco_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alicoco_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

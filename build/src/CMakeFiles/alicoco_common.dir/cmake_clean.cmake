@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alicoco_common.dir/common/logging.cc.o"
+  "CMakeFiles/alicoco_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/alicoco_common.dir/common/rng.cc.o"
+  "CMakeFiles/alicoco_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/alicoco_common.dir/common/status.cc.o"
+  "CMakeFiles/alicoco_common.dir/common/status.cc.o.d"
+  "CMakeFiles/alicoco_common.dir/common/string_util.cc.o"
+  "CMakeFiles/alicoco_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/alicoco_common.dir/common/table_printer.cc.o"
+  "CMakeFiles/alicoco_common.dir/common/table_printer.cc.o.d"
+  "CMakeFiles/alicoco_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/alicoco_common.dir/common/thread_pool.cc.o.d"
+  "libalicoco_common.a"
+  "libalicoco_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alicoco_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

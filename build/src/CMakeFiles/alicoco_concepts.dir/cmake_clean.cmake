@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alicoco_concepts.dir/concepts/candidate_generation.cc.o"
+  "CMakeFiles/alicoco_concepts.dir/concepts/candidate_generation.cc.o.d"
+  "CMakeFiles/alicoco_concepts.dir/concepts/classifier.cc.o"
+  "CMakeFiles/alicoco_concepts.dir/concepts/classifier.cc.o.d"
+  "CMakeFiles/alicoco_concepts.dir/concepts/criteria.cc.o"
+  "CMakeFiles/alicoco_concepts.dir/concepts/criteria.cc.o.d"
+  "libalicoco_concepts.a"
+  "libalicoco_concepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alicoco_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/grammar.cc" "src/CMakeFiles/alicoco_datagen.dir/datagen/grammar.cc.o" "gcc" "src/CMakeFiles/alicoco_datagen.dir/datagen/grammar.cc.o.d"
+  "/root/repo/src/datagen/legacy_ontology.cc" "src/CMakeFiles/alicoco_datagen.dir/datagen/legacy_ontology.cc.o" "gcc" "src/CMakeFiles/alicoco_datagen.dir/datagen/legacy_ontology.cc.o.d"
+  "/root/repo/src/datagen/resources.cc" "src/CMakeFiles/alicoco_datagen.dir/datagen/resources.cc.o" "gcc" "src/CMakeFiles/alicoco_datagen.dir/datagen/resources.cc.o.d"
+  "/root/repo/src/datagen/vocab_gen.cc" "src/CMakeFiles/alicoco_datagen.dir/datagen/vocab_gen.cc.o" "gcc" "src/CMakeFiles/alicoco_datagen.dir/datagen/vocab_gen.cc.o.d"
+  "/root/repo/src/datagen/world.cc" "src/CMakeFiles/alicoco_datagen.dir/datagen/world.cc.o" "gcc" "src/CMakeFiles/alicoco_datagen.dir/datagen/world.cc.o.d"
+  "/root/repo/src/datagen/world_spec.cc" "src/CMakeFiles/alicoco_datagen.dir/datagen/world_spec.cc.o" "gcc" "src/CMakeFiles/alicoco_datagen.dir/datagen/world_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alicoco_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alicoco_datagen.dir/datagen/grammar.cc.o"
+  "CMakeFiles/alicoco_datagen.dir/datagen/grammar.cc.o.d"
+  "CMakeFiles/alicoco_datagen.dir/datagen/legacy_ontology.cc.o"
+  "CMakeFiles/alicoco_datagen.dir/datagen/legacy_ontology.cc.o.d"
+  "CMakeFiles/alicoco_datagen.dir/datagen/resources.cc.o"
+  "CMakeFiles/alicoco_datagen.dir/datagen/resources.cc.o.d"
+  "CMakeFiles/alicoco_datagen.dir/datagen/vocab_gen.cc.o"
+  "CMakeFiles/alicoco_datagen.dir/datagen/vocab_gen.cc.o.d"
+  "CMakeFiles/alicoco_datagen.dir/datagen/world.cc.o"
+  "CMakeFiles/alicoco_datagen.dir/datagen/world.cc.o.d"
+  "CMakeFiles/alicoco_datagen.dir/datagen/world_spec.cc.o"
+  "CMakeFiles/alicoco_datagen.dir/datagen/world_spec.cc.o.d"
+  "libalicoco_datagen.a"
+  "libalicoco_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alicoco_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alicoco_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/alicoco_eval.dir/eval/metrics.cc.o.d"
+  "libalicoco_eval.a"
+  "libalicoco_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alicoco_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libalicoco_eval.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alicoco_hypernym.dir/hypernym/active_learning.cc.o"
+  "CMakeFiles/alicoco_hypernym.dir/hypernym/active_learning.cc.o.d"
+  "CMakeFiles/alicoco_hypernym.dir/hypernym/patterns.cc.o"
+  "CMakeFiles/alicoco_hypernym.dir/hypernym/patterns.cc.o.d"
+  "CMakeFiles/alicoco_hypernym.dir/hypernym/projection_model.cc.o"
+  "CMakeFiles/alicoco_hypernym.dir/hypernym/projection_model.cc.o.d"
+  "libalicoco_hypernym.a"
+  "libalicoco_hypernym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alicoco_hypernym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

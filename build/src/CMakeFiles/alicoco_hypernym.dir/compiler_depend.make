@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for alicoco_hypernym.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kg/concept_net.cc" "src/CMakeFiles/alicoco_kg.dir/kg/concept_net.cc.o" "gcc" "src/CMakeFiles/alicoco_kg.dir/kg/concept_net.cc.o.d"
+  "/root/repo/src/kg/graphviz.cc" "src/CMakeFiles/alicoco_kg.dir/kg/graphviz.cc.o" "gcc" "src/CMakeFiles/alicoco_kg.dir/kg/graphviz.cc.o.d"
+  "/root/repo/src/kg/ids.cc" "src/CMakeFiles/alicoco_kg.dir/kg/ids.cc.o" "gcc" "src/CMakeFiles/alicoco_kg.dir/kg/ids.cc.o.d"
+  "/root/repo/src/kg/persistence.cc" "src/CMakeFiles/alicoco_kg.dir/kg/persistence.cc.o" "gcc" "src/CMakeFiles/alicoco_kg.dir/kg/persistence.cc.o.d"
+  "/root/repo/src/kg/schema.cc" "src/CMakeFiles/alicoco_kg.dir/kg/schema.cc.o" "gcc" "src/CMakeFiles/alicoco_kg.dir/kg/schema.cc.o.d"
+  "/root/repo/src/kg/stats.cc" "src/CMakeFiles/alicoco_kg.dir/kg/stats.cc.o" "gcc" "src/CMakeFiles/alicoco_kg.dir/kg/stats.cc.o.d"
+  "/root/repo/src/kg/taxonomy.cc" "src/CMakeFiles/alicoco_kg.dir/kg/taxonomy.cc.o" "gcc" "src/CMakeFiles/alicoco_kg.dir/kg/taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alicoco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

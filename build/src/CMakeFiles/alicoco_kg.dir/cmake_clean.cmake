@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alicoco_kg.dir/kg/concept_net.cc.o"
+  "CMakeFiles/alicoco_kg.dir/kg/concept_net.cc.o.d"
+  "CMakeFiles/alicoco_kg.dir/kg/graphviz.cc.o"
+  "CMakeFiles/alicoco_kg.dir/kg/graphviz.cc.o.d"
+  "CMakeFiles/alicoco_kg.dir/kg/ids.cc.o"
+  "CMakeFiles/alicoco_kg.dir/kg/ids.cc.o.d"
+  "CMakeFiles/alicoco_kg.dir/kg/persistence.cc.o"
+  "CMakeFiles/alicoco_kg.dir/kg/persistence.cc.o.d"
+  "CMakeFiles/alicoco_kg.dir/kg/schema.cc.o"
+  "CMakeFiles/alicoco_kg.dir/kg/schema.cc.o.d"
+  "CMakeFiles/alicoco_kg.dir/kg/stats.cc.o"
+  "CMakeFiles/alicoco_kg.dir/kg/stats.cc.o.d"
+  "CMakeFiles/alicoco_kg.dir/kg/taxonomy.cc.o"
+  "CMakeFiles/alicoco_kg.dir/kg/taxonomy.cc.o.d"
+  "libalicoco_kg.a"
+  "libalicoco_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alicoco_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/bm25_matcher.cc" "src/CMakeFiles/alicoco_matching.dir/matching/bm25_matcher.cc.o" "gcc" "src/CMakeFiles/alicoco_matching.dir/matching/bm25_matcher.cc.o.d"
+  "/root/repo/src/matching/dataset.cc" "src/CMakeFiles/alicoco_matching.dir/matching/dataset.cc.o" "gcc" "src/CMakeFiles/alicoco_matching.dir/matching/dataset.cc.o.d"
+  "/root/repo/src/matching/dssm.cc" "src/CMakeFiles/alicoco_matching.dir/matching/dssm.cc.o" "gcc" "src/CMakeFiles/alicoco_matching.dir/matching/dssm.cc.o.d"
+  "/root/repo/src/matching/knowledge_matcher.cc" "src/CMakeFiles/alicoco_matching.dir/matching/knowledge_matcher.cc.o" "gcc" "src/CMakeFiles/alicoco_matching.dir/matching/knowledge_matcher.cc.o.d"
+  "/root/repo/src/matching/match_pyramid.cc" "src/CMakeFiles/alicoco_matching.dir/matching/match_pyramid.cc.o" "gcc" "src/CMakeFiles/alicoco_matching.dir/matching/match_pyramid.cc.o.d"
+  "/root/repo/src/matching/neural_base.cc" "src/CMakeFiles/alicoco_matching.dir/matching/neural_base.cc.o" "gcc" "src/CMakeFiles/alicoco_matching.dir/matching/neural_base.cc.o.d"
+  "/root/repo/src/matching/re2_matcher.cc" "src/CMakeFiles/alicoco_matching.dir/matching/re2_matcher.cc.o" "gcc" "src/CMakeFiles/alicoco_matching.dir/matching/re2_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alicoco_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alicoco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alicoco_matching.dir/matching/bm25_matcher.cc.o"
+  "CMakeFiles/alicoco_matching.dir/matching/bm25_matcher.cc.o.d"
+  "CMakeFiles/alicoco_matching.dir/matching/dataset.cc.o"
+  "CMakeFiles/alicoco_matching.dir/matching/dataset.cc.o.d"
+  "CMakeFiles/alicoco_matching.dir/matching/dssm.cc.o"
+  "CMakeFiles/alicoco_matching.dir/matching/dssm.cc.o.d"
+  "CMakeFiles/alicoco_matching.dir/matching/knowledge_matcher.cc.o"
+  "CMakeFiles/alicoco_matching.dir/matching/knowledge_matcher.cc.o.d"
+  "CMakeFiles/alicoco_matching.dir/matching/match_pyramid.cc.o"
+  "CMakeFiles/alicoco_matching.dir/matching/match_pyramid.cc.o.d"
+  "CMakeFiles/alicoco_matching.dir/matching/neural_base.cc.o"
+  "CMakeFiles/alicoco_matching.dir/matching/neural_base.cc.o.d"
+  "CMakeFiles/alicoco_matching.dir/matching/re2_matcher.cc.o"
+  "CMakeFiles/alicoco_matching.dir/matching/re2_matcher.cc.o.d"
+  "libalicoco_matching.a"
+  "libalicoco_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alicoco_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alicoco_mining.dir/mining/concept_miner.cc.o"
+  "CMakeFiles/alicoco_mining.dir/mining/concept_miner.cc.o.d"
+  "CMakeFiles/alicoco_mining.dir/mining/distant_supervision.cc.o"
+  "CMakeFiles/alicoco_mining.dir/mining/distant_supervision.cc.o.d"
+  "CMakeFiles/alicoco_mining.dir/mining/sequence_labeler.cc.o"
+  "CMakeFiles/alicoco_mining.dir/mining/sequence_labeler.cc.o.d"
+  "libalicoco_mining.a"
+  "libalicoco_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alicoco_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

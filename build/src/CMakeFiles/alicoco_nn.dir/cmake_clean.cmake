@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alicoco_nn.dir/nn/crf.cc.o"
+  "CMakeFiles/alicoco_nn.dir/nn/crf.cc.o.d"
+  "CMakeFiles/alicoco_nn.dir/nn/graph.cc.o"
+  "CMakeFiles/alicoco_nn.dir/nn/graph.cc.o.d"
+  "CMakeFiles/alicoco_nn.dir/nn/layers.cc.o"
+  "CMakeFiles/alicoco_nn.dir/nn/layers.cc.o.d"
+  "CMakeFiles/alicoco_nn.dir/nn/ops.cc.o"
+  "CMakeFiles/alicoco_nn.dir/nn/ops.cc.o.d"
+  "CMakeFiles/alicoco_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/alicoco_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/alicoco_nn.dir/nn/rnn.cc.o"
+  "CMakeFiles/alicoco_nn.dir/nn/rnn.cc.o.d"
+  "CMakeFiles/alicoco_nn.dir/nn/serialize.cc.o"
+  "CMakeFiles/alicoco_nn.dir/nn/serialize.cc.o.d"
+  "CMakeFiles/alicoco_nn.dir/nn/tensor.cc.o"
+  "CMakeFiles/alicoco_nn.dir/nn/tensor.cc.o.d"
+  "libalicoco_nn.a"
+  "libalicoco_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alicoco_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

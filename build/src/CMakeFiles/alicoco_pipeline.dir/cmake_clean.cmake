@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alicoco_pipeline.dir/pipeline/builder.cc.o"
+  "CMakeFiles/alicoco_pipeline.dir/pipeline/builder.cc.o.d"
+  "libalicoco_pipeline.a"
+  "libalicoco_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alicoco_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alicoco_tagging.dir/tagging/concept_tagger.cc.o"
+  "CMakeFiles/alicoco_tagging.dir/tagging/concept_tagger.cc.o.d"
+  "libalicoco_tagging.a"
+  "libalicoco_tagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alicoco_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/bm25.cc" "src/CMakeFiles/alicoco_text.dir/text/bm25.cc.o" "gcc" "src/CMakeFiles/alicoco_text.dir/text/bm25.cc.o.d"
+  "/root/repo/src/text/gloss_encoder.cc" "src/CMakeFiles/alicoco_text.dir/text/gloss_encoder.cc.o" "gcc" "src/CMakeFiles/alicoco_text.dir/text/gloss_encoder.cc.o.d"
+  "/root/repo/src/text/ngram_lm.cc" "src/CMakeFiles/alicoco_text.dir/text/ngram_lm.cc.o" "gcc" "src/CMakeFiles/alicoco_text.dir/text/ngram_lm.cc.o.d"
+  "/root/repo/src/text/pos_tagger.cc" "src/CMakeFiles/alicoco_text.dir/text/pos_tagger.cc.o" "gcc" "src/CMakeFiles/alicoco_text.dir/text/pos_tagger.cc.o.d"
+  "/root/repo/src/text/segmenter.cc" "src/CMakeFiles/alicoco_text.dir/text/segmenter.cc.o" "gcc" "src/CMakeFiles/alicoco_text.dir/text/segmenter.cc.o.d"
+  "/root/repo/src/text/skipgram.cc" "src/CMakeFiles/alicoco_text.dir/text/skipgram.cc.o" "gcc" "src/CMakeFiles/alicoco_text.dir/text/skipgram.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/alicoco_text.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/alicoco_text.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/alicoco_text.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/alicoco_text.dir/text/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/alicoco_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alicoco_text.dir/text/bm25.cc.o"
+  "CMakeFiles/alicoco_text.dir/text/bm25.cc.o.d"
+  "CMakeFiles/alicoco_text.dir/text/gloss_encoder.cc.o"
+  "CMakeFiles/alicoco_text.dir/text/gloss_encoder.cc.o.d"
+  "CMakeFiles/alicoco_text.dir/text/ngram_lm.cc.o"
+  "CMakeFiles/alicoco_text.dir/text/ngram_lm.cc.o.d"
+  "CMakeFiles/alicoco_text.dir/text/pos_tagger.cc.o"
+  "CMakeFiles/alicoco_text.dir/text/pos_tagger.cc.o.d"
+  "CMakeFiles/alicoco_text.dir/text/segmenter.cc.o"
+  "CMakeFiles/alicoco_text.dir/text/segmenter.cc.o.d"
+  "CMakeFiles/alicoco_text.dir/text/skipgram.cc.o"
+  "CMakeFiles/alicoco_text.dir/text/skipgram.cc.o.d"
+  "CMakeFiles/alicoco_text.dir/text/tokenizer.cc.o"
+  "CMakeFiles/alicoco_text.dir/text/tokenizer.cc.o.d"
+  "CMakeFiles/alicoco_text.dir/text/vocabulary.cc.o"
+  "CMakeFiles/alicoco_text.dir/text/vocabulary.cc.o.d"
+  "libalicoco_text.a"
+  "libalicoco_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alicoco_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

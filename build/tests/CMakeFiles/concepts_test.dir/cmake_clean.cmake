@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concepts_test.dir/concepts/candidate_generation_test.cc.o"
+  "CMakeFiles/concepts_test.dir/concepts/candidate_generation_test.cc.o.d"
+  "CMakeFiles/concepts_test.dir/concepts/classifier_test.cc.o"
+  "CMakeFiles/concepts_test.dir/concepts/classifier_test.cc.o.d"
+  "CMakeFiles/concepts_test.dir/concepts/criteria_test.cc.o"
+  "CMakeFiles/concepts_test.dir/concepts/criteria_test.cc.o.d"
+  "concepts_test"
+  "concepts_test.pdb"
+  "concepts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concepts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

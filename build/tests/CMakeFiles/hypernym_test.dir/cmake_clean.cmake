@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypernym_test.dir/hypernym/patterns_test.cc.o"
+  "CMakeFiles/hypernym_test.dir/hypernym/patterns_test.cc.o.d"
+  "CMakeFiles/hypernym_test.dir/hypernym/projection_test.cc.o"
+  "CMakeFiles/hypernym_test.dir/hypernym/projection_test.cc.o.d"
+  "hypernym_test"
+  "hypernym_test.pdb"
+  "hypernym_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypernym_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

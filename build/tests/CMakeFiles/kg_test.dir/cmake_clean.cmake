@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_test.dir/kg/concept_net_test.cc.o"
+  "CMakeFiles/kg_test.dir/kg/concept_net_test.cc.o.d"
+  "CMakeFiles/kg_test.dir/kg/graphviz_test.cc.o"
+  "CMakeFiles/kg_test.dir/kg/graphviz_test.cc.o.d"
+  "CMakeFiles/kg_test.dir/kg/persistence_test.cc.o"
+  "CMakeFiles/kg_test.dir/kg/persistence_test.cc.o.d"
+  "CMakeFiles/kg_test.dir/kg/probability_test.cc.o"
+  "CMakeFiles/kg_test.dir/kg/probability_test.cc.o.d"
+  "CMakeFiles/kg_test.dir/kg/schema_test.cc.o"
+  "CMakeFiles/kg_test.dir/kg/schema_test.cc.o.d"
+  "CMakeFiles/kg_test.dir/kg/stats_test.cc.o"
+  "CMakeFiles/kg_test.dir/kg/stats_test.cc.o.d"
+  "CMakeFiles/kg_test.dir/kg/taxonomy_test.cc.o"
+  "CMakeFiles/kg_test.dir/kg/taxonomy_test.cc.o.d"
+  "kg_test"
+  "kg_test.pdb"
+  "kg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mining_test.dir/mining/checkpoint_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/checkpoint_test.cc.o.d"
+  "CMakeFiles/mining_test.dir/mining/concept_miner_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/concept_miner_test.cc.o.d"
+  "CMakeFiles/mining_test.dir/mining/distant_supervision_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/distant_supervision_test.cc.o.d"
+  "CMakeFiles/mining_test.dir/mining/sequence_labeler_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/sequence_labeler_test.cc.o.d"
+  "mining_test"
+  "mining_test.pdb"
+  "mining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

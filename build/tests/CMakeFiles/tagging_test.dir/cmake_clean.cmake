@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagging_test.dir/tagging/concept_tagger_test.cc.o"
+  "CMakeFiles/tagging_test.dir/tagging/concept_tagger_test.cc.o.d"
+  "CMakeFiles/tagging_test.dir/tagging/distant_examples_test.cc.o"
+  "CMakeFiles/tagging_test.dir/tagging/distant_examples_test.cc.o.d"
+  "tagging_test"
+  "tagging_test.pdb"
+  "tagging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

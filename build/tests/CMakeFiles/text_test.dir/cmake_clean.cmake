@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_test.dir/text/bm25_test.cc.o"
+  "CMakeFiles/text_test.dir/text/bm25_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/gloss_encoder_test.cc.o"
+  "CMakeFiles/text_test.dir/text/gloss_encoder_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/ngram_lm_test.cc.o"
+  "CMakeFiles/text_test.dir/text/ngram_lm_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/pos_tagger_test.cc.o"
+  "CMakeFiles/text_test.dir/text/pos_tagger_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/segmenter_test.cc.o"
+  "CMakeFiles/text_test.dir/text/segmenter_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/skipgram_test.cc.o"
+  "CMakeFiles/text_test.dir/text/skipgram_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/tokenizer_test.cc.o"
+  "CMakeFiles/text_test.dir/text/tokenizer_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/vocabulary_test.cc.o"
+  "CMakeFiles/text_test.dir/text/vocabulary_test.cc.o.d"
+  "text_test"
+  "text_test.pdb"
+  "text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
