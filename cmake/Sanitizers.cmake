@@ -1,0 +1,53 @@
+# Sanitizer and warning hardening applied to every target (src, tests,
+# bench, examples). Include from the top-level CMakeLists before any
+# add_subdirectory so the flags reach the whole stack.
+#
+#   -DALICOCO_SANITIZE=address            ASan
+#   -DALICOCO_SANITIZE=undefined          UBSan (recover disabled: any report
+#                                         aborts, so ctest fails loudly)
+#   -DALICOCO_SANITIZE=thread             TSan
+#   -DALICOCO_SANITIZE=address,undefined  combined ASan+UBSan
+#   -DALICOCO_WERROR=ON                   -Wall -Wextra are errors
+#
+# Sanitized builds also define ALICOCO_FORCE_DCHECKS so the ALICOCO_DCHECK
+# invariant layer (common/check.h) stays armed even in optimized builds.
+
+set(ALICOCO_SANITIZE "" CACHE STRING
+    "Sanitizers to enable: address, undefined, thread, or address,undefined")
+set_property(CACHE ALICOCO_SANITIZE PROPERTY STRINGS
+             "" "address" "undefined" "thread" "address,undefined")
+
+option(ALICOCO_WERROR "Treat compiler warnings as errors" OFF)
+
+if(ALICOCO_SANITIZE)
+  string(REPLACE "," ";" _alicoco_san_list "${ALICOCO_SANITIZE}")
+  foreach(_san IN LISTS _alicoco_san_list)
+    if(NOT _san MATCHES "^(address|undefined|thread|leak)$")
+      message(FATAL_ERROR
+              "ALICOCO_SANITIZE: unknown sanitizer '${_san}' "
+              "(expected address, undefined, thread, or leak)")
+    endif()
+  endforeach()
+  if("thread" IN_LIST _alicoco_san_list AND
+     ("address" IN_LIST _alicoco_san_list OR
+      "leak" IN_LIST _alicoco_san_list))
+    message(FATAL_ERROR
+            "ALICOCO_SANITIZE: thread cannot be combined with "
+            "address/leak — run them as separate builds")
+  endif()
+
+  add_compile_options(
+    -fsanitize=${ALICOCO_SANITIZE}
+    -fno-omit-frame-pointer
+    -fno-sanitize-recover=all
+    -g)
+  add_link_options(-fsanitize=${ALICOCO_SANITIZE})
+  add_compile_definitions(ALICOCO_FORCE_DCHECKS=1)
+  message(STATUS "AliCoCo: sanitizers enabled: ${ALICOCO_SANITIZE} "
+                 "(DCHECKs forced on)")
+endif()
+
+if(ALICOCO_WERROR)
+  add_compile_options(-Werror)
+  message(STATUS "AliCoCo: warnings are errors")
+endif()

@@ -25,7 +25,7 @@ int main() {
   kg::ClassId kitchen = *tax.AddClass("Kitchen", category);
 
   // Schema: typed relations over classes (Section 2).
-  (void)net.schema().AddRelation("suitable_when", category, season);
+  (void)net.AddRelation("suitable_when", category, season);
 
   // ---- Primitive concepts (Section 4) ----
   kg::ConceptId outdoor = *net.GetOrAddPrimitiveConcept("outdoor", location);

@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 
 namespace alicoco {
 namespace {
@@ -35,15 +34,5 @@ void Logger::Emit(LogLevel level, const char* file, int line,
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
                message.c_str());
 }
-
-namespace internal {
-CheckFailure::CheckFailure(const char* file, int line, const char* expr) {
-  stream_ << "CHECK failed at " << file << ":" << line << ": " << expr << " ";
-}
-CheckFailure::~CheckFailure() {
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
-  std::abort();
-}
-}  // namespace internal
 
 }  // namespace alicoco

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <string>
 
+#include "common/check.h"
+
 namespace alicoco {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
@@ -49,22 +51,8 @@ class LogMessage {
   ::alicoco::LogMessage(::alicoco::LogLevel::k##severity, __FILE__, \
                         __LINE__)
 
-/// Hard invariant; aborts with a message when violated (all build types).
-#define ALICOCO_CHECK(cond)                                             \
-  if (!(cond))                                                          \
-  ::alicoco::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
-
-namespace internal {
-class CheckFailure {
- public:
-  CheckFailure(const char* file, int line, const char* expr);
-  [[noreturn]] ~CheckFailure();
-  std::ostringstream& stream() { return stream_; }
-
- private:
-  std::ostringstream stream_;
-};
-}  // namespace internal
+// ALICOCO_CHECK and friends live in common/check.h (included above) so the
+// invariant layer is usable without pulling in logging.
 
 }  // namespace alicoco
 

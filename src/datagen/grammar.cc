@@ -13,19 +13,19 @@ const std::vector<std::string> kFillerNouns = {"edition", "set", "pack",
 }  // namespace
 
 const std::vector<std::string>& CarrierVocabulary() {
-  static const std::vector<std::string>* kAll = [] {
-    auto* v = new std::vector<std::string>;
+  static const std::vector<std::string> kAll = [] {
+    std::vector<std::string> v;
     for (const auto& pool : {kDeterminers, kCopulas, kIntensifiers,
                              kConjunctions, kFillerNouns}) {
-      v->insert(v->end(), pool.begin(), pool.end());
+      v.insert(v.end(), pool.begin(), pool.end());
     }
     for (const char* w : {"for", "in", "such", "as", "you", "need", "needs",
                           "every", "gifts"}) {
-      v->push_back(w);
+      v.emplace_back(w);
     }
     return v;
   }();
-  return *kAll;
+  return kAll;
 }
 
 SentenceBuilder& SentenceBuilder::Concept(

@@ -27,14 +27,11 @@ World World::Generate(const WorldConfig& config) {
 
   // Schema: the relations the paper names (Section 2) plus gift_for.
   const auto& h = world.handles_;
-  ALICOCO_CHECK(world.net_.schema()
-                    .AddRelation("suitable_when", h.category, h.time_season)
-                    .ok());
   ALICOCO_CHECK(
-      world.net_.schema().AddRelation("used_when", h.category, h.event).ok());
-  ALICOCO_CHECK(world.net_.schema()
-                    .AddRelation("suitable_for", h.category, h.audience)
-                    .ok());
+      world.net_.AddRelation("suitable_when", h.category, h.time_season).ok());
+  ALICOCO_CHECK(world.net_.AddRelation("used_when", h.category, h.event).ok());
+  ALICOCO_CHECK(
+      world.net_.AddRelation("suitable_for", h.category, h.audience).ok());
 
   Rng rng(config.seed);
   WordMinter minter(rng.NextUint64());

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <deque>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace alicoco::kg {
@@ -25,8 +25,6 @@ bool EdgeExists(const std::unordered_map<K, std::vector<V>>& map, K key,
 }
 
 }  // namespace
-
-ConceptNet::ConceptNet() : schema_(&taxonomy_) {}
 
 Result<ConceptId> ConceptNet::GetOrAddPrimitiveConcept(
     const std::string& surface, ClassId cls) {
@@ -126,6 +124,11 @@ Status ConceptNet::AddIsA(ConceptId hyponym, ConceptId hypernym) {
         "isA cycle rejected: " + primitives_[hyponym.value].surface + " -> " +
         primitives_[hypernym.value].surface);
   }
+  // Forward/reverse adjacency must stay mirrored; a one-sided edge would
+  // corrupt closure queries silently.
+  ALICOCO_DCHECK(!EdgeExists(hyponyms_, hypernym, hyponym))
+      << "reverse isA edge already present for "
+      << primitives_[hyponym.value].surface;
   hypernyms_[hyponym].push_back(hypernym);
   hyponyms_[hypernym].push_back(hyponym);
   ++isa_edge_count_;
@@ -218,7 +221,7 @@ Status ConceptNet::AddTypedRelation(const std::string& relation,
   if (!Contains(subject) || !Contains(object)) {
     return Status::NotFound("unknown concept in typed relation");
   }
-  ALICOCO_RETURN_NOT_OK(schema_.Validate(relation,
+  ALICOCO_RETURN_NOT_OK(schema_.Validate(taxonomy_, relation,
                                          primitives_[subject.value].cls,
                                          primitives_[object.value].cls));
   typed_by_subject_[subject].push_back(typed_relations_.size());
@@ -278,6 +281,7 @@ std::vector<ConceptId> ConceptNet::Hyponyms(ConceptId id) const {
 }
 
 std::vector<ConceptId> ConceptNet::HypernymClosure(ConceptId id) const {
+  ALICOCO_DCHECK(Contains(id)) << "closure of unknown concept " << id.value;
   std::vector<ConceptId> out;
   std::deque<ConceptId> queue = {id};
   std::unordered_set<ConceptId> seen = {id};
@@ -285,6 +289,9 @@ std::vector<ConceptId> ConceptNet::HypernymClosure(ConceptId id) const {
     ConceptId cur = queue.front();
     queue.pop_front();
     for (ConceptId next : Lookup(hypernyms_, cur)) {
+      ALICOCO_DCHECK(Contains(next))
+          << "dangling isA endpoint " << next.value << " reachable from "
+          << id.value;
       if (seen.insert(next).second) {
         out.push_back(next);
         queue.push_back(next);

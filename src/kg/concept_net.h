@@ -59,12 +59,16 @@ struct TypedRelation {
 /// The net. Not thread-safe for writes.
 class ConceptNet {
  public:
-  ConceptNet();
+  ConceptNet() = default;
 
   Taxonomy& taxonomy() { return taxonomy_; }
   const Taxonomy& taxonomy() const { return taxonomy_; }
-  Schema& schema() { return schema_; }
   const Schema& schema() const { return schema_; }
+
+  /// Registers a typed-relation signature against this net's taxonomy.
+  Status AddRelation(const std::string& name, ClassId domain, ClassId range) {
+    return schema_.AddRelation(taxonomy_, name, domain, range);
+  }
 
   // ---- node creation ----
 
@@ -187,6 +191,12 @@ class ConceptNet {
   const std::vector<Item>& items() const { return items_; }
 
  private:
+  // The validator audits internal adjacency for invariants unreachable
+  // through the public API (dangling map keys, one-sided edges); the test
+  // peer injects exactly those corruptions to prove the audit catches them.
+  friend class Validator;
+  friend class ValidatorTestPeer;
+
   template <typename K, typename V>
   using AdjMap = std::unordered_map<K, std::vector<V>>;
 

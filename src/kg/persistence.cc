@@ -146,7 +146,7 @@ Result<ConceptNet> LoadConceptNet(const std::string& path) {
     if (!std::getline(in, line)) return Status::Corruption("truncated SCHEMA");
     auto parts = SplitTabs(line);
     if (parts.size() != 3) return Status::Corruption("bad schema line");
-    ALICOCO_RETURN_NOT_OK(net.schema().AddRelation(
+    ALICOCO_RETURN_NOT_OK(net.AddRelation(
         parts[2], ClassId(static_cast<uint32_t>(std::stoul(parts[0]))),
         ClassId(static_cast<uint32_t>(std::stoul(parts[1])))));
   }

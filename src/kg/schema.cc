@@ -1,19 +1,13 @@
 #include "kg/schema.h"
 
-#include "common/logging.h"
-
 namespace alicoco::kg {
 
-Schema::Schema(const Taxonomy* taxonomy) : taxonomy_(taxonomy) {
-  ALICOCO_CHECK(taxonomy != nullptr);
-}
-
-Status Schema::AddRelation(const std::string& name, ClassId domain,
-                           ClassId range) {
+Status Schema::AddRelation(const Taxonomy& taxonomy, const std::string& name,
+                           ClassId domain, ClassId range) {
   if (by_name_.count(name)) {
     return Status::AlreadyExists("relation exists: " + name);
   }
-  if (!taxonomy_->Contains(domain) || !taxonomy_->Contains(range)) {
+  if (!taxonomy.Contains(domain) || !taxonomy.Contains(range)) {
     return Status::NotFound("unknown class in relation " + name);
   }
   by_name_[name] = defs_.size();
@@ -26,19 +20,22 @@ const RelationDef* Schema::Find(const std::string& name) const {
   return it == by_name_.end() ? nullptr : &defs_[it->second];
 }
 
-Status Schema::Validate(const std::string& name, ClassId subject_class,
-                        ClassId object_class) const {
+Status Schema::Validate(const Taxonomy& taxonomy, const std::string& name,
+                        ClassId subject_class, ClassId object_class) const {
   const RelationDef* def = Find(name);
   if (def == nullptr) return Status::NotFound("unknown relation " + name);
-  if (!taxonomy_->IsAncestor(def->domain, subject_class)) {
+  if (!taxonomy.Contains(subject_class) || !taxonomy.Contains(object_class)) {
+    return Status::NotFound("unknown class in typed relation " + name);
+  }
+  if (!taxonomy.IsAncestor(def->domain, subject_class)) {
     return Status::InvalidArgument(
         "subject class violates domain of " + name + ": " +
-        taxonomy_->Get(subject_class).name);
+        taxonomy.Get(subject_class).name);
   }
-  if (!taxonomy_->IsAncestor(def->range, object_class)) {
+  if (!taxonomy.IsAncestor(def->range, object_class)) {
     return Status::InvalidArgument(
         "object class violates range of " + name + ": " +
-        taxonomy_->Get(object_class).name);
+        taxonomy.Get(object_class).name);
   }
   return Status::OK();
 }

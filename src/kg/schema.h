@@ -3,6 +3,11 @@
 // A relation such as suitable_when(Category->Pants, Time->Season) constrains
 // which primitive-concept pairs a typed edge may connect: the subject's class
 // must descend from the relation's domain, the object's from its range.
+//
+// The schema is a plain value type: it stores no taxonomy pointer (a stored
+// pointer dangled whenever the owning ConceptNet was moved or copied — the
+// sanitizer toolchain flushed that out). Callers pass the taxonomy to the
+// operations that need it.
 
 #ifndef ALICOCO_KG_SCHEMA_H_
 #define ALICOCO_KG_SCHEMA_H_
@@ -26,23 +31,24 @@ struct RelationDef {
 /// Registry of relation signatures with type checking.
 class Schema {
  public:
-  /// `taxonomy` must outlive the schema.
-  explicit Schema(const Taxonomy* taxonomy);
+  Schema() = default;
 
-  /// Registers a relation; fails on duplicate names or unknown classes.
-  Status AddRelation(const std::string& name, ClassId domain, ClassId range);
+  /// Registers a relation; fails on duplicate names or classes unknown to
+  /// `taxonomy`.
+  Status AddRelation(const Taxonomy& taxonomy, const std::string& name,
+                     ClassId domain, ClassId range);
 
   /// The definition for `name` (nullptr if unknown).
   const RelationDef* Find(const std::string& name) const;
 
-  /// OK iff `name` exists and the classes satisfy its signature.
-  Status Validate(const std::string& name, ClassId subject_class,
-                  ClassId object_class) const;
+  /// OK iff `name` exists and the classes satisfy its signature under
+  /// `taxonomy`.
+  Status Validate(const Taxonomy& taxonomy, const std::string& name,
+                  ClassId subject_class, ClassId object_class) const;
 
   const std::vector<RelationDef>& relations() const { return defs_; }
 
  private:
-  const Taxonomy* taxonomy_;
   std::vector<RelationDef> defs_;
   std::unordered_map<std::string, size_t> by_name_;
 };

@@ -4,11 +4,19 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace alicoco::nn {
 namespace {
 constexpr uint32_t kMagic = 0xA11C0C05;
+
+// Bounds on untrusted header fields: a corrupt or truncated file must fail
+// with Status::Corruption, never drive an allocation or a loop off a
+// garbage length.
+constexpr uint32_t kMaxNameLen = 1u << 16;
+constexpr uint32_t kMaxParams = 1u << 20;
+constexpr uint32_t kMaxDim = 1u << 24;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -33,6 +41,13 @@ Status SaveParameters(const ParameterStore& store, const std::string& path) {
     return Status::IOError("write failed: " + path);
   }
   for (const auto& p : store.params()) {
+    ALICOCO_DCHECK(p != nullptr);
+    ALICOCO_CHECK_LE(p->name.size(), kMaxNameLen)
+        << "parameter name too long to serialize: " << p->name;
+    ALICOCO_CHECK_EQ(static_cast<size_t>(p->value.rows()) *
+                         static_cast<size_t>(p->value.cols()),
+                     p->value.size())
+        << "inconsistent tensor shape for parameter " << p->name;
     uint32_t name_len = static_cast<uint32_t>(p->name.size());
     if (!WriteU32(f.get(), name_len) ||
         std::fwrite(p->name.data(), 1, name_len, f.get()) != name_len ||
@@ -54,6 +69,11 @@ Status LoadParameters(ParameterStore* store, const std::string& path) {
     return Status::Corruption("bad magic in " + path);
   }
   if (!ReadU32(f.get(), &count)) return Status::Corruption("truncated: " + path);
+  if (count > kMaxParams) {
+    return Status::Corruption(
+        StringPrintf("implausible parameter count %u in %s", count,
+                     path.c_str()));
+  }
   if (count != store->params().size()) {
     return Status::InvalidArgument(StringPrintf(
         "parameter count mismatch: file has %u, store has %zu", count,
@@ -64,10 +84,20 @@ Status LoadParameters(ParameterStore* store, const std::string& path) {
     if (!ReadU32(f.get(), &name_len)) {
       return Status::Corruption("truncated: " + path);
     }
+    if (name_len == 0 || name_len > kMaxNameLen) {
+      return Status::Corruption(
+          StringPrintf("implausible name length %u in %s", name_len,
+                       path.c_str()));
+    }
     std::string name(name_len, '\0');
     if (std::fread(name.data(), 1, name_len, f.get()) != name_len ||
         !ReadU32(f.get(), &rows) || !ReadU32(f.get(), &cols)) {
       return Status::Corruption("truncated: " + path);
+    }
+    if (rows > kMaxDim || cols > kMaxDim) {
+      return Status::Corruption(
+          StringPrintf("implausible shape %ux%u for %s", rows, cols,
+                       name.c_str()));
     }
     Parameter* p = store->Get(name);
     if (p == nullptr) {

@@ -5,9 +5,11 @@
 namespace alicoco::nn {
 
 Tensor Tensor::FromVector(int rows, int cols, std::vector<float> data) {
-  ALICOCO_CHECK(static_cast<size_t>(rows) * static_cast<size_t>(cols) ==
-                data.size())
-      << "FromVector shape mismatch";
+  ALICOCO_CHECK(rows >= 0 && cols >= 0)
+      << "FromVector negative shape " << rows << "x" << cols;
+  ALICOCO_CHECK_EQ(static_cast<size_t>(rows) * static_cast<size_t>(cols),
+                   data.size())
+      << "FromVector shape mismatch for " << rows << "x" << cols;
   Tensor t;
   t.rows_ = rows;
   t.cols_ = cols;
@@ -51,17 +53,19 @@ double Tensor::SquaredNorm() const {
 }
 
 Tensor MatMulValue(const Tensor& a, const Tensor& b) {
-  ALICOCO_CHECK(a.cols() == b.rows()) << "matmul shapes " << a.rows() << "x"
-                                      << a.cols() << " * " << b.rows() << "x"
-                                      << b.cols();
+  ALICOCO_CHECK_EQ(a.cols(), b.rows())
+      << "matmul shapes " << a.rows() << "x" << a.cols() << " * " << b.rows()
+      << "x" << b.cols();
   Tensor c(a.rows(), b.cols());
   MatMulAccum(a, b, &c);
   return c;
 }
 
 void MatMulAccum(const Tensor& a, const Tensor& b, Tensor* c) {
-  ALICOCO_CHECK(a.cols() == b.rows() && c->rows() == a.rows() &&
-                c->cols() == b.cols());
+  ALICOCO_CHECK(c != nullptr);
+  ALICOCO_CHECK_EQ(a.cols(), b.rows());
+  ALICOCO_CHECK_EQ(c->rows(), a.rows());
+  ALICOCO_CHECK_EQ(c->cols(), b.cols());
   int m = a.rows(), k = a.cols(), n = b.cols();
   for (int i = 0; i < m; ++i) {
     const float* arow = a.Row(i);
@@ -77,8 +81,10 @@ void MatMulAccum(const Tensor& a, const Tensor& b, Tensor* c) {
 
 void MatMulTransBAccum(const Tensor& a, const Tensor& b, Tensor* c) {
   // C (m x n) += A (m x k) * B^T where B is (n x k).
-  ALICOCO_CHECK(a.cols() == b.cols() && c->rows() == a.rows() &&
-                c->cols() == b.rows());
+  ALICOCO_CHECK(c != nullptr);
+  ALICOCO_CHECK_EQ(a.cols(), b.cols());
+  ALICOCO_CHECK_EQ(c->rows(), a.rows());
+  ALICOCO_CHECK_EQ(c->cols(), b.rows());
   int m = a.rows(), k = a.cols(), n = b.rows();
   for (int i = 0; i < m; ++i) {
     const float* arow = a.Row(i);
@@ -94,8 +100,10 @@ void MatMulTransBAccum(const Tensor& a, const Tensor& b, Tensor* c) {
 
 void MatMulTransAAccum(const Tensor& a, const Tensor& b, Tensor* c) {
   // C (k x n) += A^T * B where A is (m x k), B is (m x n).
-  ALICOCO_CHECK(a.rows() == b.rows() && c->rows() == a.cols() &&
-                c->cols() == b.cols());
+  ALICOCO_CHECK(c != nullptr);
+  ALICOCO_CHECK_EQ(a.rows(), b.rows());
+  ALICOCO_CHECK_EQ(c->rows(), a.cols());
+  ALICOCO_CHECK_EQ(c->cols(), b.cols());
   int m = a.rows(), k = a.cols(), n = b.cols();
   for (int i = 0; i < m; ++i) {
     const float* arow = a.Row(i);

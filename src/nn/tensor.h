@@ -9,7 +9,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "common/logging.h"
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace alicoco::nn {
@@ -39,13 +39,21 @@ class Tensor {
   bool empty() const { return data_.empty(); }
 
   float& At(int r, int c) {
+    ALICOCO_DCHECK(InBounds(r, c)) << "At(" << r << ", " << c << ") on "
+                                   << rows_ << "x" << cols_;
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
   float At(int r, int c) const {
+    ALICOCO_DCHECK(InBounds(r, c)) << "At(" << r << ", " << c << ") on "
+                                   << rows_ << "x" << cols_;
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
-  float* Row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  float* Row(int r) {
+    ALICOCO_DCHECK(r >= 0 && r < rows_) << "Row(" << r << ") of " << rows_;
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
   const float* Row(int r) const {
+    ALICOCO_DCHECK(r >= 0 && r < rows_) << "Row(" << r << ") of " << rows_;
     return data_.data() + static_cast<size_t>(r) * cols_;
   }
   float* data() { return data_.data(); }
@@ -71,6 +79,10 @@ class Tensor {
   double SquaredNorm() const;
 
  private:
+  bool InBounds(int r, int c) const {
+    return r >= 0 && r < rows_ && c >= 0 && c < cols_;
+  }
+
   int rows_ = 0;
   int cols_ = 0;
   std::vector<float> data_;

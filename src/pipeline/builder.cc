@@ -15,6 +15,7 @@
 #include "datagen/grammar.h"
 #include "datagen/world_spec.h"
 #include "hypernym/patterns.h"
+#include "kg/validator.h"
 #include "matching/dataset.h"
 #include "mining/concept_miner.h"
 #include "mining/distant_supervision.h"
@@ -75,10 +76,10 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
 
   // ---- Stage 1: taxonomy + schema (expert-defined) ----
   datagen::TaxonomyHandles handles = datagen::BuildTaxonomy(&net.taxonomy());
-  ALICOCO_RETURN_NOT_OK(net.schema().AddRelation(
-      "suitable_when", handles.category, handles.time_season));
+  ALICOCO_RETURN_NOT_OK(net.AddRelation("suitable_when", handles.category,
+                                        handles.time_season));
   ALICOCO_RETURN_NOT_OK(
-      net.schema().AddRelation("used_when", handles.category, handles.event));
+      net.AddRelation("used_when", handles.category, handles.event));
 
   auto domain_class = [&](const std::string& domain) -> kg::ClassId {
     auto res = net.taxonomy().Find(domain);
@@ -519,6 +520,23 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
     report->inferred_relations +=
         apps::RelationInference::Commit(inference.InferUsedWhen(rel_cfg),
                                         &net);
+  }
+
+  // ---- Stage 9: structural audit (kg_validate hook) ----
+  // Every generated world is checked against the invariants the paper
+  // assumes; a net that fails the audit never leaves the pipeline.
+  if (config_.validate_output) {
+    kg::ValidationReport audit = kg::Validator().Validate(net);
+    if (!audit.ok()) {
+      ALICOCO_LOG(Error) << audit.Summary();
+      return Status::Internal("built concept net failed validation: " +
+                              std::to_string(audit.issues.size()) +
+                              " issue(s), first: [" +
+                              kg::ValidationCodeToString(
+                                  audit.issues.front().code) +
+                              "] " + audit.issues.front().message);
+    }
+    ALICOCO_LOG(Info) << audit.Summary();
   }
 
   return net;

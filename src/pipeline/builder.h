@@ -67,6 +67,10 @@ struct PipelineConfig {
   /// Concept pages are ranked lists: at most this many top-scoring items
   /// link to each concept even when more clear the threshold.
   size_t association_top_k = 12;
+  /// Stage 9: structural audit of the built net (kg::Validator). A net
+  /// that violates the paper's invariants is a build failure, not a
+  /// deliverable.
+  bool validate_output = true;
   uint64_t seed = 2020;
 };
 

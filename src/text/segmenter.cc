@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace alicoco::text {
@@ -51,6 +52,10 @@ Segmentation MaxMatchSegmenter::Match(
   // phrase has >1 label makes the sentence ambiguous.
   std::vector<std::vector<size_t>> matches_at(n);
   for (size_t m = 0; m < occurrences.size(); ++m) {
+    ALICOCO_DCHECK_LT(occurrences[m].begin, occurrences[m].end)
+        << "empty phrase span for " << occurrences[m].phrase;
+    ALICOCO_DCHECK_LE(occurrences[m].end, n)
+        << "phrase span past sentence end for " << occurrences[m].phrase;
     matches_at[occurrences[m].begin].push_back(m);
   }
 
@@ -92,7 +97,9 @@ Segmentation MaxMatchSegmenter::Match(
       ++i;
       continue;
     }
+    ALICOCO_DCHECK_LT(choice[i], occurrences.size());
     const auto& occ = occurrences[choice[i]];
+    ALICOCO_DCHECK_EQ(occ.begin, i) << "reconstruction desynced";
     seg.matches.push_back(occ);
     seg.iob[occ.begin] = "B-" + occ.label;
     for (size_t j = occ.begin + 1; j < occ.end; ++j) {

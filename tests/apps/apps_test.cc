@@ -12,7 +12,7 @@ namespace alicoco::apps {
 namespace {
 
 const datagen::World& SharedWorld() {
-  static const datagen::World* world = [] {
+  static const datagen::World world = [] {
     datagen::WorldConfig cfg;
     cfg.seed = 71;
     cfg.heads_per_leaf = 2;
@@ -28,9 +28,9 @@ const datagen::World& SharedWorld() {
     cfg.queries = 300;
     cfg.num_users = 120;
     cfg.num_needs_queries = 300;
-    return new datagen::World(datagen::World::Generate(cfg));
+    return datagen::World::Generate(cfg);
   }();
-  return *world;
+  return world;
 }
 
 TEST(CoverageTest, AliCoCoBeatsLegacyByWideMargin) {

@@ -11,15 +11,15 @@ namespace alicoco::apps {
 namespace {
 
 const datagen::World& SharedWorld() {
-  static const datagen::World* world = [] {
+  static const datagen::World world = [] {
     datagen::WorldConfig cfg;
     cfg.seed = 101;
     cfg.num_items = 1200;  // needs enough catalog evidence
     cfg.num_good_ec_concepts = 80;
     cfg.num_bad_ec_concepts = 40;
-    return new datagen::World(datagen::World::Generate(cfg));
+    return datagen::World::Generate(cfg);
   }();
-  return *world;
+  return world;
 }
 
 TEST(RelationInferenceTest, SuitableWhenProposalsAreMostlyGold) {

@@ -1,0 +1,79 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+// Death tests fork; the threadsafe style re-executes the binary so they
+// stay valid even when other suites in this binary have spawned threads.
+class CheckDeathTest : public ::testing::Test {
+ protected:
+  CheckDeathTest() {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  ALICOCO_CHECK(true) << "never rendered";
+  ALICOCO_CHECK_EQ(2 + 2, 4);
+  ALICOCO_CHECK_NE(1, 2);
+  ALICOCO_CHECK_LT(1, 2) << "also never rendered";
+  ALICOCO_CHECK_LE(2, 2);
+  ALICOCO_CHECK_GT(3, 2);
+  ALICOCO_CHECK_GE(3, 3);
+}
+
+TEST(CheckTest, OperandsEvaluateExactlyOnce) {
+  int calls = 0;
+  auto next = [&calls] { return ++calls; };
+  ALICOCO_CHECK_GE(next(), 1);
+  EXPECT_EQ(calls, 1);
+  ALICOCO_CHECK_EQ(next(), 2);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(CheckTest, CheckIsDanglingElseSafe) {
+  // Must parse as a single statement: an `if` without braces followed by
+  // `else` would mis-bind if the macro expanded to a bare if.
+  bool took_else = false;
+  if (1 == 2)
+    ALICOCO_CHECK(true) << "unreached";
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+}
+
+TEST_F(CheckDeathTest, FailedCheckPrintsExprFileLineAndContext) {
+  EXPECT_DEATH(ALICOCO_CHECK(1 == 2) << "stage " << 7,
+               "CHECK failed at .*check_test\\.cc:[0-9]+: 1 == 2 stage 7");
+}
+
+TEST_F(CheckDeathTest, FailedCheckEqPrintsBothValues) {
+  int a = 3, b = 5;
+  EXPECT_DEATH(ALICOCO_CHECK_EQ(a, b), "a == b \\(3 vs. 5\\)");
+}
+
+TEST_F(CheckDeathTest, FailedCheckLtPrintsBothValues) {
+  EXPECT_DEATH(ALICOCO_CHECK_LT(9, 4) << "index", "9 < 4 \\(9 vs. 4\\) index");
+}
+
+#if ALICOCO_DCHECK_IS_ON
+
+TEST_F(CheckDeathTest, DcheckFiresWhenArmed) {
+  EXPECT_DEATH(ALICOCO_DCHECK(false), "CHECK failed");
+  EXPECT_DEATH(ALICOCO_DCHECK_EQ(1, 2), "\\(1 vs. 2\\)");
+}
+
+#else
+
+TEST(CheckTest, DisabledDcheckDoesNotEvaluateOperands) {
+  int calls = 0;
+  auto next = [&calls] { return ++calls; };
+  ALICOCO_DCHECK(next() == 99) << "never rendered";
+  ALICOCO_DCHECK_EQ(next(), 99);
+  EXPECT_EQ(calls, 0);
+}
+
+#endif  // ALICOCO_DCHECK_IS_ON
+
+}  // namespace

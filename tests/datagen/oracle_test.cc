@@ -12,7 +12,7 @@ namespace alicoco::datagen {
 namespace {
 
 const World& SharedWorld() {
-  static const World* world = [] {
+  static const World world = [] {
     WorldConfig cfg;
     cfg.seed = 91;
     cfg.heads_per_leaf = 2;
@@ -28,9 +28,9 @@ const World& SharedWorld() {
     cfg.queries = 150;
     cfg.num_users = 10;
     cfg.num_needs_queries = 50;
-    return new World(World::Generate(cfg));
+    return World::Generate(cfg);
   }();
-  return *world;
+  return world;
 }
 
 TEST(GoodnessOracleTest, AcceptsEveryGoldConcept) {

@@ -32,8 +32,8 @@ WorldConfig SmallConfig() {
 }
 
 const World& SharedWorld() {
-  static const World* world = new World(World::Generate(SmallConfig()));
-  return *world;
+  static const World world = World::Generate(SmallConfig());
+  return world;
 }
 
 TEST(WorldTest, TaxonomyHasTwentyDomains) {

@@ -180,7 +180,7 @@ TEST(ConceptNetTest, ExpandWithHypernymsCoversAllSenses) {
 TEST(ConceptNetTest, TypedRelationsValidatedBySchema) {
   Fixture f;
   ASSERT_TRUE(
-      f.net.schema().AddRelation("suitable_when", f.category, f.season).ok());
+      f.net.AddRelation("suitable_when", f.category, f.season).ok());
   ConceptId trousers =
       *f.net.GetOrAddPrimitiveConcept("cotton trousers", f.category);
   ClassId season_cls = *f.net.taxonomy().Find("Season");

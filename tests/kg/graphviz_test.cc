@@ -17,7 +17,7 @@ struct Fixture {
     ClassId time = *net.taxonomy().AddDomain("Time");
     ClassId season = *net.taxonomy().AddClass("Season", time);
     EXPECT_TRUE(
-        net.schema().AddRelation("suitable_when", category, season).ok());
+        net.AddRelation("suitable_when", category, season).ok());
     grill = *net.GetOrAddPrimitiveConcept("grill", category);
     cookware = *net.GetOrAddPrimitiveConcept("cookware", category);
     outdoor = *net.GetOrAddPrimitiveConcept("outdoor", location);

@@ -20,7 +20,7 @@ ConceptNet BuildNet() {
   ClassId event = *tax.AddDomain("Event");
   ClassId time = *tax.AddDomain("Time");
   ClassId season = *tax.AddClass("Season", time);
-  EXPECT_TRUE(net.schema().AddRelation("suitable_when", category, season).ok());
+  EXPECT_TRUE(net.AddRelation("suitable_when", category, season).ok());
 
   ConceptId grill = *net.GetOrAddPrimitiveConcept("grill", category);
   ConceptId cookware = *net.GetOrAddPrimitiveConcept("cookware", category);

@@ -19,8 +19,9 @@ struct Fixture {
 
 TEST(SchemaTest, AddAndFind) {
   Fixture f;
-  Schema schema(&f.tax);
-  ASSERT_TRUE(schema.AddRelation("suitable_when", f.category, f.season).ok());
+  Schema schema;
+  ASSERT_TRUE(
+      schema.AddRelation(f.tax, "suitable_when", f.category, f.season).ok());
   const RelationDef* def = schema.Find("suitable_when");
   ASSERT_NE(def, nullptr);
   EXPECT_EQ(def->domain, f.category);
@@ -29,46 +30,61 @@ TEST(SchemaTest, AddAndFind) {
 
 TEST(SchemaTest, DuplicateRejected) {
   Fixture f;
-  Schema schema(&f.tax);
-  ASSERT_TRUE(schema.AddRelation("r", f.category, f.season).ok());
-  EXPECT_TRUE(schema.AddRelation("r", f.time, f.season).IsAlreadyExists());
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation(f.tax, "r", f.category, f.season).ok());
+  EXPECT_TRUE(schema.AddRelation(f.tax, "r", f.time, f.season).IsAlreadyExists());
 }
 
 TEST(SchemaTest, UnknownClassRejected) {
   Fixture f;
-  Schema schema(&f.tax);
-  EXPECT_TRUE(schema.AddRelation("r", ClassId(999), f.season).IsNotFound());
+  Schema schema;
+  EXPECT_TRUE(schema.AddRelation(f.tax, "r", ClassId(999), f.season).IsNotFound());
 }
 
 TEST(SchemaTest, ValidateSubclassesAllowed) {
   Fixture f;
-  Schema schema(&f.tax);
-  ASSERT_TRUE(schema.AddRelation("suitable_when", f.category, f.season).ok());
+  Schema schema;
+  ASSERT_TRUE(
+      schema.AddRelation(f.tax, "suitable_when", f.category, f.season).ok());
   // Pants is a descendant of Category: OK.
-  EXPECT_TRUE(schema.Validate("suitable_when", f.pants, f.season).ok());
+  EXPECT_TRUE(schema.Validate(f.tax, "suitable_when", f.pants, f.season).ok());
   // Exact classes: OK.
-  EXPECT_TRUE(schema.Validate("suitable_when", f.category, f.season).ok());
+  EXPECT_TRUE(
+      schema.Validate(f.tax, "suitable_when", f.category, f.season).ok());
 }
 
 TEST(SchemaTest, ValidateRejectsWrongClasses) {
   Fixture f;
-  Schema schema(&f.tax);
-  ASSERT_TRUE(schema.AddRelation("suitable_when", f.category, f.season).ok());
+  Schema schema;
+  ASSERT_TRUE(
+      schema.AddRelation(f.tax, "suitable_when", f.category, f.season).ok());
   // Subject outside Category subtree.
-  EXPECT_TRUE(
-      schema.Validate("suitable_when", f.season, f.season).IsInvalidArgument());
+  EXPECT_TRUE(schema.Validate(f.tax, "suitable_when", f.season, f.season)
+                  .IsInvalidArgument());
   // Object outside Season subtree.
-  EXPECT_TRUE(
-      schema.Validate("suitable_when", f.pants, f.pants).IsInvalidArgument());
+  EXPECT_TRUE(schema.Validate(f.tax, "suitable_when", f.pants, f.pants)
+                  .IsInvalidArgument());
   // Unknown relation.
-  EXPECT_TRUE(schema.Validate("nope", f.pants, f.season).IsNotFound());
+  EXPECT_TRUE(schema.Validate(f.tax, "nope", f.pants, f.season).IsNotFound());
+}
+
+TEST(SchemaTest, ValidatesAgainstWhicheverTaxonomyIsPassed) {
+  // The schema holds no taxonomy reference: the same definitions can be
+  // checked against a second taxonomy where the ids mean something else.
+  Fixture f;
+  Schema schema;
+  ASSERT_TRUE(
+      schema.AddRelation(f.tax, "suitable_when", f.category, f.season).ok());
+  Taxonomy other;  // empty: every class id is unknown here
+  EXPECT_TRUE(schema.Validate(other, "suitable_when", f.pants, f.season)
+                  .IsNotFound());
 }
 
 TEST(SchemaTest, RelationsEnumerated) {
   Fixture f;
-  Schema schema(&f.tax);
-  schema.AddRelation("a", f.category, f.season);
-  schema.AddRelation("b", f.time, f.category);
+  Schema schema;
+  (void)schema.AddRelation(f.tax, "a", f.category, f.season);
+  (void)schema.AddRelation(f.tax, "b", f.time, f.category);
   EXPECT_EQ(schema.relations().size(), 2u);
 }
 

@@ -72,8 +72,8 @@ struct Fixture {
 };
 
 Fixture& SharedFixture() {
-  static Fixture* f = new Fixture();
-  return *f;
+  static Fixture f;
+  return f;
 }
 
 TEST(MatchingDatasetTest, SplitsAndLabels) {

@@ -3,9 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 
 namespace alicoco::nn {
 namespace {
+
+// RAII stdio handle so every test path closes the file (mirrors the
+// FilePtr used inside nn/serialize.cc).
+using FilePtr = std::unique_ptr<std::FILE, int (*)(std::FILE*)>;
+
+FilePtr OpenFile(const char* path, const char* mode) {
+  return FilePtr(std::fopen(path, mode), &std::fclose);
+}
 
 std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
@@ -46,10 +55,10 @@ TEST(SerializeTest, MissingFileIsIOError) {
 
 TEST(SerializeTest, BadMagicIsCorruption) {
   std::string path = TempPath("garbage.bin");
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  FilePtr f = OpenFile(path.c_str(), "wb");
   ASSERT_NE(f, nullptr);
-  std::fputs("not a checkpoint", f);
-  std::fclose(f);
+  std::fputs("not a checkpoint", f.get());
+  f.reset();
   ParameterStore s;
   BuildStore(&s, 1);
   EXPECT_TRUE(LoadParameters(&s, path).IsCorruption());
@@ -92,10 +101,11 @@ TEST(SerializeTest, TruncatedFileIsCorruption) {
   std::string path = TempPath("trunc.bin");
   ASSERT_TRUE(SaveParameters(a, path).ok());
   // Truncate to half size.
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  std::fseek(f, 0, SEEK_END);
-  long size = std::ftell(f);
-  std::fclose(f);
+  FilePtr f = OpenFile(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f.get(), 0, SEEK_END);
+  long size = std::ftell(f.get());
+  f.reset();
   ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
   ParameterStore b;
   BuildStore(&b, 2);

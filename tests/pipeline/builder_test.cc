@@ -55,8 +55,8 @@ struct Built {
 };
 
 Built& SharedBuilt() {
-  static Built* b = new Built();
-  return *b;
+  static Built b;
+  return b;
 }
 
 TEST(PipelineTest, AllStagesProduceStructure) {

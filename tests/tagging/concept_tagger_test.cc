@@ -65,8 +65,8 @@ struct Fixture {
 };
 
 Fixture& SharedFixture() {
-  static Fixture* f = new Fixture();
-  return *f;
+  static Fixture f;
+  return f;
 }
 
 TEST(ConceptTaggerTest, FullModelTagsWell) {

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Full verification ladder, in increasing cost:
+#
+#   1. lint gate (tools/lint.sh)
+#   2. plain RelWithDebInfo build + full ctest
+#   3. ASan+UBSan build + full ctest   (DCHECKs forced on)
+#   4. TSan build + threaded tests     (DCHECKs forced on)
+#
+# Any sanitizer report aborts the offending test (halt_on_error /
+# -fno-sanitize-recover), so a non-zero ctest exit IS the sanitizer gate.
+# Usage: tools/ci.sh [--fast]   (--fast: skip the sanitizer builds)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[ "${1:-}" = "--fast" ] && FAST=1
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+step "lint"
+tools/lint.sh
+
+step "plain build + tests"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "${JOBS}"
+ctest --preset default
+
+if [ "${FAST}" -eq 1 ]; then
+  echo "--fast: skipping sanitizer builds"
+  exit 0
+fi
+
+step "ASan + UBSan build + tests"
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "${JOBS}"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --preset asan
+
+step "TSan build + threaded tests"
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "${JOBS}"
+# The threaded surface: the thread pool (incl. the race stress suite) and
+# the trainers that fan out over it. Running the full suite under TSan
+# works too but takes far longer for no extra thread coverage.
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --preset tsan -R 'ThreadPool|Training|Skipgram|Classifier|Matching|Tagger|Projection'
+
+step "all green"

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Static-analysis gate.
+#
+#   tools/lint.sh [build-dir]
+#
+# Two layers:
+#   1. clang-tidy over every first-party translation unit, driven by the
+#      compile_commands.json in the build dir (default: build/). Skipped
+#      with a warning when clang-tidy is not installed -- the grep layer
+#      below still runs, so the gate never silently passes on nothing.
+#   2. Banned-pattern greps that need no toolchain: raw new/delete outside
+#      src/nn (everything else must use containers/smart pointers), the
+#      non-deterministic rand()/srand() family, and fopen() calls outside
+#      the FilePtr RAII wrapper.
+#
+# Exit status 0 iff every layer that ran is clean.
+
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+FAIL=0
+
+note() { printf '%s\n' "$*"; }
+fail() { printf 'LINT FAIL: %s\n' "$*"; FAIL=1; }
+
+# Every first-party C++ file (sources and headers).
+mapfile -t ALL_FILES < <(find src bench examples tests \
+  -name '*.cc' -o -name '*.h' -o -name '*.cpp' | sort)
+
+# ---- Layer 1: clang-tidy ------------------------------------------------
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+    note "configuring ${BUILD_DIR} to produce compile_commands.json..."
+    cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null \
+      || { fail "cmake configure for compile_commands.json"; }
+  fi
+  if [ -f "${BUILD_DIR}/compile_commands.json" ]; then
+    mapfile -t TIDY_SRCS < <(find src bench examples apps \
+      -name '*.cc' -o -name '*.cpp' | sort)
+    note "clang-tidy over ${#TIDY_SRCS[@]} translation units..."
+    if ! clang-tidy -p "${BUILD_DIR}" --quiet "${TIDY_SRCS[@]}"; then
+      fail "clang-tidy reported findings"
+    fi
+  fi
+else
+  note "clang-tidy not found; skipping layer 1 (grep layer still enforced)"
+fi
+
+# ---- Layer 2: banned patterns -------------------------------------------
+
+# Strip // comments and string literals crudely enough for these greps; a
+# banned token inside a comment should not fail the build.
+strip_noise() {
+  sed -e 's://.*$::' -e 's:"[^"]*":"":g' "$1"
+}
+
+# Raw new/delete are allowed only under src/nn (arena-style tensor buffers);
+# everywhere else ownership must be containers or smart pointers.
+for f in "${ALL_FILES[@]}"; do
+  case "$f" in src/nn/*) continue ;; esac
+  if strip_noise "$f" | grep -nE '(^|[^[:alnum:]_.])new[[:space:]]+[[:alnum:]_:<]|(^|[^[:alnum:]_.])delete[[:space:]]*(\[\])?[[:space:]]+[[:alnum:]_]' >/dev/null; then
+    strip_noise "$f" | grep -nE '(^|[^[:alnum:]_.])new[[:space:]]+[[:alnum:]_:<]|(^|[^[:alnum:]_.])delete[[:space:]]*(\[\])?[[:space:]]+[[:alnum:]_]' \
+      | sed "s|^|$f:|"
+    fail "raw new/delete outside src/nn in $f"
+  fi
+done
+
+# rand()/srand() are banned: all randomness goes through common/rng.h so
+# datagen stays deterministic per seed.
+for f in "${ALL_FILES[@]}"; do
+  if strip_noise "$f" | grep -nE '(^|[^[:alnum:]_])s?rand[[:space:]]*\(' >/dev/null; then
+    strip_noise "$f" | grep -nE '(^|[^[:alnum:]_])s?rand[[:space:]]*\(' | sed "s|^|$f:|"
+    fail "rand()/srand() in $f (use common/rng.h)"
+  fi
+done
+
+# fopen must be wrapped in the FilePtr RAII alias (nn/serialize.cc) so the
+# handle is closed on every path.
+for f in "${ALL_FILES[@]}"; do
+  if strip_noise "$f" | grep -nE 'fopen[[:space:]]*\(' | grep -vE 'FilePtr|unique_ptr' >/dev/null; then
+    strip_noise "$f" | grep -nE 'fopen[[:space:]]*\(' | grep -vE 'FilePtr|unique_ptr' | sed "s|^|$f:|"
+    fail "unchecked fopen in $f (wrap in FilePtr)"
+  fi
+done
+
+if [ "$FAIL" -eq 0 ]; then
+  note "lint: clean"
+else
+  note "lint: FAILED"
+fi
+exit "$FAIL"
