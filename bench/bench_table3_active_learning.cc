@@ -8,8 +8,8 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "common/table_printer.h"
 #include "common/string_util.h"
+#include "common/table_printer.h"
 #include "hypernym/active_learning.h"
 
 int main() {

@@ -6,8 +6,8 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "common/table_printer.h"
 #include "common/string_util.h"
+#include "common/table_printer.h"
 #include "datagen/grammar.h"
 #include "tagging/concept_tagger.h"
 #include "text/tokenizer.h"

@@ -18,6 +18,9 @@ set_property(CACHE ALICOCO_SANITIZE PROPERTY STRINGS
              "" "address" "undefined" "thread" "address,undefined")
 
 option(ALICOCO_WERROR "Treat compiler warnings as errors" OFF)
+option(ALICOCO_THREAD_SAFETY
+       "Enable clang -Wthread-safety analysis of the ALICOCO_GUARDED_BY / \
+ALICOCO_REQUIRES annotations (no-op on non-clang compilers)" OFF)
 
 if(ALICOCO_SANITIZE)
   string(REPLACE "," ";" _alicoco_san_list "${ALICOCO_SANITIZE}")
@@ -50,4 +53,15 @@ endif()
 if(ALICOCO_WERROR)
   add_compile_options(-Werror)
   message(STATUS "AliCoCo: warnings are errors")
+endif()
+
+if(ALICOCO_THREAD_SAFETY)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    add_compile_options(-Wthread-safety)
+    message(STATUS "AliCoCo: clang -Wthread-safety analysis enabled")
+  else()
+    message(STATUS "AliCoCo: ALICOCO_THREAD_SAFETY requested but the "
+                   "compiler is ${CMAKE_CXX_COMPILER_ID}, not clang; the "
+                   "annotations compile to no-ops and nothing is checked")
+  endif()
 endif()

@@ -1,8 +1,8 @@
 #include "apps/relation_inference.h"
-#include <set>
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <unordered_map>
 
 #include "common/logging.h"

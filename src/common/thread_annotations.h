@@ -1,0 +1,72 @@
+// Clang thread-safety-analysis annotation macros (no-ops on other
+// compilers). Applied to the lock wrappers in common/mutex.h and to any
+// class that owns one: members guarded by a mutex carry
+// ALICOCO_GUARDED_BY(mu_), functions that must be called with a lock held
+// carry ALICOCO_REQUIRES(mu_), and the `-Wthread-safety` build (enabled by
+// the werror/clang-tsa presets under clang via ALICOCO_THREAD_SAFETY)
+// turns violations into compile errors. The alicoco_lint lock-discipline
+// rule enforces that the annotations are present at all.
+
+#ifndef ALICOCO_COMMON_THREAD_ANNOTATIONS_H_
+#define ALICOCO_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define ALICOCO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ALICOCO_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define ALICOCO_CAPABILITY(x) ALICOCO_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define ALICOCO_SCOPED_CAPABILITY ALICOCO_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member is protected by the given capability.
+#define ALICOCO_GUARDED_BY(x) ALICOCO_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointed-to data (not the pointer itself) is protected by the capability.
+#define ALICOCO_PT_GUARDED_BY(x) ALICOCO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering edges between mutex members (deadlock prevention).
+#define ALICOCO_ACQUIRED_BEFORE(...) \
+  ALICOCO_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ALICOCO_ACQUIRED_AFTER(...) \
+  ALICOCO_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability exclusively (or shared) on entry.
+#define ALICOCO_REQUIRES(...) \
+  ALICOCO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ALICOCO_REQUIRES_SHARED(...) \
+  ALICOCO_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires/releases the capability (not held on entry).
+#define ALICOCO_ACQUIRE(...) \
+  ALICOCO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ALICOCO_ACQUIRE_SHARED(...) \
+  ALICOCO_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define ALICOCO_RELEASE(...) \
+  ALICOCO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ALICOCO_RELEASE_SHARED(...) \
+  ALICOCO_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires iff it returns the given value.
+#define ALICOCO_TRY_ACQUIRE(...) \
+  ALICOCO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrancy).
+#define ALICOCO_EXCLUDES(...) \
+  ALICOCO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held.
+#define ALICOCO_ASSERT_CAPABILITY(x) \
+  ALICOCO_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define ALICOCO_RETURN_CAPABILITY(x) ALICOCO_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disable analysis inside one function.
+#define ALICOCO_NO_THREAD_SAFETY_ANALYSIS \
+  ALICOCO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // ALICOCO_COMMON_THREAD_ANNOTATIONS_H_

@@ -3,13 +3,14 @@
 #ifndef ALICOCO_COMMON_THREAD_POOL_H_
 #define ALICOCO_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace alicoco {
 
@@ -24,26 +25,27 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) ALICOCO_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() ALICOCO_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      ALICOCO_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() ALICOCO_EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_cv_;
-  std::condition_variable done_cv_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  std::vector<std::thread> workers_;  // written only in the constructor
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ ALICOCO_GUARDED_BY(mu_);
+  size_t in_flight_ ALICOCO_GUARDED_BY(mu_) = 0;
+  bool shutdown_ ALICOCO_GUARDED_BY(mu_) = false;
+  CondVar task_cv_;  // waits on mu_; signalled on Submit and shutdown
+  CondVar done_cv_;  // waits on mu_; signalled when in_flight_ hits 0
 };
 
 }  // namespace alicoco

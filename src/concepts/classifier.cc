@@ -31,6 +31,8 @@ void ConceptClassifier::Train(const std::vector<LabeledConcept>& data) {
 
   // Vocabularies over the training candidates.
   for (const auto& sample : data) {
+    ALICOCO_CHECK(sample.label == 0 || sample.label == 1)
+        << "binary classifier got label " << sample.label;
     for (const auto& tok : sample.tokens) {
       word_vocab_.Add(tok);
       for (const auto& ch : text::Chars(tok)) char_vocab_.Add(ch);
@@ -155,6 +157,8 @@ nn::Graph::Var ConceptClassifier::Logit(nn::Graph* g,
       std::vector<std::string> gloss = res_.gloss_lookup(tokens[i]);
       if (gloss.empty()) continue;
       std::vector<float> vec = res_.gloss_encoder->Encode(gloss);
+      ALICOCO_DCHECK_EQ(vec.size(),
+                        static_cast<size_t>(res_.gloss_encoder->dim()));
       for (int k = 0; k < res_.gloss_encoder->dim(); ++k) {
         gloss_mat.At(static_cast<int>(i), k) = vec[static_cast<size_t>(k)];
       }

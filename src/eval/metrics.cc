@@ -202,6 +202,8 @@ BinaryMetrics SpanF1(const std::vector<std::vector<std::string>>& gold,
 ConfidenceInterval BootstrapCi(const std::vector<double>& values,
                                int iterations, double confidence,
                                uint64_t seed) {
+  ALICOCO_CHECK_GT(confidence, 0.0);
+  ALICOCO_CHECK_LT(confidence, 1.0);
   ConfidenceInterval ci;
   if (values.empty() || iterations <= 0) return ci;
   ci.mean = Mean(values);

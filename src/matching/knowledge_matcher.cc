@@ -13,6 +13,11 @@ KnowledgeMatcher::KnowledgeMatcher(const KnowledgeMatcherConfig& config,
       kcfg_(config),
       res_(resources) {
   ALICOCO_CHECK(res_.pos_tagger != nullptr) << "POS tagger required";
+  ALICOCO_CHECK_GT(kcfg_.cnn_filters, 0);
+  ALICOCO_CHECK_GT(kcfg_.cnn_window, 0);
+  ALICOCO_CHECK_GT(kcfg_.pos_dim, 0);
+  ALICOCO_CHECK_GT(kcfg_.pyramid_layers, 0);
+  ALICOCO_CHECK_GT(kcfg_.pool_grid, 0);
   if (kcfg_.use_knowledge) {
     ALICOCO_CHECK(res_.gloss_encoder != nullptr && res_.gloss_lookup &&
                   res_.concept_classes && res_.num_classes > 0)
@@ -106,6 +111,8 @@ nn::Graph::Var KnowledgeMatcher::Logit(nn::Graph* g,
       auto gloss = res_.gloss_lookup(tokens[w]);
       if (gloss.empty()) continue;
       auto vec = res_.gloss_encoder->Encode(gloss);
+      ALICOCO_DCHECK_EQ(vec.size(),
+                        static_cast<size_t>(res_.gloss_encoder->dim()));
       for (int k = 0; k < res_.gloss_encoder->dim(); ++k) {
         gloss_mat.At(static_cast<int>(w), k) = vec[static_cast<size_t>(k)];
       }

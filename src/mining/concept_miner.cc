@@ -26,7 +26,10 @@ MiningEpochStats ConceptMiner::RunEpoch(
   for (const auto& tokens : sentences) {
     if (tokens.empty()) continue;
     auto tags = labeler_->Predict(tokens);
+    ALICOCO_DCHECK_EQ(tags.size(), tokens.size());
     for (const auto& span : eval::DecodeIob(tags)) {
+      ALICOCO_DCHECK_LT(span.begin, span.end);
+      ALICOCO_DCHECK_LE(span.end, tokens.size());
       std::vector<std::string> piece(tokens.begin() + span.begin,
                                      tokens.begin() + span.end);
       std::string surface = JoinStrings(piece, " ");

@@ -24,6 +24,8 @@ void SequenceLabeler::Train(const std::vector<LabeledSentence>& data) {
   label_names_ = {"O"};
   label_ids_["O"] = 0;
   for (const auto& s : data) {
+    ALICOCO_CHECK_EQ(s.tokens.size(), s.iob.size())
+        << "every token needs exactly one IOB tag";
     for (const auto& t : s.tokens) vocab_.Add(t);
     for (const auto& l : s.iob) {
       if (!label_ids_.count(l)) {
@@ -113,6 +115,14 @@ Result<SequenceLabeler> SequenceLabeler::Load(const std::string& path) {
   if (!(in >> config.word_dim >> config.hidden_dim >> vocab_size)) {
     return Status::Corruption("truncated labeler header");
   }
+  if (config.word_dim <= 0 || config.hidden_dim <= 0) {
+    return Status::Corruption("labeler header has non-positive dims in " +
+                              path);
+  }
+  if (vocab_size < 2) {
+    return Status::Corruption("labeler vocab smaller than the specials in " +
+                              path);
+  }
   std::getline(in, line);  // consume rest of line
   SequenceLabeler labeler(config);
   for (size_t i = 2; i < vocab_size; ++i) {
@@ -122,6 +132,10 @@ Result<SequenceLabeler> SequenceLabeler::Load(const std::string& path) {
     labeler.vocab_.Add(line);
   }
   if (!(in >> num_labels)) return Status::Corruption("missing label count");
+  if (num_labels == 0) {
+    return Status::Corruption("labeler has an empty label inventory in " +
+                              path);
+  }
   std::getline(in, line);
   for (size_t i = 0; i < num_labels; ++i) {
     if (!std::getline(in, line) || line.empty()) {
@@ -155,9 +169,14 @@ std::vector<std::string> SequenceLabeler::Predict(
   nn::Graph::Var emissions =
       Emissions(&g, ids, /*train=*/false, nullptr);
   std::vector<int> path = crf_->Viterbi(g.Value(emissions));
+  ALICOCO_DCHECK_EQ(path.size(), tokens.size());
   std::vector<std::string> out;
   out.reserve(path.size());
-  for (int id : path) out.push_back(label_names_[static_cast<size_t>(id)]);
+  for (int id : path) {
+    ALICOCO_CHECK_GE(id, 0);
+    ALICOCO_CHECK_LT(static_cast<size_t>(id), label_names_.size());
+    out.push_back(label_names_[static_cast<size_t>(id)]);
+  }
   return out;
 }
 

@@ -24,8 +24,8 @@
 #include "nn/optimizer.h"
 #include "nn/rnn.h"
 #include "text/gloss_encoder.h"
-#include "text/segmenter.h"
 #include "text/pos_tagger.h"
+#include "text/segmenter.h"
 #include "text/vocabulary.h"
 
 namespace alicoco::tagging {

@@ -1,0 +1,9 @@
+// lint-fixture: src/kg/bad_fopen.cc
+
+#include <cstdio>
+
+bool Touch(const char* path) {
+  FILE* f = fopen(path, "r");
+  if (f != nullptr) std::fclose(f);
+  return f != nullptr;
+}

@@ -1,0 +1,6 @@
+// lint-fixture: src/eval/bad_include_guard.h
+
+#ifndef ALICOCO_EVAL_WRONG_NAME_H_
+#define ALICOCO_EVAL_WRONG_NAME_H_
+
+#endif  // ALICOCO_EVAL_WRONG_NAME_H_

@@ -1,0 +1,10 @@
+// lint-fixture: src/eval/bad_include_order.cc
+
+#include <vector>
+#include "eval/bad_include_order.h"
+#include <algorithm>
+
+#include "eval/metrics.h"
+#include "common/check.h"
+
+int Noop() { return 0; }

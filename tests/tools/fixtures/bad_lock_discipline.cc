@@ -1,0 +1,17 @@
+// lint-fixture: src/matching/bad_lock_discipline.cc
+
+#include <mutex>
+
+#include "common/mutex.h"
+
+namespace alicoco {
+
+class BadCache {
+ private:
+  std::mutex raw_mu_;
+  Mutex mu_;
+  CondVar cv_;
+  int hits_ = 0;
+};
+
+}  // namespace alicoco

@@ -1,0 +1,8 @@
+// lint-fixture: src/text/bad_rand.cc
+
+#include <cstdlib>
+
+int Roll() {
+  srand(42);
+  return rand();
+}

@@ -1,0 +1,7 @@
+// lint-fixture: src/apps/bad_raw_new_delete.cc
+
+int* Make() {
+  int* p = new int(3);
+  delete p;
+  return nullptr;
+}

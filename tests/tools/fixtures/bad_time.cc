@@ -1,0 +1,9 @@
+// lint-fixture: src/datagen/bad_time.cc
+
+#include <ctime>
+#include <random>
+
+long Now() {
+  std::random_device rd;
+  return static_cast<long>(time(nullptr)) + static_cast<long>(rd());
+}

@@ -1,0 +1,10 @@
+// lint-fixture: src/kg/bad_using_namespace.h
+
+#ifndef ALICOCO_KG_BAD_USING_NAMESPACE_H_
+#define ALICOCO_KG_BAD_USING_NAMESPACE_H_
+
+#include <string>
+
+using namespace std;
+
+#endif  // ALICOCO_KG_BAD_USING_NAMESPACE_H_

@@ -1,0 +1,51 @@
+// lint-fixture: src/apps/clean.cc
+// Negative fixture: near-misses that a grep gate would flag but the
+// lexer-aware rules must not — banned tokens inside comments, strings,
+// raw strings, deleted functions, and monotonic (not wall) clocks.
+
+#include "apps/clean.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+using namespace std::chrono;  // allowed in a .cc, never in headers
+
+namespace alicoco {
+
+// new Widget() and delete ptr are fine inside comments; so is rand().
+/* block comment: time(nullptr) and std::random_device too. */
+
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;
+  NoCopy& operator=(const NoCopy&) = delete;
+};
+
+inline std::string Sayings() {
+  std::string s = "call rand() then new int[4], delete it, fopen too";
+  s += R"(raw: srand(1); new Foo; time(nullptr))";
+  return s;
+}
+
+inline double Seconds() {
+  auto t0 = steady_clock::now();  // monotonic clocks stay legal
+  return duration<double>(steady_clock::now() - t0).count();
+}
+
+inline size_t CountTags(const std::unordered_map<int, int>& tags) {
+  size_t n = 0;
+  for (const auto& [k, v] : tags) {  // fine outside persistence paths
+    n += static_cast<size_t>(v) + static_cast<size_t>(k) * 0;
+  }
+  return n;
+}
+
+inline bool HasData(const char* path) {
+  using FilePtr = std::unique_ptr<FILE, int (*)(FILE*)>;
+  FilePtr f(fopen(path, "r"), &std::fclose);
+  return f != nullptr;
+}
+
+}  // namespace alicoco

@@ -1,0 +1,29 @@
+// lint-fixture: src/common/clean.h
+// Negative fixture: a correctly guarded, correctly annotated header.
+
+#ifndef ALICOCO_COMMON_CLEAN_H_
+#define ALICOCO_COMMON_CLEAN_H_
+
+#include <cstddef>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace alicoco {
+
+/// A counter whose lock discipline the analyzer accepts.
+class CleanCounter {
+ public:
+  void Add(size_t d) {
+    MutexLock lock(mu_);
+    total_ += d;
+  }
+
+ private:
+  Mutex mu_;
+  size_t total_ ALICOCO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace alicoco
+
+#endif  // ALICOCO_COMMON_CLEAN_H_

@@ -1,0 +1,5 @@
+// lint-fixture: src/nn/clean_arena.cc
+// Negative fixture: src/nn keeps its arena-style raw allocation license.
+
+float* NewBuffer(int n) { return new float[n]; }
+void FreeBuffer(const float* p) { delete[] p; }

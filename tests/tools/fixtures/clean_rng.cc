@@ -1,0 +1,11 @@
+// lint-fixture: src/common/rng_entropy.cc
+// Negative fixture: common/rng is the one place hardware entropy and the
+// wall clock may come from.
+
+#include <ctime>
+#include <random>
+
+unsigned SeedFromHardware() {
+  std::random_device rd;
+  return rd() ^ static_cast<unsigned>(time(nullptr));
+}

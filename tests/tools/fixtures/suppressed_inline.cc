@@ -1,0 +1,6 @@
+// lint-fixture: src/hypernym/suppressed_inline.cc
+// A real violation kept green by the inline allowance syntax.
+
+int* LeakyButBlessed() {
+  return new int(7);  // lint:allow(raw-new-delete)
+}

@@ -1,0 +1,184 @@
+#include "tools/lint/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "common/string_util.h"
+
+namespace alicoco::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool KnownRule(const std::string& id) {
+  for (const auto& rule : RuleRegistry()) {
+    if (rule->id() == id) return true;
+  }
+  return false;
+}
+
+/// line -> rules allowed on that line via `lint:allow(...)` comments.
+std::map<int, std::set<std::string>> InlineAllowances(
+    const std::vector<Token>& tokens) {
+  std::map<int, std::set<std::string>> allowed;
+  for (const Token& t : tokens) {
+    if (t.kind != TokenKind::kComment) continue;
+    size_t at = t.text.find("lint:allow(");
+    if (at == std::string::npos) continue;
+    size_t open = at + std::string("lint:allow(").size();
+    size_t close = t.text.find(')', open);
+    if (close == std::string::npos) continue;
+    std::string inside = t.text.substr(open, close - open);
+    for (char& c : inside) {
+      if (c == ',') c = ' ';
+    }
+    std::istringstream parts(inside);
+    std::string rule;
+    while (parts >> rule) allowed[t.line].insert(rule);
+  }
+  return allowed;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+Result<Suppressions> Suppressions::Parse(const std::string& text) {
+  Suppressions sup;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string rule, prefix, extra;
+    if (!(fields >> rule)) continue;  // blank or comment-only
+    if (!(fields >> prefix) || (fields >> extra)) {
+      return Status::InvalidArgument(
+          "suppressions line " + std::to_string(lineno) +
+          ": expected '<rule-id> <path-prefix>'");
+    }
+    if (rule != "*" && !KnownRule(rule)) {
+      return Status::InvalidArgument("suppressions line " +
+                                     std::to_string(lineno) +
+                                     ": unknown rule id '" + rule + "'");
+    }
+    sup.Add(std::move(rule), std::move(prefix));
+  }
+  return sup;
+}
+
+Result<Suppressions> Suppressions::LoadFile(const std::string& path) {
+  ALICOCO_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return Parse(text);
+}
+
+void Suppressions::Add(std::string rule, std::string path_prefix) {
+  entries_.emplace_back(std::move(rule), std::move(path_prefix));
+}
+
+bool Suppressions::Matches(const std::string& rule,
+                           const std::string& path) const {
+  for (const auto& [r, prefix] : entries_) {
+    if ((r == "*" || r == rule) && path.compare(0, prefix.size(), prefix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Finding> AnalyzeSource(const std::string& path,
+                                   const std::string& contents,
+                                   const Suppressions* suppressions) {
+  FileContext file;
+  file.path = path;
+  file.is_header = EndsWith(path, ".h") || EndsWith(path, ".hpp");
+  file.tokens = Lex(contents);
+
+  std::vector<Finding> findings;
+  for (const auto& rule : RuleRegistry()) {
+    rule->Check(file, &findings);
+  }
+
+  auto allowed = InlineAllowances(file.tokens);
+  auto is_suppressed = [&](const Finding& f) {
+    if (suppressions != nullptr && suppressions->Matches(f.rule, f.file)) {
+      return true;
+    }
+    auto it = allowed.find(f.line);
+    return it != allowed.end() && it->second.count(f.rule) != 0;
+  };
+  findings.erase(
+      std::remove_if(findings.begin(), findings.end(), is_suppressed),
+      findings.end());
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule, a.message) <
+                     std::tie(b.line, b.rule, b.message);
+            });
+  return findings;
+}
+
+Result<std::vector<Finding>> AnalyzeTree(const std::string& root,
+                                         const Suppressions* suppressions) {
+  static const char* kRoots[] = {"src", "tests", "bench", "examples",
+                                 "tools/lint"};
+  static const char* kExtensions[] = {".h", ".hpp", ".cc", ".cpp"};
+
+  std::vector<std::string> paths;
+  for (const char* sub : kRoots) {
+    fs::path dir = fs::path(root) / sub;
+    if (!fs::is_directory(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory() && it->path().filename() == "fixtures") {
+        it.disable_recursion_pending();  // fixture corpus is deliberately bad
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      std::string ext = it->path().extension().string();
+      if (std::find(std::begin(kExtensions), std::end(kExtensions), ext) ==
+          std::end(kExtensions)) {
+        continue;
+      }
+      paths.push_back(
+          fs::relative(it->path(), fs::path(root)).generic_string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& rel : paths) {
+    ALICOCO_ASSIGN_OR_RETURN(
+        std::string contents,
+        ReadFile((fs::path(root) / rel).generic_string()));
+    std::vector<Finding> file_findings =
+        AnalyzeSource(rel, contents, suppressions);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ":" +
+         finding.rule + ": " + finding.message;
+}
+
+}  // namespace alicoco::lint

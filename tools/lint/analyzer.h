@@ -1,0 +1,56 @@
+// Orchestration for alicoco_lint: suppression handling, single-source
+// analysis, and the deterministic repo-tree walk.
+//
+// Suppression layers:
+//   * file: tools/lint/suppressions.txt, lines of `<rule-id> <path-prefix>`
+//     (`*` as rule-id matches every rule; `#` starts a comment)
+//   * inline: a comment containing `lint:allow(rule-a, rule-b)` suppresses
+//     those rules on the comment's own line
+
+#ifndef ALICOCO_TOOLS_LINT_ANALYZER_H_
+#define ALICOCO_TOOLS_LINT_ANALYZER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "tools/lint/rules.h"
+
+namespace alicoco::lint {
+
+class Suppressions {
+ public:
+  /// Parses the `<rule-id> <path-prefix>` format; unknown rule ids are an
+  /// error so stale entries cannot linger silently.
+  static Result<Suppressions> Parse(const std::string& text);
+  static Result<Suppressions> LoadFile(const std::string& path);
+
+  void Add(std::string rule, std::string path_prefix);
+  bool Matches(const std::string& rule, const std::string& path) const;
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Runs every registry rule over one source buffer. `path` is the
+/// repo-relative logical path the path-scoped rules dispatch on; findings
+/// are sorted by (line, rule, message) and filtered through both
+/// suppression layers. Pass nullptr to skip file-level suppressions.
+std::vector<Finding> AnalyzeSource(const std::string& path,
+                                   const std::string& contents,
+                                   const Suppressions* suppressions);
+
+/// Walks the first-party roots (src, tests, bench, examples, tools/lint)
+/// under `root`, skipping any directory named `fixtures`, and analyzes
+/// every .h/.cc/.cpp in sorted order.
+Result<std::vector<Finding>> AnalyzeTree(const std::string& root,
+                                         const Suppressions* suppressions);
+
+/// `file:line:rule-id: message` — the stable machine-readable line.
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace alicoco::lint
+
+#endif  // ALICOCO_TOOLS_LINT_ANALYZER_H_

@@ -1,0 +1,284 @@
+#include "tools/lint/lexer.h"
+
+#include <cctype>
+
+namespace alicoco::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Characters that may continue a preprocessing number once one has begun:
+// digits, identifier chars, digit separators, the decimal point, and
+// exponent signs (handled contextually below).
+bool IsNumberChar(char c) { return IsIdentChar(c) || c == '\'' || c == '.'; }
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  std::vector<Token> Run() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        LexDirective();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '"') {
+        LexString(pos_);
+        continue;
+      }
+      if (c == '\'') {
+        LexCharLiteral();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+        LexNumber();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdentifierOrLiteralPrefix();
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(TokenKind kind, std::string text, int line) {
+    tokens_.push_back(Token{kind, std::move(text), line});
+  }
+
+  void LexLineComment() {
+    int start_line = line_;
+    pos_ += 2;
+    size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    Emit(TokenKind::kComment, src_.substr(begin, pos_ - begin), start_line);
+  }
+
+  void LexBlockComment() {
+    int start_line = line_;
+    pos_ += 2;
+    size_t begin = pos_;
+    size_t end = begin;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && Peek(1) == '/') {
+        end = pos_;
+        pos_ += 2;
+        Emit(TokenKind::kComment, src_.substr(begin, end - begin), start_line);
+        return;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    Emit(TokenKind::kComment, src_.substr(begin), start_line);  // unterminated
+  }
+
+  // A whole logical preprocessor line: backslash continuations folded,
+  // comments dropped, runs of whitespace collapsed to single spaces.
+  void LexDirective() {
+    int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        if (!text.empty() && text.back() == '\\') {
+          text.pop_back();
+          ++line_;
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        pos_ += 2;
+        while (pos_ < src_.size() &&
+               !(src_[pos_] == '*' && Peek(1) == '/')) {
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        if (pos_ < src_.size()) pos_ += 2;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r') {
+        if (!text.empty() && text.back() != ' ') text.push_back(' ');
+        ++pos_;
+        continue;
+      }
+      text.push_back(c);
+      ++pos_;
+    }
+    while (!text.empty() && text.back() == ' ') text.pop_back();
+    Emit(TokenKind::kDirective, std::move(text), start_line);
+  }
+
+  // `quote_pos` is the index of the opening '"'; a raw-string prefix (if
+  // any) has already been consumed by the identifier path.
+  void LexString(size_t quote_pos, bool raw = false) {
+    int start_line = line_;
+    pos_ = quote_pos + 1;
+    if (raw) {
+      // R"delim( ... )delim"
+      std::string delim;
+      while (pos_ < src_.size() && src_[pos_] != '(') {
+        delim.push_back(src_[pos_]);
+        ++pos_;
+      }
+      ++pos_;  // '('
+      size_t begin = pos_;
+      std::string closer = ")" + delim + "\"";
+      size_t end = src_.find(closer, pos_);
+      if (end == std::string::npos) {
+        for (size_t i = begin; i < src_.size(); ++i) {
+          if (src_[i] == '\n') ++line_;
+        }
+        pos_ = src_.size();
+        Emit(TokenKind::kString, src_.substr(begin), start_line);
+        return;
+      }
+      for (size_t i = begin; i < end; ++i) {
+        if (src_[i] == '\n') ++line_;
+      }
+      pos_ = end + closer.size();
+      Emit(TokenKind::kString, src_.substr(begin, end - begin), start_line);
+      return;
+    }
+    size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"' || c == '\n') break;
+      ++pos_;
+    }
+    Emit(TokenKind::kString, src_.substr(begin, pos_ - begin), start_line);
+    if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+  }
+
+  void LexCharLiteral() {
+    int start_line = line_;
+    size_t begin = ++pos_;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\'' || c == '\n') break;
+      ++pos_;
+    }
+    Emit(TokenKind::kCharLiteral, src_.substr(begin, pos_ - begin),
+         start_line);
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+  }
+
+  void LexNumber() {
+    size_t begin = pos_;
+    while (pos_ < src_.size() && IsNumberChar(src_[pos_])) {
+      char c = src_[pos_];
+      // A separator only continues the number when followed by a digit
+      // (distinguishes 1'000 from `1'x` char-literal adjacency).
+      if (c == '\'' &&
+          !std::isalnum(static_cast<unsigned char>(Peek(1)))) {
+        break;
+      }
+      ++pos_;
+      // Exponent signs: 1e+5, 0x1p-3.
+      if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+          (Peek(0) == '+' || Peek(0) == '-')) {
+        ++pos_;
+      }
+    }
+    Emit(TokenKind::kNumber, src_.substr(begin, pos_ - begin), line_);
+  }
+
+  void LexIdentifierOrLiteralPrefix() {
+    size_t begin = pos_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) ++pos_;
+    std::string text = src_.substr(begin, pos_ - begin);
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (text == "R" || text == "LR" || text == "uR" || text == "UR" ||
+         text == "u8R")) {
+      LexString(pos_, /*raw=*/true);
+      return;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (text == "L" || text == "u" || text == "U" || text == "u8")) {
+      LexString(pos_);
+      return;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'' &&
+        (text == "L" || text == "u" || text == "U" || text == "u8")) {
+      LexCharLiteral();
+      return;
+    }
+    Emit(TokenKind::kIdentifier, std::move(text), line_);
+  }
+
+  void LexPunct() {
+    char c = src_[pos_];
+    if (c == ':' && Peek(1) == ':') {
+      Emit(TokenKind::kPunct, "::", line_);
+      pos_ += 2;
+      return;
+    }
+    if (c == '-' && Peek(1) == '>') {
+      Emit(TokenKind::kPunct, "->", line_);
+      pos_ += 2;
+      return;
+    }
+    Emit(TokenKind::kPunct, std::string(1, c), line_);
+    ++pos_;
+  }
+
+  const std::string& src_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace alicoco::lint

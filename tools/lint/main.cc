@@ -1,0 +1,107 @@
+// alicoco_lint CLI: the first-party static-analysis gate.
+//
+//   alicoco_lint --root <repo-root> [--suppressions FILE | --no-suppressions]
+//   alicoco_lint --root <repo-root> <repo-relative-file>...
+//   alicoco_lint --list-rules
+//
+// Findings go to stdout as stable `file:line:rule-id: message` lines;
+// exit status is 1 iff any finding survives suppression. With no explicit
+// file arguments the whole first-party tree is scanned.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/analyzer.h"
+
+namespace {
+
+int Fail(const alicoco::Status& status) {
+  std::cerr << "alicoco_lint: " << status.ToString() << "\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string suppressions_path;
+  bool use_suppressions = true;
+  bool list_rules = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--suppressions" && i + 1 < argc) {
+      suppressions_path = argv[++i];
+    } else if (arg == "--no-suppressions") {
+      use_suppressions = false;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: alicoco_lint [--root DIR] [--suppressions FILE] "
+                   "[--no-suppressions] [--list-rules] [file...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "alicoco_lint: unknown flag '" << arg << "'\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const auto& rule : alicoco::lint::RuleRegistry()) {
+      std::cout << rule->id() << ": " << rule->rationale() << "\n";
+    }
+    return 0;
+  }
+
+  alicoco::lint::Suppressions suppressions;
+  if (use_suppressions) {
+    if (suppressions_path.empty()) {
+      std::string fallback = root + "/tools/lint/suppressions.txt";
+      if (std::filesystem::exists(fallback)) suppressions_path = fallback;
+    }
+    if (!suppressions_path.empty()) {
+      auto loaded = alicoco::lint::Suppressions::LoadFile(suppressions_path);
+      if (!loaded.ok()) return Fail(loaded.status());
+      suppressions = std::move(*loaded);
+    }
+  }
+
+  std::vector<alicoco::lint::Finding> findings;
+  if (files.empty()) {
+    auto result = alicoco::lint::AnalyzeTree(root, &suppressions);
+    if (!result.ok()) return Fail(result.status());
+    findings = std::move(*result);
+  } else {
+    for (const std::string& rel : files) {
+      std::ifstream in(root + "/" + rel, std::ios::binary);
+      if (!in) {
+        return Fail(alicoco::Status::IOError("cannot open: " + rel));
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      auto file_findings =
+          alicoco::lint::AnalyzeSource(rel, buf.str(), &suppressions);
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+    }
+  }
+
+  for (const auto& finding : findings) {
+    std::cout << alicoco::lint::FormatFinding(finding) << "\n";
+  }
+  if (!findings.empty()) {
+    std::cerr << "alicoco_lint: " << findings.size() << " finding(s)\n";
+    return 1;
+  }
+  std::cerr << "alicoco_lint: clean\n";
+  return 0;
+}

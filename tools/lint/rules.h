@@ -1,0 +1,49 @@
+// Rule registry for alicoco_lint: each rule is one pass over a lexed
+// file, emitting findings keyed by a stable kebab-case rule id. Rules are
+// pattern-level (token stream, no AST), deterministic, and documented in
+// the README "Static analysis" rule catalog.
+
+#ifndef ALICOCO_TOOLS_LINT_RULES_H_
+#define ALICOCO_TOOLS_LINT_RULES_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+
+namespace alicoco::lint {
+
+struct Finding {
+  std::string file;   // repo-relative path, forward slashes
+  int line = 0;       // 1-based
+  std::string rule;   // rule id
+  std::string message;
+};
+
+/// One file, lexed, with the repo-relative path the path-scoped rules
+/// dispatch on.
+struct FileContext {
+  std::string path;
+  bool is_header = false;
+  std::vector<Token> tokens;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  /// Stable kebab-case id used in findings and suppressions.
+  virtual std::string_view id() const = 0;
+  /// One-line rationale for --list-rules and the README catalog.
+  virtual std::string_view rationale() const = 0;
+  virtual void Check(const FileContext& file,
+                     std::vector<Finding>* out) const = 0;
+};
+
+/// The full rule set, in a fixed registration order.
+const std::vector<std::unique_ptr<Rule>>& RuleRegistry();
+
+}  // namespace alicoco::lint
+
+#endif  // ALICOCO_TOOLS_LINT_RULES_H_
