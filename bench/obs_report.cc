@@ -1,0 +1,221 @@
+// obs_report: the observability harness and perf-trajectory gate.
+//
+// Runs the bench world through the full construction pipeline with the
+// tracer + metrics registry attached and writes the run's whole picture
+// into --outdir:
+//
+//   BENCH_pipeline.json  per-stage wall time + domain counters (--out)
+//   metrics.prom         Prometheus text exposition of every metric
+//   trace.jsonl          every span, including nested stage detail
+//   build.log            Logger records routed through obs::FileLogSink
+//
+// With --baseline <committed BENCH_pipeline.json> the run becomes a gate:
+// any stage slower than baseline * --max-regress + --slack-ms (or missing
+// entirely) fails with exit 1. tools/ci.sh runs exactly that against the
+// repo-root baseline.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/table_printer.h"
+#include "obs/exporters.h"
+#include "obs/pipeline_profile.h"
+#include "pipeline/builder.h"
+
+namespace {
+
+struct Options {
+  std::string out = "BENCH_pipeline.json";
+  std::string outdir = ".";
+  std::string baseline;          // empty = no gate
+  double max_regress = 2.0;      // tolerant: CI machines are noisy
+  double slack_ms = 250.0;       // absolute floor for tiny stages
+  bool fast = false;             // smaller world for smoke runs
+};
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->out = v;
+    } else if (arg == "--outdir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->outdir = v;
+    } else if (arg == "--baseline") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->baseline = v;
+    } else if (arg == "--max-regress") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->max_regress = std::atof(v);
+    } else if (arg == "--slack-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts->slack_ms = std::atof(v);
+    } else if (arg == "--fast") {
+      opts->fast = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: obs_report [--out FILE] [--outdir DIR] "
+                   "[--baseline FILE] [--max-regress X] [--slack-ms MS] "
+                   "[--fast]\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "obs_report: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace alicoco;
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) return 2;
+
+  obs::Tracer tracer;
+  obs::Registry registry;
+
+  obs::FileLogSink log_sink(opts.outdir + "/build.log");
+  if (log_sink.status().ok()) {
+    Logger::SetSink(&log_sink);
+  } else {
+    std::fprintf(stderr, "obs_report: %s (logging to stderr)\n",
+                 log_sink.status().ToString().c_str());
+  }
+
+  datagen::WorldConfig world_cfg = bench::BenchWorldConfig();
+  if (opts.fast) {
+    world_cfg.num_items = 400;
+    world_cfg.titles = 800;
+    world_cfg.reviews = 300;
+    world_cfg.guides = 250;
+    world_cfg.queries = 200;
+    world_cfg.num_good_ec_concepts = 80;
+    world_cfg.num_bad_ec_concepts = 80;
+    world_cfg.num_users = 50;
+    world_cfg.num_needs_queries = 150;
+  }
+
+  std::printf("== obs_report: instrumented pipeline run (%s world) ==\n",
+              opts.fast ? "fast" : "bench");
+  datagen::World world = [&] {
+    bench::StageTimer t("generate world");
+    return datagen::World::Generate(world_cfg);
+  }();
+  auto resources = [&] {
+    bench::StageTimer t("train embeddings + LM");
+    return std::make_unique<datagen::WorldResources>(
+        world, datagen::ResourcesConfig{});
+  }();
+
+  pipeline::PipelineConfig cfg;
+  cfg.labeler.epochs = 3;
+  cfg.mining_epochs = 2;
+  cfg.projection.epochs = 3;
+  cfg.classifier.epochs = 3;
+  cfg.tagger.epochs = 4;
+  cfg.matcher.base.epochs = 2;
+  cfg.association_candidates = opts.fast ? 60 : 120;
+  cfg.tracer = &tracer;
+  cfg.metrics = &registry;
+
+  pipeline::AliCoCoBuilder builder(&world, resources.get(), cfg);
+  pipeline::BuildReport report;
+  Result<kg::ConceptNet> net = [&] {
+    bench::StageTimer t("instrumented construction pipeline");
+    return builder.Build(&report);
+  }();
+  Logger::SetSink(nullptr);
+  if (!net.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 net.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<obs::SpanRecord> spans = tracer.Records();
+  obs::PipelineProfile profile = obs::BuildPipelineProfile(spans, registry);
+  profile.world = opts.fast ? "bench-fast" : "bench";
+
+  bool io_ok = WriteFile(opts.out, profile.ToJson());
+  io_ok &= WriteFile(opts.outdir + "/metrics.prom",
+                     obs::ExportPrometheusText(registry));
+  io_ok &= WriteFile(opts.outdir + "/trace.jsonl",
+                     obs::ExportTraceJsonl(spans));
+
+  TablePrinter table("Per-stage profile (" + profile.world + " world)");
+  table.SetHeader({"stage", "wall_ms", "counters"});
+  for (const auto& stage : profile.stages) {
+    std::ostringstream counters;
+    size_t shown = 0;
+    for (const auto& [name, value] : stage.counters) {
+      if (shown++ > 0) counters << " ";
+      counters << name << "=" << value;
+      if (shown >= 3 && stage.counters.size() > 3) {
+        counters << " (+" << stage.counters.size() - shown << ")";
+        break;
+      }
+    }
+    table.AddRow({stage.name, TablePrinter::Num(stage.wall_ms, 1),
+                  counters.str()});
+  }
+  table.Print();
+  std::printf("total: %.1fms over %zu stages, %zu spans, wrote %s\n",
+              profile.total_ms, profile.stages.size(), spans.size(),
+              opts.out.c_str());
+
+  if (!io_ok) return 1;
+
+  if (!opts.baseline.empty()) {
+    std::ifstream in(opts.baseline, std::ios::binary);
+    if (!in.is_open()) {
+      std::fprintf(stderr, "obs_report: cannot read baseline %s\n",
+                   opts.baseline.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    Result<obs::PipelineProfile> baseline =
+        obs::PipelineProfile::FromJson(text.str());
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "obs_report: bad baseline: %s\n",
+                   baseline.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> regressions = obs::CompareToBaseline(
+        *baseline, profile, opts.max_regress, opts.slack_ms);
+    if (!regressions.empty()) {
+      for (const auto& line : regressions) {
+        std::fprintf(stderr, "REGRESSION: %s\n", line.c_str());
+      }
+      return 1;
+    }
+    std::printf("baseline gate passed (max-regress %.1fx, slack %.0fms)\n",
+                opts.max_regress, opts.slack_ms);
+  }
+  return 0;
+}

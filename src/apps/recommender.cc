@@ -1,6 +1,7 @@
 #include "apps/recommender.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <unordered_set>
 
@@ -62,15 +63,26 @@ std::vector<kg::ItemId> ItemCf::Recommend(const datagen::UserHistory& user,
   return out;
 }
 
-CognitiveRecommender::CognitiveRecommender(const kg::ConceptNet* net)
+CognitiveRecommender::CognitiveRecommender(const kg::ConceptNet* net,
+                                           obs::Registry* metrics)
     : net_(net) {
   ALICOCO_CHECK(net != nullptr);
+  if (metrics != nullptr) {
+    recommend_latency_us_ =
+        metrics->GetHistogram("serving.recommender.recommend_latency_us");
+    requests_served_ = metrics->GetCounter("serving.recommender.requests");
+    cards_returned_ = metrics->GetCounter("serving.recommender.cards");
+  }
 }
 
 std::vector<CognitiveRecommender::ConceptCard>
 CognitiveRecommender::Recommend(const datagen::UserHistory& user,
                                 size_t num_cards,
                                 size_t items_per_card) const {
+  std::chrono::steady_clock::time_point start;
+  if (recommend_latency_us_ != nullptr) {
+    start = std::chrono::steady_clock::now();
+  }
   // Vote for concepts linked to the clicked items; damp by concept size so
   // huge generic concepts don't dominate.
   std::unordered_map<uint32_t, double> votes;
@@ -106,6 +118,14 @@ CognitiveRecommender::Recommend(const datagen::UserHistory& user,
     }
     cards.push_back(std::move(card));
   }
+  if (recommend_latency_us_ != nullptr) {
+    recommend_latency_us_->Observe(std::chrono::duration<double, std::micro>(
+                                       std::chrono::steady_clock::now() -
+                                       start)
+                                       .count());
+  }
+  if (requests_served_ != nullptr) requests_served_->Increment();
+  if (cards_returned_ != nullptr) cards_returned_->Add(cards.size());
   return cards;
 }
 

@@ -16,6 +16,7 @@
 
 #include "datagen/world.h"
 #include "kg/concept_net.h"
+#include "obs/metrics.h"
 
 namespace alicoco::apps {
 
@@ -35,10 +36,14 @@ class ItemCf {
   std::unordered_map<uint32_t, double> norm_;
 };
 
-/// Concept-card recommendation over the concept net.
+/// Concept-card recommendation over the concept net. Serving-path latency
+/// lands in `metrics` under `serving.recommender.*` (Recommend latency
+/// histogram plus request/card counters); pass nullptr to opt out.
 class CognitiveRecommender {
  public:
-  explicit CognitiveRecommender(const kg::ConceptNet* net);
+  explicit CognitiveRecommender(
+      const kg::ConceptNet* net,
+      obs::Registry* metrics = &obs::Registry::Default());
 
   struct ConceptCard {
     kg::EcConceptId concept_id;
@@ -54,6 +59,9 @@ class CognitiveRecommender {
 
  private:
   const kg::ConceptNet* net_;
+  obs::Histogram* recommend_latency_us_ = nullptr;
+  obs::Counter* requests_served_ = nullptr;
+  obs::Counter* cards_returned_ = nullptr;
 };
 
 /// Comparison metrics over a user population.

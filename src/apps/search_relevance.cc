@@ -1,6 +1,7 @@
 #include "apps/search_relevance.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -8,8 +9,17 @@
 
 namespace alicoco::apps {
 
-SearchRelevance::SearchRelevance(const kg::ConceptNet* net) : net_(net) {
+SearchRelevance::SearchRelevance(const kg::ConceptNet* net,
+                                 obs::Registry* metrics)
+    : net_(net) {
   ALICOCO_CHECK(net != nullptr);
+  if (metrics != nullptr) {
+    query_latency_us_ =
+        metrics->GetHistogram("serving.search_relevance.query_latency_us");
+    queries_served_ = metrics->GetCounter("serving.search_relevance.queries");
+    pairs_judged_ =
+        metrics->GetCounter("serving.search_relevance.judged_pairs");
+  }
 }
 
 std::vector<RelevanceQuery> SearchRelevance::BuildQueries(
@@ -94,6 +104,10 @@ RelevanceReport SearchRelevance::Evaluate(
   std::vector<double> scores;
   std::vector<int> labels;
   for (const auto& q : queries) {
+    std::chrono::steady_clock::time_point start;
+    if (query_latency_us_ != nullptr) {
+      start = std::chrono::steady_clock::now();
+    }
     for (size_t i = 0; i < q.items.size(); ++i) {
       double s = Score(q.query, q.items[i], expand_isa);
       scores.push_back(s);
@@ -101,6 +115,13 @@ RelevanceReport SearchRelevance::Evaluate(
       ++report.judged_pairs;
       if (q.relevant[i] == 1 && s == 0.0) ++report.bad_cases;
     }
+    if (query_latency_us_ != nullptr) {
+      query_latency_us_->Observe(std::chrono::duration<double, std::micro>(
+                                     std::chrono::steady_clock::now() - start)
+                                     .count());
+    }
+    if (queries_served_ != nullptr) queries_served_->Increment();
+    if (pairs_judged_ != nullptr) pairs_judged_->Add(q.items.size());
   }
   report.auc = eval::Auc(scores, labels);
   return report;

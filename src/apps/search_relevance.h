@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "datagen/world.h"
 #include "kg/concept_net.h"
+#include "obs/metrics.h"
 
 namespace alicoco::apps {
 
@@ -32,10 +33,13 @@ struct RelevanceReport {
   size_t judged_pairs = 0;
 };
 
-/// Lexical relevance scorer over a concept net.
+/// Lexical relevance scorer over a concept net. Serving-path latency lands
+/// in `metrics` under `serving.search_relevance.*` (query latency
+/// histogram plus query/pair counters); pass nullptr to opt out.
 class SearchRelevance {
  public:
-  explicit SearchRelevance(const kg::ConceptNet* net);
+  explicit SearchRelevance(const kg::ConceptNet* net,
+                           obs::Registry* metrics = &obs::Registry::Default());
 
   /// Builds queries from the world's category concepts: for each query
   /// concept, candidates mix relevant items (category isA-descendant of the
@@ -57,6 +61,9 @@ class SearchRelevance {
 
  private:
   const kg::ConceptNet* net_;
+  obs::Histogram* query_latency_us_ = nullptr;
+  obs::Counter* queries_served_ = nullptr;
+  obs::Counter* pairs_judged_ = nullptr;
 };
 
 }  // namespace alicoco::apps

@@ -1,8 +1,19 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 
 namespace alicoco {
+namespace {
+
+uint64_t MonotonicNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -22,12 +33,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  ThreadPoolObserver* observer = observer_.load();
+  Task entry;
+  entry.fn = std::move(task);
+  if (observer != nullptr) entry.enqueue_us = MonotonicNowUs();
+  size_t depth;
   {
     MutexLock lock(mu_);
-    tasks_.push(std::move(task));
+    tasks_.push(std::move(entry));
     ++in_flight_;
+    depth = tasks_.size();
   }
   task_cv_.NotifyOne();
+  if (observer != nullptr) observer->OnQueueDepth(depth);
 }
 
 void ThreadPool::Wait() {
@@ -53,15 +71,32 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
+    size_t depth;
     {
       MutexLock lock(mu_);
       while (!shutdown_ && tasks_.empty()) task_cv_.Wait(mu_);
       if (tasks_.empty()) return;  // shutdown with a drained queue
       task = std::move(tasks_.front());
       tasks_.pop();
+      depth = tasks_.size();
     }
-    task();
+    ThreadPoolObserver* observer = observer_.load();
+    uint64_t start_us = 0;
+    if (observer != nullptr) {
+      observer->OnQueueDepth(depth);
+      start_us = MonotonicNowUs();
+    }
+    task.fn();
+    if (observer != nullptr) {
+      uint64_t end_us = MonotonicNowUs();
+      double queue_wait_us =
+          task.enqueue_us == 0
+              ? 0
+              : static_cast<double>(start_us - task.enqueue_us);
+      observer->OnTaskDone(queue_wait_us,
+                           static_cast<double>(end_us - start_us));
+    }
     {
       MutexLock lock(mu_);
       if (--in_flight_ == 0) done_cv_.NotifyAll();

@@ -3,7 +3,9 @@
 #ifndef ALICOCO_COMMON_THREAD_POOL_H_
 #define ALICOCO_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <queue>
 #include <thread>
@@ -13,6 +15,19 @@
 #include "common/thread_annotations.h"
 
 namespace alicoco {
+
+/// Instrumentation hook for ThreadPool. Implementations must be
+/// thread-safe: callbacks fire concurrently from submitters and workers.
+/// obs::ThreadPoolMetrics adapts this onto the metrics registry; the pool
+/// itself stays free of any observability dependency.
+class ThreadPoolObserver {
+ public:
+  virtual ~ThreadPoolObserver() = default;
+  /// Queue depth right after a task was enqueued or dequeued.
+  virtual void OnQueueDepth(size_t depth) = 0;
+  /// One task finished: time spent queued and time spent running.
+  virtual void OnTaskDone(double queue_wait_us, double run_us) = 0;
+};
 
 /// Simple FIFO thread pool. Submitted tasks must not throw.
 class ThreadPool {
@@ -36,12 +51,25 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
       ALICOCO_EXCLUDES(mu_);
 
+  /// Installs an observer (nullptr detaches). The observer must outlive
+  /// the pool or be detached first; install it before heavy traffic so
+  /// every task is measured.
+  void SetObserver(ThreadPoolObserver* observer) {
+    observer_.store(observer);
+  }
+
  private:
+  struct Task {
+    std::function<void()> fn;
+    uint64_t enqueue_us = 0;  ///< sampled only while an observer is set
+  };
+
   void WorkerLoop() ALICOCO_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;  // written only in the constructor
+  std::atomic<ThreadPoolObserver*> observer_{nullptr};
   Mutex mu_;
-  std::queue<std::function<void()>> tasks_ ALICOCO_GUARDED_BY(mu_);
+  std::queue<Task> tasks_ ALICOCO_GUARDED_BY(mu_);
   size_t in_flight_ ALICOCO_GUARDED_BY(mu_) = 0;
   bool shutdown_ ALICOCO_GUARDED_BY(mu_) = false;
   CondVar task_cv_;  // waits on mu_; signalled on Submit and shutdown

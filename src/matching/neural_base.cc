@@ -1,5 +1,6 @@
 #include "matching/neural_base.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.h"
@@ -93,11 +94,20 @@ double NeuralMatcherBase::Score(const std::vector<std::string>& concept_tokens,
                                 int64_t item_id) const {
   (void)item_id;
   ALICOCO_CHECK(trained_) << name() << " scored before Train";
+  std::chrono::steady_clock::time_point start;
+  if (score_latency_us_ != nullptr) start = std::chrono::steady_clock::now();
   nn::Graph g;
   nn::Graph::Var logit =
       Logit(&g, Encode(concept_tokens), Encode(item_tokens), false, nullptr);
   float x = g.Value(logit).At(0, 0);
-  return 1.0 / (1.0 + std::exp(-static_cast<double>(x)));
+  double score = 1.0 / (1.0 + std::exp(-static_cast<double>(x)));
+  if (score_latency_us_ != nullptr) {
+    score_latency_us_->Observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  return score;
 }
 
 }  // namespace alicoco::matching

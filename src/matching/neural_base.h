@@ -12,6 +12,7 @@
 #include "matching/dataset.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
 #include "text/skipgram.h"
 #include "text/vocabulary.h"
 
@@ -41,6 +42,13 @@ class NeuralMatcherBase : public Matcher {
                const std::vector<std::string>& item_tokens,
                int64_t item_id) const final;
 
+  /// When set, every Score() call records its latency (microseconds) into
+  /// `histogram`; pass nullptr to detach. The histogram must outlive the
+  /// matcher (registry-owned histograms always do).
+  void set_score_latency_histogram(obs::Histogram* histogram) {
+    score_latency_us_ = histogram;
+  }
+
  protected:
   /// Builds the model's layers once the vocabulary is known.
   virtual void BuildModel() = 0;
@@ -68,6 +76,7 @@ class NeuralMatcherBase : public Matcher {
   Rng init_rng_;
   nn::ParameterStore store_;
   bool trained_ = false;
+  obs::Histogram* score_latency_us_ = nullptr;
 };
 
 }  // namespace alicoco::matching

@@ -1,0 +1,148 @@
+#include "obs/exporters.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace alicoco::obs {
+namespace {
+
+/// Prometheus metric names: [a-zA-Z0-9_:]; we map everything else to '_'.
+std::string SanitizeName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) { return StringPrintf("%.6g", v); }
+
+void AppendHistogram(const std::string& name, const Histogram& histogram,
+                     std::string* out) {
+  Histogram::Snapshot snap = histogram.snapshot();
+  out->append("# TYPE " + name + " histogram\n");
+  uint64_t cumulative = 0;
+  size_t last_nonzero = 0;
+  for (size_t i = 0; i < snap.buckets.size(); ++i) {
+    if (snap.buckets[i] != 0) last_nonzero = i;
+  }
+  for (size_t i = 0; i <= last_nonzero; ++i) {
+    cumulative += snap.buckets[i];
+    out->append(name + "_bucket{le=\"" +
+                FormatDouble(Histogram::BucketUpperBound(i)) + "\"} " +
+                std::to_string(cumulative) + "\n");
+  }
+  out->append(name + "_bucket{le=\"+Inf\"} " + std::to_string(snap.count) +
+              "\n");
+  out->append(name + "_sum " + FormatDouble(snap.sum) + "\n");
+  out->append(name + "_count " + std::to_string(snap.count) + "\n");
+  for (double q : {0.5, 0.95, 0.99}) {
+    out->append(name + "{quantile=\"" + FormatDouble(q) + "\"} " +
+                FormatDouble(histogram.Quantile(q)) + "\n");
+  }
+}
+
+}  // namespace
+
+std::string ExportPrometheusText(const Registry& registry) {
+  std::string out;
+  for (const std::string& name : registry.CounterNames()) {
+    const Counter* counter = registry.FindCounter(name);
+    if (counter == nullptr) continue;  // raced removal cannot happen; belt
+    std::string metric = SanitizeName(name) + "_total";
+    out.append("# TYPE " + metric + " counter\n");
+    out.append(metric + " " + std::to_string(counter->value()) + "\n");
+  }
+  for (const std::string& name : registry.GaugeNames()) {
+    const Gauge* gauge = registry.FindGauge(name);
+    if (gauge == nullptr) continue;
+    std::string metric = SanitizeName(name);
+    out.append("# TYPE " + metric + " gauge\n");
+    out.append(metric + " " + FormatDouble(gauge->value()) + "\n");
+    out.append(metric + "_max " + FormatDouble(gauge->max()) + "\n");
+  }
+  for (const std::string& name : registry.HistogramNames()) {
+    const Histogram* histogram = registry.FindHistogram(name);
+    if (histogram == nullptr) continue;
+    AppendHistogram(SanitizeName(name), *histogram, &out);
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ExportTraceJsonl(std::vector<SpanRecord> spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.id < b.id;
+            });
+  std::string out;
+  for (const SpanRecord& span : spans) {
+    out.append(StringPrintf(
+        "{\"span_id\":%llu,\"parent_id\":%llu,\"name\":\"%s\","
+        "\"start_us\":%llu,\"duration_us\":%llu,\"attributes\":{",
+        static_cast<unsigned long long>(span.id),
+        static_cast<unsigned long long>(span.parent_id),
+        JsonEscape(span.name).c_str(),
+        static_cast<unsigned long long>(span.start_us),
+        static_cast<unsigned long long>(span.duration_us)));
+    for (size_t i = 0; i < span.attributes.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      out.append("\"" + JsonEscape(span.attributes[i].first) + "\":\"" +
+                 JsonEscape(span.attributes[i].second) + "\"");
+    }
+    out.append("}}\n");
+  }
+  return out;
+}
+
+FileLogSink::FileLogSink(const std::string& path) : out_(path) {
+  if (!out_.is_open()) {
+    status_ = Status::IOError("cannot open log file: " + path);
+  }
+}
+
+FileLogSink::~FileLogSink() = default;
+
+Status FileLogSink::status() const { return status_; }
+
+void FileLogSink::Write(const LogRecord& record) {
+  MutexLock lock(mu_);
+  if (!out_.is_open()) return;
+  out_ << Logger::FormatRecord(record) << "\n";
+  out_.flush();
+}
+
+}  // namespace alicoco::obs

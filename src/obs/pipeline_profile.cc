@@ -1,0 +1,403 @@
+#include "obs/pipeline_profile.h"
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+
+#include "common/string_util.h"
+#include "obs/exporters.h"
+
+namespace alicoco::obs {
+namespace {
+
+constexpr char kSchemaId[] = "alicoco.bench_pipeline.v1";
+constexpr char kStagePrefix[] = "pipeline.";
+constexpr char kRootSpan[] = "pipeline.build";
+
+std::string FormatDouble(double v) { return StringPrintf("%.6g", v); }
+
+// ---- minimal JSON reader -------------------------------------------------
+// Just enough of RFC 8259 for the profile schema: objects, arrays,
+// strings, numbers, true/false/null. No unicode escapes beyond \uXXXX
+// pass-through needs; profile strings are ASCII by construction.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    ALICOCO_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::Corruption("JSON parse error at offset " +
+                              std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f' || c == 'n') return ParseKeyword();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    JsonValue out;
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    if (Consume('}')) return out;
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      ALICOCO_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      if (!Consume(':')) return Error("expected ':' after key");
+      ALICOCO_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      out.object.emplace_back(std::move(key.str), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return out;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    JsonValue out;
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    if (Consume(']')) return out;
+    for (;;) {
+      ALICOCO_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      out.array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return out;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    JsonValue out;
+    out.kind = JsonValue::Kind::kString;
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.str.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.str.push_back(esc);
+          break;
+        case 'n':
+          out.str.push_back('\n');
+          break;
+        case 't':
+          out.str.push_back('\t');
+          break;
+        case 'r':
+          out.str.push_back('\r');
+          break;
+        case 'b':
+          out.str.push_back('\b');
+          break;
+        case 'f':
+          out.str.push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape digit");
+            }
+          }
+          // Profile strings are ASCII; anything else degrades to '?'.
+          out.str.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return Error("unknown escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseKeyword() {
+    auto match = [&](const char* word) {
+      size_t len = std::string_view(word).size();
+      if (text_.compare(pos_, len, word) != 0) return false;
+      pos_ += len;
+      return true;
+    };
+    JsonValue out;
+    if (match("true")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return out;
+    }
+    if (match("false")) {
+      out.kind = JsonValue::Kind::kBool;
+      return out;
+    }
+    if (match("null")) return out;
+    return Error("unknown keyword");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool digits = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) return Error("expected a number");
+    JsonValue out;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::stod(text_.substr(start, pos_ - start));
+    return out;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<double> RequireNumber(const JsonValue& object, const std::string& key) {
+  const JsonValue* v = object.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+    return Status::Corruption("missing numeric field '" + key + "'");
+  }
+  return v->number;
+}
+
+Result<std::string> RequireString(const JsonValue& object,
+                                  const std::string& key) {
+  const JsonValue* v = object.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kString) {
+    return Status::Corruption("missing string field '" + key + "'");
+  }
+  return v->str;
+}
+
+}  // namespace
+
+const StageProfile* PipelineProfile::FindStage(const std::string& name) const {
+  for (const StageProfile& stage : stages) {
+    if (stage.name == name) return &stage;
+  }
+  return nullptr;
+}
+
+std::string PipelineProfile::ToJson() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"" + std::string(kSchemaId) + "\",\n";
+  out += "  \"world\": \"" + JsonEscape(world) + "\",\n";
+  out += "  \"total_ms\": " + FormatDouble(total_ms) + ",\n";
+  out += "  \"stages\": [\n";
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const StageProfile& stage = stages[i];
+    out += "    {\"name\": \"" + JsonEscape(stage.name) + "\", \"wall_ms\": " +
+           FormatDouble(stage.wall_ms) + ", \"counters\": {";
+    size_t n = 0;
+    for (const auto& [key, value] : stage.counters) {
+      if (n++ != 0) out += ", ";
+      out += "\"" + JsonEscape(key) + "\": " + FormatDouble(value);
+    }
+    out += "}}";
+    if (i + 1 != stages.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Result<PipelineProfile> PipelineProfile::FromJson(const std::string& text) {
+  ALICOCO_ASSIGN_OR_RETURN(JsonValue root, JsonParser(text).Parse());
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::Corruption("profile root must be a JSON object");
+  }
+  ALICOCO_ASSIGN_OR_RETURN(std::string schema, RequireString(root, "schema"));
+  if (schema != kSchemaId) {
+    return Status::Corruption("unknown profile schema '" + schema + "'");
+  }
+  PipelineProfile profile;
+  ALICOCO_ASSIGN_OR_RETURN(profile.world, RequireString(root, "world"));
+  ALICOCO_ASSIGN_OR_RETURN(profile.total_ms,
+                           RequireNumber(root, "total_ms"));
+  const JsonValue* stages = root.Find("stages");
+  if (stages == nullptr || stages->kind != JsonValue::Kind::kArray) {
+    return Status::Corruption("missing 'stages' array");
+  }
+  for (const JsonValue& entry : stages->array) {
+    if (entry.kind != JsonValue::Kind::kObject) {
+      return Status::Corruption("stage entries must be objects");
+    }
+    StageProfile stage;
+    ALICOCO_ASSIGN_OR_RETURN(stage.name, RequireString(entry, "name"));
+    ALICOCO_ASSIGN_OR_RETURN(stage.wall_ms, RequireNumber(entry, "wall_ms"));
+    const JsonValue* counters = entry.Find("counters");
+    if (counters != nullptr) {
+      if (counters->kind != JsonValue::Kind::kObject) {
+        return Status::Corruption("stage 'counters' must be an object");
+      }
+      for (const auto& [key, value] : counters->object) {
+        if (value.kind != JsonValue::Kind::kNumber) {
+          return Status::Corruption("counter '" + key + "' must be numeric");
+        }
+        stage.counters[key] = value.number;
+      }
+    }
+    profile.stages.push_back(std::move(stage));
+  }
+  return profile;
+}
+
+PipelineProfile BuildPipelineProfile(const std::vector<SpanRecord>& spans,
+                                     const Registry& registry) {
+  std::vector<SpanRecord> ordered = spans;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.id < b.id;
+            });
+
+  PipelineProfile profile;
+  auto counters_for = [&](const std::string& stage) {
+    std::map<std::string, double> out;
+    std::string prefix = std::string(kStagePrefix) + stage + ".";
+    for (const std::string& name : registry.CounterNames()) {
+      if (!StartsWith(name, prefix)) continue;
+      out[name.substr(prefix.size())] =
+          static_cast<double>(registry.FindCounter(name)->value());
+    }
+    for (const std::string& name : registry.GaugeNames()) {
+      if (!StartsWith(name, prefix)) continue;
+      out[name.substr(prefix.size())] = registry.FindGauge(name)->value();
+    }
+    return out;
+  };
+
+  // Stages are the direct children of the root `pipeline.build` span;
+  // deeper spans (e.g. `pipeline.mining.epoch`) are detail, not stages.
+  uint64_t root_id = 0;
+  bool has_root = false;
+  for (const SpanRecord& span : ordered) {
+    if (span.name == kRootSpan) {
+      root_id = span.id;
+      has_root = true;
+      profile.total_ms = static_cast<double>(span.duration_us) / 1000.0;
+      break;
+    }
+  }
+
+  for (const SpanRecord& span : ordered) {
+    if (!StartsWith(span.name, kStagePrefix)) continue;
+    if (span.name == kRootSpan) continue;
+    if (has_root ? span.parent_id != root_id : span.parent_id != 0) continue;
+    std::string stage_name =
+        span.name.substr(std::string_view(kStagePrefix).size());
+    StageProfile stage;
+    stage.name = stage_name;
+    stage.wall_ms = static_cast<double>(span.duration_us) / 1000.0;
+    stage.counters = counters_for(stage_name);
+    profile.stages.push_back(std::move(stage));
+  }
+  if (profile.total_ms == 0) {
+    for (const StageProfile& stage : profile.stages) {
+      profile.total_ms += stage.wall_ms;
+    }
+  }
+  return profile;
+}
+
+std::vector<std::string> CompareToBaseline(const PipelineProfile& baseline,
+                                           const PipelineProfile& current,
+                                           double max_ratio, double slack_ms) {
+  std::vector<std::string> regressions;
+  for (const StageProfile& base_stage : baseline.stages) {
+    const StageProfile* cur = current.FindStage(base_stage.name);
+    if (cur == nullptr) {
+      regressions.push_back("stage '" + base_stage.name +
+                            "' missing from the current profile");
+      continue;
+    }
+    double limit = base_stage.wall_ms * max_ratio + slack_ms;
+    if (cur->wall_ms > limit) {
+      regressions.push_back(StringPrintf(
+          "stage '%s' regressed: %.1fms > limit %.1fms (baseline %.1fms x "
+          "%.2g + %.0fms slack)",
+          base_stage.name.c_str(), cur->wall_ms, limit, base_stage.wall_ms,
+          max_ratio, slack_ms));
+    }
+  }
+  return regressions;
+}
+
+}  // namespace alicoco::obs

@@ -1,0 +1,77 @@
+// The BENCH_pipeline.json profile: the repo's perf-trajectory file format.
+//
+// obs_report runs the bench world through the seven-stage builder and
+// serializes one PipelineProfile per run; the checked-in BENCH_pipeline.json
+// at the repo root is the committed baseline that tools/ci.sh compares
+// fresh runs against (a stage slower than baseline * max_ratio + slack_ms
+// fails the gate). Future perf PRs append to this trajectory by
+// regenerating the baseline after a verified improvement.
+//
+// Schema (alicoco.bench_pipeline.v1):
+//
+//   {
+//     "schema": "alicoco.bench_pipeline.v1",
+//     "world": "bench",
+//     "total_ms": 2345.6,
+//     "stages": [
+//       {"name": "mining", "wall_ms": 123.4,
+//        "counters": {"candidates": 321, "accepted": 42}},
+//       ...
+//     ]
+//   }
+//
+// Stage order is execution order. Counters are doubles (counts, rates,
+// thresholds). Parsing accepts any field order and ignores unknown keys,
+// so the format can grow without breaking old readers.
+
+#ifndef ALICOCO_OBS_PIPELINE_PROFILE_H_
+#define ALICOCO_OBS_PIPELINE_PROFILE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace alicoco::obs {
+
+/// One pipeline stage's measured run.
+struct StageProfile {
+  std::string name;
+  double wall_ms = 0;
+  std::map<std::string, double> counters;  ///< sorted for stable output
+};
+
+struct PipelineProfile {
+  std::string world = "bench";
+  double total_ms = 0;
+  std::vector<StageProfile> stages;
+
+  const StageProfile* FindStage(const std::string& name) const;
+
+  std::string ToJson() const;
+  static Result<PipelineProfile> FromJson(const std::string& text);
+};
+
+/// Assembles a profile from one instrumented builder run: every
+/// `pipeline.<stage>` span that is a direct child of the `pipeline.build`
+/// root (which provides total_ms) becomes a stage in span-id order,
+/// carrying every Counter and Gauge in `registry` whose name starts with
+/// `pipeline.<stage>.`. Deeper spans (e.g. `pipeline.mining.epoch`) are
+/// trace detail, not stages.
+PipelineProfile BuildPipelineProfile(const std::vector<SpanRecord>& spans,
+                                     const Registry& registry);
+
+/// Regression gate: returns one human-readable line per baseline stage
+/// whose current wall time exceeds `baseline * max_ratio + slack_ms`, or
+/// that is missing from `current` entirely. Empty result = gate passes.
+/// The slack term absorbs CI noise on stages whose absolute time is tiny.
+std::vector<std::string> CompareToBaseline(const PipelineProfile& baseline,
+                                           const PipelineProfile& current,
+                                           double max_ratio, double slack_ms);
+
+}  // namespace alicoco::obs
+
+#endif  // ALICOCO_OBS_PIPELINE_PROFILE_H_

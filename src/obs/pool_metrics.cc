@@ -1,0 +1,26 @@
+#include "obs/pool_metrics.h"
+
+#include "common/check.h"
+
+namespace alicoco::obs {
+
+ThreadPoolMetrics::ThreadPoolMetrics(Registry* registry,
+                                     const std::string& prefix) {
+  ALICOCO_CHECK(registry != nullptr);
+  queue_depth_ = registry->GetGauge(prefix + ".queue_depth");
+  queue_wait_us_ = registry->GetHistogram(prefix + ".queue_wait_us");
+  task_run_us_ = registry->GetHistogram(prefix + ".task_run_us");
+  tasks_completed_ = registry->GetCounter(prefix + ".tasks_completed");
+}
+
+void ThreadPoolMetrics::OnQueueDepth(size_t depth) {
+  queue_depth_->Set(static_cast<double>(depth));
+}
+
+void ThreadPoolMetrics::OnTaskDone(double queue_wait_us, double run_us) {
+  queue_wait_us_->Observe(queue_wait_us);
+  task_run_us_->Observe(run_us);
+  tasks_completed_->Increment();
+}
+
+}  // namespace alicoco::obs

@@ -3,6 +3,7 @@
 #include "apps/relation_inference.h"
 
 #include <algorithm>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -19,6 +20,7 @@
 #include "matching/dataset.h"
 #include "mining/concept_miner.h"
 #include "mining/distant_supervision.h"
+#include "obs/pool_metrics.h"
 #include "text/tokenizer.h"
 
 namespace alicoco::pipeline {
@@ -74,12 +76,43 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
   Rng rng(config_.seed);
   kg::ConceptNet net;
 
+  // Stage instrumentation: one root span for the whole build, one child
+  // span per stage (sequential, so a single re-emplaced slot suffices),
+  // and counters/gauges published under `pipeline.<stage>.<name>`. With
+  // null tracer/metrics every helper is a no-op.
+  obs::Tracer* tracer = config_.tracer;
+  obs::Registry* metrics = config_.metrics;
+  obs::ScopedSpan build_span(tracer, "pipeline.build");
+  std::optional<obs::ScopedSpan> stage_span;
+  auto begin_stage = [&](const char* stage) {
+    stage_span.emplace(tracer, std::string("pipeline.") + stage);
+  };
+  auto stage_count = [&](const char* stage, const char* name, size_t value) {
+    if (metrics != nullptr) {
+      metrics->GetCounter(std::string("pipeline.") + stage + "." + name)
+          ->Add(value);
+    }
+    if (stage_span.has_value()) {
+      stage_span->AddAttribute(name, static_cast<uint64_t>(value));
+    }
+  };
+  auto stage_gauge = [&](const char* stage, const char* name, double value) {
+    if (metrics != nullptr) {
+      metrics->GetGauge(std::string("pipeline.") + stage + "." + name)
+          ->Set(value);
+    }
+    if (stage_span.has_value()) stage_span->AddAttribute(name, value);
+  };
+
   // ---- Stage 1: taxonomy + schema (expert-defined) ----
+  begin_stage("taxonomy_schema");
   datagen::TaxonomyHandles handles = datagen::BuildTaxonomy(&net.taxonomy());
   ALICOCO_RETURN_NOT_OK(net.AddRelation("suitable_when", handles.category,
                                         handles.time_season));
   ALICOCO_RETURN_NOT_OK(
       net.AddRelation("used_when", handles.category, handles.event));
+  stage_count("taxonomy_schema", "classes", net.taxonomy().size());
+  stage_count("taxonomy_schema", "relations_declared", 2);
 
   auto domain_class = [&](const std::string& domain) -> kg::ClassId {
     auto res = net.taxonomy().Find(domain);
@@ -89,6 +122,7 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
 
   // ---- Stage 2: seed primitive concepts (ontology matching) ----
   // The external knowledge base also supplies glosses where it has entries.
+  begin_stage("seed_concepts");
   for (const auto& [surface, domain] : world_->seed_dictionary()) {
     ALICOCO_ASSIGN_OR_RETURN(
         kg::ConceptId id,
@@ -102,8 +136,10 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
     }
   }
   report->seed_concepts = net.num_primitive_concepts();
+  stage_count("seed_concepts", "seed_concepts", report->seed_concepts);
 
   // ---- Stage 3: mining loop ----
+  begin_stage("mining");
   mining::DistantSupervisor supervisor(world_->seed_dictionary(),
                                        datagen::CarrierVocabulary());
   std::vector<std::vector<std::string>> raw_corpus;
@@ -122,8 +158,13 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
         return gold_keys.count(surface + "\t" + domain) > 0;
       });
   for (int epoch = 0; epoch < config_.mining_epochs; ++epoch) {
+    obs::ScopedSpan epoch_span(tracer, "pipeline.mining.epoch");
+    epoch_span.AddAttribute("epoch", static_cast<uint64_t>(epoch + 1));
     report->mining_epochs.push_back(
         miner.RunEpoch(raw_corpus, config_.mining_min_support));
+    epoch_span.AddAttribute(
+        "accepted",
+        static_cast<uint64_t>(report->mining_epochs.back().accepted));
   }
   for (const auto& mined : miner.accepted()) {
     ALICOCO_ASSIGN_OR_RETURN(
@@ -133,8 +174,19 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
     (void)id;
     ++report->mined_concepts;
   }
+  {
+    size_t mining_candidates = 0, mining_accepted = 0;
+    for (const auto& epoch : report->mining_epochs) {
+      mining_candidates += epoch.candidates;
+      mining_accepted += epoch.accepted;
+    }
+    stage_count("mining", "candidates", mining_candidates);
+    stage_count("mining", "accepted", mining_accepted);
+    stage_count("mining", "mined_concepts", report->mined_concepts);
+  }
 
   // ---- Stage 4: hypernym discovery inside Category ----
+  begin_stage("hypernym_discovery");
   std::vector<std::string> category_vocab;
   for (kg::ClassId cls :
        net.taxonomy().Subtree(domain_class("Category"))) {
@@ -204,7 +256,13 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
     }
   }
 
+  stage_count("hypernym_discovery", "isa_from_patterns",
+              report->isa_from_patterns);
+  stage_count("hypernym_discovery", "isa_from_projection",
+              report->isa_from_projection);
+
   // ---- Stage 5: e-commerce concept generation + classification ----
+  begin_stage("ec_concepts");
   concepts::PhraseMiner phrase_miner(/*min_count=*/3, /*max_len=*/4);
   std::vector<std::vector<std::string>> query_guides;
   for (const auto& s : world_->sentences()) {
@@ -315,8 +373,15 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
       if (res.ok()) ++report->ec_accepted;
     }
   }
+  stage_count("ec_concepts", "candidates", report->ec_candidates);
+  stage_count("ec_concepts", "audited", audited.size());
+  stage_count("ec_concepts", "audit_rejected",
+              audited.size() - audited_good.size());
+  stage_count("ec_concepts", "accepted", report->ec_accepted);
+  stage_gauge("ec_concepts", "audit_accuracy", report->audit_accuracy);
 
   // ---- Stage 6: concept tagging -> interpretation links ----
+  begin_stage("concept_tagging");
   tagging::TaggerResources tag_res;
   tag_res.pos_tagger = &world_->pos_tagger();
   tag_res.context_matrix = &resources_->context_matrix();
@@ -362,9 +427,13 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
     }
   }
 
+  stage_count("concept_tagging", "interpretation_links",
+              report->interpretation_links);
+
   // ---- Stage 7: items + association ----
   // Items enter from the catalog; primitive tags via max-matching; ec-item
   // association via the trained knowledge-aware matcher.
+  begin_stage("item_association");
   mining::DistantSupervisor item_tagger_dict(world_->seed_dictionary(),
                                              datagen::CarrierVocabulary());
   for (const auto& mined : miner.accepted()) {
@@ -409,6 +478,10 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
   matching::KnowledgeMatcher matcher(config_.matcher, know_res,
                                      &resources_->embeddings(),
                                      &resources_->vocab());
+  if (metrics != nullptr) {
+    matcher.set_score_latency_histogram(
+        metrics->GetHistogram("matching.knowledge_matcher.score_latency_us"));
+  }
   matching::MatchingDatasetConfig md_cfg;
   md_cfg.seed = config_.seed ^ 0xAA;
   matching::MatchingDataset md = matching::BuildMatchingDataset(*world_,
@@ -477,7 +550,16 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
     size_t num_concepts = net.ec_concepts().size();
     std::vector<std::vector<std::pair<double, kg::ItemId>>> per_concept(
         num_concepts);
+    // Per-shard tallies; summed after the barrier so workers never share a
+    // counter.
+    std::vector<size_t> above_threshold(num_concepts, 0);
+    std::vector<size_t> below_threshold(num_concepts, 0);
     ThreadPool scorer_pool(std::max(1u, std::thread::hardware_concurrency()));
+    std::optional<obs::ThreadPoolMetrics> pool_metrics;
+    if (metrics != nullptr) {
+      pool_metrics.emplace(metrics, "pipeline.item_association.scorer_pool");
+      scorer_pool.SetObserver(&*pool_metrics);
+    }
     scorer_pool.ParallelFor(num_concepts, [&](size_t idx) {
       const auto& ec = net.ec_concepts()[idx];
       Rng local_rng(config_.seed ^ (0x9E3779B9ull * (idx + 1)));
@@ -486,7 +568,12 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
         kg::ItemId item = net_items[local_rng.Uniform(net_items.size())];
         double s = matcher.Score(ec.tokens, net.Get(item).title,
                                  static_cast<int64_t>(item.value));
-        if (s >= assoc_threshold) ranked.emplace_back(s, item);
+        if (s >= assoc_threshold) {
+          ranked.emplace_back(s, item);
+          ++above_threshold[idx];
+        } else {
+          ++below_threshold[idx];
+        }
       }
       std::sort(ranked.begin(), ranked.end(),
                 [](const auto& a, const auto& b) {
@@ -506,9 +593,23 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
         }
       }
     }
+    scorer_pool.SetObserver(nullptr);
+    size_t edges_above = 0, edges_below = 0;
+    for (size_t idx = 0; idx < num_concepts; ++idx) {
+      edges_above += above_threshold[idx];
+      edges_below += below_threshold[idx];
+    }
+    stage_count("item_association", "edges_above_threshold", edges_above);
+    stage_count("item_association", "edges_below_threshold", edges_below);
   }
+  stage_count("item_association", "items_added", report->items_added);
+  stage_count("item_association", "item_primitive_links",
+              report->item_primitive_links);
+  stage_count("item_association", "item_ec_links", report->item_ec_links);
+  stage_gauge("item_association", "assoc_threshold", assoc_threshold);
 
   // ---- Stage 8: commonsense relation inference (Section 10) ----
+  begin_stage("relation_inference");
   if (config_.infer_relations) {
     apps::RelationInference inference(&net);
     apps::RelationInferenceConfig rel_cfg;
@@ -521,12 +622,16 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
         apps::RelationInference::Commit(inference.InferUsedWhen(rel_cfg),
                                         &net);
   }
+  stage_count("relation_inference", "inferred_relations",
+              report->inferred_relations);
 
   // ---- Stage 9: structural audit (kg_validate hook) ----
   // Every generated world is checked against the invariants the paper
   // assumes; a net that fails the audit never leaves the pipeline.
+  begin_stage("validation");
   if (config_.validate_output) {
     kg::ValidationReport audit = kg::Validator().Validate(net);
+    stage_count("validation", "issues", audit.issues.size());
     if (!audit.ok()) {
       ALICOCO_LOG(Error) << audit.Summary();
       return Status::Internal("built concept net failed validation: " +

@@ -31,6 +31,8 @@
 #include "matching/knowledge_matcher.h"
 #include "mining/concept_miner.h"
 #include "mining/sequence_labeler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tagging/concept_tagger.h"
 
 namespace alicoco::pipeline {
@@ -72,6 +74,15 @@ struct PipelineConfig {
   /// deliverable.
   bool validate_output = true;
   uint64_t seed = 2020;
+  /// Observability (src/obs). When `tracer` is set, Build() runs inside a
+  /// root span `pipeline.build` with one child span per stage
+  /// (`pipeline.<stage>`). When `metrics` is set, stages publish domain
+  /// counters/gauges under `pipeline.<stage>.<name>`, the stage-7 scorer
+  /// pool reports queue metrics, and the knowledge matcher records score
+  /// latency. Both may be null (the default): instrumentation is then a
+  /// no-op. Neither is owned; both must outlive Build().
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* metrics = nullptr;
 };
 
 /// Per-stage accounting.

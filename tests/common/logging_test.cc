@@ -1,0 +1,93 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace alicoco {
+namespace {
+
+TEST(FormatTimestampTest, EpochAndKnownInstants) {
+  EXPECT_EQ(Logger::FormatTimestamp(0), "1970-01-01T00:00:00.000Z");
+  // 2021-01-01T00:00:00Z.
+  EXPECT_EQ(Logger::FormatTimestamp(1609459200000ull),
+            "2021-01-01T00:00:00.000Z");
+  // Leap day: 2000-02-29T00:00:00Z.
+  EXPECT_EQ(Logger::FormatTimestamp(951782400000ull),
+            "2000-02-29T00:00:00.000Z");
+  // Sub-second and time-of-day components.
+  EXPECT_EQ(Logger::FormatTimestamp(1609459200000ull + 3600000 + 60000 +
+                                    1000 + 123),
+            "2021-01-01T01:01:01.123Z");
+}
+
+TEST(FormatRecordTest, GoldenLine) {
+  LogRecord record;
+  record.level = LogLevel::kInfo;
+  record.file = "builder.cc";
+  record.line = 42;
+  record.wall_ms = 1609459200123ull;
+  record.thread_id = 1;
+  record.message = "built 96 nodes";
+  EXPECT_EQ(Logger::FormatRecord(record),
+            "[INFO 2021-01-01T00:00:00.123Z t1 builder.cc:42] built 96 nodes");
+}
+
+/// Captures every record so tests can assert on fields, not rendered text.
+class CapturingSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override { records.push_back(record); }
+  std::vector<LogRecord> records;
+};
+
+TEST(LoggerTest, SinkReceivesRecordsWithInjectedClock) {
+  CapturingSink sink;
+  Logger::SetSink(&sink);
+  Logger::SetWallClock(+[]() -> uint64_t { return 1609459200123ull; });
+
+  ALICOCO_LOG(Warning) << "threshold " << 0.4 << " too low";
+
+  Logger::SetWallClock(nullptr);
+  Logger::SetSink(nullptr);
+
+  ASSERT_EQ(sink.records.size(), 1u);
+  const LogRecord& record = sink.records[0];
+  EXPECT_EQ(record.level, LogLevel::kWarning);
+  EXPECT_EQ(std::string(record.file), "logging_test.cc");  // basename only
+  EXPECT_EQ(record.wall_ms, 1609459200123ull);
+  EXPECT_EQ(record.message, "threshold 0.4 too low");
+  EXPECT_EQ(record.thread_id, Logger::CurrentThreadId());
+}
+
+TEST(LoggerTest, LevelGateFiltersBelowThreshold) {
+  CapturingSink sink;
+  Logger::SetSink(&sink);
+  Logger::SetLevel(LogLevel::kWarning);
+
+  ALICOCO_LOG(Info) << "dropped";
+  ALICOCO_LOG(Error) << "kept";
+
+  Logger::SetLevel(LogLevel::kInfo);
+  Logger::SetSink(nullptr);
+
+  ASSERT_EQ(sink.records.size(), 1u);
+  EXPECT_EQ(sink.records[0].message, "kept");
+  EXPECT_EQ(sink.records[0].level, LogLevel::kError);
+}
+
+TEST(LoggerTest, ThreadIdsAreStablePerThreadAndDistinctAcrossThreads) {
+  uint32_t mine_first = Logger::CurrentThreadId();
+  uint32_t mine_second = Logger::CurrentThreadId();
+  EXPECT_EQ(mine_first, mine_second);
+  EXPECT_GE(mine_first, 1u);
+
+  uint32_t other = 0;
+  std::thread t([&] { other = Logger::CurrentThreadId(); });
+  t.join();
+  EXPECT_NE(other, mine_first);
+}
+
+}  // namespace
+}  // namespace alicoco

@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/exporters.h"
+
+namespace alicoco::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAddAndHighWaterMark) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(5);
+  g.Set(2);
+  EXPECT_EQ(g.value(), 2.0);
+  EXPECT_EQ(g.max(), 5.0);
+  g.Add(10);
+  EXPECT_EQ(g.value(), 12.0);
+  EXPECT_EQ(g.max(), 12.0);
+}
+
+TEST(HistogramTest, BucketBoundariesArePowersOfTwo) {
+  // Bucket 0 = [0, 1); bucket i >= 1 = [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(0.5), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(0.999), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(1.999), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kNumBuckets - 1);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1.0);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 2.0);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1024.0);
+}
+
+TEST(HistogramTest, CountSumMinMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.Observe(10);
+  h.Observe(30);
+  h.Observe(20);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60.0);
+  EXPECT_EQ(h.min(), 10.0);
+  EXPECT_EQ(h.max(), 30.0);
+  EXPECT_EQ(h.mean(), 20.0);
+}
+
+TEST(HistogramTest, NegativeAndNonFiniteObservationsClampToZero) {
+  Histogram h;
+  h.Observe(-5);
+  h.Observe(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramTest, QuantilesOfUniformDistribution) {
+  Histogram h;
+  for (int v = 1; v <= 100; ++v) h.Observe(v);
+  // Exact p50 of 1..100 is 50.5; log-bucket interpolation stays within a
+  // few units. The extremes clamp to the observed min/max.
+  EXPECT_NEAR(h.Quantile(0.5), 50.5, 6.0);
+  EXPECT_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_EQ(h.Quantile(1.0), 100.0);
+  EXPECT_EQ(h.Quantile(0.99), 100.0);  // estimate above max clamps to max
+}
+
+TEST(HistogramTest, QuantileOfSingleValueIsThatValue) {
+  Histogram h;
+  h.Observe(7);
+  EXPECT_EQ(h.Quantile(0.5), 7.0);
+  EXPECT_EQ(h.Quantile(0.99), 7.0);
+}
+
+TEST(HistogramTest, QuantileOnEmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(RegistryTest, RegistersOnFirstUseAndReturnsStablePointers) {
+  Registry reg;
+  Counter* c = reg.GetCounter("a.count");
+  c->Increment();
+  EXPECT_EQ(reg.GetCounter("a.count"), c);
+  EXPECT_EQ(reg.GetCounter("a.count")->value(), 1u);
+  EXPECT_EQ(reg.GetGauge("a.gauge"), reg.GetGauge("a.gauge"));
+  EXPECT_EQ(reg.GetHistogram("a.hist"), reg.GetHistogram("a.hist"));
+}
+
+TEST(RegistryTest, NamesAreSortedAndFindIsNonRegistering) {
+  Registry reg;
+  reg.GetCounter("b");
+  reg.GetCounter("a");
+  std::vector<std::string> names = reg.CounterNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  EXPECT_EQ(reg.FindCounter("a"), reg.GetCounter("a"));
+  EXPECT_EQ(reg.FindCounter("missing"), nullptr);
+  EXPECT_TRUE(reg.CounterNames().size() == 2u);  // Find did not register
+}
+
+TEST(RegistryDeathTest, CrossKindNameReuseChecks) {
+  Registry reg;
+  reg.GetCounter("name");
+  EXPECT_DEATH(reg.GetGauge("name"), "already registered");
+}
+
+TEST(PrometheusExportTest, GoldenOutput) {
+  Registry reg;
+  reg.GetCounter("pipeline.mining.accepted")->Add(30);
+  Gauge* depth = reg.GetGauge("pool.queue_depth");
+  depth->Set(3);
+  depth->Set(2);
+  Histogram* lat = reg.GetHistogram("lat_us");
+  lat->Observe(1);
+  lat->Observe(3);
+
+  const std::string expected =
+      "# TYPE pipeline_mining_accepted_total counter\n"
+      "pipeline_mining_accepted_total 30\n"
+      "# TYPE pool_queue_depth gauge\n"
+      "pool_queue_depth 2\n"
+      "pool_queue_depth_max 3\n"
+      "# TYPE lat_us histogram\n"
+      "lat_us_bucket{le=\"1\"} 0\n"
+      "lat_us_bucket{le=\"2\"} 1\n"
+      "lat_us_bucket{le=\"4\"} 2\n"
+      "lat_us_bucket{le=\"+Inf\"} 2\n"
+      "lat_us_sum 4\n"
+      "lat_us_count 2\n"
+      "lat_us{quantile=\"0.5\"} 1.5\n"
+      "lat_us{quantile=\"0.95\"} 1.95\n"
+      "lat_us{quantile=\"0.99\"} 1.99\n";
+  EXPECT_EQ(ExportPrometheusText(reg), expected);
+}
+
+TEST(PrometheusExportTest, EmptyRegistryExportsNothing) {
+  Registry reg;
+  EXPECT_EQ(ExportPrometheusText(reg), "");
+}
+
+}  // namespace
+}  // namespace alicoco::obs

@@ -1,0 +1,131 @@
+// Concurrency stress for the observability layer, mirroring the thread
+// pool's race suite: meant to run under the TSan preset (tools/ci.sh
+// includes ObsRace in the threaded-test regex), where any unsynchronized
+// access to registry internals or tracer state is a hard failure.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace alicoco::obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kIterations = 2000;
+
+void RunThreads(const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(fn, t);
+  for (auto& thread : threads) thread.join();
+}
+
+TEST(ObsRaceTest, ConcurrentCounterIncrements) {
+  Counter counter;
+  RunThreads([&](int) {
+    for (int i = 0; i < kIterations; ++i) counter.Increment();
+  });
+  EXPECT_EQ(counter.value(), static_cast<uint64_t>(kThreads) * kIterations);
+}
+
+TEST(ObsRaceTest, ConcurrentGaugeUpdatesKeepHighWaterMark) {
+  Gauge gauge;
+  RunThreads([&](int t) {
+    for (int i = 0; i < kIterations; ++i) {
+      gauge.Set(static_cast<double>(t * kIterations + i));
+    }
+  });
+  EXPECT_EQ(gauge.max(), static_cast<double>(kThreads * kIterations - 1));
+}
+
+TEST(ObsRaceTest, ConcurrentHistogramObservations) {
+  Histogram histogram;
+  RunThreads([&](int t) {
+    for (int i = 0; i < kIterations; ++i) {
+      histogram.Observe(static_cast<double>(t + 1));
+      if (i % 64 == 0) (void)histogram.Quantile(0.5);  // reader in the mix
+    }
+  });
+  EXPECT_EQ(histogram.count(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(histogram.min(), 1.0);
+  EXPECT_EQ(histogram.max(), static_cast<double>(kThreads));
+}
+
+TEST(ObsRaceTest, ConcurrentRegistryRegistrationAndUse) {
+  Registry registry;
+  RunThreads([&](int t) {
+    for (int i = 0; i < kIterations; ++i) {
+      // All threads race on the same few names; register-on-first-use must
+      // hand every thread the same instrument.
+      registry.GetCounter("shared.counter." + std::to_string(i % 4))
+          ->Increment();
+      registry.GetHistogram("shared.hist")->Observe(i);
+      if (i % 32 == 0) (void)registry.CounterNames();
+    }
+    (void)t;
+  });
+  uint64_t total = 0;
+  for (const std::string& name : registry.CounterNames()) {
+    total += registry.FindCounter(name)->value();
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(registry.FindHistogram("shared.hist")->count(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+}
+
+TEST(ObsRaceTest, ConcurrentSpansAcrossThreads) {
+  Tracer tracer;
+  RunThreads([&](int) {
+    for (int i = 0; i < kIterations / 4; ++i) {
+      ScopedSpan outer(&tracer, "outer");
+      ScopedSpan inner(&tracer, "inner");
+      inner.AddAttribute("i", static_cast<uint64_t>(i));
+    }
+  });
+  EXPECT_EQ(tracer.size(),
+            static_cast<size_t>(kThreads) * (kIterations / 4) * 2);
+}
+
+/// Sink accumulating records under its own lock (the LogSink contract).
+class CollectingSink : public LogSink {
+ public:
+  void Write(const LogRecord& record) override ALICOCO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++records_;
+    last_thread_id_ = record.thread_id;
+  }
+  int records() const ALICOCO_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return records_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int records_ ALICOCO_GUARDED_BY(mu_) = 0;
+  uint32_t last_thread_id_ ALICOCO_GUARDED_BY(mu_) = 0;
+};
+
+TEST(ObsRaceTest, ConcurrentLoggingThroughOneSink) {
+  CollectingSink sink;
+  Logger::SetSink(&sink);
+  RunThreads([&](int) {
+    for (int i = 0; i < kIterations / 10; ++i) {
+      ALICOCO_LOG(Info) << "stress " << i;
+    }
+  });
+  Logger::SetSink(nullptr);
+  EXPECT_EQ(sink.records(), kThreads * (kIterations / 10));
+}
+
+}  // namespace
+}  // namespace alicoco::obs

@@ -1,0 +1,221 @@
+#include "obs/pipeline_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace alicoco::obs {
+namespace {
+
+SpanRecord MakeSpan(uint64_t id, uint64_t parent_id, const std::string& name,
+                    uint64_t duration_us) {
+  SpanRecord span;
+  span.id = id;
+  span.parent_id = parent_id;
+  span.name = name;
+  span.start_us = id * 100;
+  span.duration_us = duration_us;
+  return span;
+}
+
+TEST(PipelineProfileTest, JsonRoundTrip) {
+  PipelineProfile profile;
+  profile.world = "bench";
+  profile.total_ms = 1234.5;
+  StageProfile mining;
+  mining.name = "mining";
+  mining.wall_ms = 500.25;
+  mining.counters["candidates"] = 321;
+  mining.counters["accepted"] = 42;
+  profile.stages.push_back(mining);
+  StageProfile tagging;
+  tagging.name = "concept_tagging";
+  tagging.wall_ms = 7;
+  profile.stages.push_back(tagging);
+
+  Result<PipelineProfile> parsed = PipelineProfile::FromJson(profile.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->world, "bench");
+  EXPECT_EQ(parsed->total_ms, 1234.5);
+  ASSERT_EQ(parsed->stages.size(), 2u);
+  EXPECT_EQ(parsed->stages[0].name, "mining");
+  EXPECT_EQ(parsed->stages[0].wall_ms, 500.25);
+  EXPECT_EQ(parsed->stages[0].counters.at("candidates"), 321.0);
+  EXPECT_EQ(parsed->stages[0].counters.at("accepted"), 42.0);
+  EXPECT_TRUE(parsed->stages[1].counters.empty());
+}
+
+TEST(PipelineProfileTest, FindStage) {
+  PipelineProfile profile;
+  StageProfile stage;
+  stage.name = "mining";
+  profile.stages.push_back(stage);
+  EXPECT_NE(profile.FindStage("mining"), nullptr);
+  EXPECT_EQ(profile.FindStage("validation"), nullptr);
+}
+
+TEST(PipelineProfileTest, FromJsonRejectsUnknownSchema) {
+  Result<PipelineProfile> parsed = PipelineProfile::FromJson(
+      R"({"schema": "somebody.elses.v9", "world": "x", "total_ms": 1,
+          "stages": []})");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("unknown profile schema"),
+            std::string::npos);
+}
+
+TEST(PipelineProfileTest, FromJsonRejectsMalformedInput) {
+  EXPECT_FALSE(PipelineProfile::FromJson("").ok());
+  EXPECT_FALSE(PipelineProfile::FromJson("not json at all").ok());
+  EXPECT_FALSE(PipelineProfile::FromJson(R"({"schema": )").ok());
+  EXPECT_FALSE(PipelineProfile::FromJson(R"([1, 2, 3])").ok());
+}
+
+TEST(PipelineProfileTest, FromJsonRequiresCoreFields) {
+  // Missing total_ms.
+  EXPECT_FALSE(PipelineProfile::FromJson(
+                   R"({"schema": "alicoco.bench_pipeline.v1", "world": "b",
+                       "stages": []})")
+                   .ok());
+  // Missing stages array.
+  EXPECT_FALSE(PipelineProfile::FromJson(
+                   R"({"schema": "alicoco.bench_pipeline.v1", "world": "b",
+                       "total_ms": 1})")
+                   .ok());
+  // Counter values must be numbers.
+  EXPECT_FALSE(PipelineProfile::FromJson(
+                   R"({"schema": "alicoco.bench_pipeline.v1", "world": "b",
+                       "total_ms": 1, "stages": [{"name": "mining",
+                       "wall_ms": 1, "counters": {"accepted": "many"}}]})")
+                   .ok());
+}
+
+TEST(PipelineProfileTest, FromJsonIgnoresUnknownKeys) {
+  Result<PipelineProfile> parsed = PipelineProfile::FromJson(
+      R"({"schema": "alicoco.bench_pipeline.v1", "world": "b",
+          "total_ms": 2, "future_field": {"a": [true, null]},
+          "stages": [{"name": "mining", "wall_ms": 1, "rank": 7,
+                      "counters": {}}]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->stages.size(), 1u);
+  EXPECT_EQ(parsed->stages[0].name, "mining");
+}
+
+TEST(BuildPipelineProfileTest, StagesAreDirectChildrenOfTheRoot) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(MakeSpan(1, 0, "pipeline.build", 10000));
+  spans.push_back(MakeSpan(2, 1, "pipeline.mining", 6000));
+  // Nested detail under mining — must not appear as a stage.
+  spans.push_back(MakeSpan(3, 2, "pipeline.mining.epoch", 2500));
+  spans.push_back(MakeSpan(4, 1, "pipeline.validation", 1000));
+  // Non-pipeline span (e.g. a bench harness span) is ignored.
+  spans.push_back(MakeSpan(5, 0, "bench.setup", 999));
+
+  Registry registry;
+  registry.GetCounter("pipeline.mining.accepted")->Add(42);
+  registry.GetCounter("pipeline.mining.candidates")->Add(321);
+  registry.GetGauge("pipeline.validation.audit_accuracy")->Set(0.95);
+  registry.GetCounter("pipeline.other_stage.ignored")->Add(7);
+
+  PipelineProfile profile = BuildPipelineProfile(spans, registry);
+  EXPECT_EQ(profile.total_ms, 10.0);
+  ASSERT_EQ(profile.stages.size(), 2u);
+  EXPECT_EQ(profile.stages[0].name, "mining");
+  EXPECT_EQ(profile.stages[0].wall_ms, 6.0);
+  EXPECT_EQ(profile.stages[0].counters.at("accepted"), 42.0);
+  EXPECT_EQ(profile.stages[0].counters.at("candidates"), 321.0);
+  EXPECT_EQ(profile.stages[1].name, "validation");
+  EXPECT_EQ(profile.stages[1].counters.at("audit_accuracy"), 0.95);
+}
+
+TEST(BuildPipelineProfileTest, WithoutRootSpanTopLevelSpansBecomeStages) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(MakeSpan(1, 0, "pipeline.mining", 3000));
+  spans.push_back(MakeSpan(2, 0, "pipeline.validation", 1000));
+  spans.push_back(MakeSpan(3, 1, "pipeline.mining.epoch", 500));
+
+  Registry registry;
+  PipelineProfile profile = BuildPipelineProfile(spans, registry);
+  ASSERT_EQ(profile.stages.size(), 2u);
+  // total_ms falls back to the stage sum when no root span exists.
+  EXPECT_EQ(profile.total_ms, 4.0);
+}
+
+TEST(BuildPipelineProfileTest, EndToEndFromAnInstrumentedTrace) {
+  uint64_t now = 0;
+  Tracer tracer([&now]() { return now += 1000; });
+  Registry registry;
+  {
+    ScopedSpan build(&tracer, "pipeline.build");
+    {
+      ScopedSpan mining(&tracer, "pipeline.mining");
+      registry.GetCounter("pipeline.mining.accepted")->Add(5);
+    }
+    { ScopedSpan validation(&tracer, "pipeline.validation"); }
+  }
+  PipelineProfile profile = BuildPipelineProfile(tracer.Records(), registry);
+  ASSERT_EQ(profile.stages.size(), 2u);
+  EXPECT_EQ(profile.stages[0].name, "mining");
+  EXPECT_EQ(profile.stages[1].name, "validation");
+  EXPECT_EQ(profile.stages[0].counters.at("accepted"), 5.0);
+  EXPECT_GT(profile.total_ms, 0.0);
+}
+
+TEST(CompareToBaselineTest, PassesWhenWithinLimit) {
+  PipelineProfile baseline;
+  StageProfile stage;
+  stage.name = "mining";
+  stage.wall_ms = 100;
+  baseline.stages.push_back(stage);
+
+  PipelineProfile current = baseline;
+  current.stages[0].wall_ms = 150;  // limit is 100 * 2 + 50 = 250
+  EXPECT_TRUE(CompareToBaseline(baseline, current, 2.0, 50.0).empty());
+}
+
+TEST(CompareToBaselineTest, FlagsRegressedStage) {
+  PipelineProfile baseline;
+  StageProfile stage;
+  stage.name = "mining";
+  stage.wall_ms = 100;
+  baseline.stages.push_back(stage);
+
+  PipelineProfile current = baseline;
+  current.stages[0].wall_ms = 300;  // limit is 100 * 2 + 50 = 250
+  std::vector<std::string> regressions =
+      CompareToBaseline(baseline, current, 2.0, 50.0);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_NE(regressions[0].find("'mining' regressed"), std::string::npos);
+}
+
+TEST(CompareToBaselineTest, SlackAbsorbsTinyStages) {
+  PipelineProfile baseline;
+  StageProfile stage;
+  stage.name = "taxonomy_schema";
+  stage.wall_ms = 0.01;  // doubling a 10us stage is not a regression
+  baseline.stages.push_back(stage);
+
+  PipelineProfile current = baseline;
+  current.stages[0].wall_ms = 5;
+  EXPECT_TRUE(CompareToBaseline(baseline, current, 2.0, 50.0).empty());
+}
+
+TEST(CompareToBaselineTest, FlagsMissingStage) {
+  PipelineProfile baseline;
+  StageProfile stage;
+  stage.name = "validation";
+  stage.wall_ms = 10;
+  baseline.stages.push_back(stage);
+
+  PipelineProfile current;  // stage dropped entirely
+  std::vector<std::string> regressions =
+      CompareToBaseline(baseline, current, 2.0, 50.0);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_NE(regressions[0].find("missing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alicoco::obs

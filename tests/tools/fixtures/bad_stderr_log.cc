@@ -1,0 +1,10 @@
+// lint-fixture: src/pipeline/bad_stderr_log.cc
+
+#include <cstdio>
+#include <iostream>
+
+void Report(const char* msg) {
+  fprintf(stderr, "pipeline: %s\n", msg);
+  std::cerr << "pipeline: " << msg << "\n";
+  printf("stdout is fine: %s\n", msg);
+}

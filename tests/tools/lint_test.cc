@@ -305,6 +305,32 @@ TEST(LockDisciplineRuleTest, RequiresGuardedByNextToMutexMembers) {
       RuleHits("src/matching/x.h", annotated, "lock-discipline").empty());
 }
 
+TEST(DirectStderrLogRuleTest, FlagsRawStderrWritesInSrc) {
+  auto hits = RuleHits("src/pipeline/x.cc",
+                       "fprintf(stderr, \"boom\\n\");\n"
+                       "std::cerr << \"boom\\n\";\n",
+                       "direct-stderr-log");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_EQ(hits[1].line, 2);
+}
+
+TEST(DirectStderrLogRuleTest, AllowsLoggingBackendAndNonSrc) {
+  const std::string src = "fprintf(stderr, \"boom\\n\");\n";
+  // The two sanctioned raw-stderr writers.
+  EXPECT_TRUE(
+      RuleHits("src/common/logging.cc", src, "direct-stderr-log").empty());
+  EXPECT_TRUE(
+      RuleHits("src/common/check.cc", src, "direct-stderr-log").empty());
+  // CLIs and benches outside src/ report to the console however they like.
+  EXPECT_TRUE(
+      RuleHits("bench/obs_report.cc", src, "direct-stderr-log").empty());
+  // fprintf to other streams is not a log write.
+  EXPECT_TRUE(RuleHits("src/pipeline/x.cc",
+                       "fprintf(out, \"row\\n\");\n", "direct-stderr-log")
+                  .empty());
+}
+
 // ---------------------------------------------------------------------------
 // Suppressions
 
@@ -378,7 +404,7 @@ TEST(RuleRegistryTest, IdsAreUniqueKebabCaseAndDocumented) {
   auto sorted = ids;
   std::sort(sorted.begin(), sorted.end());
   EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
-  EXPECT_EQ(ids.size(), 9u);
+  EXPECT_EQ(ids.size(), 10u);
 }
 
 /// Every fixture under tests/tools/fixtures/ declares its repo-logical

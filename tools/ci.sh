@@ -3,8 +3,9 @@
 #
 #   1. lint gate (tools/lint.sh)
 #   2. plain RelWithDebInfo build + full ctest
-#   3. ASan+UBSan build + full ctest   (DCHECKs forced on)
-#   4. TSan build + threaded tests     (DCHECKs forced on)
+#   3. pipeline profile gate (obs_report vs committed BENCH_pipeline.json)
+#   4. ASan+UBSan build + full ctest   (DCHECKs forced on)
+#   5. TSan build + threaded tests     (DCHECKs forced on)
 #
 # Any sanitizer report aborts the offending test (halt_on_error /
 # -fno-sanitize-recover), so a non-zero ctest exit IS the sanitizer gate.
@@ -28,6 +29,15 @@ cmake --preset default >/dev/null
 cmake --build --preset default -j "${JOBS}"
 ctest --preset default
 
+step "pipeline profile gate"
+# Re-runs the instrumented bench pipeline and compares per-stage wall time
+# against the committed baseline; a stage beyond 2x baseline + slack fails.
+# The generous ratio + slack absorb machine-to-machine variance while still
+# catching order-of-magnitude stage regressions.
+mkdir -p build/obs
+build/bench/obs_report --out build/obs/BENCH_pipeline.json --outdir build/obs \
+  --baseline BENCH_pipeline.json --max-regress 2.0 --slack-ms 500
+
 if [ "${FAST}" -eq 1 ]; then
   echo "--fast: skipping sanitizer builds"
   exit 0
@@ -43,10 +53,11 @@ UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
 step "TSan build + threaded tests"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}"
-# The threaded surface: the thread pool (incl. the race stress suite) and
-# the trainers that fan out over it. Running the full suite under TSan
-# works too but takes far longer for no extra thread coverage.
+# The threaded surface: the thread pool (incl. the race stress suite), the
+# observability registry/tracer stress suite, and the trainers that fan out
+# over the pool. Running the full suite under TSan works too but takes far
+# longer for no extra thread coverage.
 TSAN_OPTIONS="halt_on_error=1" \
-  ctest --preset tsan -R 'ThreadPool|Training|Skipgram|Classifier|Matching|Tagger|Projection'
+  ctest --preset tsan -R 'ThreadPool|ObsRace|Training|Skipgram|Classifier|Matching|Tagger|Projection'
 
 step "all green"

@@ -490,6 +490,46 @@ class LockDisciplineRule : public Rule {
   }
 };
 
+// ---- direct-stderr-log --------------------------------------------------
+
+class DirectStderrLogRule : public Rule {
+ public:
+  std::string_view id() const override { return "direct-stderr-log"; }
+  std::string_view rationale() const override {
+    return "library code must log through common/logging.h (ALICOCO_LOG) "
+           "so records carry timestamps/thread ids and honor the "
+           "installed sink; raw stderr writes bypass all of that";
+  }
+  void Check(const FileContext& file,
+             std::vector<Finding>* out) const override {
+    // Only library code under src/; the logging backend itself and the
+    // CHECK-failure path are the two sanctioned raw-stderr writers.
+    if (!StartsWith(file.path, "src/")) return;
+    if (file.path == "src/common/logging.cc" ||
+        file.path == "src/common/check.cc") {
+      return;
+    }
+    auto code = CodeTokens(file);
+    for (size_t i = 0; i < code.size(); ++i) {
+      const Token* t = code[i];
+      if (t->kind != TokenKind::kIdentifier) continue;
+      if (t->text == "fprintf" && IsPunct(At(code, i + 1), "(") &&
+          IsIdent(At(code, i + 2), "stderr")) {
+        Report(file, *t, id(),
+               "fprintf(stderr, ...) bypasses the Logger sink (use "
+               "ALICOCO_LOG from common/logging.h)",
+               out);
+      }
+      if (t->text == "cerr") {
+        Report(file, *t, id(),
+               "std::cerr bypasses the Logger sink (use ALICOCO_LOG from "
+               "common/logging.h)",
+               out);
+      }
+    }
+  }
+};
+
 }  // namespace
 
 const std::vector<std::unique_ptr<Rule>>& RuleRegistry() {
@@ -504,6 +544,7 @@ const std::vector<std::unique_ptr<Rule>>& RuleRegistry() {
     rules.push_back(std::make_unique<BannedTimeRule>());
     rules.push_back(std::make_unique<UnorderedPersistIterRule>());
     rules.push_back(std::make_unique<LockDisciplineRule>());
+    rules.push_back(std::make_unique<DirectStderrLogRule>());
     return rules;
   }();
   return kRules;
