@@ -1,12 +1,29 @@
 // Substrate micro-benchmarks (google-benchmark): the hot paths every
-// harness exercises — graph ops, CRF lattices, BM25 scoring, segmenter
-// matching, and concept-net queries.
+// harness exercises — GEMM kernels, graph ops, CRF lattices, BM25 scoring,
+// segmenter matching, and concept-net queries.
+//
+// Besides the interactive google-benchmark mode, `--kernels-out FILE` runs
+// a fixed kernel smoke suite and writes BENCH_kernels.json; adding
+// `--baseline FILE [--max-regress X] [--slack-us US]` turns the run into a
+// regression gate against the committed baseline (tools/ci.sh).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
 #include "kg/concept_net.h"
 #include "nn/crf.h"
+#include "nn/kernels.h"
 #include "nn/layers.h"
+#include "nn/parallel_train.h"
 #include "nn/rnn.h"
 #include "text/bm25.h"
 #include "text/segmenter.h"
@@ -14,6 +31,94 @@
 namespace {
 
 using namespace alicoco;
+
+// ---- GEMM kernels: blocked vs naive reference ----
+
+void BM_GemmBlocked(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(41);
+  nn::Tensor a = nn::Tensor::Randn(n, n, 1.0f, &rng);
+  nn::Tensor b = nn::Tensor::Randn(n, n, 1.0f, &rng);
+  nn::Tensor c(n, n);
+  for (auto _ : state) {
+    nn::kernels::GemmAccum(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(24)->Arg(64)->Arg(192);
+
+void BM_GemmNaive(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(41);
+  nn::Tensor a = nn::Tensor::Randn(n, n, 1.0f, &rng);
+  nn::Tensor b = nn::Tensor::Randn(n, n, 1.0f, &rng);
+  nn::Tensor c(n, n);
+  for (auto _ : state) {
+    nn::kernels::naive::GemmAccum(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(24)->Arg(64)->Arg(192);
+
+// Fused affine+tanh (one node) vs the composed op chain it replaced.
+void BM_AffineTanhFused(benchmark::State& state) {
+  Rng rng(42);
+  nn::ParameterStore store;
+  nn::Linear fc(&store, "fc", 24, 24, &rng);
+  nn::Tensor x = nn::Tensor::Randn(16, 24, 0.5f, &rng);
+  for (auto _ : state) {
+    store.ZeroGrad();
+    nn::Graph g;
+    g.Backward(g.MeanAll(fc.ApplyTanh(&g, g.Input(x))));
+  }
+}
+BENCHMARK(BM_AffineTanhFused);
+
+void BM_AffineTanhUnfused(benchmark::State& state) {
+  Rng rng(42);
+  nn::ParameterStore store;
+  nn::Parameter* w = store.Create("w", 24, 24,
+                                  nn::ParameterStore::Init::kXavier, &rng);
+  nn::Parameter* b = store.Create("b", 1, 24,
+                                  nn::ParameterStore::Init::kZero, nullptr);
+  nn::Tensor x = nn::Tensor::Randn(16, 24, 0.5f, &rng);
+  for (auto _ : state) {
+    store.ZeroGrad();
+    nn::Graph g;
+    nn::Graph::Var h =
+        g.Tanh(g.Add(g.MatMul(g.Input(x), g.Use(w)), g.Use(b)));
+    g.Backward(g.MeanAll(h));
+  }
+}
+BENCHMARK(BM_AffineTanhUnfused);
+
+// Data-parallel batch accumulation across a worker pool.
+void BM_ParallelTrainBatch(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  Rng rng(43);
+  nn::ParameterStore store;
+  nn::Mlp mlp(&store, "mlp", {24, 24, 1}, &rng);
+  std::vector<nn::Tensor> xs;
+  for (int i = 0; i < 32; ++i) {
+    xs.push_back(nn::Tensor::Randn(1, 24, 0.5f, &rng));
+  }
+  ThreadPool pool(static_cast<size_t>(threads));
+  nn::ParallelTrainer trainer(threads > 0 ? &pool : nullptr);
+  for (auto _ : state) {
+    store.ZeroGrad();
+    float loss = trainer.AccumulateBatch(xs.size(), [&](nn::Graph* g,
+                                                        size_t i) -> float {
+      nn::Graph::Var l = g->MeanAll(mlp.Apply(g, g->Input(xs[i])));
+      g->Backward(l);
+      return g->Value(l).At(0, 0);
+    });
+    benchmark::DoNotOptimize(loss);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(xs.size()));
+}
+BENCHMARK(BM_ParallelTrainBatch)->Arg(0)->Arg(2)->Arg(4);
 
 void BM_MatMul(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
@@ -129,6 +234,246 @@ void BM_ConceptNetQueries(benchmark::State& state) {
 }
 BENCHMARK(BM_ConceptNetQueries);
 
+// ---- kernel smoke suite (BENCH_kernels.json) ----
+//
+// A fixed, deterministic set of kernel timings written as
+//
+//   {
+//     "schema": "alicoco.bench_kernels.v1",
+//     "entries": [
+//       {"name": "gemm_blocked_64", "us_per_iter": 12.3},
+//       ...
+//     ]
+//   }
+//
+// The file is emitted one entry per line and read back line-wise by the
+// --baseline gate, so writer and parser live in this one file.
+
+double TimeUsPerIter(const std::function<void()>& fn) {
+  fn();  // warmup: first-touch pages, build vocab caches, etc.
+  long iters = 1;
+  for (;;) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (long i = 0; i < iters; ++i) fn();
+    double us = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    if (us >= 20000.0) return us / static_cast<double>(iters);
+    iters *= 4;
+  }
+}
+
+std::vector<std::pair<std::string, double>> RunKernelSuite() {
+  std::vector<std::pair<std::string, double>> out;
+  auto add = [&](const std::string& name, const std::function<void()>& fn) {
+    out.emplace_back(name, TimeUsPerIter(fn));
+    std::printf("  %-28s %10.2f us/iter\n", name.c_str(), out.back().second);
+  };
+
+  Rng rng(51);
+  // Square GEMMs: blocked vs the naive reference, plus the 1-row LSTM
+  // shape that dominates the pipeline's call profile.
+  nn::Tensor a64 = nn::Tensor::Randn(64, 64, 1.0f, &rng);
+  nn::Tensor b64 = nn::Tensor::Randn(64, 64, 1.0f, &rng);
+  nn::Tensor c64(64, 64);
+  add("gemm_blocked_64", [&] {
+    nn::kernels::GemmAccum(64, 64, 64, a64.data(), b64.data(), c64.data());
+  });
+  add("gemm_naive_64", [&] {
+    nn::kernels::naive::GemmAccum(64, 64, 64, a64.data(), b64.data(),
+                                  c64.data());
+  });
+  nn::Tensor a1 = nn::Tensor::Randn(1, 24, 1.0f, &rng);
+  nn::Tensor b1 = nn::Tensor::Randn(24, 96, 1.0f, &rng);
+  nn::Tensor c1(1, 96);
+  add("gemm_blocked_1x24x96", [&] {
+    nn::kernels::GemmAccum(1, 24, 96, a1.data(), b1.data(), c1.data());
+  });
+  add("gemm_transb_16x64x64", [&] {
+    nn::kernels::GemmTransBAccum(16, 64, 64, a64.data(), b64.data(),
+                                 c64.data());
+  });
+  add("gemm_transa_16x64x64", [&] {
+    nn::kernels::GemmTransAAccum(16, 64, 64, a64.data(), b64.data(),
+                                 c64.data());
+  });
+
+  // Fused graph ops, forward + backward.
+  {
+    nn::ParameterStore store;
+    nn::Linear fc(&store, "fc", 24, 24, &rng);
+    nn::Tensor x = nn::Tensor::Randn(16, 24, 0.5f, &rng);
+    add("affine_tanh_fused_16x24", [&] {
+      store.ZeroGrad();
+      nn::Graph g;
+      g.Backward(g.MeanAll(fc.ApplyTanh(&g, g.Input(x))));
+    });
+  }
+  {
+    nn::ParameterStore store;
+    nn::BiLstm bilstm(&store, "b", 24, 24, &rng);
+    nn::Tensor x = nn::Tensor::Randn(16, 24, 0.5f, &rng);
+    add("bilstm_fb_t16_d24", [&] {
+      store.ZeroGrad();
+      nn::Graph g;
+      g.Backward(g.MeanAll(bilstm.Run(&g, g.Input(x))));
+    });
+  }
+  {
+    nn::ParameterStore store;
+    nn::LinearChainCrf crf(&store, "crf", 23, &rng);
+    nn::Tensor e = nn::Tensor::Randn(12, 23, 0.5f, &rng);
+    std::vector<int> gold(12);
+    for (size_t i = 0; i < gold.size(); ++i) {
+      gold[i] = static_cast<int>(i) % 23;
+    }
+    add("crf_nll_L23_T12", [&] {
+      store.ZeroGrad();
+      nn::Graph g;
+      g.Backward(crf.NegLogLikelihood(&g, g.Input(e), gold));
+    });
+  }
+
+  // Data-parallel batch accumulation: sequential path and a 2-worker pool
+  // (the pooled entry measures sharding + reduction overhead on single-core
+  // CI boxes, and real speedup where cores exist).
+  {
+    nn::ParameterStore store;
+    nn::Mlp mlp(&store, "mlp", {24, 24, 1}, &rng);
+    std::vector<nn::Tensor> xs;
+    for (int i = 0; i < 32; ++i) {
+      xs.push_back(nn::Tensor::Randn(1, 24, 0.5f, &rng));
+    }
+    auto batch = [&](nn::ParallelTrainer* trainer) {
+      store.ZeroGrad();
+      float loss = trainer->AccumulateBatch(
+          xs.size(), [&](nn::Graph* g, size_t i) -> float {
+            nn::Graph::Var l = g->MeanAll(mlp.Apply(g, g->Input(xs[i])));
+            g->Backward(l);
+            return g->Value(l).At(0, 0);
+          });
+      benchmark::DoNotOptimize(loss);
+    };
+    nn::ParallelTrainer seq(nullptr);
+    add("train_batch32_seq", [&] { batch(&seq); });
+    ThreadPool pool(2);
+    nn::ParallelTrainer par(&pool);
+    add("train_batch32_pool2", [&] { batch(&par); });
+  }
+  return out;
+}
+
+bool WriteKernelProfile(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& entries) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return false;
+  out << "{\n  \"schema\": \"alicoco.bench_kernels.v1\",\n  \"entries\": [\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    out << "    {\"name\": \"" << entries[i].first
+        << "\", \"us_per_iter\": " << entries[i].second << "}"
+        << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+// Line-wise parse of the format WriteKernelProfile emits.
+bool ReadKernelProfile(const std::string& path,
+                       std::vector<std::pair<std::string, double>>* entries) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  std::string line;
+  bool saw_schema = false;
+  while (std::getline(in, line)) {
+    if (line.find("alicoco.bench_kernels.v1") != std::string::npos) {
+      saw_schema = true;
+    }
+    size_t np = line.find("\"name\": \"");
+    size_t up = line.find("\"us_per_iter\": ");
+    if (np == std::string::npos || up == std::string::npos) continue;
+    np += std::strlen("\"name\": \"");
+    size_t ne = line.find('"', np);
+    if (ne == std::string::npos) continue;
+    double us = std::strtod(line.c_str() + up + std::strlen("\"us_per_iter\": "),
+                            nullptr);
+    entries->emplace_back(line.substr(np, ne - np), us);
+  }
+  return saw_schema && !entries->empty();
+}
+
+int KernelSmokeMain(const std::string& out_path, const std::string& baseline,
+                    double max_regress, double slack_us) {
+  std::printf("== bench_micro: kernel smoke suite ==\n");
+  auto entries = RunKernelSuite();
+  if (!WriteKernelProfile(out_path, entries)) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu entries)\n", out_path.c_str(), entries.size());
+  if (baseline.empty()) return 0;
+
+  std::vector<std::pair<std::string, double>> base;
+  if (!ReadKernelProfile(baseline, &base)) {
+    std::fprintf(stderr, "bench_micro: bad baseline %s\n", baseline.c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const auto& [name, base_us] : base) {
+    const std::pair<std::string, double>* cur = nullptr;
+    for (const auto& e : entries) {
+      if (e.first == name) cur = &e;
+    }
+    if (cur == nullptr) {
+      std::fprintf(stderr, "REGRESSION: kernel '%s' missing from this run\n",
+                   name.c_str());
+      ++failures;
+      continue;
+    }
+    double limit = base_us * max_regress + slack_us;
+    if (cur->second > limit) {
+      std::fprintf(stderr,
+                   "REGRESSION: kernel '%s': %.2fus > limit %.2fus "
+                   "(baseline %.2fus x %.2g + %.0fus slack)\n",
+                   name.c_str(), cur->second, limit, base_us, max_regress,
+                   slack_us);
+      ++failures;
+    }
+  }
+  if (failures > 0) return 1;
+  std::printf("kernel gate passed (max-regress %.1fx, slack %.0fus)\n",
+              max_regress, slack_us);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Kernel smoke mode; anything else falls through to google-benchmark.
+  std::string kernels_out, baseline;
+  double max_regress = 2.0, slack_us = 200.0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--kernels-out") {
+      kernels_out = value();
+    } else if (arg == "--baseline") {
+      baseline = value();
+    } else if (arg == "--max-regress") {
+      max_regress = std::strtod(value(), nullptr);
+    } else if (arg == "--slack-us") {
+      slack_us = std::strtod(value(), nullptr);
+    }
+  }
+  if (!kernels_out.empty()) {
+    return KernelSmokeMain(kernels_out, baseline, max_regress, slack_us);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,6 @@
 #include "common/thread_pool.h"
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
 
 namespace alicoco {
@@ -53,17 +53,16 @@ void ThreadPool::Wait() {
   while (in_flight_ != 0) done_cv_.Wait(mu_);
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             size_t grain) {
   if (n == 0) return;
-  size_t shards = std::min(n, workers_.size());
-  std::atomic<size_t> next{0};
-  for (size_t s = 0; s < shards; ++s) {
-    Submit([&, n] {
-      for (;;) {
-        size_t i = next.fetch_add(1);
-        if (i >= n) break;
-        fn(i);
-      }
+  if (grain == 0) {
+    grain = std::max<size_t>(1, n / (workers_.size() * 8));
+  }
+  for (size_t lo = 0; lo < n; lo += grain) {
+    const size_t hi = std::min(n, lo + grain);
+    Submit([&fn, lo, hi] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
     });
   }
   Wait();

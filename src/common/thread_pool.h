@@ -47,9 +47,14 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Runs fn(i) for i in [0, n) across the pool and waits.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
-      ALICOCO_EXCLUDES(mu_);
+  /// Runs fn(i) for i in [0, n) across the pool and waits. Work is split
+  /// into chunks of `grain` consecutive indices, one submitted task per
+  /// chunk, so observer accounting (tasks completed, queue depth, run time)
+  /// reflects real units of work. grain == 0 picks a default of roughly
+  /// eight chunks per worker, which balances stragglers without drowning
+  /// the queue in tiny tasks.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   size_t grain = 0) ALICOCO_EXCLUDES(mu_);
 
   /// Installs an observer (nullptr detaches). The observer must outlive
   /// the pool or be detached first; install it before heavy traffic so

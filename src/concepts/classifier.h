@@ -32,6 +32,10 @@
 #include "text/skipgram.h"
 #include "text/vocabulary.h"
 
+namespace alicoco {
+class ThreadPool;
+}  // namespace alicoco
+
 namespace alicoco::concepts {
 
 /// A labeled candidate concept.
@@ -56,6 +60,10 @@ struct ConceptClassifierConfig {
   /// generalizable channels (wide + knowledge features).
   float word_unk_prob = 0.2f;
   uint64_t seed = 31;
+  /// Optional worker pool for data-parallel minibatches (not owned; null
+  /// trains on the calling thread). The trained model depends on the pool's
+  /// thread count only through the summation order of batch gradients.
+  ThreadPool* pool = nullptr;
 };
 
 /// External resources; all pointers must outlive the classifier.

@@ -29,7 +29,7 @@ nn::Graph::Var DssmMatcher::Logit(nn::Graph* g,
   nn::Graph::Var iv = g->Tanh(item_tower_->Apply(g, i));
   // Cosine similarity via normalized dot product approximation: tanh-bounded
   // towers keep magnitudes stable, so a plain dot with learned scale works.
-  nn::Graph::Var dot = g->MatMul(cv, g->Transpose(iv));  // 1x1
+  nn::Graph::Var dot = g->MatMulTransB(cv, iv);  // 1x1
   return g->Mul(dot, g->Use(scale_));
 }
 

@@ -137,7 +137,7 @@ nn::Graph::Var KnowledgeMatcher::Logit(nn::Graph* g,
   layer_feats.reserve(pyramid_.size());
   for (nn::Parameter* wk : pyramid_) {
     nn::Graph::Var match =
-        g->MatMul(g->MatMul(kw, g->Use(wk)), g->Transpose(t_words));
+        g->MatMulTransB(g->MatMul(kw, g->Use(wk)), t_words);
     nn::Graph::Var col_best = g->MaxRows(match);                // 1 x l
     nn::Graph::Var row_best = g->MaxRows(g->Transpose(match));  // 1 x m'
     nn::Graph::Var stats = g->ConcatCols(

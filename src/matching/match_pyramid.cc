@@ -45,7 +45,7 @@ nn::Graph::Var MatchPyramidMatcher::Logit(nn::Graph* g,
   nn::Graph::Var i = emb_->Lookup(g, item_ids);
   c = g->Dropout(c, 0.1f, train, rng);
   // Interaction matrix: dot products of every word pair.
-  nn::Graph::Var interaction = g->MatMul(c, g->Transpose(i));  // m x l
+  nn::Graph::Var interaction = g->MatMulTransB(c, i);  // m x l
   return head_->Apply(g, DynamicGridPool(g, interaction, kGrid));
 }
 

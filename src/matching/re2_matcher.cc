@@ -20,7 +20,7 @@ nn::Graph::Var Re2Matcher::FuseSide(nn::Graph* g, nn::Graph::Var self,
   // Soft alignment: attention of self rows over other rows.
   nn::Graph::Var q = align_proj_->Apply(g, self);
   nn::Graph::Var k = align_proj_->Apply(g, other);
-  nn::Graph::Var weights = g->SoftmaxRows(g->MatMul(q, g->Transpose(k)));
+  nn::Graph::Var weights = g->SoftmaxRows(g->MatMulTransB(q, k));
   nn::Graph::Var aligned = g->MatMul(weights, other);  // rows(self) x d
   nn::Graph::Var fused = g->Relu(fuse_->Apply(
       g, g->ConcatCols({self, aligned, g->Sub(self, aligned),

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "nn/parallel_train.h"
 #include "nn/serialize.h"
 
 namespace alicoco::mining {
@@ -38,36 +39,39 @@ void SequenceLabeler::Train(const std::vector<LabeledSentence>& data) {
   BuildModel();
 
   nn::Adam adam(config_.lr);
-  Rng rng(config_.seed ^ 0xFEED);
+  Rng shuffle_rng(config_.seed ^ 0xFEED);
+  nn::ParallelTrainer trainer(config_.pool);
   std::vector<size_t> order(data.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  const size_t batch = static_cast<size_t>(std::max(1, config_.batch_size));
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    rng.Shuffle(&order);
+    shuffle_rng.Shuffle(&order);
     store_.ZeroGrad();
-    int in_batch = 0;
-    for (size_t idx : order) {
-      const LabeledSentence& s = data[idx];
-      if (s.tokens.empty()) continue;
-      std::vector<int> ids = vocab_.Encode(s.tokens);
-      for (int& id : ids) {
-        if (rng.Bernoulli(config_.word_unk_prob)) {
-          id = text::Vocabulary::kUnkId;
+    for (size_t start = 0; start < order.size(); start += batch) {
+      const size_t count = std::min(batch, order.size() - start);
+      trainer.AccumulateBatch(count, [&](nn::Graph* g, size_t bi) -> float {
+        const size_t idx = order[start + bi];
+        const LabeledSentence& s = data[idx];
+        if (s.tokens.empty()) return 0.0f;
+        // Per-example stream: masking/dropout draws are identical no matter
+        // how the batch is sharded across workers.
+        Rng ex_rng(nn::ExampleSeed(config_.seed ^ 0xFEED,
+                                   static_cast<uint64_t>(epoch), idx));
+        std::vector<int> ids = vocab_.Encode(s.tokens);
+        for (int& id : ids) {
+          if (ex_rng.Bernoulli(config_.word_unk_prob)) {
+            id = text::Vocabulary::kUnkId;
+          }
         }
-      }
-      std::vector<int> gold;
-      gold.reserve(s.iob.size());
-      for (const auto& l : s.iob) gold.push_back(LabelId(l));
-      nn::Graph g;
-      nn::Graph::Var emissions = Emissions(&g, ids, /*train=*/true, &rng);
-      g.Backward(crf_->NegLogLikelihood(&g, emissions, gold));
-      if (++in_batch >= config_.batch_size) {
-        adam.Step(&store_);
-        store_.ZeroGrad();
-        in_batch = 0;
-      }
-    }
-    if (in_batch > 0) {
+        std::vector<int> gold;
+        gold.reserve(s.iob.size());
+        for (const auto& l : s.iob) gold.push_back(LabelId(l));
+        nn::Graph::Var emissions = Emissions(g, ids, /*train=*/true, &ex_rng);
+        nn::Graph::Var loss = crf_->NegLogLikelihood(g, emissions, gold);
+        g->Backward(loss);
+        return g->Value(loss).At(0, 0);
+      });
       adam.Step(&store_);
       store_.ZeroGrad();
     }

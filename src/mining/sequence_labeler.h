@@ -22,6 +22,10 @@
 #include "nn/rnn.h"
 #include "text/vocabulary.h"
 
+namespace alicoco {
+class ThreadPool;
+}  // namespace alicoco
+
 namespace alicoco::mining {
 
 /// Training hyperparameters.
@@ -37,6 +41,10 @@ struct SequenceLabelerConfig {
   /// discovering genuinely new concepts.
   float word_unk_prob = 0.15f;
   uint64_t seed = 11;
+  /// Optional worker pool for data-parallel minibatches (not owned; null
+  /// trains on the calling thread). The trained model depends on the pool's
+  /// thread count only through the summation order of batch gradients.
+  ThreadPool* pool = nullptr;
 };
 
 /// Trainable BiLSTM-CRF tagger.

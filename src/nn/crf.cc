@@ -32,9 +32,16 @@ LinearChainCrf::LinearChainCrf(ParameterStore* store, const std::string& name,
 LinearChainCrf::Lattice LinearChainCrf::ForwardBackward(
     const Tensor& emissions,
     const std::vector<std::vector<int>>* allowed) const {
+  // Scaled-domain forward-backward: exp(trans) is materialized once and the
+  // per-step recurrences become matrix-vector products over it, so the
+  // transcendental count drops from O(T*L^2) to O(T*L + L^2). Each step
+  // keeps a log-domain shift (the running max) for numerical stability —
+  // terms far below the shift underflow to zero exactly as the log-domain
+  // LogSumExp ignored them.
   int t_len = emissions.rows();
   int l = num_labels_;
   ALICOCO_CHECK(t_len > 0 && emissions.cols() == l);
+  const size_t ls = static_cast<size_t>(l);
 
   auto is_allowed = [&](int t, int j) {
     if (allowed == nullptr) return true;
@@ -46,30 +53,71 @@ LinearChainCrf::Lattice LinearChainCrf::ForwardBackward(
                             : kNegInf;
   };
 
+  // exp_trans[i][j] = exp(trans[i][j]); row-major.
+  std::vector<double> exp_trans(ls * ls);
+  for (int i = 0; i < l; ++i) {
+    for (int j = 0; j < l; ++j) {
+      exp_trans[static_cast<size_t>(i) * ls + static_cast<size_t>(j)] =
+          std::exp(static_cast<double>(trans_->value.At(i, j)));
+    }
+  }
+
+  // alpha[t][j] (log domain), plus the scaled row u[t][j] =
+  // exp(alpha[t][j] - shift_a[t]) reused by the recurrence and the
+  // marginals.
   std::vector<std::vector<double>> alpha(
-      static_cast<size_t>(t_len), std::vector<double>(static_cast<size_t>(l)));
+      static_cast<size_t>(t_len), std::vector<double>(ls, kNegInf));
   std::vector<std::vector<double>> beta = alpha;
+  std::vector<std::vector<double>> ua = alpha;  // scaled alpha rows
+  std::vector<std::vector<double>> ub = alpha;  // scaled beta+emit rows
+  std::vector<double> shift_a(static_cast<size_t>(t_len), kNegInf);
+  std::vector<double> shift_b(static_cast<size_t>(t_len), kNegInf);
+
+  auto scale_row = [l](const std::vector<double>& logs, double* shift,
+                       std::vector<double>* out) {
+    double mx = kNegInf;
+    for (int j = 0; j < l; ++j) mx = std::max(mx, logs[static_cast<size_t>(j)]);
+    *shift = mx;
+    if (mx <= kNegInf / 2) {
+      std::fill(out->begin(), out->end(), 0.0);
+      return;
+    }
+    for (int j = 0; j < l; ++j) {
+      double x = logs[static_cast<size_t>(j)];
+      (*out)[static_cast<size_t>(j)] = x <= kNegInf / 2 ? 0.0
+                                                        : std::exp(x - mx);
+    }
+  };
 
   for (int j = 0; j < l; ++j) {
     alpha[0][static_cast<size_t>(j)] =
         static_cast<double>(start_->value.At(0, j)) + emit(0, j);
   }
-  std::vector<double> scratch(static_cast<size_t>(l));
+  scale_row(alpha[0], &shift_a[0], &ua[0]);
+  std::vector<double> scratch(ls);
   for (int t = 1; t < t_len; ++t) {
+    const std::vector<double>& u = ua[static_cast<size_t>(t - 1)];
+    const double shift = shift_a[static_cast<size_t>(t - 1)];
+    // scratch[j] = sum_i u[i] * exp_trans[i][j]  (vector * matrix).
+    std::fill(scratch.begin(), scratch.end(), 0.0);
+    for (int i = 0; i < l; ++i) {
+      const double ui = u[static_cast<size_t>(i)];
+      if (ui == 0.0) continue;
+      const double* __restrict er = exp_trans.data() +
+                                    static_cast<size_t>(i) * ls;
+      double* __restrict sr = scratch.data();
+      for (int j = 0; j < l; ++j) sr[j] += ui * er[j];
+    }
     for (int j = 0; j < l; ++j) {
       double ej = emit(t, j);
-      if (ej <= kNegInf / 2) {
-        alpha[static_cast<size_t>(t)][static_cast<size_t>(j)] = kNegInf;
-        continue;
-      }
-      for (int i = 0; i < l; ++i) {
-        scratch[static_cast<size_t>(i)] =
-            alpha[static_cast<size_t>(t - 1)][static_cast<size_t>(i)] +
-            static_cast<double>(trans_->value.At(i, j));
-      }
+      double s = scratch[static_cast<size_t>(j)];
       alpha[static_cast<size_t>(t)][static_cast<size_t>(j)] =
-          LogSumExp(scratch) + ej;
+          (ej <= kNegInf / 2 || s <= 0.0 || shift <= kNegInf / 2)
+              ? kNegInf
+              : shift + std::log(s) + ej;
     }
+    scale_row(alpha[static_cast<size_t>(t)], &shift_a[static_cast<size_t>(t)],
+              &ua[static_cast<size_t>(t)]);
   }
   for (int j = 0; j < l; ++j) {
     scratch[static_cast<size_t>(j)] =
@@ -79,20 +127,36 @@ LinearChainCrf::Lattice LinearChainCrf::ForwardBackward(
   double log_z = LogSumExp(scratch);
   ALICOCO_CHECK(log_z > kNegInf / 2) << "CRF lattice has no allowed path";
 
+  // Backward pass; ub[t][j] = exp(emit(t, j) + beta[t][j] - shift_b[t]).
+  std::vector<double> logs(ls);
   for (int j = 0; j < l; ++j) {
     beta[static_cast<size_t>(t_len - 1)][static_cast<size_t>(j)] =
         static_cast<double>(end_->value.At(0, j));
+    logs[static_cast<size_t>(j)] =
+        beta[static_cast<size_t>(t_len - 1)][static_cast<size_t>(j)] +
+        emit(t_len - 1, j);
   }
+  scale_row(logs, &shift_b[static_cast<size_t>(t_len - 1)],
+            &ub[static_cast<size_t>(t_len - 1)]);
   for (int t = t_len - 2; t >= 0; --t) {
+    const std::vector<double>& w = ub[static_cast<size_t>(t + 1)];
+    const double shift = shift_b[static_cast<size_t>(t + 1)];
     for (int i = 0; i < l; ++i) {
-      for (int j = 0; j < l; ++j) {
-        scratch[static_cast<size_t>(j)] =
-            static_cast<double>(trans_->value.At(i, j)) + emit(t + 1, j) +
-            beta[static_cast<size_t>(t + 1)][static_cast<size_t>(j)];
-      }
+      const double* __restrict er = exp_trans.data() +
+                                    static_cast<size_t>(i) * ls;
+      const double* __restrict wr = w.data();
+      double acc = 0.0;
+      for (int j = 0; j < l; ++j) acc += er[j] * wr[j];
       beta[static_cast<size_t>(t)][static_cast<size_t>(i)] =
-          LogSumExp(scratch);
+          (acc <= 0.0 || shift <= kNegInf / 2) ? kNegInf
+                                               : shift + std::log(acc);
     }
+    for (int j = 0; j < l; ++j) {
+      logs[static_cast<size_t>(j)] =
+          beta[static_cast<size_t>(t)][static_cast<size_t>(j)] + emit(t, j);
+    }
+    scale_row(logs, &shift_b[static_cast<size_t>(t)],
+              &ub[static_cast<size_t>(t)]);
   }
 
   Lattice lat;
@@ -108,19 +172,26 @@ LinearChainCrf::Lattice LinearChainCrf::ForwardBackward(
                                : static_cast<float>(std::exp(lp));
     }
   }
+  // pair[i][j] += exp(alpha[t-1][i] + trans[i][j] + emit(t,j) + beta[t][j]
+  //                   - log_z)
+  //            = ua[t-1][i] * exp_trans[i][j] * ub[t][j] * scale_t:
+  // a rank-1-weighted Hadamard accumulation, no transcendentals.
   for (int t = 1; t < t_len; ++t) {
+    const double sa = shift_a[static_cast<size_t>(t - 1)];
+    const double sb = shift_b[static_cast<size_t>(t)];
+    if (sa <= kNegInf / 2 || sb <= kNegInf / 2) continue;
+    const double scale_t = std::exp(sa + sb - log_z);
+    const std::vector<double>& u = ua[static_cast<size_t>(t - 1)];
+    const std::vector<double>& w = ub[static_cast<size_t>(t)];
     for (int i = 0; i < l; ++i) {
-      double ai = alpha[static_cast<size_t>(t - 1)][static_cast<size_t>(i)];
-      if (ai <= kNegInf / 2) continue;
+      const double uf = u[static_cast<size_t>(i)] * scale_t;
+      if (uf == 0.0) continue;
+      const double* __restrict er = exp_trans.data() +
+                                    static_cast<size_t>(i) * ls;
+      const double* __restrict wr = w.data();
+      float* __restrict pr = lat.pair.Row(i);
       for (int j = 0; j < l; ++j) {
-        double ej = emit(t, j);
-        if (ej <= kNegInf / 2) continue;
-        double lp = ai + static_cast<double>(trans_->value.At(i, j)) + ej +
-                    beta[static_cast<size_t>(t)][static_cast<size_t>(j)] -
-                    log_z;
-        if (lp > kNegInf / 2) {
-          lat.pair.At(i, j) += static_cast<float>(std::exp(lp));
-        }
+        pr[j] += static_cast<float>(uf * er[j] * wr[j]);
       }
     }
   }
@@ -167,9 +238,9 @@ Graph::Var LinearChainCrf::LatticeLoss(
         Tensor scaled = d_emit;
         scaled.Scale(go);
         g->AccumulateGrad(emissions, scaled);
-        trans->grad.Axpy(go, d_trans);
-        start->grad.Axpy(go, d_start);
-        end->grad.Axpy(go, d_end);
+        g->ParamGrad(trans)->Axpy(go, d_trans);
+        g->ParamGrad(start)->Axpy(go, d_start);
+        g->ParamGrad(end)->Axpy(go, d_end);
       });
 }
 

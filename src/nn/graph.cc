@@ -45,7 +45,8 @@ size_t ParameterStore::TotalWeights() const {
 
 Graph::Var Graph::NewNode(Tensor value, std::function<void()> backward) {
   auto node = std::make_unique<Node>();
-  node->grad = Tensor(value.rows(), value.cols());
+  // Gradient buffers are materialized by Backward(); forward-only graphs
+  // (prediction / scoring) never pay for them.
   node->value = std::move(value);
   node->backward = std::move(backward);
   nodes_.push_back(std::move(node));
@@ -57,7 +58,9 @@ Graph::Var Graph::Input(Tensor value) { return NewNode(std::move(value)); }
 Graph::Var Graph::Use(Parameter* p) {
   ALICOCO_CHECK(p != nullptr);
   Var v = NewNode(p->value);
-  nodes_[v]->backward = [this, v, p] { p->grad.AddInPlace(nodes_[v]->grad); };
+  nodes_[v]->backward = [this, v, p] {
+    ParamGrad(p)->AddInPlace(nodes_[v]->grad);
+  };
   return v;
 }
 
@@ -79,6 +82,12 @@ void Graph::Backward(Var loss) {
   const Tensor& lv = nodes_[loss]->value;
   ALICOCO_CHECK(lv.rows() == 1 && lv.cols() == 1)
       << "Backward requires a scalar loss";
+  for (Var v = loss; v >= 0; --v) {
+    Node* node = nodes_[v].get();
+    if (node->grad.empty()) {
+      node->grad = Tensor(node->value.rows(), node->value.cols());
+    }
+  }
   nodes_[loss]->grad.At(0, 0) = 1.0f;
   for (Var v = loss; v >= 0; --v) {
     if (nodes_[v]->backward) nodes_[v]->backward();

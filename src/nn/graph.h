@@ -57,13 +57,27 @@ class ParameterStore {
   std::vector<std::unique_ptr<Parameter>> params_;
 };
 
+/// Redirects parameter-gradient accumulation away from Parameter::grad.
+/// Data-parallel training hands each worker thread its own sink so graphs
+/// built concurrently against a shared ParameterStore never write shared
+/// state; the per-thread buffers are reduced after the batch barrier.
+/// GradFor is only ever called from the thread that owns the sink.
+class GradientSink {
+ public:
+  virtual ~GradientSink() = default;
+  /// Accumulation buffer for `p`, same shape as p->value.
+  virtual Tensor* GradFor(Parameter* p) = 0;
+};
+
 /// Dynamic computation graph. `Var` handles index nodes inside one graph and
 /// must not be mixed across graphs.
 class Graph {
  public:
   using Var = int;
 
-  Graph() = default;
+  /// With a sink, every parameter gradient this graph produces goes to
+  /// sink->GradFor(p) instead of p->grad.
+  explicit Graph(GradientSink* sink = nullptr) : sink_(sink) {}
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
 
@@ -121,6 +135,24 @@ class Graph {
   /// Inverted dropout; identity when !train.
   Var Dropout(Var a, float p, bool train, Rng* rng);
 
+  // ---- fused compute ops (blocked kernels, no intermediate nodes) ----
+  /// x (R x in) * W (in x out) + b (1 x out) as one node. Equivalent to
+  /// Add(MatMul(x, Use(w)), Use(b)) without materializing the weight copy
+  /// or the pre-bias product.
+  Var Affine(Var x, Parameter* w, Parameter* b);
+  /// tanh(x*W + b) fused.
+  Var AffineTanh(Var x, Parameter* w, Parameter* b);
+  /// relu(x*W + b) fused.
+  Var AffineRelu(Var x, Parameter* w, Parameter* b);
+  /// A (m x k) * B^T for B (n x k), without materializing the transpose.
+  Var MatMulTransB(Var a, Var b);
+  /// Full fused LSTM step (gate order [i, f, o, g] in the packed weights):
+  /// x (R x in), h_prev/c_prev (R x H), wx (in x 4H), wh (H x 4H),
+  /// b (1 x 4H) -> R x 2H holding [h_new, c_new]. Slice columns [0, H) for
+  /// h and [H, 2H) for c.
+  Var LstmStep(Var x, Var h_prev, Var c_prev, Parameter* wx, Parameter* wh,
+               Parameter* b);
+
   // ---- attention / losses ----
   /// att[i][j] = v^T tanh(a_i + b_j)  (Eq. 11). a: m x d, b: l x d,
   /// v: d x 1 -> m x l.
@@ -132,12 +164,20 @@ class Graph {
   /// Escape hatch for ops with hand-derived gradients (the CRF losses):
   /// creates a node with `value` whose backward invokes `backward` with the
   /// node's output gradient. The closure must push gradients to its inputs
-  /// via AccumulateGrad / Parameter::grad.
+  /// via AccumulateGrad, and to parameters via ParamGrad (never directly
+  /// through Parameter::grad, which would bypass the sink).
   Var Custom(Tensor value,
              std::function<void(const Tensor& out_grad)> backward);
 
   /// Adds `g` into the gradient buffer of node `v` (for Custom backwards).
   void AccumulateGrad(Var v, const Tensor& g);
+
+  /// Where gradients for `p` accumulate: the sink's buffer if one is
+  /// installed, p->grad otherwise. Custom backwards must route parameter
+  /// gradients through this so data-parallel training stays race-free.
+  Tensor* ParamGrad(Parameter* p) {
+    return sink_ != nullptr ? sink_->GradFor(p) : &p->grad;
+  }
 
   /// Runs reverse-mode accumulation from `loss` (must be 1x1). Parameter
   /// gradients accumulate (call ParameterStore::ZeroGrad between batches).
@@ -155,7 +195,11 @@ class Graph {
 
   Var NewNode(Tensor value, std::function<void()> backward = nullptr);
   Tensor& GradRef(Var v) { return nodes_[v]->grad; }
+  /// Shared implementation of the fused affine family; `act` selects the
+  /// fused activation (0 = none, 1 = tanh, 2 = relu).
+  Var AffineAct(Var x, Parameter* w, Parameter* b, int act);
 
+  GradientSink* sink_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

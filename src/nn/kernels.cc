@@ -1,0 +1,256 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace alicoco::nn::kernels {
+namespace {
+
+// Register tile height: each B row loaded in the micro-kernel is reused for
+// kMr rows of A/C. Cache tiles keep the active B panel (kKc x kNc floats,
+// 32 KiB) L1/L2-resident for large shapes while adding no overhead for the
+// small ones the models use.
+constexpr int kMr = 4;
+constexpr int kKc = 64;
+constexpr int kNc = 128;
+
+// C[i0..i0+rows) x [j0..j0+nb) += A[i0..i0+rows) x [p0..p0+kb) * B-panel.
+// rows <= kMr; all inner loops branch-free.
+inline void MicroGemm(int rows, int kb, int nb, const float* __restrict a0,
+                      int lda, const float* __restrict b0, int ldb,
+                      float* __restrict c0, int ldc) {
+  switch (rows) {
+    case 4:
+      for (int p = 0; p < kb; ++p) {
+        const float av0 = a0[p];
+        const float av1 = a0[lda + p];
+        const float av2 = a0[2 * lda + p];
+        const float av3 = a0[3 * lda + p];
+        const float* __restrict br = b0 + static_cast<long>(p) * ldb;
+        float* __restrict cr0 = c0;
+        float* __restrict cr1 = c0 + ldc;
+        float* __restrict cr2 = c0 + 2 * ldc;
+        float* __restrict cr3 = c0 + 3 * ldc;
+        for (int j = 0; j < nb; ++j) {
+          const float bv = br[j];
+          cr0[j] += av0 * bv;
+          cr1[j] += av1 * bv;
+          cr2[j] += av2 * bv;
+          cr3[j] += av3 * bv;
+        }
+      }
+      break;
+    case 3:
+      for (int p = 0; p < kb; ++p) {
+        const float av0 = a0[p];
+        const float av1 = a0[lda + p];
+        const float av2 = a0[2 * lda + p];
+        const float* __restrict br = b0 + static_cast<long>(p) * ldb;
+        float* __restrict cr0 = c0;
+        float* __restrict cr1 = c0 + ldc;
+        float* __restrict cr2 = c0 + 2 * ldc;
+        for (int j = 0; j < nb; ++j) {
+          const float bv = br[j];
+          cr0[j] += av0 * bv;
+          cr1[j] += av1 * bv;
+          cr2[j] += av2 * bv;
+        }
+      }
+      break;
+    case 2:
+      for (int p = 0; p < kb; ++p) {
+        const float av0 = a0[p];
+        const float av1 = a0[lda + p];
+        const float* __restrict br = b0 + static_cast<long>(p) * ldb;
+        float* __restrict cr0 = c0;
+        float* __restrict cr1 = c0 + ldc;
+        for (int j = 0; j < nb; ++j) {
+          const float bv = br[j];
+          cr0[j] += av0 * bv;
+          cr1[j] += av1 * bv;
+        }
+      }
+      break;
+    default:
+      for (int p = 0; p < kb; ++p) {
+        const float av0 = a0[p];
+        const float* __restrict br = b0 + static_cast<long>(p) * ldb;
+        float* __restrict cr0 = c0;
+        for (int j = 0; j < nb; ++j) cr0[j] += av0 * br[j];
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+void GemmAccum(int m, int k, int n, const float* a, const float* b, float* c) {
+  if (k <= kKc && n <= kNc) {
+    // The whole problem is one cache tile (the common case for the model
+    // dims in this repo); go straight to the micro-kernel.
+    for (int i0 = 0; i0 < m; i0 += kMr) {
+      const int rows = std::min(kMr, m - i0);
+      MicroGemm(rows, k, n, a + static_cast<long>(i0) * k, k, b, n,
+                c + static_cast<long>(i0) * n, n);
+    }
+    return;
+  }
+  for (int j0 = 0; j0 < n; j0 += kNc) {
+    const int nb = std::min(kNc, n - j0);
+    for (int p0 = 0; p0 < k; p0 += kKc) {
+      const int kb = std::min(kKc, k - p0);
+      const float* bpanel = b + static_cast<long>(p0) * n + j0;
+      for (int i0 = 0; i0 < m; i0 += kMr) {
+        const int rows = std::min(kMr, m - i0);
+        MicroGemm(rows, kb, nb, a + static_cast<long>(i0) * k + p0, k, bpanel,
+                  n, c + static_cast<long>(i0) * n + j0, n);
+      }
+    }
+  }
+}
+
+void GemmTransBAccum(int m, int k, int n, const float* a, const float* b,
+                     float* c) {
+  // C[i][j] += dot(A row i, B row j). Four j's at a time: four independent
+  // accumulator chains per pass over k.
+  for (int i = 0; i < m; ++i) {
+    const float* __restrict ar = a + static_cast<long>(i) * k;
+    float* __restrict cr = c + static_cast<long>(i) * n;
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* __restrict b0 = b + static_cast<long>(j) * k;
+      const float* __restrict b1 = b0 + k;
+      const float* __restrict b2 = b1 + k;
+      const float* __restrict b3 = b2 + k;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        const float av = ar[p];
+        acc0 += av * b0[p];
+        acc1 += av * b1[p];
+        acc2 += av * b2[p];
+        acc3 += av * b3[p];
+      }
+      cr[j] += acc0;
+      cr[j + 1] += acc1;
+      cr[j + 2] += acc2;
+      cr[j + 3] += acc3;
+    }
+    for (; j < n; ++j) {
+      const float* __restrict br = b + static_cast<long>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += ar[p] * br[p];
+      cr[j] += acc;
+    }
+  }
+}
+
+void GemmTransAAccum(int m, int k, int n, const float* a, const float* b,
+                     float* c) {
+  // C (k x n) += A^T * B: rank-1 updates per row of A/B, with the k
+  // dimension register-tiled so each loaded B row feeds kMr C rows.
+  for (int i = 0; i < m; ++i) {
+    const float* __restrict ar = a + static_cast<long>(i) * k;
+    const float* __restrict br = b + static_cast<long>(i) * n;
+    int p = 0;
+    for (; p + 4 <= k; p += 4) {
+      const float av0 = ar[p];
+      const float av1 = ar[p + 1];
+      const float av2 = ar[p + 2];
+      const float av3 = ar[p + 3];
+      float* __restrict cr0 = c + static_cast<long>(p) * n;
+      float* __restrict cr1 = cr0 + n;
+      float* __restrict cr2 = cr1 + n;
+      float* __restrict cr3 = cr2 + n;
+      for (int j = 0; j < n; ++j) {
+        const float bv = br[j];
+        cr0[j] += av0 * bv;
+        cr1[j] += av1 * bv;
+        cr2[j] += av2 * bv;
+        cr3[j] += av3 * bv;
+      }
+    }
+    for (; p < k; ++p) {
+      const float av = ar[p];
+      float* __restrict cr = c + static_cast<long>(p) * n;
+      for (int j = 0; j < n; ++j) cr[j] += av * br[j];
+    }
+  }
+}
+
+// `out` may alias `x` (the fused affine ops apply the bias in place), so
+// only `bias` carries __restrict; the loops stay vectorizable because each
+// element depends solely on its own index.
+void AddBias(int rows, int cols, const float* x,
+             const float* __restrict bias, float* out) {
+  for (int i = 0; i < rows; ++i) {
+    const float* xr = x + static_cast<long>(i) * cols;
+    float* or_ = out + static_cast<long>(i) * cols;
+    for (int j = 0; j < cols; ++j) or_[j] = xr[j] + bias[j];
+  }
+}
+
+void AddBiasTanh(int rows, int cols, const float* x,
+                 const float* __restrict bias, float* out) {
+  for (int i = 0; i < rows; ++i) {
+    const float* xr = x + static_cast<long>(i) * cols;
+    float* or_ = out + static_cast<long>(i) * cols;
+    for (int j = 0; j < cols; ++j) or_[j] = std::tanh(xr[j] + bias[j]);
+  }
+}
+
+void AddBiasRelu(int rows, int cols, const float* x,
+                 const float* __restrict bias, float* out) {
+  for (int i = 0; i < rows; ++i) {
+    const float* xr = x + static_cast<long>(i) * cols;
+    float* or_ = out + static_cast<long>(i) * cols;
+    for (int j = 0; j < cols; ++j) {
+      const float v = xr[j] + bias[j];
+      or_[j] = v > 0.0f ? v : 0.0f;
+    }
+  }
+}
+
+namespace naive {
+
+void GemmAccum(int m, int k, int n, const float* a, const float* b, float* c) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<long>(i) * k;
+    float* crow = c + static_cast<long>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      const float* brow = b + static_cast<long>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransBAccum(int m, int k, int n, const float* a, const float* b,
+                     float* c) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<long>(i) * k;
+    float* crow = c + static_cast<long>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<long>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+void GemmTransAAccum(int m, int k, int n, const float* a, const float* b,
+                     float* c) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<long>(i) * k;
+    const float* brow = b + static_cast<long>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      float* crow = c + static_cast<long>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace naive
+
+}  // namespace alicoco::nn::kernels

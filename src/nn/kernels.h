@@ -1,0 +1,55 @@
+// Blocked, register-tiled float GEMM kernels — the compute substrate for
+// every matmul in the autodiff graph and the fused layer ops.
+//
+// All kernels ACCUMULATE into C (row-major, dense: leading dimension equals
+// the logical column count) so they slot directly into reverse-mode gradient
+// accumulation. Three orientations cover forward, dA and dB of a matmul:
+//
+//   GemmAccum:       C (m x n) += A (m x k)   * B (k x n)
+//   GemmTransBAccum: C (m x n) += A (m x k)   * B^T, B stored (n x k)
+//   GemmTransAAccum: C (k x n) += A^T * B,    A stored (m x k), B (m x n)
+//
+// Blocking scheme: the n and k dimensions are tiled (kNc x kKc) so the
+// active B panel stays L1-resident, and the m dimension is register-tiled
+// kMr rows at a time so each loaded B row is reused kMr times from
+// registers. Inner loops are branch-free over `__restrict` pointers, which
+// lets the compiler auto-vectorize them (the old scalar triple loop carried
+// an `if (av == 0.0f) continue;` that defeated this).
+//
+// `naive` holds the original scalar implementations; they are the reference
+// oracle for the randomized equivalence tests and a fallback for debugging.
+// Results may differ from the blocked kernels only by float reassociation.
+
+#ifndef ALICOCO_NN_KERNELS_H_
+#define ALICOCO_NN_KERNELS_H_
+
+namespace alicoco::nn::kernels {
+
+void GemmAccum(int m, int k, int n, const float* a, const float* b, float* c);
+void GemmTransBAccum(int m, int k, int n, const float* a, const float* b,
+                     float* c);
+void GemmTransAAccum(int m, int k, int n, const float* a, const float* b,
+                     float* c);
+
+/// Fused bias + activation: out[r][j] = act(x[r][j] + bias[j]).
+/// `out` may alias `x`.
+void AddBias(int rows, int cols, const float* x, const float* bias,
+             float* out);
+void AddBiasTanh(int rows, int cols, const float* x, const float* bias,
+                 float* out);
+void AddBiasRelu(int rows, int cols, const float* x, const float* bias,
+                 float* out);
+
+namespace naive {
+
+void GemmAccum(int m, int k, int n, const float* a, const float* b, float* c);
+void GemmTransBAccum(int m, int k, int n, const float* a, const float* b,
+                     float* c);
+void GemmTransAAccum(int m, int k, int n, const float* a, const float* b,
+                     float* c);
+
+}  // namespace naive
+
+}  // namespace alicoco::nn::kernels
+
+#endif  // ALICOCO_NN_KERNELS_H_

@@ -14,7 +14,15 @@ Linear::Linear(ParameterStore* store, const std::string& name, int in_dim,
 }
 
 Graph::Var Linear::Apply(Graph* g, Graph::Var x) const {
-  return g->Add(g->MatMul(x, g->Use(w_)), g->Use(b_));
+  return g->Affine(x, w_, b_);
+}
+
+Graph::Var Linear::ApplyTanh(Graph* g, Graph::Var x) const {
+  return g->AffineTanh(x, w_, b_);
+}
+
+Graph::Var Linear::ApplyRelu(Graph* g, Graph::Var x) const {
+  return g->AffineRelu(x, w_, b_);
 }
 
 Embedding::Embedding(ParameterStore* store, const std::string& name,
@@ -41,7 +49,7 @@ Conv1D::Conv1D(ParameterStore* store, const std::string& name, int in_dim,
 }
 
 Graph::Var Conv1D::Apply(Graph* g, Graph::Var x) const {
-  return g->Relu(proj_.Apply(g, g->ConcatWindow(x, window_)));
+  return proj_.ApplyRelu(g, g->ConcatWindow(x, window_));
 }
 
 SelfAttention::SelfAttention(ParameterStore* store, const std::string& name,
@@ -57,8 +65,7 @@ Graph::Var SelfAttention::Apply(Graph* g, Graph::Var x) const {
   Graph::Var k = k_.Apply(g, x);
   Graph::Var v = v_.Apply(g, x);
   float scale = 1.0f / std::sqrt(static_cast<float>(dim_));
-  Graph::Var scores =
-      g->ScalarMul(g->MatMul(q, g->Transpose(k)), scale);
+  Graph::Var scores = g->ScalarMul(g->MatMulTransB(q, k), scale);
   Graph::Var attended = g->MatMul(g->SoftmaxRows(scores), v);
   return residual_ ? g->Add(x, attended) : attended;
 }
@@ -75,8 +82,8 @@ Mlp::Mlp(ParameterStore* store, const std::string& name,
 Graph::Var Mlp::Apply(Graph* g, Graph::Var x) const {
   Graph::Var h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].Apply(g, h);
-    if (i + 1 < layers_.size()) h = g->Tanh(h);
+    h = i + 1 < layers_.size() ? layers_[i].ApplyTanh(g, h)
+                               : layers_[i].Apply(g, h);
   }
   return h;
 }

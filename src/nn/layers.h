@@ -17,6 +17,10 @@ class Linear {
          int out_dim, Rng* rng);
 
   Graph::Var Apply(Graph* g, Graph::Var x) const;
+  /// Fused tanh(x*W + b) — no intermediate pre-activation node.
+  Graph::Var ApplyTanh(Graph* g, Graph::Var x) const;
+  /// Fused relu(x*W + b).
+  Graph::Var ApplyRelu(Graph* g, Graph::Var x) const;
 
   int in_dim() const { return in_dim_; }
   int out_dim() const { return out_dim_; }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/graph.h"
+#include "nn/kernels.h"
 
 namespace alicoco::nn {
 
@@ -485,9 +486,10 @@ Graph::Var Graph::EmbeddingLookup(Parameter* table,
   std::vector<int> ids_copy = ids;
   nodes_[out]->backward = [this, out, table, ids_copy, d] {
     const Tensor& g = nodes_[out]->grad;
+    Tensor* tg = ParamGrad(table);
     for (size_t i = 0; i < ids_copy.size(); ++i) {
       const float* grow = g.Row(static_cast<int>(i));
-      float* trow = table->grad.Row(ids_copy[i]);
+      float* trow = tg->Row(ids_copy[i]);
       for (int j = 0; j < d; ++j) trow[j] += grow[j];
     }
   };
@@ -561,6 +563,198 @@ Graph::Var Graph::AdditiveAttention(Var a, Var b, Var v) {
           vg.At(k, 0) += gij * th;
         }
       }
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::AffineAct(Var x, Parameter* w, Parameter* b, int act) {
+  ALICOCO_DCHECK(w != nullptr && b != nullptr);
+  const Tensor& xv = nodes_[x]->value;
+  const int rows = xv.rows(), in = xv.cols(), out_dim = w->value.cols();
+  ALICOCO_DCHECK_EQ(w->value.rows(), in)
+      << "Affine: x " << rows << "x" << in << " vs W " << w->value.rows()
+      << "x" << out_dim;
+  ALICOCO_DCHECK(b->value.rows() == 1 && b->value.cols() == out_dim)
+      << "Affine: bias " << b->value.rows() << "x" << b->value.cols()
+      << " for out dim " << out_dim;
+  Tensor v(rows, out_dim);
+  kernels::GemmAccum(rows, in, out_dim, xv.data(), w->value.data(), v.data());
+  switch (act) {
+    case 1:
+      kernels::AddBiasTanh(rows, out_dim, v.data(), b->value.data(), v.data());
+      break;
+    case 2:
+      kernels::AddBiasRelu(rows, out_dim, v.data(), b->value.data(), v.data());
+      break;
+    default:
+      kernels::AddBias(rows, out_dim, v.data(), b->value.data(), v.data());
+      break;
+  }
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, x, w, b, act, rows, in, out_dim] {
+    const Tensor& g = nodes_[out]->grad;
+    const Tensor& y = nodes_[out]->value;
+    // Pre-activation gradient (aliases g for the identity case).
+    Tensor pre;
+    const float* gp = g.data();
+    if (act != 0) {
+      pre = Tensor(rows, out_dim);
+      float* pp = pre.data();
+      const float* yp = y.data();
+      if (act == 1) {
+        for (size_t i = 0; i < g.size(); ++i) {
+          pp[i] = g.data()[i] * (1.0f - yp[i] * yp[i]);
+        }
+      } else {
+        for (size_t i = 0; i < g.size(); ++i) {
+          pp[i] = yp[i] > 0.0f ? g.data()[i] : 0.0f;
+        }
+      }
+      gp = pp;
+    }
+    const Tensor& xv2 = nodes_[x]->value;
+    kernels::GemmTransBAccum(rows, out_dim, in, gp, w->value.data(),
+                             nodes_[x]->grad.data());
+    kernels::GemmTransAAccum(rows, in, out_dim, xv2.data(), gp,
+                             ParamGrad(w)->data());
+    float* bg = ParamGrad(b)->data();
+    for (int i = 0; i < rows; ++i) {
+      const float* gr = gp + static_cast<size_t>(i) * out_dim;
+      for (int j = 0; j < out_dim; ++j) bg[j] += gr[j];
+    }
+  };
+  return out;
+}
+
+Graph::Var Graph::Affine(Var x, Parameter* w, Parameter* b) {
+  return AffineAct(x, w, b, 0);
+}
+
+Graph::Var Graph::AffineTanh(Var x, Parameter* w, Parameter* b) {
+  return AffineAct(x, w, b, 1);
+}
+
+Graph::Var Graph::AffineRelu(Var x, Parameter* w, Parameter* b) {
+  return AffineAct(x, w, b, 2);
+}
+
+Graph::Var Graph::MatMulTransB(Var a, Var b) {
+  const Tensor& av = nodes_[a]->value;
+  const Tensor& bv = nodes_[b]->value;
+  const int m = av.rows(), k = av.cols(), n = bv.rows();
+  ALICOCO_DCHECK_EQ(bv.cols(), k)
+      << "MatMulTransB shapes " << m << "x" << k << " * (" << n << "x"
+      << bv.cols() << ")^T";
+  Tensor v(m, n);
+  kernels::GemmTransBAccum(m, k, n, av.data(), bv.data(), v.data());
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, a, b, m, k, n] {
+    const Tensor& g = nodes_[out]->grad;
+    // dA += g * B ; dB += g^T * A
+    kernels::GemmAccum(m, n, k, g.data(), nodes_[b]->value.data(),
+                       nodes_[a]->grad.data());
+    kernels::GemmTransAAccum(m, n, k, g.data(), nodes_[a]->value.data(),
+                             nodes_[b]->grad.data());
+  };
+  return out;
+}
+
+Graph::Var Graph::LstmStep(Var x, Var h_prev, Var c_prev, Parameter* wx,
+                           Parameter* wh, Parameter* b) {
+  ALICOCO_DCHECK(wx != nullptr && wh != nullptr && b != nullptr);
+  const Tensor& xv = nodes_[x]->value;
+  const Tensor& hv = nodes_[h_prev]->value;
+  const Tensor& cv = nodes_[c_prev]->value;
+  const int rows = xv.rows(), in = xv.cols(), hidden = wh->value.rows();
+  const int gate_cols = 4 * hidden;
+  ALICOCO_DCHECK(wx->value.rows() == in && wx->value.cols() == gate_cols)
+      << "LstmStep: Wx " << wx->value.rows() << "x" << wx->value.cols()
+      << " for input " << rows << "x" << in << " hidden " << hidden;
+  ALICOCO_DCHECK_EQ(wh->value.cols(), gate_cols)
+      << "LstmStep: Wh " << wh->value.rows() << "x" << wh->value.cols();
+  ALICOCO_DCHECK(b->value.rows() == 1 && b->value.cols() == gate_cols)
+      << "LstmStep: bias " << b->value.rows() << "x" << b->value.cols();
+  ALICOCO_DCHECK(hv.rows() == rows && hv.cols() == hidden)
+      << "LstmStep: h_prev " << hv.rows() << "x" << hv.cols();
+  ALICOCO_DCHECK(cv.rows() == rows && cv.cols() == hidden)
+      << "LstmStep: c_prev " << cv.rows() << "x" << cv.cols();
+
+  // gates = x*Wx + h_prev*Wh + b, activated in place: [i, f, o, g].
+  auto acts = std::make_shared<Tensor>(rows, gate_cols);
+  kernels::GemmAccum(rows, in, gate_cols, xv.data(), wx->value.data(),
+                     acts->data());
+  kernels::GemmAccum(rows, hidden, gate_cols, hv.data(), wh->value.data(),
+                     acts->data());
+  kernels::AddBias(rows, gate_cols, acts->data(), b->value.data(),
+                   acts->data());
+  auto tanh_c = std::make_shared<Tensor>(rows, hidden);
+  Tensor v(rows, 2 * hidden);  // [h_new, c_new]
+  for (int r = 0; r < rows; ++r) {
+    float* gate = acts->Row(r);
+    const float* cprev = cv.Row(r);
+    float* tc = tanh_c->Row(r);
+    float* vr = v.Row(r);
+    for (int j = 0; j < gate_cols; ++j) {
+      const float z = gate[j];
+      gate[j] = j < 3 * hidden
+                    ? (z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
+                                 : std::exp(z) / (1.0f + std::exp(z)))
+                    : std::tanh(z);
+    }
+    for (int j = 0; j < hidden; ++j) {
+      const float i_g = gate[j];
+      const float f_g = gate[hidden + j];
+      const float o_g = gate[2 * hidden + j];
+      const float g_g = gate[3 * hidden + j];
+      const float c_new = f_g * cprev[j] + i_g * g_g;
+      tc[j] = std::tanh(c_new);
+      vr[j] = o_g * tc[j];          // h
+      vr[hidden + j] = c_new;       // c
+    }
+  }
+  Var out = NewNode(std::move(v));
+  nodes_[out]->backward = [this, out, x, h_prev, c_prev, wx, wh, b, acts,
+                           tanh_c, rows, in, hidden, gate_cols] {
+    const Tensor& g = nodes_[out]->grad;
+    const Tensor& xv2 = nodes_[x]->value;
+    const Tensor& hv2 = nodes_[h_prev]->value;
+    const Tensor& cv2 = nodes_[c_prev]->value;
+    Tensor dgates(rows, gate_cols);
+    Tensor& cg = nodes_[c_prev]->grad;
+    for (int r = 0; r < rows; ++r) {
+      const float* gr = g.Row(r);
+      const float* gate = acts->Row(r);
+      const float* tc = tanh_c->Row(r);
+      const float* cprev = cv2.Row(r);
+      float* dg = dgates.Row(r);
+      float* cgr = cg.Row(r);
+      for (int j = 0; j < hidden; ++j) {
+        const float i_g = gate[j];
+        const float f_g = gate[hidden + j];
+        const float o_g = gate[2 * hidden + j];
+        const float g_g = gate[3 * hidden + j];
+        const float dh = gr[j];
+        const float dc = gr[hidden + j] + dh * o_g * (1.0f - tc[j] * tc[j]);
+        dg[j] = dc * g_g * i_g * (1.0f - i_g);
+        dg[hidden + j] = dc * cprev[j] * f_g * (1.0f - f_g);
+        dg[2 * hidden + j] = dh * tc[j] * o_g * (1.0f - o_g);
+        dg[3 * hidden + j] = dc * i_g * (1.0f - g_g * g_g);
+        cgr[j] += dc * f_g;
+      }
+    }
+    kernels::GemmTransBAccum(rows, gate_cols, in, dgates.data(),
+                             wx->value.data(), nodes_[x]->grad.data());
+    kernels::GemmTransBAccum(rows, gate_cols, hidden, dgates.data(),
+                             wh->value.data(), nodes_[h_prev]->grad.data());
+    kernels::GemmTransAAccum(rows, in, gate_cols, xv2.data(), dgates.data(),
+                             ParamGrad(wx)->data());
+    kernels::GemmTransAAccum(rows, hidden, gate_cols, hv2.data(),
+                             dgates.data(), ParamGrad(wh)->data());
+    float* bg = ParamGrad(b)->data();
+    for (int r = 0; r < rows; ++r) {
+      const float* dg = dgates.Row(r);
+      for (int j = 0; j < gate_cols; ++j) bg[j] += dg[j];
     }
   };
   return out;

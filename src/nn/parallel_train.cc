@@ -1,0 +1,63 @@
+#include "nn/parallel_train.h"
+
+#include <algorithm>
+
+namespace alicoco::nn {
+
+Tensor* GradientBuffer::GradFor(Parameter* p) {
+  auto it = grads_.find(p);
+  if (it == grads_.end()) {
+    it = grads_.emplace(p, Tensor(p->value.rows(), p->value.cols())).first;
+  }
+  return &it->second;
+}
+
+void GradientBuffer::ReduceInto() {
+  for (auto& [p, t] : grads_) {
+    p->grad.AddInPlace(t);
+    t.Zero();
+  }
+}
+
+float ParallelTrainer::AccumulateBatch(size_t count, const ExampleFn& fn) {
+  if (count == 0) return 0.0f;
+  const size_t workers = num_workers();
+  if (workers <= 1 || count <= 1) {
+    float total = 0.0f;
+    for (size_t i = 0; i < count; ++i) {
+      Graph g;  // sinkless: gradients land directly in Parameter::grad
+      total += fn(&g, i);
+    }
+    return total;
+  }
+
+  const size_t shards = std::min(count, workers);
+  if (buffers_.size() < shards) {
+    buffers_ = std::vector<GradientBuffer>(shards);
+  }
+  const size_t per = (count + shards - 1) / shards;
+  std::vector<float> losses(shards, 0.0f);
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t lo = s * per;
+    const size_t hi = std::min(count, lo + per);
+    if (lo >= hi) break;
+    pool_->Submit([this, s, lo, hi, &fn, &losses] {
+      GradientBuffer* buf = &buffers_[s];
+      float local = 0.0f;
+      for (size_t i = lo; i < hi; ++i) {
+        Graph g(buf);
+        local += fn(&g, i);
+      }
+      losses[s] = local;
+    });
+  }
+  pool_->Wait();
+
+  float total = 0.0f;
+  for (float l : losses) total += l;
+  // Deterministic reduction: shard order, coordinating thread only.
+  for (size_t s = 0; s < shards; ++s) buffers_[s].ReduceInto();
+  return total;
+}
+
+}  // namespace alicoco::nn

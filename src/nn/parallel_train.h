@@ -1,0 +1,88 @@
+// Data-parallel minibatch training over a shared ThreadPool.
+//
+// A minibatch is split into one contiguous shard per worker. Each shard
+// builds its graphs against a private GradientBuffer (a GradientSink), so
+// concurrent backward passes never touch the shared Parameter::grad
+// tensors. After the batch barrier the buffers are reduced into
+// Parameter::grad on the calling thread, in shard order, and the optimizer
+// steps exactly as it would after a sequential batch.
+//
+// Determinism: shard boundaries are a pure function of (batch size, worker
+// count), and the reduction order is fixed, so a given pool size always
+// produces bit-identical results. Across different pool sizes only the
+// floating-point summation order of the batch gradient changes; any
+// per-example randomness (dropout, token masking) must come from an Rng
+// seeded per example (see ExampleSeed), not from a stream shared across
+// the batch.
+
+#ifndef ALICOCO_NN_PARALLEL_TRAIN_H_
+#define ALICOCO_NN_PARALLEL_TRAIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "nn/graph.h"
+
+namespace alicoco::nn {
+
+/// Mixes a base seed with an (epoch, example) coordinate into an
+/// independent per-example stream (splitmix64 finalizer). Thread-count
+/// invariant: the stream depends only on which example is being processed.
+inline uint64_t ExampleSeed(uint64_t base, uint64_t epoch, uint64_t example) {
+  uint64_t z = base + 0x9E3779B97F4A7C15ull * (epoch + 1) +
+               0xBF58476D1CE4E5B9ull * (example + 1);
+  z ^= z >> 30;
+  z *= 0xBF58476D1CE4E5B9ull;
+  z ^= z >> 27;
+  z *= 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z;
+}
+
+/// Per-worker gradient accumulator. GradFor is called only from the owning
+/// worker thread; ReduceInto is called from the coordinating thread after
+/// the pool barrier. Buffers persist (zeroed) across batches so steady-state
+/// training does not allocate.
+class GradientBuffer : public GradientSink {
+ public:
+  Tensor* GradFor(Parameter* p) override;
+
+  /// Adds every buffered gradient into its parameter's shared grad tensor
+  /// and zeroes the buffer for reuse.
+  void ReduceInto();
+
+ private:
+  std::unordered_map<Parameter*, Tensor> grads_;
+};
+
+/// Shards minibatches across a ThreadPool. With a null pool (or a single
+/// worker, or a single example) it degrades to the sequential path: graphs
+/// run sinkless and accumulate straight into Parameter::grad.
+class ParallelTrainer {
+ public:
+  /// fn builds the graph for one example, runs Backward itself, and returns
+  /// the example loss. It must only touch shared model state read-only.
+  using ExampleFn = std::function<float(Graph* g, size_t index)>;
+
+  explicit ParallelTrainer(ThreadPool* pool) : pool_(pool) {}
+
+  /// Runs fn over [0, count), accumulating gradients into Parameter::grad
+  /// (via per-shard buffers when parallel). Returns the summed loss.
+  /// The caller applies the optimizer step afterwards.
+  float AccumulateBatch(size_t count, const ExampleFn& fn);
+
+  size_t num_workers() const {
+    return pool_ == nullptr ? 1 : pool_->num_threads();
+  }
+
+ private:
+  ThreadPool* pool_;
+  std::vector<GradientBuffer> buffers_;  // lazily sized to the shard count
+};
+
+}  // namespace alicoco::nn
+
+#endif  // ALICOCO_NN_PARALLEL_TRAIN_H_

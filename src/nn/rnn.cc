@@ -22,17 +22,11 @@ LstmCell::State LstmCell::Initial(Graph* g) const {
 
 LstmCell::State LstmCell::Step(Graph* g, Graph::Var x,
                                const State& prev) const {
-  Graph::Var gates =
-      g->Add(g->Add(g->MatMul(x, g->Use(wx_)), g->MatMul(prev.h, g->Use(wh_))),
-             g->Use(b_));
-  int h = hidden_dim_;
-  Graph::Var i_gate = g->Sigmoid(g->SliceCols(gates, 0, h));
-  Graph::Var f_gate = g->Sigmoid(g->SliceCols(gates, h, h));
-  Graph::Var o_gate = g->Sigmoid(g->SliceCols(gates, 2 * h, h));
-  Graph::Var g_gate = g->Tanh(g->SliceCols(gates, 3 * h, h));
-  Graph::Var c = g->Add(g->Mul(f_gate, prev.c), g->Mul(i_gate, g_gate));
-  Graph::Var h_out = g->Mul(o_gate, g->Tanh(c));
-  return State{h_out, c};
+  // One fused node computes gates, cell and hidden state; the two slices
+  // expose h and c as separate Vars for downstream consumers.
+  Graph::Var hc = g->LstmStep(x, prev.h, prev.c, wx_, wh_, b_);
+  return State{g->SliceCols(hc, 0, hidden_dim_),
+               g->SliceCols(hc, hidden_dim_, hidden_dim_)};
 }
 
 BiLstm::BiLstm(ParameterStore* store, const std::string& name, int input_dim,
@@ -59,13 +53,9 @@ Graph::Var BiLstm::Run(Graph* g, Graph::Var x) const {
     state = bwd_.Step(g, rows[static_cast<size_t>(i)], state);
     bwd_h[static_cast<size_t>(i)] = state.h;
   }
-  std::vector<Graph::Var> combined(static_cast<size_t>(t));
-  for (int i = 0; i < t; ++i) {
-    combined[static_cast<size_t>(i)] =
-        g->ConcatCols({fwd_h[static_cast<size_t>(i)],
-                       bwd_h[static_cast<size_t>(i)]});
-  }
-  return g->ConcatRows(combined);
+  // Stack each direction once (T x H), then join side by side (T x 2H):
+  // three concat nodes total instead of one per timestep.
+  return g->ConcatCols({g->ConcatRows(fwd_h), g->ConcatRows(bwd_h)});
 }
 
 }  // namespace alicoco::nn

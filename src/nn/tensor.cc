@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/kernels.h"
+
 namespace alicoco::nn {
 
 Tensor Tensor::FromVector(int rows, int cols, std::vector<float> data) {
@@ -66,17 +68,8 @@ void MatMulAccum(const Tensor& a, const Tensor& b, Tensor* c) {
   ALICOCO_CHECK_EQ(a.cols(), b.rows());
   ALICOCO_CHECK_EQ(c->rows(), a.rows());
   ALICOCO_CHECK_EQ(c->cols(), b.cols());
-  int m = a.rows(), k = a.cols(), n = b.cols();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c->Row(i);
-    for (int p = 0; p < k; ++p) {
-      float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.Row(p);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::GemmAccum(a.rows(), a.cols(), b.cols(), a.data(), b.data(),
+                     c->data());
 }
 
 void MatMulTransBAccum(const Tensor& a, const Tensor& b, Tensor* c) {
@@ -85,17 +78,8 @@ void MatMulTransBAccum(const Tensor& a, const Tensor& b, Tensor* c) {
   ALICOCO_CHECK_EQ(a.cols(), b.cols());
   ALICOCO_CHECK_EQ(c->rows(), a.rows());
   ALICOCO_CHECK_EQ(c->cols(), b.rows());
-  int m = a.rows(), k = a.cols(), n = b.rows();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c->Row(i);
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b.Row(j);
-      float acc = 0.0f;
-      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
-    }
-  }
+  kernels::GemmTransBAccum(a.rows(), a.cols(), b.rows(), a.data(), b.data(),
+                           c->data());
 }
 
 void MatMulTransAAccum(const Tensor& a, const Tensor& b, Tensor* c) {
@@ -104,17 +88,8 @@ void MatMulTransAAccum(const Tensor& a, const Tensor& b, Tensor* c) {
   ALICOCO_CHECK_EQ(a.rows(), b.rows());
   ALICOCO_CHECK_EQ(c->rows(), a.cols());
   ALICOCO_CHECK_EQ(c->cols(), b.cols());
-  int m = a.rows(), k = a.cols(), n = b.cols();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    const float* brow = b.Row(i);
-    for (int p = 0; p < k; ++p) {
-      float av = arow[p];
-      if (av == 0.0f) continue;
-      float* crow = c->Row(p);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::GemmTransAAccum(a.rows(), a.cols(), b.cols(), a.data(), b.data(),
+                           c->data());
 }
 
 }  // namespace alicoco::nn

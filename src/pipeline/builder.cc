@@ -104,6 +104,17 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
     if (stage_span.has_value()) stage_span->AddAttribute(name, value);
   };
 
+  // One worker pool serves the whole build: data-parallel minibatches in
+  // the mining and ec_concepts trainers, and the item-association scorer
+  // fan-out below. Declared after the metrics adapter so the pool (and its
+  // workers) wind down before the observer they report to.
+  std::optional<obs::ThreadPoolMetrics> pool_metrics;
+  if (metrics != nullptr) {
+    pool_metrics.emplace(metrics, "pipeline.worker_pool");
+  }
+  ThreadPool worker_pool(std::max(1u, std::thread::hardware_concurrency()));
+  if (pool_metrics.has_value()) worker_pool.SetObserver(&*pool_metrics);
+
   // ---- Stage 1: taxonomy + schema (expert-defined) ----
   begin_stage("taxonomy_schema");
   datagen::TaxonomyHandles handles = datagen::BuildTaxonomy(&net.taxonomy());
@@ -148,7 +159,9 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
   if (labeled.empty()) {
     return Status::FailedPrecondition("distant supervision produced no data");
   }
-  mining::SequenceLabeler labeler(config_.labeler);
+  mining::SequenceLabelerConfig labeler_cfg = config_.labeler;
+  labeler_cfg.pool = &worker_pool;
+  mining::SequenceLabeler labeler(labeler_cfg);
   labeler.Train(labeled);
 
   auto gold_keys = GoldConceptKeys(*world_);
@@ -332,6 +345,7 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
        ++iteration) {
     concepts::ConceptClassifierConfig cls_cfg = config_.classifier;
     cls_cfg.seed = config_.classifier.seed + static_cast<uint64_t>(iteration);
+    cls_cfg.pool = &worker_pool;
     concepts::ConceptClassifier classifier(cls_cfg, cls_res);
     classifier.Train(annotated);
 
@@ -554,13 +568,7 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
     // counter.
     std::vector<size_t> above_threshold(num_concepts, 0);
     std::vector<size_t> below_threshold(num_concepts, 0);
-    ThreadPool scorer_pool(std::max(1u, std::thread::hardware_concurrency()));
-    std::optional<obs::ThreadPoolMetrics> pool_metrics;
-    if (metrics != nullptr) {
-      pool_metrics.emplace(metrics, "pipeline.item_association.scorer_pool");
-      scorer_pool.SetObserver(&*pool_metrics);
-    }
-    scorer_pool.ParallelFor(num_concepts, [&](size_t idx) {
+    worker_pool.ParallelFor(num_concepts, [&](size_t idx) {
       const auto& ec = net.ec_concepts()[idx];
       Rng local_rng(config_.seed ^ (0x9E3779B9ull * (idx + 1)));
       auto& ranked = per_concept[idx];
@@ -593,7 +601,6 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
         }
       }
     }
-    scorer_pool.SetObserver(nullptr);
     size_t edges_above = 0, edges_below = 0;
     for (size_t idx = 0; idx < num_concepts; ++idx) {
       edges_above += above_threshold[idx];

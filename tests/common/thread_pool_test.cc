@@ -57,5 +57,45 @@ TEST(ThreadPoolTest, ReusableAcrossBatches) {
   EXPECT_EQ(count.load(), 100);
 }
 
+class CountingObserver : public ThreadPoolObserver {
+ public:
+  void OnQueueDepth(size_t) override {}
+  void OnTaskDone(double, double) override { tasks_done.fetch_add(1); }
+  std::atomic<int> tasks_done{0};
+};
+
+TEST(ThreadPoolTest, ParallelForExplicitGrainReportsPerChunk) {
+  ThreadPool pool(3);
+  CountingObserver observer;
+  pool.SetObserver(&observer);
+  std::atomic<int> hits{0};
+  pool.ParallelFor(100, [&](size_t) { hits.fetch_add(1); }, /*grain=*/10);
+  pool.SetObserver(nullptr);
+  EXPECT_EQ(hits.load(), 100);
+  EXPECT_EQ(observer.tasks_done.load(), 10);  // one task per chunk
+}
+
+TEST(ThreadPoolTest, ParallelForDefaultGrainSplitsWork) {
+  // The default grain produces several chunks per worker, so observer
+  // accounting reflects real units of work rather than a single task.
+  ThreadPool pool(2);
+  CountingObserver observer;
+  pool.SetObserver(&observer);
+  std::atomic<int> hits{0};
+  pool.ParallelFor(89, [&](size_t) { hits.fetch_add(1); });
+  pool.SetObserver(nullptr);
+  EXPECT_EQ(hits.load(), 89);
+  // grain = max(1, 89 / (2 * 8)) = 5 -> ceil(89 / 5) = 18 chunks.
+  EXPECT_EQ(observer.tasks_done.load(), 18);
+}
+
+TEST(ThreadPoolTest, ParallelForGrainLargerThanRange) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(7);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); },
+                   /*grain=*/100);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 }  // namespace
 }  // namespace alicoco

@@ -1,0 +1,124 @@
+// Equivalence tests for the blocked GEMM kernels against the naive
+// reference implementations, over shapes chosen to hit every edge of the
+// blocking scheme: single rows/columns, sizes straddling the register tile
+// (4) and the cache tiles (64 x 128), and a handful of random shapes.
+// Blocked and naive kernels sum in different orders, so comparisons use a
+// relative tolerance.
+
+#include "nn/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace alicoco::nn::kernels {
+namespace {
+
+struct Shape {
+  int m, k, n;
+};
+
+std::vector<float> RandomVec(size_t size, Rng* rng) {
+  std::vector<float> v(size);
+  for (auto& x : v) x = rng->UniformFloat(-1.0f, 1.0f);
+  return v;
+}
+
+void ExpectClose(const std::vector<float>& want, const std::vector<float>& got,
+                 int m, int k) {
+  ASSERT_EQ(want.size(), got.size());
+  // Error grows with the reduction length; scale the tolerance by k.
+  const float tol = 1e-5f * static_cast<float>(k + 8);
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(want[i], got[i], tol + 1e-4f * std::fabs(want[i]))
+        << "index " << i << " of " << m << "x? result";
+  }
+}
+
+const Shape kShapes[] = {
+    {1, 1, 1},    {1, 7, 1},    {7, 1, 1},   {1, 1, 7},    {4, 4, 4},
+    {3, 5, 2},    {5, 64, 128}, {4, 65, 129}, {8, 63, 127}, {2, 24, 96},
+    {1, 24, 96},  {17, 31, 23}, {6, 130, 5},  {9, 3, 260},  {13, 200, 40},
+};
+
+TEST(KernelsTest, GemmAccumMatchesNaive) {
+  Rng rng(101);
+  for (const Shape& s : kShapes) {
+    auto a = RandomVec(static_cast<size_t>(s.m) * s.k, &rng);
+    auto b = RandomVec(static_cast<size_t>(s.k) * s.n, &rng);
+    auto c0 = RandomVec(static_cast<size_t>(s.m) * s.n, &rng);
+    auto want = c0, got = c0;
+    naive::GemmAccum(s.m, s.k, s.n, a.data(), b.data(), want.data());
+    GemmAccum(s.m, s.k, s.n, a.data(), b.data(), got.data());
+    ExpectClose(want, got, s.m, s.k);
+  }
+}
+
+TEST(KernelsTest, GemmTransBAccumMatchesNaive) {
+  Rng rng(102);
+  for (const Shape& s : kShapes) {
+    auto a = RandomVec(static_cast<size_t>(s.m) * s.k, &rng);
+    auto b = RandomVec(static_cast<size_t>(s.n) * s.k, &rng);  // B is n x k
+    auto c0 = RandomVec(static_cast<size_t>(s.m) * s.n, &rng);
+    auto want = c0, got = c0;
+    naive::GemmTransBAccum(s.m, s.k, s.n, a.data(), b.data(), want.data());
+    GemmTransBAccum(s.m, s.k, s.n, a.data(), b.data(), got.data());
+    ExpectClose(want, got, s.m, s.k);
+  }
+}
+
+TEST(KernelsTest, GemmTransAAccumMatchesNaive) {
+  Rng rng(103);
+  for (const Shape& s : kShapes) {
+    auto a = RandomVec(static_cast<size_t>(s.m) * s.k, &rng);  // A is m x k
+    auto b = RandomVec(static_cast<size_t>(s.m) * s.n, &rng);
+    auto c0 = RandomVec(static_cast<size_t>(s.k) * s.n, &rng);  // C is k x n
+    auto want = c0, got = c0;
+    naive::GemmTransAAccum(s.m, s.k, s.n, a.data(), b.data(), want.data());
+    GemmTransAAccum(s.m, s.k, s.n, a.data(), b.data(), got.data());
+    ExpectClose(want, got, s.k, s.m);
+  }
+}
+
+TEST(KernelsTest, AddBiasVariantsMatchScalarMath) {
+  Rng rng(104);
+  const int rows = 5, cols = 33;
+  auto x = RandomVec(static_cast<size_t>(rows) * cols, &rng);
+  auto bias = RandomVec(cols, &rng);
+  std::vector<float> plain(x.size()), tanh_out(x.size()), relu(x.size());
+  AddBias(rows, cols, x.data(), bias.data(), plain.data());
+  AddBiasTanh(rows, cols, x.data(), bias.data(), tanh_out.data());
+  AddBiasRelu(rows, cols, x.data(), bias.data(), relu.data());
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      const float v = x[static_cast<size_t>(i) * cols + j] + bias[j];
+      const size_t at = static_cast<size_t>(i) * cols + j;
+      EXPECT_FLOAT_EQ(plain[at], v);
+      EXPECT_NEAR(tanh_out[at], std::tanh(v), 1e-6f);
+      EXPECT_FLOAT_EQ(relu[at], v > 0.0f ? v : 0.0f);
+    }
+  }
+}
+
+TEST(KernelsTest, AddBiasInPlaceAliasing) {
+  // The fused affine ops apply the bias in place (out == x); the kernels
+  // must tolerate full aliasing.
+  Rng rng(105);
+  const int rows = 3, cols = 17;
+  auto x = RandomVec(static_cast<size_t>(rows) * cols, &rng);
+  auto bias = RandomVec(cols, &rng);
+  auto expect = x;
+  AddBias(rows, cols, expect.data(), bias.data(), expect.data());
+  auto inplace = x;
+  AddBias(rows, cols, inplace.data(), bias.data(), inplace.data());
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(inplace[i], x[i] + bias[i % cols]);
+    EXPECT_FLOAT_EQ(inplace[i], expect[i]);
+  }
+}
+
+}  // namespace
+}  // namespace alicoco::nn::kernels

@@ -4,8 +4,9 @@
 #   1. lint gate (tools/lint.sh)
 #   2. plain RelWithDebInfo build + full ctest
 #   3. pipeline profile gate (obs_report vs committed BENCH_pipeline.json)
-#   4. ASan+UBSan build + full ctest   (DCHECKs forced on)
-#   5. TSan build + threaded tests     (DCHECKs forced on)
+#   4. kernel smoke gate (bench_micro vs committed BENCH_kernels.json)
+#   5. ASan+UBSan build + full ctest   (DCHECKs forced on)
+#   6. TSan build + threaded tests     (DCHECKs forced on)
 #
 # Any sanitizer report aborts the offending test (halt_on_error /
 # -fno-sanitize-recover), so a non-zero ctest exit IS the sanitizer gate.
@@ -37,6 +38,12 @@ step "pipeline profile gate"
 mkdir -p build/obs
 build/bench/obs_report --out build/obs/BENCH_pipeline.json --outdir build/obs \
   --baseline BENCH_pipeline.json --max-regress 2.0 --slack-ms 500
+
+step "kernel smoke gate"
+# Deterministic kernel/fused-op/parallel-train timings vs the committed
+# BENCH_kernels.json, with the same 2x + slack rule as the pipeline gate.
+build/bench/bench_micro --kernels-out build/obs/BENCH_kernels.json \
+  --baseline BENCH_kernels.json --max-regress 2.0 --slack-us 200
 
 if [ "${FAST}" -eq 1 ]; then
   echo "--fast: skipping sanitizer builds"
