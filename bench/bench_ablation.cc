@@ -6,10 +6,10 @@
 
 #include <cstdio>
 
-#include "apps/relation_inference.h"
 #include "bench_util.h"
 #include "common/table_printer.h"
 #include "matching/knowledge_matcher.h"
+#include "mining/relation_inference.h"
 #include "text/tokenizer.h"
 
 int main() {
@@ -77,18 +77,18 @@ int main() {
   matcher_table.Print();
 
   // ---- 2. relation inference (future work items 1-2) ----
-  apps::RelationInference engine(&world.net());
+  mining::RelationInference engine(&world.net());
   TablePrinter rel_table(
       "\nCommonsense relation inference: lift-threshold sweep "
       "(suitable_when)");
   rel_table.SetHeader({"min lift", "proposed", "precision", "recall",
                        "top confidence"});
   for (double lift : {1.1, 1.5, 2.0, 3.0}) {
-    apps::RelationInferenceConfig cfg;
+    mining::RelationInferenceConfig cfg;
     cfg.min_lift = lift;
     auto proposals = engine.InferSuitableWhen(cfg);
     auto quality =
-        apps::EvaluateSuitableWhen(proposals, world, cfg.min_support);
+        mining::EvaluateSuitableWhen(proposals, world, cfg.min_support);
     rel_table.AddRow({TablePrinter::Num(lift, 1),
                       std::to_string(quality.proposed),
                       TablePrinter::Num(quality.precision, 3),
@@ -99,7 +99,7 @@ int main() {
   }
   rel_table.Print();
 
-  apps::RelationInferenceConfig cfg;
+  mining::RelationInferenceConfig cfg;
   auto used_when = engine.InferUsedWhen(cfg);
   size_t correct = 0;
   for (const auto& rel : used_when) {

@@ -42,11 +42,11 @@ TaxonomyHandles BuildTaxonomy(kg::Taxonomy* taxonomy) {
 
   // Audience subtree (Table 1 addresses Audience->Human).
   h.audience_human = *taxonomy->AddClass("Human", h.audience);
-  taxonomy->AddClass("Pet", h.audience);
+  ALICOCO_CHECK(taxonomy->AddClass("Pet", h.audience).ok());
 
   // Event subtree (Table 1 addresses Event->Action).
   h.event_action = *taxonomy->AddClass("Action", h.event);
-  taxonomy->AddClass("Holiday-Event", h.event);
+  ALICOCO_CHECK(taxonomy->AddClass("Holiday-Event", h.event).ok());
 
   // Time subtree.
   h.time_season = *taxonomy->AddClass("Season", h.time);

@@ -15,10 +15,11 @@
 namespace alicoco::kg {
 
 /// Writes the full net (taxonomy, schema, nodes, edges) to `path`.
-Status SaveConceptNet(const ConceptNet& net, const std::string& path);
+[[nodiscard]] Status SaveConceptNet(const ConceptNet& net,
+                                    const std::string& path);
 
 /// Reads a snapshot into a fresh net.
-Result<ConceptNet> LoadConceptNet(const std::string& path);
+[[nodiscard]] Result<ConceptNet> LoadConceptNet(const std::string& path);
 
 }  // namespace alicoco::kg
 

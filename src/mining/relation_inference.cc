@@ -1,4 +1,4 @@
-#include "apps/relation_inference.h"
+#include "mining/relation_inference.h"
 
 #include <algorithm>
 #include <map>
@@ -7,7 +7,7 @@
 
 #include "common/logging.h"
 
-namespace alicoco::apps {
+namespace alicoco::mining {
 namespace {
 
 // Per-domain item tag counts and joint counts between two domains.
@@ -180,4 +180,4 @@ RelationInferenceQuality EvaluateSuitableWhen(
   return q;
 }
 
-}  // namespace alicoco::apps
+}  // namespace alicoco::mining

@@ -10,8 +10,8 @@
 // used_when(category, event) with a lift-derived confidence. Proposals are
 // validated against the schema before entering the net.
 
-#ifndef ALICOCO_APPS_RELATION_INFERENCE_H_
-#define ALICOCO_APPS_RELATION_INFERENCE_H_
+#ifndef ALICOCO_MINING_RELATION_INFERENCE_H_
+#define ALICOCO_MINING_RELATION_INFERENCE_H_
 
 #include <string>
 #include <vector>
@@ -19,7 +19,7 @@
 #include "datagen/world.h"
 #include "kg/concept_net.h"
 
-namespace alicoco::apps {
+namespace alicoco::mining {
 
 /// One inferred relation with its evidence.
 struct InferredRelation {
@@ -81,6 +81,6 @@ RelationInferenceQuality EvaluateSuitableWhen(
     const std::vector<InferredRelation>& proposals,
     const datagen::World& world, size_t min_support);
 
-}  // namespace alicoco::apps
+}  // namespace alicoco::mining
 
-#endif  // ALICOCO_APPS_RELATION_INFERENCE_H_
+#endif  // ALICOCO_MINING_RELATION_INFERENCE_H_

@@ -11,12 +11,14 @@
 namespace alicoco::nn {
 
 /// Writes every parameter (name, shape, weights) to `path`.
-Status SaveParameters(const ParameterStore& store, const std::string& path);
+[[nodiscard]] Status SaveParameters(const ParameterStore& store,
+                                    const std::string& path);
 
 /// Loads weights by parameter name into an already-constructed store.
 /// Fails on missing names or shape mismatches; extra names in the file are
 /// an error too (guards against loading the wrong checkpoint).
-Status LoadParameters(ParameterStore* store, const std::string& path);
+[[nodiscard]] Status LoadParameters(ParameterStore* store,
+                                    const std::string& path);
 
 }  // namespace alicoco::nn
 

@@ -52,7 +52,8 @@ struct PipelineProfile {
   const StageProfile* FindStage(const std::string& name) const;
 
   std::string ToJson() const;
-  static Result<PipelineProfile> FromJson(const std::string& text);
+  [[nodiscard]] static Result<PipelineProfile> FromJson(
+      const std::string& text);
 };
 
 /// Assembles a profile from one instrumented builder run: every

@@ -1,6 +1,6 @@
 #include "pipeline/builder.h"
 
-#include "apps/relation_inference.h"
+#include "mining/relation_inference.h"
 
 #include <algorithm>
 #include <optional>
@@ -618,15 +618,15 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
   // ---- Stage 8: commonsense relation inference (Section 10) ----
   begin_stage("relation_inference");
   if (config_.infer_relations) {
-    apps::RelationInference inference(&net);
-    apps::RelationInferenceConfig rel_cfg;
+    mining::RelationInference inference(&net);
+    mining::RelationInferenceConfig rel_cfg;
     rel_cfg.min_lift = config_.relation_min_lift;
     rel_cfg.min_support = config_.relation_min_support;
     report->inferred_relations +=
-        apps::RelationInference::Commit(inference.InferSuitableWhen(rel_cfg),
+        mining::RelationInference::Commit(inference.InferSuitableWhen(rel_cfg),
                                         &net);
     report->inferred_relations +=
-        apps::RelationInference::Commit(inference.InferUsedWhen(rel_cfg),
+        mining::RelationInference::Commit(inference.InferUsedWhen(rel_cfg),
                                         &net);
   }
   stage_count("relation_inference", "inferred_relations",

@@ -1,13 +1,13 @@
 // Tests for commonsense relation inference (the paper's Section-10 future
 // work, implemented as an extension).
 
-#include "apps/relation_inference.h"
+#include "mining/relation_inference.h"
 
 #include <gtest/gtest.h>
 
 #include "datagen/world.h"
 
-namespace alicoco::apps {
+namespace alicoco::mining {
 namespace {
 
 const datagen::World& SharedWorld() {
@@ -119,4 +119,4 @@ INSTANTIATE_TEST_SUITE_P(Supports, SupportSweep,
                          ::testing::Values(3, 5, 8, 12));
 
 }  // namespace
-}  // namespace alicoco::apps
+}  // namespace alicoco::mining

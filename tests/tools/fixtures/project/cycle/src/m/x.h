@@ -1,0 +1,7 @@
+// lint-fixture: two headers that include each other.
+#ifndef ALICOCO_M_X_H_
+#define ALICOCO_M_X_H_
+
+#include "m/y.h"
+
+#endif  // ALICOCO_M_X_H_

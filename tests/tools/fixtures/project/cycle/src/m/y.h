@@ -1,0 +1,7 @@
+// lint-fixture: closes the include cycle started by x.h.
+#ifndef ALICOCO_M_Y_H_
+#define ALICOCO_M_Y_H_
+
+#include "m/x.h"
+
+#endif  // ALICOCO_M_Y_H_

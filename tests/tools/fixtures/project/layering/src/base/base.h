@@ -1,0 +1,7 @@
+// lint-fixture: bottom of the declared layering.
+#ifndef ALICOCO_BASE_BASE_H_
+#define ALICOCO_BASE_BASE_H_
+
+inline int BaseAnswer() { return 42; }
+
+#endif  // ALICOCO_BASE_BASE_H_

@@ -1,0 +1,11 @@
+// lint-fixture: one legal include and two layering violations.
+#ifndef ALICOCO_MID_MID_H_
+#define ALICOCO_MID_MID_H_
+
+#include "base/base.h"
+#include "peer/peer.h"
+#include "top/top.h"
+
+inline int MidAnswer() { return BaseAnswer() + PeerAnswer() + TopAnswer(); }
+
+#endif  // ALICOCO_MID_MID_H_

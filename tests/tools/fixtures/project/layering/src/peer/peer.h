@@ -1,0 +1,7 @@
+// lint-fixture: shares a layer with mid; neither may include the other.
+#ifndef ALICOCO_PEER_PEER_H_
+#define ALICOCO_PEER_PEER_H_
+
+inline int PeerAnswer() { return 7; }
+
+#endif  // ALICOCO_PEER_PEER_H_

@@ -1,0 +1,9 @@
+// lint-fixture: a module nobody declared in layers.txt.
+#ifndef ALICOCO_ROGUE_ROGUE_H_
+#define ALICOCO_ROGUE_ROGUE_H_
+
+#include "base/base.h"
+
+inline int RogueAnswer() { return -BaseAnswer(); }
+
+#endif  // ALICOCO_ROGUE_ROGUE_H_

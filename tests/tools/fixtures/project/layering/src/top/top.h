@@ -1,0 +1,9 @@
+// lint-fixture: the top layer; depending downward on base is legal.
+#ifndef ALICOCO_TOP_TOP_H_
+#define ALICOCO_TOP_TOP_H_
+
+#include "base/base.h"
+
+inline int TopAnswer() { return BaseAnswer(); }
+
+#endif  // ALICOCO_TOP_TOP_H_

@@ -1,0 +1,26 @@
+// lint-fixture: the inversion only exists across a call boundary.
+#ifndef ALICOCO_LOCKS_INTERPROC_H_
+#define ALICOCO_LOCKS_INTERPROC_H_
+
+class Chain {
+ public:
+  void Outer() {
+    MutexLock hold_m(m_);
+    this->Inner();
+  }
+  void Inner() {
+    MutexLock hold_n(n_);
+    ++steps_;
+  }
+  void Opposite() {
+    MutexLock hold_n(n_);
+    this->Outer();
+  }
+
+ private:
+  Mutex m_;
+  Mutex n_;
+  int steps_ ALICOCO_GUARDED_BY(n_) = 0;
+};
+
+#endif  // ALICOCO_LOCKS_INTERPROC_H_

@@ -1,0 +1,25 @@
+// lint-fixture: the classic AB-BA inversion inside one class.
+#ifndef ALICOCO_LOCKS_INVERSION_H_
+#define ALICOCO_LOCKS_INVERSION_H_
+
+class Pair {
+ public:
+  void Forward() {
+    MutexLock hold_a(a_);
+    MutexLock hold_b(b_);
+    ++forward_;
+  }
+  void Reverse() {
+    MutexLock hold_b(b_);
+    MutexLock hold_a(a_);
+    ++reverse_;
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+  int forward_ ALICOCO_GUARDED_BY(a_) = 0;
+  int reverse_ ALICOCO_GUARDED_BY(b_) = 0;
+};
+
+#endif  // ALICOCO_LOCKS_INVERSION_H_

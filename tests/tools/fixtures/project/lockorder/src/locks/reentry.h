@@ -1,0 +1,21 @@
+// lint-fixture: double acquisition of one non-reentrant mutex.
+#ifndef ALICOCO_LOCKS_REENTRY_H_
+#define ALICOCO_LOCKS_REENTRY_H_
+
+class Recur {
+ public:
+  void Once() {
+    MutexLock hold(mu_);
+    this->Again();
+  }
+  void Again() {
+    MutexLock hold(mu_);
+    ++count_;
+  }
+
+ private:
+  Mutex mu_;
+  int count_ ALICOCO_GUARDED_BY(mu_) = 0;
+};
+
+#endif  // ALICOCO_LOCKS_REENTRY_H_

@@ -1,0 +1,13 @@
+// lint-fixture: checked and unchecked return types, plus one name the
+// unanimity rule must keep quiet.
+#ifndef ALICOCO_API_API_H_
+#define ALICOCO_API_API_H_
+
+[[nodiscard]] bool LoadIndex();
+Status SaveIndex();
+int Version();
+void Touch();
+bool MaybeRefresh();
+Status Refresh();
+
+#endif  // ALICOCO_API_API_H_

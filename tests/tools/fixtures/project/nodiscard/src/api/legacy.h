@@ -1,0 +1,8 @@
+// lint-fixture: a second Refresh overload that returns nothing, so the
+// name is ambiguous project-wide and must not be flagged.
+#ifndef ALICOCO_API_LEGACY_H_
+#define ALICOCO_API_LEGACY_H_
+
+void Refresh(int mode);
+
+#endif  // ALICOCO_API_LEGACY_H_

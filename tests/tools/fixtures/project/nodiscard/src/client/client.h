@@ -1,0 +1,22 @@
+// lint-fixture: call sites — two discards, one opt-out, several legal.
+#ifndef ALICOCO_CLIENT_CLIENT_H_
+#define ALICOCO_CLIENT_CLIENT_H_
+
+#include "api/api.h"
+#include "api/legacy.h"
+
+inline void UseAll() {
+  LoadIndex();
+  SaveIndex();
+  (void)LoadIndex();
+  Version();
+  Touch();
+  MaybeRefresh();
+  Refresh();
+  bool ok = LoadIndex();
+  if (ok) {
+    Touch();
+  }
+}
+
+#endif  // ALICOCO_CLIENT_CLIENT_H_

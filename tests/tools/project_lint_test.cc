@@ -1,0 +1,446 @@
+// Tests for the whole-program half of alicoco_lint: the ProjectIndex and
+// its incremental cache, the graph machinery, the three cross-file passes
+// against the fixture mini-trees, and SARIF round-tripping.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/lint/analyzer.h"
+#include "tools/lint/graph.h"
+#include "tools/lint/index.h"
+#include "tools/lint/passes/passes.h"
+#include "tools/lint/sarif.h"
+
+namespace alicoco::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFileOrDie(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+fs::path FixtureRoot(const std::string& name) {
+  return fs::path(ALICOCO_PROJECT_FIXTURE_DIR) / name;
+}
+
+ProjectReport AnalyzeFixture(const std::string& name,
+                             const std::string& cache_path = "",
+                             LintClock* cost_clock = nullptr) {
+  ProjectOptions options;
+  options.project_dir = "src";
+  options.layers_path = (FixtureRoot(name) / "layers.txt").generic_string();
+  options.cache_path = cache_path;
+  options.cost_clock = cost_clock;
+  auto report = AnalyzeProject(FixtureRoot(name).generic_string(), options);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? std::move(*report) : ProjectReport{};
+}
+
+// ---------------------------------------------------------------------------
+// Layers parsing
+
+TEST(LayersTest, ParsesRanksInDeclarationOrder) {
+  auto layers = Layers::Parse(
+      "# comment\n"
+      "layer base\n"
+      "layer mid peer  # trailing comment\n"
+      "layer top\n");
+  ASSERT_TRUE(layers.ok());
+  EXPECT_EQ(layers->num_layers(), 3u);
+  EXPECT_EQ(layers->num_modules(), 4u);
+  EXPECT_EQ(layers->RankOf("base"), 0);
+  EXPECT_EQ(layers->RankOf("mid"), 1);
+  EXPECT_EQ(layers->RankOf("peer"), 1);
+  EXPECT_EQ(layers->RankOf("top"), 2);
+  EXPECT_EQ(layers->RankOf("absent"), -1);
+  EXPECT_EQ(layers->ModulesAt(1), (std::vector<std::string>{"mid", "peer"}));
+}
+
+TEST(LayersTest, RejectsDuplicateAndMalformedDeclarations) {
+  EXPECT_FALSE(Layers::Parse("layer a\nlayer a\n").ok());
+  EXPECT_FALSE(Layers::Parse("tier a\n").ok());
+  EXPECT_FALSE(Layers::Parse("layer\n").ok());
+  EXPECT_FALSE(Layers::Parse("# only comments\n").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Digraph
+
+TEST(DigraphTest, ReportsDeterministicCycleWitnesses) {
+  Digraph g;
+  g.AddEdge("b", "c", {"b.h", 1});
+  g.AddEdge("c", "b", {"c.h", 2});
+  g.AddEdge("a", "b", {"a.h", 3});  // feeds the SCC but is not in it
+  g.AddEdge("d", "d", {"d.h", 4});  // self-loop
+  auto cycles = g.Cycles();
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_EQ(cycles[0], (std::vector<std::string>{"b", "c", "b"}));
+  EXPECT_EQ(cycles[1], (std::vector<std::string>{"d", "d"}));
+  const EdgeSite* site = g.FindSite("b", "c");
+  ASSERT_NE(site, nullptr);
+  EXPECT_EQ(site->file, "b.h");
+}
+
+TEST(DigraphTest, AcyclicGraphHasNoCycles) {
+  Digraph g;
+  g.AddEdge("a", "b", {"a.h", 1});
+  g.AddEdge("b", "c", {"b.h", 1});
+  g.AddEdge("a", "c", {"a.h", 2});
+  EXPECT_TRUE(g.Cycles().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Extraction
+
+TEST(SummarizeSourceTest, ExtractsIncludesMutexesAndFunctions) {
+  const std::string src =
+      "#include \"kg/net.h\"\n"
+      "#include <vector>\n"
+      "class Store {\n"
+      " public:\n"
+      "  void Put() {\n"
+      "    MutexLock lock(mu_);\n"
+      "    MutexLock nested(aux_);\n"
+      "    this->Flush();\n"
+      "  }\n"
+      "  void Flush() {}\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  Mutex aux_;\n"
+      "  int n_ ALICOCO_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  FileSummary summary = SummarizeSource("src/a/store.h", src);
+
+  ASSERT_EQ(summary.includes.size(), 2u);
+  EXPECT_EQ(summary.includes[0].path, "kg/net.h");
+  EXPECT_FALSE(summary.includes[0].angled);
+  EXPECT_TRUE(summary.includes[1].angled);
+
+  // mu_ (twice: Mutex member + GUARDED_BY) and aux_, deduplicated.
+  ASSERT_EQ(summary.mutexes.size(), 2u);
+  EXPECT_EQ(summary.mutexes[0].member, "aux_");
+  EXPECT_EQ(summary.mutexes[0].class_name, "Store");
+  EXPECT_EQ(summary.mutexes[1].member, "mu_");
+
+  ASSERT_EQ(summary.functions.size(), 1u);  // Flush has no locks/calls
+  const FunctionSummary& put = summary.functions[0];
+  EXPECT_EQ(put.name, "Put");
+  EXPECT_EQ(put.class_name, "Store");
+  ASSERT_EQ(put.acquisitions.size(), 2u);
+  EXPECT_EQ(put.acquisitions[0].name, "mu_");
+  EXPECT_TRUE(put.acquisitions[0].held.empty());
+  EXPECT_EQ(put.acquisitions[1].name, "aux_");
+  EXPECT_EQ(put.acquisitions[1].held, (std::vector<int>{0}));
+  ASSERT_EQ(put.calls.size(), 1u);
+  EXPECT_EQ(put.calls[0].callee, "Flush");
+  EXPECT_EQ(put.calls[0].kind, CallKind::kThis);
+  EXPECT_EQ(put.calls[0].held, (std::vector<int>{0, 1}));
+}
+
+TEST(SummarizeSourceTest, ClassifiesCheckedDeclarations) {
+  const std::string src =
+      "[[nodiscard]] bool LoadThing();\n"
+      "Status SaveThing();\n"
+      "Result<int> ParseThing(const std::string& s);\n"
+      "bool MaybeThing();\n"
+      "int CountThings();\n"
+      "void Touch();\n";
+  FileSummary summary = SummarizeSource("src/a/api.h", src);
+  ASSERT_EQ(summary.decls.size(), 6u);
+  auto checked = [&](const std::string& name) {
+    for (const DeclInfo& d : summary.decls) {
+      if (d.name == name) return d.checked;
+    }
+    ADD_FAILURE() << "no decl named " << name;
+    return false;
+  };
+  EXPECT_TRUE(checked("LoadThing"));
+  EXPECT_TRUE(checked("SaveThing"));
+  EXPECT_TRUE(checked("ParseThing"));
+  EXPECT_FALSE(checked("MaybeThing"));  // bool but not a Load/Save name
+  EXPECT_FALSE(checked("CountThings"));
+  EXPECT_FALSE(checked("Touch"));
+}
+
+TEST(SummarizeSourceTest, RecordsBareCallStatementsOnly) {
+  const std::string src =
+      "inline void Use() {\n"
+      "  LoadThing();\n"
+      "  obj.Save();\n"
+      "  chain()->Next();\n"
+      "  (void)LoadThing();\n"
+      "  bool ok = LoadThing();\n"
+      "  return;\n"
+      "}\n";
+  FileSummary summary = SummarizeSource("src/a/use.h", src);
+  std::vector<std::string> callees;
+  for (const CallStatement& c : summary.call_statements) {
+    callees.push_back(c.callee);
+  }
+  EXPECT_EQ(callees, (std::vector<std::string>{"LoadThing", "Save", "Next"}));
+}
+
+// ---------------------------------------------------------------------------
+// Fixture goldens: one mini-tree per pass
+
+class ProjectFixtureTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProjectFixtureTest, MatchesGolden) {
+  const std::string name = GetParam();
+  ProjectReport report = AnalyzeFixture(name);
+  std::string got;
+  for (const Finding& f : report.findings) {
+    got += FormatFinding(f) + "\n";
+  }
+  EXPECT_EQ(got, ReadFileOrDie(FixtureRoot(name) / "expected.txt"))
+      << "fixture " << name << " drifted from its golden";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFixtures, ProjectFixtureTest,
+                         ::testing::Values("cycle", "layering", "lockorder",
+                                           "nodiscard"));
+
+// ---------------------------------------------------------------------------
+// SARIF
+
+TEST(SarifTest, RoundTripsFindings) {
+  std::vector<Finding> findings;
+  findings.push_back(
+      {"src/a.h", 3, "layer-violation", "module 'a' must not depend on 'b'"});
+  findings.push_back({"src/b \"q\".cc", 12, "discarded-result",
+                      "tricky \\ payload\nwith newline"});
+  auto parsed = ParseSarif(WriteSarif(findings));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), findings.size());
+  for (size_t i = 0; i < findings.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].file, findings[i].file);
+    EXPECT_EQ((*parsed)[i].line, findings[i].line);
+    EXPECT_EQ((*parsed)[i].rule, findings[i].rule);
+    EXPECT_EQ((*parsed)[i].message, findings[i].message);
+  }
+}
+
+TEST(SarifTest, MatchesFixtureGolden) {
+  ProjectReport report = AnalyzeFixture("nodiscard");
+  EXPECT_EQ(WriteSarif(report.findings),
+            ReadFileOrDie(FixtureRoot("nodiscard") / "expected.sarif"));
+}
+
+TEST(SarifTest, RejectsDocumentsMissingTheSpine) {
+  EXPECT_FALSE(ParseSarif("{").ok());
+  EXPECT_FALSE(ParseSarif("{}").ok());
+  EXPECT_FALSE(ParseSarif("{\"version\": \"2.1.0\"}").ok());
+  EXPECT_FALSE(ParseSarif("{\"version\": \"2.1.0\", \"runs\": []}").ok());
+  EXPECT_TRUE(ParseSarif(WriteSarif({})).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Cache + incremental behavior
+
+/// Copies a fixture tree into a fresh temp dir so the test can mutate it.
+fs::path CloneFixture(const std::string& name, const std::string& tag) {
+  fs::path dst = fs::path(::testing::TempDir()) / ("project_lint_" + tag);
+  fs::remove_all(dst);
+  fs::copy(FixtureRoot(name), dst, fs::copy_options::recursive);
+  return dst;
+}
+
+TEST(ProjectIndexTest, CacheInvalidationRelexesOnlyTouchedFiles) {
+  fs::path root = CloneFixture("lockorder", "invalidate");
+  std::string cache = (root / "cache.bin").generic_string();
+
+  ProjectIndex::Options options;
+  options.cache_path = cache;
+  auto cold = ProjectIndex::Build(root.generic_string(), {"src"}, options);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->stats().files, 3u);
+  EXPECT_EQ(cold->stats().lexed, 3u);
+  EXPECT_EQ(cold->stats().cache_hits, 0u);
+  EXPECT_EQ(cold->changed().size(), 3u);
+
+  auto warm = ProjectIndex::Build(root.generic_string(), {"src"}, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->stats().lexed, 0u);
+  EXPECT_EQ(warm->stats().cache_hits, 3u);
+  EXPECT_TRUE(warm->changed().empty());
+
+  {
+    std::ofstream touch(root / "src/locks/reentry.h", std::ios::app);
+    touch << "// touched\n";
+  }
+  auto partial = ProjectIndex::Build(root.generic_string(), {"src"}, options);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial->stats().lexed, 1u);
+  EXPECT_EQ(partial->stats().cache_hits, 2u);
+  EXPECT_EQ(partial->changed(),
+            (std::vector<std::string>{"src/locks/reentry.h"}));
+}
+
+TEST(ProjectIndexTest, CorruptCacheIsDiscardedNotTrusted) {
+  fs::path root = CloneFixture("cycle", "corrupt");
+  std::string cache = (root / "cache.bin").generic_string();
+  ProjectIndex::Options options;
+  options.cache_path = cache;
+  ASSERT_TRUE(ProjectIndex::Build(root.generic_string(), {"src"}, options)
+                  .ok());
+  {
+    std::ofstream clobber(cache, std::ios::trunc);
+    clobber << "alicoco_lint_cache_v1\nF src/m/x.h notahash\n";
+  }
+  auto rebuilt = ProjectIndex::Build(root.generic_string(), {"src"}, options);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->stats().lexed, 2u);  // cache ignored, all re-lexed
+  EXPECT_EQ(rebuilt->stats().cache_hits, 0u);
+}
+
+TEST(ProjectIndexTest, SummariesSurviveSerialization) {
+  fs::path root = FixtureRoot("lockorder");
+  ProjectIndex::Options options;
+  auto index = ProjectIndex::Build(root.generic_string(), {"src"}, options);
+  ASSERT_TRUE(index.ok());
+  auto round = DeserializeSummaries(SerializeSummaries(index->files()));
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  ASSERT_EQ(round->size(), index->files().size());
+  for (size_t i = 0; i < round->size(); ++i) {
+    const FileSummary& a = index->files()[i];
+    const FileSummary& b = (*round)[i];
+    EXPECT_EQ(a.path, b.path);
+    EXPECT_EQ(a.content_hash, b.content_hash);
+    EXPECT_EQ(a.includes.size(), b.includes.size());
+    EXPECT_EQ(a.mutexes.size(), b.mutexes.size());
+    ASSERT_EQ(a.functions.size(), b.functions.size());
+    for (size_t j = 0; j < a.functions.size(); ++j) {
+      EXPECT_EQ(a.functions[j].name, b.functions[j].name);
+      EXPECT_EQ(a.functions[j].acquisitions.size(),
+                b.functions[j].acquisitions.size());
+      EXPECT_EQ(a.functions[j].calls.size(), b.functions[j].calls.size());
+    }
+    EXPECT_EQ(a.decls.size(), b.decls.size());
+    EXPECT_EQ(a.call_statements.size(), b.call_statements.size());
+    EXPECT_EQ(a.findings.size(), b.findings.size());
+    EXPECT_EQ(a.allowances, b.allowances);
+  }
+}
+
+TEST(ProjectIndexTest, WarmRunIsAtLeastFiveTimesFasterThanCold) {
+  // The acceptance bar from the issue, asserted with the injected cost
+  // clock over the real src/ tree: no timer flake, and the ratio collapses
+  // to ~1x if cache loading ever silently breaks.
+  fs::path repo_root = fs::path(ALICOCO_REPO_ROOT);
+  std::string cache =
+      (fs::path(::testing::TempDir()) / "project_lint_warm.cache")
+          .generic_string();
+  fs::remove(cache);
+
+  SimulatedClock cold_clock;
+  ProjectIndex::Options options;
+  options.cache_path = cache;
+  options.cost_clock = &cold_clock;
+  auto cold =
+      ProjectIndex::Build(repo_root.generic_string(), {"src"}, options);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_GT(cold->stats().lexed, 0u);
+
+  SimulatedClock warm_clock;
+  options.cost_clock = &warm_clock;
+  auto warm =
+      ProjectIndex::Build(repo_root.generic_string(), {"src"}, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->stats().lexed, 0u);
+  EXPECT_EQ(warm->stats().cache_hits, warm->stats().files);
+
+  EXPECT_GE(cold_clock.NowUs(), 5 * warm_clock.NowUs())
+      << "cold=" << cold_clock.NowUs() << " warm=" << warm_clock.NowUs();
+}
+
+TEST(ProjectLintTest, ChangedOnlyModeReportsTouchedFilesOnly) {
+  fs::path root = CloneFixture("nodiscard", "changed_only");
+  std::string cache = (root / "cache.bin").generic_string();
+
+  ProjectOptions options;
+  options.project_dir = "src";
+  options.layers_path = (root / "layers.txt").generic_string();
+  options.cache_path = cache;
+  auto first = AnalyzeProject(root.generic_string(), options);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->findings.size(), 2u);  // both discards, cold run
+
+  options.changed_only = true;
+  auto quiet = AnalyzeProject(root.generic_string(), options);
+  ASSERT_TRUE(quiet.ok());
+  EXPECT_TRUE(quiet->findings.empty()) << "nothing changed since the cache";
+
+  {
+    std::ofstream touch(root / "src/client/client.h", std::ios::app);
+    touch << "// touched\n";
+  }
+  auto after = AnalyzeProject(root.generic_string(), options);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->findings.size(), 2u);  // client.h holds both findings
+  for (const Finding& f : after->findings) {
+    EXPECT_EQ(f.file, "src/client/client.h");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass registry + suppression integration
+
+TEST(ProjectLintTest, PassIdsAreKnownToSuppressions) {
+  for (const PassInfo& pass : PassRegistry()) {
+    EXPECT_TRUE(KnownRule(pass.id)) << pass.id;
+  }
+  auto sup = Suppressions::Parse("lock-order-cycle src/locks/\n");
+  EXPECT_TRUE(sup.ok()) << "pass ids must be valid in suppressions.txt";
+}
+
+TEST(ProjectLintTest, InlineAllowSilencesAPassFinding) {
+  fs::path root = CloneFixture("nodiscard", "inline_allow");
+  // Add an allowance to one of the two discard lines.
+  fs::path client = root / "src/client/client.h";
+  std::string text = ReadFileOrDie(client);
+  const std::string needle = "  LoadIndex();";
+  auto at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, needle.size(),
+               "  LoadIndex();  // lint:allow(discarded-result)");
+  {
+    std::ofstream out(client, std::ios::trunc);
+    out << text;
+  }
+  ProjectOptions options;
+  options.project_dir = "src";
+  options.layers_path = (root / "layers.txt").generic_string();
+  auto report = AnalyzeProject(root.generic_string(), options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->findings.size(), 1u);
+  EXPECT_EQ(report->findings[0].message.find("result of 'SaveIndex'"), 0u)
+      << report->findings[0].message;
+}
+
+TEST(ProjectLintTest, FileSuppressionSilencesAPassFinding) {
+  Suppressions sup;
+  sup.Add("discarded-result", "src/client/");
+  ProjectOptions options;
+  options.project_dir = "src";
+  options.layers_path =
+      (FixtureRoot("nodiscard") / "layers.txt").generic_string();
+  options.suppressions = &sup;
+  auto report =
+      AnalyzeProject(FixtureRoot("nodiscard").generic_string(), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->findings.empty());
+}
+
+}  // namespace
+}  // namespace alicoco::lint

@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
 # Static-analysis gate.
 #
-#   tools/lint.sh [build-dir]
+#   tools/lint.sh [build-dir] [--changed-only]
 #
 # Three layers:
 #   1. alicoco_lint, the in-repo analyzer (tools/lint/): lexer-aware banned
 #      patterns, include hygiene, determinism rules, and lock discipline,
 #      with findings as stable `file:line:rule-id: message` lines and the
 #      checked-in suppression file tools/lint/suppressions.txt. Built on
-#      demand; this is the authoritative layer.
+#      demand; this is the authoritative layer. Runs twice: the per-file
+#      tree walk, then whole-program mode (--project src) for the
+#      include-graph / lock-order / discarded-result passes, writing
+#      SARIF to <build-dir>/lint/alicoco_lint.sarif and keeping an
+#      incremental summary cache in <build-dir>/lint/summary.cache.
+#      With --changed-only, project-mode findings are limited to files
+#      that changed since the cached run (pre-commit mode).
 #   2. clang-tidy over every first-party translation unit, driven by the
 #      compile_commands.json in the build dir (default: build/). Skipped
 #      with a warning when clang-tidy is not installed.
@@ -21,7 +27,14 @@
 set -u
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build}"
+BUILD_DIR="build"
+CHANGED_ONLY=0
+for arg in "$@"; do
+  case "$arg" in
+    --changed-only) CHANGED_ONLY=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
 FAIL=0
 
 note() { printf '%s\n' "$*"; }
@@ -42,6 +55,15 @@ if command -v cmake >/dev/null 2>&1 && { command -v c++ >/dev/null 2>&1 \
       ANALYZER_RAN=1
       if ! "${BUILD_DIR}/tools/lint/alicoco_lint" --root .; then
         fail "alicoco_lint reported findings"
+      fi
+      mkdir -p "${BUILD_DIR}/lint"
+      PROJECT_FLAGS=(--root . --project src
+        --sarif "${BUILD_DIR}/lint/alicoco_lint.sarif"
+        --cache "${BUILD_DIR}/lint/summary.cache" --stats)
+      [ "$CHANGED_ONLY" -eq 1 ] && PROJECT_FLAGS+=(--changed-only)
+      note "running cross-file passes (include-graph, lock-order, discarded-result)..."
+      if ! "${BUILD_DIR}/tools/lint/alicoco_lint" "${PROJECT_FLAGS[@]}"; then
+        fail "alicoco_lint --project src reported findings"
       fi
     else
       fail "alicoco_lint failed to build"

@@ -10,20 +10,33 @@
 #include <tuple>
 
 #include "common/string_util.h"
+#include "tools/lint/passes/passes.h"
 
 namespace alicoco::lint {
 namespace {
 
 namespace fs = std::filesystem;
 
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
 bool KnownRule(const std::string& id) {
   for (const auto& rule : RuleRegistry()) {
     if (rule->id() == id) return true;
   }
+  for (const PassInfo& pass : PassRegistry()) {
+    if (pass.id == id) return true;
+  }
   return false;
 }
 
-/// line -> rules allowed on that line via `lint:allow(...)` comments.
 std::map<int, std::set<std::string>> InlineAllowances(
     const std::vector<Token>& tokens) {
   std::map<int, std::set<std::string>> allowed;
@@ -44,16 +57,6 @@ std::map<int, std::set<std::string>> InlineAllowances(
   }
   return allowed;
 }
-
-Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open: " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
-}
-
-}  // namespace
 
 Result<Suppressions> Suppressions::Parse(const std::string& text) {
   Suppressions sup;
@@ -179,6 +182,56 @@ Result<std::vector<Finding>> AnalyzeTree(const std::string& root,
 std::string FormatFinding(const Finding& finding) {
   return finding.file + ":" + std::to_string(finding.line) + ":" +
          finding.rule + ": " + finding.message;
+}
+
+Result<ProjectReport> AnalyzeProject(const std::string& root,
+                                     const ProjectOptions& options) {
+  ProjectIndex::Options index_options;
+  index_options.cache_path = options.cache_path;
+  index_options.cost_clock = options.cost_clock;
+  ALICOCO_ASSIGN_OR_RETURN(
+      ProjectIndex index,
+      ProjectIndex::Build(root, {options.project_dir}, index_options));
+
+  std::string layers_path = options.layers_path.empty()
+                                ? (fs::path(root) / "tools/lint/layers.txt")
+                                      .generic_string()
+                                : options.layers_path;
+  ALICOCO_ASSIGN_OR_RETURN(Layers layers, Layers::LoadFile(layers_path));
+
+  std::vector<Finding> findings;
+  for (const FileSummary& file : index.files()) {
+    findings.insert(findings.end(), file.findings.begin(),
+                    file.findings.end());
+  }
+  std::vector<Finding> pass_findings = RunAllPasses(index, layers);
+  findings.insert(findings.end(), pass_findings.begin(), pass_findings.end());
+
+  std::set<std::string> changed(index.changed().begin(),
+                                index.changed().end());
+  auto drop = [&](const Finding& f) {
+    if (options.changed_only && changed.count(f.file) == 0) return true;
+    if (options.suppressions != nullptr &&
+        options.suppressions->Matches(f.rule, f.file)) {
+      return true;
+    }
+    const FileSummary* summary = index.Find(f.file);
+    if (summary == nullptr) return false;
+    auto it = summary->allowances.find(f.line);
+    return it != summary->allowances.end() && it->second.count(f.rule) != 0;
+  };
+  findings.erase(std::remove_if(findings.begin(), findings.end(), drop),
+                 findings.end());
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+
+  ProjectReport report;
+  report.findings = std::move(findings);
+  report.stats = index.stats();
+  return report;
 }
 
 }  // namespace alicoco::lint

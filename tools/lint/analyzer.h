@@ -10,11 +10,14 @@
 #ifndef ALICOCO_TOOLS_LINT_ANALYZER_H_
 #define ALICOCO_TOOLS_LINT_ANALYZER_H_
 
+#include <map>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "tools/lint/index.h"
 #include "tools/lint/rules.h"
 
 namespace alicoco::lint {
@@ -50,6 +53,44 @@ Result<std::vector<Finding>> AnalyzeTree(const std::string& root,
 
 /// `file:line:rule-id: message` — the stable machine-readable line.
 std::string FormatFinding(const Finding& finding);
+
+/// True when `id` names a per-file rule or a cross-file pass; the
+/// suppression parser uses this to reject stale entries.
+bool KnownRule(const std::string& id);
+
+/// line -> rules allowed on that line via `lint:allow(...)` comments.
+/// Shared by AnalyzeSource and the ProjectIndex summarizer.
+std::map<int, std::set<std::string>> InlineAllowances(
+    const std::vector<Token>& tokens);
+
+/// Whole-program analysis over one project subtree.
+struct ProjectOptions {
+  /// Subdirectory of the root to index, e.g. "src".
+  std::string project_dir = "src";
+  /// Layering declaration; empty means `<root>/tools/lint/layers.txt`.
+  std::string layers_path;
+  /// Summary cache for incremental runs; empty disables caching.
+  std::string cache_path;
+  /// Report only findings in files that changed since the cached run
+  /// (with no cache, every file counts as changed). Pre-commit mode.
+  bool changed_only = false;
+  /// Cost accounting; may be nullptr.
+  LintClock* cost_clock = nullptr;
+  const Suppressions* suppressions = nullptr;
+};
+
+struct ProjectReport {
+  /// Per-file rule findings and cross-file pass findings, merged,
+  /// suppression-filtered, sorted by (file, line, rule, message).
+  std::vector<Finding> findings;
+  IndexStats stats;
+};
+
+/// Builds the ProjectIndex for `<root>/<project_dir>`, runs every
+/// per-file rule (via the index summaries) and every cross-file pass,
+/// and applies both suppression layers to the merged result.
+Result<ProjectReport> AnalyzeProject(const std::string& root,
+                                     const ProjectOptions& options);
 
 }  // namespace alicoco::lint
 

@@ -1,0 +1,1011 @@
+#include "tools/lint/index.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "common/string_util.h"
+#include "tools/lint/analyzer.h"
+#include "tools/lint/lexer.h"
+
+namespace alicoco::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Simulated cost model: summarizing from source is charged per byte (the
+// lexer and extractor are both linear scans); a cache hit is charged a
+// small near-flat amount (hash + summary-line parse). The absolute units
+// are arbitrary — what matters is that the ratio mirrors the real work,
+// so the warm-vs-cold assertion tests cache behavior, not timer noise.
+constexpr uint64_t kLexBaseCostUs = 8;
+constexpr uint64_t kCacheHitBaseCostUs = 1;
+
+void Charge(LintClock* cost_clock, uint64_t us) {
+  if (cost_clock != nullptr) cost_clock->AdvanceUs(us);
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream extraction
+
+bool IsIdent(const Token* t) {
+  return t != nullptr && t->kind == TokenKind::kIdentifier;
+}
+
+bool IsIdent(const Token* t, std::string_view text) {
+  return IsIdent(t) && t->text == text;
+}
+
+bool IsPunct(const Token* t, std::string_view text) {
+  return t != nullptr && t->kind == TokenKind::kPunct && t->text == text;
+}
+
+/// Keywords that look like calls (`if (...)`) but never are.
+bool IsNonCallKeyword(const std::string& text) {
+  static const char* kKeywords[] = {
+      "if",     "for",    "while",   "switch",   "catch",  "return",
+      "sizeof", "alignof", "decltype", "static_assert", "throw", "new",
+      "delete", "assert", "defined", "alignas", "noexcept"};
+  return std::any_of(std::begin(kKeywords), std::end(kKeywords),
+                     [&](const char* k) { return text == k; });
+}
+
+/// bool-returning APIs whose result is still an error signal.
+bool CheckedBoolName(const std::string& name) {
+  static const char* kPrefixes[] = {"Load", "Save", "Parse", "Serialize",
+                                    "Deserialize"};
+  return std::any_of(std::begin(kPrefixes), std::end(kPrefixes),
+                     [&](const char* p) { return StartsWith(name, p); });
+}
+
+/// Walks the whole-file token stream once, tracking namespace / class /
+/// function scopes, and fills the structural half of a FileSummary. The
+/// grammar is the pragmatic subset this codebase uses; anything the
+/// scanner cannot classify is skipped, never mis-filed — extraction
+/// failures degrade to missing graph edges, not crashes or phantoms.
+class Extractor {
+ public:
+  Extractor(const std::vector<Token>& tokens, FileSummary* out) : out_(out) {
+    code_.reserve(tokens.size());
+    for (const Token& t : tokens) {
+      if (t.kind != TokenKind::kComment && t.kind != TokenKind::kDirective) {
+        code_.push_back(&t);
+      }
+    }
+  }
+
+  void Run() {
+    size_t i = 0;
+    ParseOuter(&i, /*class_name=*/"", code_.size());
+  }
+
+ private:
+  const Token* At(size_t i) const {
+    return i < code_.size() ? code_[i] : nullptr;
+  }
+
+  /// Advances past a balanced (...) group; *i must be at '('.
+  void SkipParens(size_t* i) const {
+    int depth = 0;
+    while (*i < code_.size()) {
+      if (IsPunct(code_[*i], "(")) ++depth;
+      if (IsPunct(code_[*i], ")") && --depth == 0) {
+        ++*i;
+        return;
+      }
+      ++*i;
+    }
+  }
+
+  /// Advances past a balanced {...} group; *i must be at '{'.
+  void SkipBraces(size_t* i) const {
+    int depth = 0;
+    while (*i < code_.size()) {
+      if (IsPunct(code_[*i], "{")) ++depth;
+      if (IsPunct(code_[*i], "}") && --depth == 0) {
+        ++*i;
+        return;
+      }
+      ++*i;
+    }
+  }
+
+  /// Advances past a balanced <...> group; *i must be at '<'. Template
+  /// argument lists only — the caller decides the context.
+  void SkipAngles(size_t* i) const {
+    int depth = 0;
+    while (*i < code_.size()) {
+      if (IsPunct(code_[*i], "<")) ++depth;
+      if (IsPunct(code_[*i], ">") && --depth == 0) {
+        ++*i;
+        return;
+      }
+      // A ';' or '{' inside "angles" means this was a comparison after
+      // all; bail rather than swallow the file.
+      if (IsPunct(code_[*i], ";") || IsPunct(code_[*i], "{")) return;
+      ++*i;
+    }
+  }
+
+  /// Parses declarations at namespace or class scope until `end` (the
+  /// index just past this scope's closing brace) or end of stream.
+  void ParseOuter(size_t* i, const std::string& class_name, size_t end) {
+    while (*i < end && *i < code_.size()) {
+      const Token* t = code_[*i];
+      if (IsPunct(t, ";") || IsPunct(t, "}")) {
+        ++*i;
+        continue;
+      }
+      if (IsIdent(t, "template")) {
+        ++*i;
+        if (IsPunct(At(*i), "<")) SkipAngles(i);
+        continue;
+      }
+      if (IsIdent(t, "namespace") || (IsIdent(t, "extern") &&
+                                      At(*i + 1) != nullptr &&
+                                      At(*i + 1)->kind == TokenKind::kString)) {
+        // namespace [a::b] { ... } | namespace x = ...; | extern "C" { ... }
+        size_t j = *i + 1;
+        while (j < code_.size() && !IsPunct(code_[j], "{") &&
+               !IsPunct(code_[j], ";") && !IsPunct(code_[j], "=")) {
+          ++j;
+        }
+        if (j < code_.size() && IsPunct(code_[j], "{")) {
+          size_t close = j;
+          SkipBraces(&close);  // close = just past '}'
+          ++j;
+          ParseOuter(&j, class_name, close - 1);
+          *i = close;
+        } else {
+          while (j < code_.size() && !IsPunct(code_[j], ";")) ++j;
+          *i = j + 1;
+        }
+        continue;
+      }
+      if (IsIdent(t, "class") || IsIdent(t, "struct") ||
+          IsIdent(t, "union")) {
+        ParseClass(i, class_name);
+        continue;
+      }
+      if (IsIdent(t, "enum")) {
+        // enum [class] Name [: type] { ... } ; — nothing to extract.
+        size_t j = *i + 1;
+        while (j < code_.size() && !IsPunct(code_[j], "{") &&
+               !IsPunct(code_[j], ";")) {
+          ++j;
+        }
+        if (j < code_.size() && IsPunct(code_[j], "{")) SkipBraces(&j);
+        *i = j;
+        continue;
+      }
+      if (IsIdent(t, "using") || IsIdent(t, "typedef") ||
+          IsIdent(t, "friend") || IsIdent(t, "static_assert")) {
+        while (*i < code_.size() && !IsPunct(code_[*i], ";")) ++*i;
+        continue;
+      }
+      if (IsIdent(t) && IsPunct(At(*i + 1), ":") &&
+          (t->text == "public" || t->text == "private" ||
+           t->text == "protected")) {
+        *i += 2;
+        continue;
+      }
+      ParseDeclaration(i, class_name);
+    }
+    *i = std::min(end, code_.size());
+  }
+
+  /// *i is at `class`/`struct`/`union`. Extracts the class name (the last
+  /// identifier before '{' / ':' / '<', skipping attribute-macro parens)
+  /// and recurses into the body as a class scope.
+  void ParseClass(size_t* i, const std::string& enclosing) {
+    ++*i;
+    std::string name;
+    while (*i < code_.size()) {
+      const Token* t = code_[*i];
+      if (IsIdent(t)) {
+        if (t->text != "final" && t->text != "alignas") name = t->text;
+        ++*i;
+        continue;
+      }
+      if (IsPunct(t, "(")) {  // attribute macro, e.g. ALICOCO_CAPABILITY(..)
+        if (!name.empty()) name.clear();  // that ident was the macro
+        SkipParens(i);
+        continue;
+      }
+      if (IsPunct(t, "<")) {  // explicit specialization args
+        SkipAngles(i);
+        continue;
+      }
+      break;  // '{', ':', ';', or anything else
+    }
+    // Scan to the body brace through any base-clause.
+    while (*i < code_.size() && !IsPunct(code_[*i], "{") &&
+           !IsPunct(code_[*i], ";")) {
+      if (IsPunct(code_[*i], "<")) {
+        SkipAngles(i);
+        continue;
+      }
+      ++*i;
+    }
+    if (*i >= code_.size() || IsPunct(code_[*i], ";")) {
+      ++*i;  // forward declaration
+      return;
+    }
+    size_t close = *i;
+    SkipBraces(&close);
+    ++*i;
+    ParseOuter(i, name.empty() ? enclosing : name, close - 1);
+    *i = close;
+  }
+
+  struct DeclShape {
+    bool is_function = false;
+    bool has_body = false;
+    size_t name_index = 0;   ///< the identifier before the param '('
+    size_t body_index = 0;   ///< index of the body '{' when has_body
+    size_t end_index = 0;    ///< one past the declaration
+    bool checked = false;    ///< [[nodiscard]] / Status / Result / bool API
+    std::string class_qualifier;  ///< Foo for `void Foo::Bar(...)`
+  };
+
+  /// Classifies one declaration starting at *i (not a keyword the caller
+  /// handles). Fills a DeclShape and leaves *i untouched.
+  DeclShape ClassifyDeclaration(size_t start) const {
+    DeclShape shape;
+    size_t j = start;
+    bool saw_params = false;
+    bool in_init_list = false;
+    bool saw_nodiscard = false;
+    size_t params_end = 0;
+    while (j < code_.size()) {
+      const Token* t = code_[j];
+      if (!saw_params) {
+        if (IsPunct(t, "(") && j > start && IsIdent(code_[j - 1])) {
+          shape.name_index = j - 1;
+          saw_params = true;
+          size_t k = j;
+          SkipParens(&k);
+          params_end = k;
+          j = k;
+          continue;
+        }
+        if (IsIdent(t, "nodiscard")) saw_nodiscard = true;
+        if (IsPunct(t, "<")) {
+          size_t k = j;
+          SkipAngles(&k);
+          if (k == j) break;  // bailed: not template args
+          j = k;
+          continue;
+        }
+        if (IsPunct(t, ";")) {
+          shape.end_index = j + 1;
+          return shape;  // plain variable / field declaration
+        }
+        if (IsPunct(t, "=") || IsPunct(t, "{")) {
+          // Initialized variable: skip to ';' balancing groups.
+          while (j < code_.size() && !IsPunct(code_[j], ";")) {
+            if (IsPunct(code_[j], "{")) {
+              SkipBraces(&j);
+              continue;
+            }
+            if (IsPunct(code_[j], "(")) {
+              SkipParens(&j);
+              continue;
+            }
+            ++j;
+          }
+          shape.end_index = j + 1;
+          return shape;
+        }
+        ++j;
+        continue;
+      }
+      // Past the parameter list: qualifiers, init list, body or ';'.
+      if (IsPunct(t, ";")) {
+        shape.is_function = true;
+        shape.end_index = j + 1;
+        break;
+      }
+      if (IsPunct(t, "(")) {  // noexcept(...) / annotation macro args
+        SkipParens(&j);
+        continue;
+      }
+      if (IsPunct(t, ":") ) {
+        in_init_list = true;
+        ++j;
+        continue;
+      }
+      if (IsPunct(t, "{")) {
+        const Token* prev = code_[j - 1];
+        bool brace_init = in_init_list &&
+                          (IsIdent(prev) || IsPunct(prev, ">"));
+        if (brace_init) {
+          SkipBraces(&j);
+          continue;
+        }
+        shape.is_function = true;
+        shape.has_body = true;
+        shape.body_index = j;
+        size_t k = j;
+        SkipBraces(&k);
+        shape.end_index = k;
+        break;
+      }
+      if (IsPunct(t, "=")) {
+        // = default; / = delete; / = 0;
+        while (j < code_.size() && !IsPunct(code_[j], ";")) ++j;
+        shape.is_function = true;
+        shape.end_index = j + 1;
+        break;
+      }
+      ++j;
+    }
+    if (shape.end_index == 0) shape.end_index = code_.size();
+    if (!shape.is_function) return shape;
+
+    // Name qualification: walk `A::B::Name` back from the name.
+    size_t name = shape.name_index;
+    if (name >= 2 && IsPunct(code_[name - 1], "::") &&
+        IsIdent(code_[name - 2])) {
+      shape.class_qualifier = code_[name - 2]->text;
+    }
+
+    // Checked-return detection: return-type tokens before the name chain,
+    // plus a trailing return type after the parameter list.
+    size_t chain_start = shape.name_index;
+    while (chain_start >= 2 && IsPunct(code_[chain_start - 1], "::") &&
+           IsIdent(code_[chain_start - 2])) {
+      chain_start -= 2;
+    }
+    bool returns_checked_type = false;
+    bool returns_bool = false;
+    for (size_t k = start; k < chain_start; ++k) {
+      if (IsIdent(code_[k], "Status") || IsIdent(code_[k], "Result")) {
+        returns_checked_type = true;
+      }
+      if (IsIdent(code_[k], "bool")) returns_bool = true;
+    }
+    for (size_t k = params_end; k + 1 < shape.end_index; ++k) {
+      if (!IsPunct(code_[k], "->")) continue;
+      if (IsIdent(At(k + 1), "Status") || IsIdent(At(k + 1), "Result")) {
+        returns_checked_type = true;
+      }
+      if (IsIdent(At(k + 1), "bool")) returns_bool = true;
+      break;
+    }
+    const std::string& fn_name = code_[shape.name_index]->text;
+    shape.checked = saw_nodiscard || returns_checked_type ||
+                    (returns_bool && CheckedBoolName(fn_name));
+    return shape;
+  }
+
+  void ParseDeclaration(size_t* i, const std::string& class_name) {
+    size_t start = *i;
+    DeclShape shape = ClassifyDeclaration(start);
+    if (!shape.is_function) {
+      ExtractMemberInfo(start, shape.end_index, class_name);
+      *i = shape.end_index;
+      return;
+    }
+    DeclInfo decl;
+    decl.line = code_[shape.name_index]->line;
+    decl.name = code_[shape.name_index]->text;
+    decl.class_name =
+        shape.class_qualifier.empty() ? class_name : shape.class_qualifier;
+    decl.checked = shape.checked;
+    // Constructors/destructors are not value-returning APIs.
+    if (decl.name != decl.class_name) out_->decls.push_back(decl);
+
+    if (shape.has_body) {
+      FunctionSummary fn;
+      fn.name = decl.name;
+      fn.class_name = decl.class_name;
+      size_t body_end = shape.body_index;
+      SkipBraces(&body_end);
+      ParseFunctionBody(shape.body_index, body_end, &fn);
+      if (!fn.acquisitions.empty() || !fn.calls.empty()) {
+        out_->functions.push_back(std::move(fn));
+      }
+    }
+    *i = shape.end_index;
+  }
+
+  /// Non-function declaration in a class body: mutex members, either
+  /// declared as `Mutex name_;` or implied by ALICOCO_GUARDED_BY(name_).
+  void ExtractMemberInfo(size_t start, size_t end,
+                         const std::string& class_name) {
+    if (class_name.empty()) return;
+    for (size_t k = start; k + 1 < end && k + 1 < code_.size(); ++k) {
+      if (IsIdent(code_[k], "Mutex") && IsIdent(code_[k + 1])) {
+        out_->mutexes.push_back(MutexMemberDecl{class_name,
+                                                code_[k + 1]->text});
+      }
+      if ((IsIdent(code_[k], "ALICOCO_GUARDED_BY") ||
+           IsIdent(code_[k], "ALICOCO_PT_GUARDED_BY")) &&
+          IsPunct(At(k + 1), "(")) {
+        size_t close = k + 1;
+        SkipParens(&close);
+        std::string last_ident;
+        for (size_t m = k + 2; m + 1 < close; ++m) {
+          if (IsIdent(code_[m])) last_ident = code_[m]->text;
+        }
+        if (!last_ident.empty()) {
+          out_->mutexes.push_back(MutexMemberDecl{class_name, last_ident});
+        }
+      }
+    }
+    DedupMutexes();
+  }
+
+  void DedupMutexes() {
+    auto& v = out_->mutexes;
+    std::sort(v.begin(), v.end(), [](const MutexMemberDecl& a,
+                                     const MutexMemberDecl& b) {
+      return std::tie(a.class_name, a.member) <
+             std::tie(b.class_name, b.member);
+    });
+    v.erase(std::unique(v.begin(), v.end(),
+                        [](const MutexMemberDecl& a, const MutexMemberDecl& b) {
+                          return a.class_name == b.class_name &&
+                                 a.member == b.member;
+                        }),
+            v.end());
+  }
+
+  /// If a bare statement-expression call chain starts at `i`, returns the
+  /// index of the final called identifier; otherwise npos. Handles
+  /// `Foo(x);`, `a.b(x);`, `a->b()->c();`, `ns::Foo(x);`.
+  size_t BareCallCallee(size_t i) const {
+    constexpr size_t kNone = static_cast<size_t>(-1);
+    size_t j = i;
+    size_t callee = kNone;
+    bool expect_name = true;
+    while (j < code_.size()) {
+      const Token* t = code_[j];
+      if (expect_name) {
+        if (!IsIdent(t) || IsNonCallKeyword(t->text)) return kNone;
+        if (IsPunct(At(j + 1), "(")) {
+          callee = j;
+          ++j;
+          SkipParens(&j);
+          // After the call: ';' ends the statement, '.'/'->' chains on.
+          if (IsPunct(At(j), ";")) return callee;
+          if (IsPunct(At(j), ".") || IsPunct(At(j), "->")) {
+            ++j;
+            expect_name = true;
+            continue;
+          }
+          return kNone;  // result is used (assigned, compared, ...)
+        }
+        ++j;
+        expect_name = false;
+        continue;
+      }
+      if (IsPunct(t, "::") || IsPunct(t, ".") || IsPunct(t, "->")) {
+        ++j;
+        expect_name = true;
+        continue;
+      }
+      return kNone;
+    }
+    return kNone;
+  }
+
+  void ParseFunctionBody(size_t body_start, size_t body_end,
+                         FunctionSummary* fn) {
+    int depth = 0;
+    bool stmt_start = false;
+    // (brace depth at acquisition, index into fn->acquisitions)
+    std::vector<std::pair<int, int>> held;
+    std::set<std::pair<std::string, std::string>> seen_calls;
+
+    auto held_indices = [&held] {
+      std::vector<int> out;
+      out.reserve(held.size());
+      for (const auto& [unused, idx] : held) out.push_back(idx);
+      return out;
+    };
+
+    for (size_t j = body_start; j < body_end && j < code_.size(); ++j) {
+      const Token* t = code_[j];
+      if (IsPunct(t, "{")) {
+        ++depth;
+        stmt_start = true;
+        continue;
+      }
+      if (IsPunct(t, "}")) {
+        --depth;
+        while (!held.empty() && held.back().first > depth) held.pop_back();
+        stmt_start = true;
+        continue;
+      }
+      if (IsPunct(t, ";")) {
+        stmt_start = true;
+        continue;
+      }
+      if (IsIdent(t, "MutexLock") && IsIdent(At(j + 1)) &&
+          IsPunct(At(j + 2), "(")) {
+        Acquisition acq;
+        acq.line = t->line;
+        size_t close = j + 2;
+        SkipParens(&close);  // close = one past ')'
+        std::string expr;
+        std::string last_ident;
+        size_t arg_count = 0;
+        for (size_t m = j + 3; m + 1 < close; ++m) {
+          expr += code_[m]->text;
+          ++arg_count;
+          if (IsIdent(code_[m])) last_ident = code_[m]->text;
+        }
+        if (last_ident.empty()) {
+          j = close - 1;
+          stmt_start = false;
+          continue;
+        }
+        acq.name = last_ident;
+        acq.is_plain_member = arg_count == 1;
+        acq.expr = expr;
+        acq.held = held_indices();
+        fn->acquisitions.push_back(acq);
+        held.emplace_back(depth, static_cast<int>(fn->acquisitions.size()) - 1);
+        j = close - 1;
+        stmt_start = false;
+        continue;
+      }
+      if (stmt_start && IsIdent(t) && !IsNonCallKeyword(t->text)) {
+        size_t callee = BareCallCallee(j);
+        if (callee != static_cast<size_t>(-1)) {
+          out_->call_statements.push_back(
+              CallStatement{code_[callee]->line, code_[callee]->text});
+        }
+      }
+      if (IsIdent(t) && IsPunct(At(j + 1), "(") &&
+          !IsNonCallKeyword(t->text) && !IsIdent(code_[j - 1]) &&
+          t->text != "MutexLock") {
+        CallInfo call;
+        call.line = t->line;
+        call.callee = t->text;
+        const Token* prev = code_[j - 1];
+        if (IsPunct(prev, "::")) {
+          call.kind = CallKind::kQualified;
+          if (j >= 2 && IsIdent(code_[j - 2])) {
+            call.qualifier = code_[j - 2]->text;
+          }
+        } else if (IsPunct(prev, ".") || IsPunct(prev, "->")) {
+          call.kind = j >= 2 && IsIdent(code_[j - 2], "this")
+                          ? CallKind::kThis
+                          : CallKind::kMember;
+        }
+        std::string held_key = call.qualifier + "#" +
+                               std::to_string(static_cast<int>(call.kind));
+        for (int idx : held_indices()) held_key += std::to_string(idx) + ",";
+        if (seen_calls.emplace(t->text, held_key).second) {
+          call.held = held_indices();
+          fn->calls.push_back(std::move(call));
+        }
+      }
+      stmt_start = false;
+    }
+  }
+
+  std::vector<const Token*> code_;
+  FileSummary* out_;
+};
+
+// ---------------------------------------------------------------------------
+// Cache serialization
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '\\': out->append("\\\\"); break;
+      case ' ': out->append("\\s"); break;
+      case '\t': out->append("\\t"); break;
+      case '\n': out->append("\\n"); break;
+      default: out->push_back(c);
+    }
+  }
+  if (s.empty()) out->append("\\0");
+}
+
+Result<std::string> Unescape(const std::string& s) {
+  if (s == "\\0") return std::string();
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 1 >= s.size()) return Status::Corruption("dangling escape");
+    ++i;
+    switch (s[i]) {
+      case '\\': out.push_back('\\'); break;
+      case 's': out.push_back(' '); break;
+      case 't': out.push_back('\t'); break;
+      case 'n': out.push_back('\n'); break;
+      default: return Status::Corruption("unknown escape");
+    }
+  }
+  return out;
+}
+
+std::string JoinHeld(const std::vector<int>& held) {
+  if (held.empty()) return "-";
+  std::string out;
+  for (size_t i = 0; i < held.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += std::to_string(held[i]);
+  }
+  return out;
+}
+
+Result<std::vector<int>> ParseHeld(const std::string& field) {
+  std::vector<int> held;
+  if (field == "-") return held;
+  for (const std::string& part : SplitString(field, ',')) {
+    try {
+      held.push_back(std::stoi(part));
+    } catch (...) {
+      return Status::Corruption("bad held list: " + field);
+    }
+  }
+  return held;
+}
+
+constexpr char kCacheMagic[] = "alicoco_lint_cache_v1";
+
+}  // namespace
+
+uint64_t HashContent(const std::string& contents) {
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  for (char c : contents) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+FileSummary SummarizeSource(const std::string& path,
+                            const std::string& contents) {
+  FileSummary summary;
+  summary.path = path;
+  summary.content_hash = HashContent(contents);
+
+  std::vector<Token> tokens = Lex(contents);
+
+  FileContext file;
+  file.path = path;
+  file.is_header = EndsWith(path, ".h") || EndsWith(path, ".hpp");
+  file.tokens = std::move(tokens);
+  for (const auto& rule : RuleRegistry()) {
+    rule->Check(file, &summary.findings);
+  }
+  std::sort(summary.findings.begin(), summary.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule, a.message) <
+                     std::tie(b.line, b.rule, b.message);
+            });
+  summary.allowances = InlineAllowances(file.tokens);
+
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokenKind::kDirective || !StartsWith(t.text, "#include")) {
+      continue;
+    }
+    size_t open = t.text.find_first_of("<\"");
+    if (open == std::string::npos) continue;
+    char close = t.text[open] == '<' ? '>' : '"';
+    size_t end = t.text.find(close, open + 1);
+    if (end == std::string::npos) continue;
+    summary.includes.push_back(IncludeSite{
+        t.line, t.text[open] == '<',
+        t.text.substr(open + 1, end - open - 1)});
+  }
+
+  Extractor(file.tokens, &summary).Run();
+  return summary;
+}
+
+const FileSummary* ProjectIndex::Find(const std::string& path) const {
+  auto it = std::lower_bound(
+      files_.begin(), files_.end(), path,
+      [](const FileSummary& f, const std::string& p) { return f.path < p; });
+  return it != files_.end() && it->path == path ? &*it : nullptr;
+}
+
+Result<ProjectIndex> ProjectIndex::Build(
+    const std::string& root, const std::vector<std::string>& subdirs,
+    const Options& options) {
+  static const char* kExtensions[] = {".h", ".hpp", ".cc", ".cpp"};
+
+  std::vector<std::string> paths;
+  for (const std::string& sub : subdirs) {
+    fs::path dir = fs::path(root) / sub;
+    if (!fs::is_directory(dir)) {
+      return Status::NotFound("project subdir is not a directory: " + sub);
+    }
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory() && it->path().filename() == "fixtures") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      std::string ext = it->path().extension().string();
+      if (std::find(std::begin(kExtensions), std::end(kExtensions), ext) ==
+          std::end(kExtensions)) {
+        continue;
+      }
+      paths.push_back(
+          fs::relative(it->path(), fs::path(root)).generic_string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  // A broken or stale cache is silently discarded: correctness never
+  // depends on it, only speed.
+  std::map<std::string, FileSummary> cached;
+  if (!options.cache_path.empty()) {
+    auto text = ReadFile(options.cache_path);
+    if (text.ok()) {
+      auto loaded = DeserializeSummaries(*text);
+      if (loaded.ok()) {
+        for (FileSummary& f : *loaded) {
+          std::string key = f.path;
+          cached.emplace(std::move(key), std::move(f));
+        }
+      }
+    }
+  }
+
+  ProjectIndex index;
+  for (const std::string& rel : paths) {
+    ALICOCO_ASSIGN_OR_RETURN(
+        std::string contents,
+        ReadFile((fs::path(root) / rel).generic_string()));
+    uint64_t hash = HashContent(contents);
+    auto it = cached.find(rel);
+    if (it != cached.end() && it->second.content_hash == hash) {
+      Charge(options.cost_clock,
+             kCacheHitBaseCostUs + contents.size() / 256);
+      index.files_.push_back(std::move(it->second));
+      ++index.stats_.cache_hits;
+    } else {
+      Charge(options.cost_clock, kLexBaseCostUs + contents.size());
+      index.files_.push_back(SummarizeSource(rel, contents));
+      index.stats_.bytes_lexed += contents.size();
+      ++index.stats_.lexed;
+      index.changed_.push_back(rel);
+    }
+  }
+  index.stats_.files = index.files_.size();
+  if (options.cost_clock != nullptr) {
+    index.stats_.cost_us = options.cost_clock->NowUs();
+  }
+
+  if (!options.cache_path.empty()) {
+    std::ofstream out(options.cache_path,
+                      std::ios::binary | std::ios::trunc);
+    if (out) out << SerializeSummaries(index.files_);
+    // An unwritable cache dir is not an analysis failure.
+  }
+  return index;
+}
+
+std::string SerializeSummaries(const std::vector<FileSummary>& files) {
+  std::string out(kCacheMagic);
+  out.push_back('\n');
+  for (const FileSummary& f : files) {
+    out.append("F ");
+    AppendEscaped(f.path, &out);
+    out.append(" " + std::to_string(f.content_hash) + "\n");
+    for (const IncludeSite& inc : f.includes) {
+      out.append("I " + std::to_string(inc.line) +
+                 (inc.angled ? " 1 " : " 0 "));
+      AppendEscaped(inc.path, &out);
+      out.push_back('\n');
+    }
+    for (const MutexMemberDecl& m : f.mutexes) {
+      out.append("M ");
+      AppendEscaped(m.class_name, &out);
+      out.push_back(' ');
+      AppendEscaped(m.member, &out);
+      out.push_back('\n');
+    }
+    for (const FunctionSummary& fn : f.functions) {
+      out.append("U ");
+      AppendEscaped(fn.name, &out);
+      out.push_back(' ');
+      AppendEscaped(fn.class_name, &out);
+      out.push_back('\n');
+      for (const Acquisition& a : fn.acquisitions) {
+        out.append("A " + std::to_string(a.line) +
+                   (a.is_plain_member ? " 1 " : " 0 "));
+        AppendEscaped(a.name, &out);
+        out.push_back(' ');
+        AppendEscaped(a.expr, &out);
+        out.append(" " + JoinHeld(a.held) + "\n");
+      }
+      for (const CallInfo& c : fn.calls) {
+        out.append("C " + std::to_string(c.line) + " " +
+                   std::to_string(static_cast<int>(c.kind)) + " ");
+        AppendEscaped(c.callee, &out);
+        out.push_back(' ');
+        AppendEscaped(c.qualifier, &out);
+        out.append(" " + JoinHeld(c.held) + "\n");
+      }
+    }
+    for (const DeclInfo& d : f.decls) {
+      out.append("D " + std::to_string(d.line) +
+                 (d.checked ? " 1 " : " 0 "));
+      AppendEscaped(d.name, &out);
+      out.push_back(' ');
+      AppendEscaped(d.class_name, &out);
+      out.push_back('\n');
+    }
+    for (const CallStatement& s : f.call_statements) {
+      out.append("S " + std::to_string(s.line) + " ");
+      AppendEscaped(s.callee, &out);
+      out.push_back('\n');
+    }
+    for (const Finding& g : f.findings) {
+      out.append("G " + std::to_string(g.line) + " ");
+      AppendEscaped(g.rule, &out);
+      out.push_back(' ');
+      AppendEscaped(g.message, &out);
+      out.push_back('\n');
+    }
+    for (const auto& [line, rules] : f.allowances) {
+      out.append("L " + std::to_string(line));
+      for (const std::string& rule : rules) out.append(" " + rule);
+      out.push_back('\n');
+    }
+    out.append("E\n");
+  }
+  return out;
+}
+
+Result<std::vector<FileSummary>> DeserializeSummaries(
+    const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+  if (!std::getline(lines, line) || line != kCacheMagic) {
+    return Status::Corruption("bad cache magic");
+  }
+  std::vector<FileSummary> files;
+  FileSummary* cur = nullptr;
+  FunctionSummary* fn = nullptr;
+  int lineno = 1;
+  auto bad = [&lineno](const std::string& why) {
+    return Status::Corruption("cache line " + std::to_string(lineno) + ": " +
+                              why);
+  };
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "F") {
+      std::string path, hash;
+      if (!(fields >> path >> hash)) return bad("truncated F");
+      files.emplace_back();
+      cur = &files.back();
+      fn = nullptr;
+      ALICOCO_ASSIGN_OR_RETURN(cur->path, Unescape(path));
+      try {
+        cur->content_hash = std::stoull(hash);
+      } catch (...) {
+        return bad("bad hash");
+      }
+      continue;
+    }
+    if (cur == nullptr) return bad("record before F");
+    if (tag == "E") {
+      cur = nullptr;
+      fn = nullptr;
+    } else if (tag == "I") {
+      int ln = 0, angled = 0;
+      std::string path;
+      if (!(fields >> ln >> angled >> path)) return bad("truncated I");
+      IncludeSite inc{ln, angled != 0, ""};
+      ALICOCO_ASSIGN_OR_RETURN(inc.path, Unescape(path));
+      cur->includes.push_back(std::move(inc));
+    } else if (tag == "M") {
+      std::string cls, member;
+      if (!(fields >> cls >> member)) return bad("truncated M");
+      MutexMemberDecl m;
+      ALICOCO_ASSIGN_OR_RETURN(m.class_name, Unescape(cls));
+      ALICOCO_ASSIGN_OR_RETURN(m.member, Unescape(member));
+      cur->mutexes.push_back(std::move(m));
+    } else if (tag == "U") {
+      std::string name, cls;
+      if (!(fields >> name >> cls)) return bad("truncated U");
+      cur->functions.emplace_back();
+      fn = &cur->functions.back();
+      ALICOCO_ASSIGN_OR_RETURN(fn->name, Unescape(name));
+      ALICOCO_ASSIGN_OR_RETURN(fn->class_name, Unescape(cls));
+    } else if (tag == "A") {
+      if (fn == nullptr) return bad("A before U");
+      int ln = 0, plain = 0;
+      std::string name, expr, held;
+      if (!(fields >> ln >> plain >> name >> expr >> held)) {
+        return bad("truncated A");
+      }
+      Acquisition a;
+      a.line = ln;
+      a.is_plain_member = plain != 0;
+      ALICOCO_ASSIGN_OR_RETURN(a.name, Unescape(name));
+      ALICOCO_ASSIGN_OR_RETURN(a.expr, Unescape(expr));
+      ALICOCO_ASSIGN_OR_RETURN(a.held, ParseHeld(held));
+      fn->acquisitions.push_back(std::move(a));
+    } else if (tag == "C") {
+      if (fn == nullptr) return bad("C before U");
+      int ln = 0, kind = 0;
+      std::string callee, qualifier, held;
+      if (!(fields >> ln >> kind >> callee >> qualifier >> held)) {
+        return bad("truncated C");
+      }
+      if (kind < 0 || kind > static_cast<int>(CallKind::kMember)) {
+        return bad("bad call kind");
+      }
+      CallInfo c;
+      c.line = ln;
+      c.kind = static_cast<CallKind>(kind);
+      ALICOCO_ASSIGN_OR_RETURN(c.callee, Unescape(callee));
+      ALICOCO_ASSIGN_OR_RETURN(c.qualifier, Unescape(qualifier));
+      ALICOCO_ASSIGN_OR_RETURN(c.held, ParseHeld(held));
+      fn->calls.push_back(std::move(c));
+    } else if (tag == "D") {
+      int ln = 0, checked = 0;
+      std::string name, cls;
+      if (!(fields >> ln >> checked >> name >> cls)) return bad("truncated D");
+      DeclInfo d;
+      d.line = ln;
+      d.checked = checked != 0;
+      ALICOCO_ASSIGN_OR_RETURN(d.name, Unescape(name));
+      ALICOCO_ASSIGN_OR_RETURN(d.class_name, Unescape(cls));
+      cur->decls.push_back(std::move(d));
+    } else if (tag == "S") {
+      int ln = 0;
+      std::string callee;
+      if (!(fields >> ln >> callee)) return bad("truncated S");
+      CallStatement s;
+      s.line = ln;
+      ALICOCO_ASSIGN_OR_RETURN(s.callee, Unescape(callee));
+      cur->call_statements.push_back(std::move(s));
+    } else if (tag == "G") {
+      int ln = 0;
+      std::string rule, message;
+      if (!(fields >> ln >> rule >> message)) return bad("truncated G");
+      Finding f;
+      f.file = cur->path;
+      f.line = ln;
+      ALICOCO_ASSIGN_OR_RETURN(f.rule, Unescape(rule));
+      ALICOCO_ASSIGN_OR_RETURN(f.message, Unescape(message));
+      cur->findings.push_back(std::move(f));
+    } else if (tag == "L") {
+      int ln = 0;
+      if (!(fields >> ln)) return bad("truncated L");
+      std::string rule;
+      while (fields >> rule) cur->allowances[ln].insert(rule);
+    } else {
+      return bad("unknown tag '" + tag + "'");
+    }
+  }
+  if (cur != nullptr) return bad("truncated cache (missing E)");
+  return files;
+}
+
+}  // namespace alicoco::lint

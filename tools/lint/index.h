@@ -1,0 +1,192 @@
+// ProjectIndex: the whole-program layer under alicoco_lint.
+//
+// A single deterministic walk lexes every first-party file once and boils
+// it down to a FileSummary — include edges, mutex members, per-function
+// lock acquisitions and calls, checked-return declarations, bare
+// statement-expression call sites, per-file rule findings, and inline
+// `lint:allow` lines. The cross-file passes (tools/lint/passes/) consume
+// summaries only, never tokens, which is what makes the content-hash
+// cache sound: a warm run loads summaries for unchanged files and skips
+// the lexer entirely.
+//
+// Nothing here reads a wall clock. Build cost is charged to an injectable
+// LintClock (summarizing a file costs its byte count, a cache hit costs a
+// small flat amount), so tests can assert the cold/warm speedup without
+// timing flake, and the determinism gate stays intact.
+
+#ifndef ALICOCO_TOOLS_LINT_INDEX_H_
+#define ALICOCO_TOOLS_LINT_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tools/lint/rules.h"
+
+namespace alicoco::lint {
+
+/// One #include directive.
+struct IncludeSite {
+  int line = 0;
+  bool angled = false;
+  std::string path;  ///< as written between the delimiters
+};
+
+/// A mutex-typed member (or one named by ALICOCO_GUARDED_BY), keyed by the
+/// class that declares it. The lock-order pass unions these across files
+/// so a .cc can resolve members its header declared.
+struct MutexMemberDecl {
+  std::string class_name;
+  std::string member;
+};
+
+/// One lock acquisition inside a function body: `MutexLock l(expr);`.
+struct Acquisition {
+  int line = 0;
+  /// Last identifier of the lock expression (`mu_`).
+  std::string name;
+  /// True when the expression is a single identifier — resolvable against
+  /// the enclosing class's mutex members. Otherwise `expr` is the verbatim
+  /// expression and stands for itself.
+  bool is_plain_member = true;
+  std::string expr;
+  /// Indices (into the function's `acquisitions`) of locks already held
+  /// when this one is taken.
+  std::vector<int> held;
+};
+
+/// How a call names its target — the lock-order pass resolves each shape
+/// differently to keep unqualified-name collisions (a project `size()`
+/// versus `std::vector::size()`) from fabricating graph edges.
+enum class CallKind {
+  kPlain,      ///< `F(...)` — free function or same-class method
+  kThis,       ///< `this->F(...)`
+  kQualified,  ///< `Q::F(...)` — `qualifier` holds Q
+  kMember,     ///< `obj.F(...)` / `obj->F(...)` — receiver type unknown
+};
+
+/// A call made inside a function body, with the locks held at the call.
+struct CallInfo {
+  int line = 0;
+  std::string callee;  ///< unqualified method/function name
+  CallKind kind = CallKind::kPlain;
+  std::string qualifier;  ///< class/namespace before ::, kQualified only
+  std::vector<int> held;
+};
+
+/// A function declaration or definition seen at class or namespace scope.
+struct DeclInfo {
+  int line = 0;
+  std::string name;
+  std::string class_name;  ///< "" for free functions
+  /// Return value must not be ignored: [[nodiscard]], or a Status/Result
+  /// return, or a bool-returning Load/Save/Parse/Read/Write-style API.
+  bool checked = false;
+};
+
+/// A statement that consists of nothing but a call — the shape that
+/// discards the callee's return value.
+struct CallStatement {
+  int line = 0;
+  std::string callee;
+};
+
+struct FunctionSummary {
+  std::string name;
+  std::string class_name;  ///< "" for free functions
+  std::vector<Acquisition> acquisitions;
+  std::vector<CallInfo> calls;
+};
+
+/// Everything the cross-file passes need to know about one file.
+struct FileSummary {
+  std::string path;  ///< repo-relative, forward slashes
+  uint64_t content_hash = 0;
+  std::vector<IncludeSite> includes;
+  std::vector<MutexMemberDecl> mutexes;
+  std::vector<FunctionSummary> functions;
+  std::vector<DeclInfo> decls;
+  std::vector<CallStatement> call_statements;
+  std::vector<Finding> findings;  ///< per-file rule findings, unsuppressed
+  /// line -> rules allowed there via inline `lint:allow(...)` comments.
+  std::map<int, std::set<std::string>> allowances;
+};
+
+/// Injectable cost clock. The index charges units of simulated time as
+/// work happens; the CLI uses the default accumulator for `--stats`, and
+/// tests read it to assert the warm-cache speedup deterministically.
+class LintClock {
+ public:
+  virtual ~LintClock() = default;
+  virtual void AdvanceUs(uint64_t us) = 0;
+  virtual uint64_t NowUs() const = 0;
+};
+
+/// Default LintClock: a plain accumulator starting at zero.
+class SimulatedClock : public LintClock {
+ public:
+  void AdvanceUs(uint64_t us) override { now_us_ += us; }
+  uint64_t NowUs() const override { return now_us_; }
+
+ private:
+  uint64_t now_us_ = 0;
+};
+
+struct IndexStats {
+  size_t files = 0;        ///< files in the index
+  size_t lexed = 0;        ///< summarized from source this build
+  size_t cache_hits = 0;   ///< summaries loaded from the cache
+  uint64_t bytes_lexed = 0;
+  uint64_t cost_us = 0;    ///< simulated cost charged to the clock
+};
+
+/// FNV-1a 64-bit, the cache's change detector.
+uint64_t HashContent(const std::string& contents);
+
+/// Lexes `contents` once and extracts the full FileSummary, running every
+/// per-file registry rule along the way. Exposed for unit tests; Build is
+/// the production entry point.
+FileSummary SummarizeSource(const std::string& path,
+                            const std::string& contents);
+
+class ProjectIndex {
+ public:
+  struct Options {
+    /// Summary cache; empty disables caching. Loaded before the walk and
+    /// rewritten after it, so run N+1 re-lexes only what run N didn't see.
+    std::string cache_path;
+    /// Cost accounting; may be nullptr.
+    LintClock* cost_clock = nullptr;
+  };
+
+  /// Walks `subdirs` under `root` (skipping any directory literally named
+  /// "fixtures"), summarizing every .h/.hpp/.cc/.cpp in sorted order.
+  static Result<ProjectIndex> Build(const std::string& root,
+                                    const std::vector<std::string>& subdirs,
+                                    const Options& options);
+
+  const std::vector<FileSummary>& files() const { return files_; }
+  const FileSummary* Find(const std::string& path) const;
+  const IndexStats& stats() const { return stats_; }
+  /// Paths summarized from source this build (cache misses), sorted.
+  const std::vector<std::string>& changed() const { return changed_; }
+
+ private:
+  std::vector<FileSummary> files_;
+  std::vector<std::string> changed_;
+  IndexStats stats_;
+};
+
+/// Cache (de)serialization, exposed for the invalidation tests. The
+/// format is a versioned line protocol; any parse hiccup discards the
+/// cache (a stale or torn cache must never poison an analysis).
+std::string SerializeSummaries(const std::vector<FileSummary>& files);
+Result<std::vector<FileSummary>> DeserializeSummaries(
+    const std::string& text);
+
+}  // namespace alicoco::lint
+
+#endif  // ALICOCO_TOOLS_LINT_INDEX_H_

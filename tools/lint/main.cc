@@ -2,11 +2,20 @@
 //
 //   alicoco_lint --root <repo-root> [--suppressions FILE | --no-suppressions]
 //   alicoco_lint --root <repo-root> <repo-relative-file>...
+//   alicoco_lint --root <repo-root> --project src [--sarif OUT] [--cache F]
+//                [--changed-only] [--layers FILE] [--stats]
 //   alicoco_lint --list-rules
 //
 // Findings go to stdout as stable `file:line:rule-id: message` lines;
 // exit status is 1 iff any finding survives suppression. With no explicit
-// file arguments the whole first-party tree is scanned.
+// file arguments the whole first-party tree is scanned per-file.
+//
+// `--project DIR` switches to whole-program mode: the subtree is indexed
+// once and the cross-file passes (include-cycle, layer-violation,
+// lock-order-cycle, discarded-result) run alongside every per-file rule.
+// `--cache` makes repeat runs incremental; `--changed-only` additionally
+// restricts the report to files the cache saw change. `--sarif` writes
+// the findings as a SARIF 2.1.0 document for CI upload.
 
 #include <filesystem>
 #include <fstream>
@@ -16,6 +25,8 @@
 #include <vector>
 
 #include "tools/lint/analyzer.h"
+#include "tools/lint/passes/passes.h"
+#include "tools/lint/sarif.h"
 
 namespace {
 
@@ -29,8 +40,14 @@ int Fail(const alicoco::Status& status) {
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string suppressions_path;
+  std::string project_dir;
+  std::string sarif_path;
+  std::string cache_path;
+  std::string layers_path;
   bool use_suppressions = true;
   bool list_rules = false;
+  bool changed_only = false;
+  bool print_stats = false;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -41,11 +58,26 @@ int main(int argc, char** argv) {
       suppressions_path = argv[++i];
     } else if (arg == "--no-suppressions") {
       use_suppressions = false;
+    } else if (arg == "--project" && i + 1 < argc) {
+      project_dir = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--cache" && i + 1 < argc) {
+      cache_path = argv[++i];
+    } else if (arg == "--layers" && i + 1 < argc) {
+      layers_path = argv[++i];
+    } else if (arg == "--changed-only") {
+      changed_only = true;
+    } else if (arg == "--stats") {
+      print_stats = true;
     } else if (arg == "--list-rules") {
       list_rules = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: alicoco_lint [--root DIR] [--suppressions FILE] "
-                   "[--no-suppressions] [--list-rules] [file...]\n";
+                   "[--no-suppressions] [--list-rules]\n"
+                   "                    [--project DIR] [--sarif OUT] "
+                   "[--cache FILE] [--changed-only]\n"
+                   "                    [--layers FILE] [--stats] [file...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "alicoco_lint: unknown flag '" << arg << "'\n";
@@ -59,7 +91,18 @@ int main(int argc, char** argv) {
     for (const auto& rule : alicoco::lint::RuleRegistry()) {
       std::cout << rule->id() << ": " << rule->rationale() << "\n";
     }
+    for (const auto& pass : alicoco::lint::PassRegistry()) {
+      std::cout << pass.id << ": " << pass.rationale << "\n";
+    }
     return 0;
+  }
+
+  if (project_dir.empty() &&
+      (!sarif_path.empty() || !cache_path.empty() || changed_only ||
+       !layers_path.empty())) {
+    std::cerr << "alicoco_lint: --sarif/--cache/--changed-only/--layers "
+                 "require --project\n";
+    return 2;
   }
 
   alicoco::lint::Suppressions suppressions;
@@ -76,7 +119,34 @@ int main(int argc, char** argv) {
   }
 
   std::vector<alicoco::lint::Finding> findings;
-  if (files.empty()) {
+  if (!project_dir.empty()) {
+    alicoco::lint::SimulatedClock cost_clock;
+    alicoco::lint::ProjectOptions options;
+    options.project_dir = project_dir;
+    options.layers_path = layers_path;
+    options.cache_path = cache_path;
+    options.changed_only = changed_only;
+    options.cost_clock = &cost_clock;
+    options.suppressions = &suppressions;
+    auto report = alicoco::lint::AnalyzeProject(root, options);
+    if (!report.ok()) return Fail(report.status());
+    findings = std::move(report->findings);
+    if (!sarif_path.empty()) {
+      std::ofstream out(sarif_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        return Fail(
+            alicoco::Status::IOError("cannot write SARIF: " + sarif_path));
+      }
+      out << alicoco::lint::WriteSarif(findings);
+    }
+    if (print_stats) {
+      const alicoco::lint::IndexStats& stats = report->stats;
+      std::cerr << "alicoco_lint: " << stats.files << " files, "
+                << stats.lexed << " summarized, " << stats.cache_hits
+                << " cache hits, " << stats.bytes_lexed << " bytes lexed, "
+                << stats.cost_us << " cost units\n";
+    }
+  } else if (files.empty()) {
     auto result = alicoco::lint::AnalyzeTree(root, &suppressions);
     if (!result.ok()) return Fail(result.status());
     findings = std::move(*result);

@@ -1,0 +1,59 @@
+// Discarded-result pass: bare statement-expression calls to APIs whose
+// return value carries the error path.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/lint/passes/passes.h"
+
+namespace alicoco::lint {
+namespace {
+
+struct DeclFacts {
+  bool all_checked = true;
+  bool any = false;
+  std::string first_site;  ///< "file:line" of the first checked decl seen
+};
+
+}  // namespace
+
+std::vector<Finding> RunDiscardedResultPass(const ProjectIndex& index) {
+  // Unanimity rule: a call is flagged only when every project declaration
+  // of that name is checked. Call sites are matched by unqualified name
+  // (the summaries carry no receiver types), so a name that is sometimes a
+  // void helper and sometimes a Status API must stay silent.
+  std::map<std::string, DeclFacts> facts;
+  for (const FileSummary& file : index.files()) {
+    for (const DeclInfo& decl : file.decls) {
+      DeclFacts& f = facts[decl.name];
+      f.any = true;
+      if (!decl.checked) {
+        f.all_checked = false;
+      } else if (f.first_site.empty()) {
+        f.first_site = file.path + ":" + std::to_string(decl.line);
+      }
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (const FileSummary& file : index.files()) {
+    for (const CallStatement& call : file.call_statements) {
+      auto it = facts.find(call.callee);
+      if (it == facts.end() || !it->second.any || !it->second.all_checked) {
+        continue;
+      }
+      Finding f;
+      f.file = file.path;
+      f.line = call.line;
+      f.rule = "discarded-result";
+      f.message = "result of '" + call.callee +
+                  "' is ignored; it carries the error path (declared at " +
+                  it->second.first_site + "); cast to void to opt out";
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
+}  // namespace alicoco::lint

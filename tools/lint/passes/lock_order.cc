@@ -1,0 +1,236 @@
+// Lock-order pass: compose per-function acquisition summaries into one
+// global lock graph and hunt for cycles.
+//
+// Lock identity is resolved in three steps: a single-identifier lock
+// expression inside a class that declares that mutex member is
+// `Class::member`; otherwise a member name declared by exactly one class
+// resolves to that class; anything else stands for itself verbatim. This
+// keeps `mu_` in two unrelated classes from aliasing while still merging
+// acquisitions of one mutex from header and implementation files.
+//
+// Edges come from two places: a lock taken while another is held inside
+// one function body, and a call made with a lock held into a function
+// whose transitive acquisition set (a fixpoint over the name-resolved
+// call graph) contains other locks. A self-edge means the same lock is
+// (transitively) acquired twice — alicoco::Mutex is not reentrant, so
+// that is a guaranteed deadlock rather than an ordering hazard.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/passes/passes.h"
+
+namespace alicoco::lint {
+namespace {
+
+struct FnRef {
+  const FileSummary* file = nullptr;
+  const FunctionSummary* fn = nullptr;
+};
+
+std::string LockKey(
+    const Acquisition& acq, const std::string& enclosing_class,
+    const std::map<std::string, std::set<std::string>>& member_classes) {
+  auto it = member_classes.find(acq.name);
+  if (it != member_classes.end()) {
+    if (acq.is_plain_member && it->second.count(enclosing_class) != 0) {
+      return enclosing_class + "::" + acq.name;
+    }
+    if (it->second.size() == 1) {
+      return *it->second.begin() + "::" + acq.name;
+    }
+  }
+  return acq.name;
+}
+
+std::string DescribeCycle(const std::vector<std::string>& cycle) {
+  std::string out;
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    if (i != 0) out += " -> ";
+    out += cycle[i];
+  }
+  return out;
+}
+
+/// Method names std containers/atomics also expose. A member-access call
+/// on an unknown receiver (`finished_.size()`) must not resolve to a
+/// project method that happens to share such a name — that is how
+/// `Tracer::size()` would grow a phantom edge from every vector.
+bool StdLikeMethodName(const std::string& name) {
+  static const char* kNames[] = {
+      "size",    "empty",   "count",     "min",       "max",      "swap",
+      "clear",   "begin",   "end",       "front",     "back",     "push_back",
+      "pop_back", "push",   "pop",       "top",       "insert",   "erase",
+      "find",    "at",      "reset",     "get",       "data",     "load",
+      "store",   "exchange", "fetch_add", "str",      "c_str",    "substr",
+      "append",  "lock",    "unlock",    "try_lock",  "wait",     "notify_one",
+      "notify_all", "emplace", "emplace_back", "resize", "reserve"};
+  return std::any_of(std::begin(kNames), std::end(kNames),
+                     [&](const char* n) { return name == n; });
+}
+
+/// Resolves one call to candidate project functions, per CallKind:
+/// plain calls see free functions plus the enclosing class's methods;
+/// `this->` calls see the enclosing class only; `Q::` calls see Q's
+/// methods plus free functions (Q may be a namespace); member-access
+/// calls on unknown receivers resolve only when exactly one class defines
+/// the method and the name is not std-container-like — anything more
+/// aggressive invents deadlocks out of name collisions.
+class CallResolver {
+ public:
+  explicit CallResolver(const std::vector<FnRef>& all_fns) {
+    for (const FnRef& ref : all_fns) {
+      if (ref.fn->class_name.empty()) {
+        free_fns_[ref.fn->name].push_back(ref);
+      } else {
+        methods_[ref.fn->class_name + "::" + ref.fn->name].push_back(ref);
+        method_classes_[ref.fn->name].insert(ref.fn->class_name);
+      }
+    }
+  }
+
+  std::vector<FnRef> Resolve(const CallInfo& call,
+                             const std::string& enclosing_class) const {
+    std::vector<FnRef> out;
+    auto add_methods = [&](const std::string& cls) {
+      auto it = methods_.find(cls + "::" + call.callee);
+      if (it != methods_.end()) {
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
+    };
+    auto add_free = [&] {
+      auto it = free_fns_.find(call.callee);
+      if (it != free_fns_.end()) {
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
+    };
+    switch (call.kind) {
+      case CallKind::kPlain:
+        add_free();
+        if (!enclosing_class.empty()) add_methods(enclosing_class);
+        break;
+      case CallKind::kThis:
+        if (!enclosing_class.empty()) add_methods(enclosing_class);
+        break;
+      case CallKind::kQualified:
+        if (!call.qualifier.empty()) add_methods(call.qualifier);
+        add_free();
+        break;
+      case CallKind::kMember: {
+        if (StdLikeMethodName(call.callee)) break;
+        auto it = method_classes_.find(call.callee);
+        if (it != method_classes_.end() && it->second.size() == 1) {
+          add_methods(*it->second.begin());
+        }
+        break;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::vector<FnRef>> free_fns_;
+  std::map<std::string, std::vector<FnRef>> methods_;
+  std::map<std::string, std::set<std::string>> method_classes_;
+};
+
+}  // namespace
+
+std::vector<Finding> RunLockOrderPass(const ProjectIndex& index) {
+  // Mutex member declarations, unioned across files so a .cc resolves
+  // members its header declared.
+  std::map<std::string, std::set<std::string>> member_classes;
+  for (const FileSummary& file : index.files()) {
+    for (const MutexMemberDecl& m : file.mutexes) {
+      member_classes[m.member].insert(m.class_name);
+    }
+  }
+
+  std::vector<FnRef> all_fns;
+  for (const FileSummary& file : index.files()) {
+    for (const FunctionSummary& fn : file.functions) {
+      all_fns.push_back(FnRef{&file, &fn});
+    }
+  }
+  CallResolver resolver(all_fns);
+
+  // Per-acquisition resolved keys, and each function's direct lock set.
+  std::map<const FunctionSummary*, std::vector<std::string>> acq_keys;
+  std::map<const FunctionSummary*, std::set<std::string>> acquired;
+  for (const FnRef& ref : all_fns) {
+    std::vector<std::string>& keys = acq_keys[ref.fn];
+    for (const Acquisition& acq : ref.fn->acquisitions) {
+      keys.push_back(LockKey(acq, ref.fn->class_name, member_classes));
+      acquired[ref.fn].insert(keys.back());
+    }
+  }
+
+  // Transitive acquisition fixpoint over the call graph.
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const FnRef& ref : all_fns) {
+      std::set<std::string>& mine = acquired[ref.fn];
+      for (const CallInfo& call : ref.fn->calls) {
+        for (const FnRef& target :
+             resolver.Resolve(call, ref.fn->class_name)) {
+          if (target.fn == ref.fn) continue;
+          for (const std::string& key : acquired[target.fn]) {
+            if (mine.insert(key).second) grew = true;
+          }
+        }
+      }
+    }
+  }
+
+  Digraph lock_graph;
+  for (const FnRef& ref : all_fns) {
+    const std::vector<std::string>& keys = acq_keys[ref.fn];
+    for (size_t i = 0; i < ref.fn->acquisitions.size(); ++i) {
+      const Acquisition& acq = ref.fn->acquisitions[i];
+      for (int held : acq.held) {
+        lock_graph.AddEdge(keys[static_cast<size_t>(held)], keys[i],
+                           EdgeSite{ref.file->path, acq.line});
+      }
+    }
+    for (const CallInfo& call : ref.fn->calls) {
+      if (call.held.empty()) continue;
+      std::set<std::string> callee_locks;
+      for (const FnRef& target : resolver.Resolve(call, ref.fn->class_name)) {
+        if (target.fn == ref.fn) continue;
+        const std::set<std::string>& locks = acquired[target.fn];
+        callee_locks.insert(locks.begin(), locks.end());
+      }
+      for (int held : call.held) {
+        for (const std::string& key : callee_locks) {
+          lock_graph.AddEdge(keys[static_cast<size_t>(held)], key,
+                             EdgeSite{ref.file->path, call.line});
+        }
+      }
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (const std::vector<std::string>& cycle : lock_graph.Cycles()) {
+    const EdgeSite* site = lock_graph.FindSite(cycle[0], cycle[1]);
+    Finding f;
+    f.file = site != nullptr ? site->file : "";
+    f.line = site != nullptr ? site->line : 1;
+    f.rule = "lock-order-cycle";
+    if (cycle.size() == 2 && cycle[0] == cycle[1]) {
+      f.message = "lock '" + cycle[0] +
+                  "' is acquired while already held; alicoco::Mutex is not "
+                  "reentrant, so this deadlocks";
+    } else {
+      f.message = "lock-order cycle (potential deadlock): " +
+                  DescribeCycle(cycle);
+    }
+    findings.push_back(std::move(f));
+  }
+  return findings;
+}
+
+}  // namespace alicoco::lint

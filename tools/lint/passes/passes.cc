@@ -1,0 +1,41 @@
+#include "tools/lint/passes/passes.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace alicoco::lint {
+
+const std::vector<PassInfo>& PassRegistry() {
+  static const std::vector<PassInfo> kPasses = {
+      {"include-cycle",
+       "a cycle in the include graph makes the build order fragile and the "
+       "modules inseparable"},
+      {"layer-violation",
+       "an include that contradicts tools/lint/layers.txt erodes the "
+       "declared architecture one edge at a time"},
+      {"lock-order-cycle",
+       "two locks taken in opposite orders on different threads is a "
+       "deadlock waiting for the right interleaving"},
+      {"discarded-result",
+       "ignoring a Status/Result/[[nodiscard]] return silently swallows "
+       "the error path"},
+  };
+  return kPasses;
+}
+
+std::vector<Finding> RunAllPasses(const ProjectIndex& index,
+                                  const Layers& layers) {
+  std::vector<Finding> findings = RunIncludeGraphPass(index, layers);
+  std::vector<Finding> locks = RunLockOrderPass(index);
+  findings.insert(findings.end(), locks.begin(), locks.end());
+  std::vector<Finding> discards = RunDiscardedResultPass(index);
+  findings.insert(findings.end(), discards.begin(), discards.end());
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return findings;
+}
+
+}  // namespace alicoco::lint

@@ -1,0 +1,61 @@
+// The cross-file (whole-program) analysis passes and their registry.
+//
+// A pass consumes the ProjectIndex — never raw tokens — and returns
+// findings in the same Finding shape the per-file rules use, so the
+// suppression layers, the text reporter, and the SARIF writer treat both
+// kinds uniformly. Pass ids share the rule-id namespace: `lint:allow()`
+// comments and suppressions.txt entries work on them unchanged.
+
+#ifndef ALICOCO_TOOLS_LINT_PASSES_PASSES_H_
+#define ALICOCO_TOOLS_LINT_PASSES_PASSES_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/graph.h"
+#include "tools/lint/index.h"
+#include "tools/lint/rules.h"
+
+namespace alicoco::lint {
+
+struct PassInfo {
+  std::string id;
+  std::string rationale;
+};
+
+/// Every cross-file pass id with its one-line rationale, in reporting
+/// order: include-cycle, layer-violation, lock-order-cycle,
+/// discarded-result.
+const std::vector<PassInfo>& PassRegistry();
+
+/// Pass 1a/1b — include graph. Builds the file-level include graph and the
+/// module DAG from every resolved quoted #include in the index, then
+/// reports `include-cycle` for file-level cycles and `layer-violation` for
+/// module edges that contradict the declared layering (upward edges,
+/// same-rank cross-module edges, and modules missing from layers.txt).
+std::vector<Finding> RunIncludeGraphPass(const ProjectIndex& index,
+                                         const Layers& layers);
+
+/// Pass 2 — lock order. Composes per-function acquisition summaries into a
+/// global lock-acquisition graph (class-resolved lock keys, transitive
+/// acquisitions through the call graph) and reports `lock-order-cycle` for
+/// every cycle, including self-edges (double acquisition of a
+/// non-reentrant mutex).
+std::vector<Finding> RunLockOrderPass(const ProjectIndex& index);
+
+/// Pass 3 — discarded result. Indexes every declaration whose return value
+/// is an error signal ([[nodiscard]], Status/Result, checked-bool APIs)
+/// and reports `discarded-result` for bare statement-expression calls to
+/// them. A name is only flagged when every declaration of that name in the
+/// project is checked, so overloaded or reused names cannot false-positive.
+/// Opt out at a call site by casting to void.
+std::vector<Finding> RunDiscardedResultPass(const ProjectIndex& index);
+
+/// Runs all passes in registry order and returns the merged findings
+/// sorted by (file, line, rule, message).
+std::vector<Finding> RunAllPasses(const ProjectIndex& index,
+                                  const Layers& layers);
+
+}  // namespace alicoco::lint
+
+#endif  // ALICOCO_TOOLS_LINT_PASSES_PASSES_H_

@@ -1,0 +1,33 @@
+// SARIF 2.1.0 output for alicoco_lint, plus a minimal reader.
+//
+// The writer emits the interchange subset CI artifact viewers consume:
+// one run, the full rule catalog (per-file rules and cross-file passes)
+// under tool.driver.rules, and one result per finding with a physical
+// location. The reader parses exactly that subset back into Findings so
+// tests can assert writer -> reader is the identity; it is not a general
+// SARIF consumer.
+
+#ifndef ALICOCO_TOOLS_LINT_SARIF_H_
+#define ALICOCO_TOOLS_LINT_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tools/lint/rules.h"
+
+namespace alicoco::lint {
+
+/// Serializes findings as a SARIF 2.1.0 document. Output is byte-stable
+/// for a given finding list: fixed key order, two-space indentation,
+/// rules sorted registry-first then passes.
+std::string WriteSarif(const std::vector<Finding>& findings);
+
+/// Reads back the subset WriteSarif emits: runs[0].results[*] with
+/// ruleId, message.text, and the first physical location. Errors on
+/// malformed JSON or a document missing the required SARIF spine.
+Result<std::vector<Finding>> ParseSarif(const std::string& text);
+
+}  // namespace alicoco::lint
+
+#endif  // ALICOCO_TOOLS_LINT_SARIF_H_
