@@ -16,6 +16,7 @@ MatchingDataset BuildMatchingDataset(const datagen::World& world,
 
   // Concepts with at least one associated item.
   std::vector<const datagen::EcGold*> usable;
+  usable.reserve(world.ec_gold().size());
   for (const auto& g : world.ec_gold()) {
     if (!g.items.empty()) usable.push_back(&g);
   }
@@ -54,6 +55,10 @@ MatchingDataset BuildMatchingDataset(const datagen::World& world,
     }
   };
 
+  // Scratch reused across ranking queries so the loop doesn't rebuild the
+  // hash set and positive list per concept.
+  std::unordered_set<uint32_t> positive_ids;
+  std::vector<kg::ItemId> positives;
   for (size_t i = 0; i < order.size(); ++i) {
     const datagen::EcGold& gold = *usable[order[i]];
     bool is_test = i < n_test;
@@ -62,9 +67,9 @@ MatchingDataset BuildMatchingDataset(const datagen::World& world,
       // Ranking query: a few positives among many random negatives.
       RankQuery q;
       q.concept_tokens = net.Get(gold.id).tokens;
-      std::unordered_set<uint32_t> positive_ids;
+      positive_ids.clear();
       for (kg::ItemId item : gold.items) positive_ids.insert(item.value);
-      std::vector<kg::ItemId> positives = gold.items;
+      positives = gold.items;
       rng.Shuffle(&positives);
       size_t take = std::min<size_t>(positives.size(), 10);
       for (size_t p = 0; p < take; ++p) {
@@ -95,6 +100,7 @@ MatcherMetrics EvaluateMatcher(const Matcher& matcher,
   std::vector<double> scores;
   std::vector<int> labels;
   scores.reserve(dataset.test.size());
+  labels.reserve(dataset.test.size());
   for (const auto& ex : dataset.test) {
     scores.push_back(
         matcher.Score(ex.concept_tokens, ex.item_tokens, ex.item_id));

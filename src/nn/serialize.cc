@@ -79,6 +79,7 @@ Status LoadParameters(ParameterStore* store, const std::string& path) {
         "parameter count mismatch: file has %u, store has %zu", count,
         store->params().size()));
   }
+  std::string name;  // reused across tensors; assign() keeps the capacity
   for (uint32_t i = 0; i < count; ++i) {
     uint32_t name_len = 0, rows = 0, cols = 0;
     if (!ReadU32(f.get(), &name_len)) {
@@ -89,7 +90,7 @@ Status LoadParameters(ParameterStore* store, const std::string& path) {
           StringPrintf("implausible name length %u in %s", name_len,
                        path.c_str()));
     }
-    std::string name(name_len, '\0');
+    name.assign(name_len, '\0');
     if (std::fread(name.data(), 1, name_len, f.get()) != name_len ||
         !ReadU32(f.get(), &rows) || !ReadU32(f.get(), &cols)) {
       return Status::Corruption("truncated: " + path);

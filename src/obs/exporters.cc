@@ -103,13 +103,18 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-std::string ExportTraceJsonl(std::vector<SpanRecord> spans) {
-  std::sort(spans.begin(), spans.end(),
-            [](const SpanRecord& a, const SpanRecord& b) {
-              return a.id < b.id;
+std::string ExportTraceJsonl(const std::vector<SpanRecord>& spans) {
+  // Sort through an index so the records themselves are never copied.
+  std::vector<const SpanRecord*> order;
+  order.reserve(spans.size());
+  for (const SpanRecord& s : spans) order.push_back(&s);
+  std::sort(order.begin(), order.end(),
+            [](const SpanRecord* a, const SpanRecord* b) {
+              return a->id < b->id;
             });
   std::string out;
-  for (const SpanRecord& span : spans) {
+  for (const SpanRecord* span_ptr : order) {
+    const SpanRecord& span = *span_ptr;
     out.append(StringPrintf(
         "{\"span_id\":%llu,\"parent_id\":%llu,\"name\":\"%s\","
         "\"start_us\":%llu,\"duration_us\":%llu,\"attributes\":{",

@@ -36,7 +36,7 @@ std::string ExportPrometheusText(const Registry& registry);
 /// One JSON object per span, sorted by span id:
 ///   {"span_id":3,"parent_id":1,"name":"pipeline.mining",
 ///    "start_us":120,"duration_us":980,"attributes":{"epochs":"2"}}
-std::string ExportTraceJsonl(std::vector<SpanRecord> spans);
+std::string ExportTraceJsonl(const std::vector<SpanRecord>& spans);
 
 /// JSON string-escaping helper shared by the exporters.
 std::string JsonEscape(const std::string& s);

@@ -154,6 +154,7 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
   mining::DistantSupervisor supervisor(world_->seed_dictionary(),
                                        datagen::CarrierVocabulary());
   std::vector<std::vector<std::string>> raw_corpus;
+  raw_corpus.reserve(world_->sentences().size());
   for (const auto& s : world_->sentences()) raw_corpus.push_back(s.tokens);
   auto labeled = supervisor.Label(raw_corpus);
   if (labeled.empty()) {
@@ -201,6 +202,7 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
   // ---- Stage 4: hypernym discovery inside Category ----
   begin_stage("hypernym_discovery");
   std::vector<std::string> category_vocab;
+  category_vocab.reserve(net.num_primitive_concepts());  // upper bound
   for (kg::ClassId cls :
        net.taxonomy().Subtree(domain_class("Category"))) {
     for (kg::ConceptId c : net.PrimitivesOfClass(cls)) {
@@ -232,6 +234,7 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
   {
     Rng neg_rng(config_.seed ^ 0x517);
     auto suffix_pairs = pattern_miner.MineSuffix();
+    proj_train.reserve(suffix_pairs.size() * 9);  // 1 positive + 8 negatives
     for (const auto& pair : suffix_pairs) {
       proj_train.push_back(hypernym::LabeledPair{pair.hypo, pair.hyper, 1});
       for (int n = 0; n < 8; ++n) {
@@ -248,13 +251,15 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
     projection.Train(proj_train);
     // Candidate hypernyms: single-token category surfaces.
     std::vector<std::string> candidates;
+    candidates.reserve(category_vocab.size());
     for (const auto& surface : category_vocab) {
       if (text::Tokenize(surface).size() == 1) candidates.push_back(surface);
     }
+    std::string best_hyper;  // reused across surfaces
     for (const auto& surface : category_vocab) {
       if (has_hypernym.count(surface)) continue;
       double best = 0;
-      std::string best_hyper;
+      best_hyper.clear();
       for (const auto& cand : candidates) {
         if (cand == surface) continue;
         double s = projection.Score(surface, cand);
@@ -278,6 +283,7 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
   begin_stage("ec_concepts");
   concepts::PhraseMiner phrase_miner(/*min_count=*/3, /*max_len=*/4);
   std::vector<std::vector<std::string>> query_guides;
+  query_guides.reserve(world_->sentences().size());  // upper bound
   for (const auto& s : world_->sentences()) {
     if (s.source == datagen::Sentence::Source::kQuery ||
         s.source == datagen::Sentence::Source::kGuide) {
@@ -285,8 +291,11 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
     }
   }
   std::vector<std::vector<std::string>> candidates;
-  for (const auto& phrase :
-       phrase_miner.Mine(query_guides, datagen::CarrierVocabulary())) {
+  auto mined_phrases =
+      phrase_miner.Mine(query_guides, datagen::CarrierVocabulary());
+  // Mined phrases now, pattern-combined concepts (5 specs x 200) later.
+  candidates.reserve(mined_phrases.size() + 5 * 200);
+  for (const auto& phrase : mined_phrases) {
     candidates.push_back(phrase.tokens);
   }
   concepts::PatternCombiner combiner(&net);
@@ -312,6 +321,10 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
     return resources_->GlossOf(w);
   };
   std::vector<concepts::LabeledConcept> annotated;
+  // Seed labels now, plus up to audit_sample audited labels per iteration
+  // of the quality-control loop below.
+  annotated.reserve(world_->concept_candidates().size() +
+                    5 * config_.audit_sample);
   for (const auto& c : world_->concept_candidates()) {
     annotated.push_back(concepts::LabeledConcept{c.tokens, c.good ? 1 : 0});
   }
@@ -324,6 +337,7 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
   carrier.erase("for");
   carrier.erase("gifts");
   std::vector<const std::vector<std::string>*> pool;
+  pool.reserve(candidates.size());
   for (const auto& tokens : candidates) {
     if (!concepts::PassesBasicCriteria(tokens)) continue;
     bool has_carrier = false;
@@ -339,8 +353,13 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
   // resort; nothing enters the net until a batch passes.
   std::vector<const std::vector<std::string>*> accepted;
   std::vector<const std::vector<std::string>*> audited_good;
+  audited_good.reserve(5 * config_.audit_sample);  // per-iteration cap
   double threshold = config_.concept_accept_threshold;
   std::unordered_set<const std::vector<std::string>*> audited;
+  // The candidate batch is rebuilt every quality-control iteration; keep
+  // the buffer (and its capacity) across iterations.
+  std::vector<const std::vector<std::string>*> batch;
+  batch.reserve(pool.size());
   for (int iteration = 0; iteration < 5 && !report->audit_passed;
        ++iteration) {
     concepts::ConceptClassifierConfig cls_cfg = config_.classifier;
@@ -349,7 +368,7 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
     concepts::ConceptClassifier classifier(cls_cfg, cls_res);
     classifier.Train(annotated);
 
-    std::vector<const std::vector<std::string>*> batch;
+    batch.clear();
     for (const auto* tokens : pool) {
       if (audited.count(tokens)) continue;
       if (classifier.Score(*tokens) >= threshold) batch.push_back(tokens);
@@ -380,8 +399,9 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
   }
   if (report->audit_passed) {
     accepted.insert(accepted.end(), audited_good.begin(), audited_good.end());
+    std::string key;  // reused across accepted concepts
     for (const auto* tokens : accepted) {
-      std::string key = JoinStrings(*tokens, " ");
+      key = JoinStrings(*tokens, " ");
       if (net.FindEcConcept(key).has_value()) continue;
       auto res = net.GetOrAddEcConcept(*tokens);
       if (res.ok()) ++report->ec_accepted;
@@ -402,6 +422,7 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
   tag_res.corpus_vocab = &resources_->vocab();
   tagging::ConceptTagger tagger(config_.tagger, tag_res);
   std::vector<tagging::TaggedExample> tag_train;
+  tag_train.reserve(world_->tagged_concepts().size());
   for (const auto& t : world_->tagged_concepts()) {
     tag_train.push_back(tagging::TaggedExample{t.tokens, t.allowed_iob});
   }
@@ -409,6 +430,7 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
   // by the (grown) mining dictionary (Section 7.5).
   {
     std::vector<std::vector<std::string>> accepted_phrases;
+    accepted_phrases.reserve(accepted.size());
     for (const auto* tokens : accepted) accepted_phrases.push_back(*tokens);
     auto distant = tagging::BuildDistantExamples(
         supervisor.segmenter(), accepted_phrases,
@@ -416,12 +438,15 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
     tag_train.insert(tag_train.end(), distant.begin(), distant.end());
   }
   tagger.Train(tag_train);
+  // Scratch reused across every decoded span of every concept.
+  std::vector<std::string> piece;
+  std::string surface;
   for (const auto& ec : net.ec_concepts()) {
     auto tags = tagger.Predict(ec.tokens);
     for (const auto& span : eval::DecodeIob(tags)) {
-      std::vector<std::string> piece(ec.tokens.begin() + span.begin,
-                                     ec.tokens.begin() + span.end);
-      std::string surface = JoinStrings(piece, " ");
+      piece.assign(ec.tokens.begin() + span.begin,
+                   ec.tokens.begin() + span.end);
+      surface = JoinStrings(piece, " ");
       auto cls = net.taxonomy().Find(span.type);
       if (!cls.ok()) continue;
       std::optional<kg::ConceptId> prim = net.FindPrimitive(surface, *cls);
@@ -454,6 +479,7 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
     item_tagger_dict.AddEntry(mined.surface, mined.domain);
   }
   std::vector<kg::ItemId> net_items;
+  net_items.reserve(world_->net().items().size());
   for (const auto& item : world_->net().items()) {
     ALICOCO_ASSIGN_OR_RETURN(
         kg::ItemId id, net.AddItem(item.title, domain_class("Category")));

@@ -1,0 +1,288 @@
+// Unit tests for the per-function CFG builder behind alicoco_lint's
+// dataflow passes: block/edge shape for branches and loops, statement
+// scope/loop depths, and the conservative fallback for flow the builder
+// refuses to model.
+
+#include "tools/lint/cfg.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/lint/lexer.h"
+
+namespace alicoco::lint {
+namespace {
+
+/// Lexes `source`, drops comments/directives (the stream the extractor
+/// hands to BuildCfg), and builds the CFG of the first `{...}` body.
+class CfgFixture {
+ public:
+  explicit CfgFixture(const std::string& source) : tokens_(Lex(source)) {
+    for (const Token& t : tokens_) {
+      if (t.kind == TokenKind::kComment || t.kind == TokenKind::kDirective) {
+        continue;
+      }
+      code_.push_back(&t);
+    }
+    size_t begin = 0;
+    while (begin < code_.size() && code_[begin]->text != "{") ++begin;
+    size_t end = begin;
+    int depth = 0;
+    for (; end < code_.size(); ++end) {
+      if (code_[end]->text == "{") ++depth;
+      if (code_[end]->text == "}" && --depth == 0) {
+        ++end;
+        break;
+      }
+    }
+    cfg_ = BuildCfg(code_, begin, end);
+  }
+
+  const Cfg& cfg() const { return cfg_; }
+
+  /// Id of the first block containing a statement that mentions `ident`,
+  /// or -1.
+  int BlockMentioning(const std::string& ident) const {
+    for (const BasicBlock& b : cfg_.blocks) {
+      for (const Stmt& s : b.stmts) {
+        for (size_t j = s.begin; j < s.end; ++j) {
+          if (code_[j]->kind == TokenKind::kIdentifier &&
+              code_[j]->text == ident) {
+            return b.id;
+          }
+        }
+      }
+    }
+    return -1;
+  }
+
+  /// The first statement mentioning `ident`, or nullptr.
+  const Stmt* StmtMentioning(const std::string& ident) const {
+    for (const BasicBlock& b : cfg_.blocks) {
+      for (const Stmt& s : b.stmts) {
+        for (size_t j = s.begin; j < s.end; ++j) {
+          if (code_[j]->kind == TokenKind::kIdentifier &&
+              code_[j]->text == ident) {
+            return &s;
+          }
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  bool HasEdge(int from, int to) const {
+    for (int s : cfg_.blocks[from].succs) {
+      if (s == to) return true;
+    }
+    return false;
+  }
+
+  /// Any edge from a block to an earlier-created block — the builder
+  /// allocates blocks in program order, so only loop back edges point
+  /// backwards.
+  bool HasBackEdge() const {
+    for (const BasicBlock& b : cfg_.blocks) {
+      for (int s : b.succs) {
+        if (s < b.id && s != cfg_.exit) return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  std::vector<const Token*> code_;
+  Cfg cfg_;
+};
+
+TEST(CfgTest, StraightLineIsOneBlockIntoExit) {
+  CfgFixture fx(R"(int f(int x) {
+    int doubled = x + x;
+    return doubled;
+  })");
+  ASSERT_FALSE(fx.cfg().fell_back);
+  int body = fx.BlockMentioning("doubled");
+  ASSERT_NE(body, -1);
+  EXPECT_TRUE(fx.HasEdge(body, fx.cfg().exit));
+  EXPECT_FALSE(fx.HasBackEdge());
+}
+
+TEST(CfgTest, IfElseBranchesMergeAtJoin) {
+  CfgFixture fx(R"(int f(bool flip) {
+    int out = 0;
+    if (flip) {
+      int then_marker = 1;
+      out = then_marker;
+    } else {
+      int else_marker = 2;
+      out = else_marker;
+    }
+    int join_marker = out;
+    return join_marker;
+  })");
+  ASSERT_FALSE(fx.cfg().fell_back);
+  int cond = fx.BlockMentioning("flip");
+  int then_b = fx.BlockMentioning("then_marker");
+  int else_b = fx.BlockMentioning("else_marker");
+  int join = fx.BlockMentioning("join_marker");
+  ASSERT_NE(cond, -1);
+  ASSERT_NE(then_b, -1);
+  ASSERT_NE(else_b, -1);
+  ASSERT_NE(join, -1);
+  EXPECT_NE(then_b, else_b);
+  // The condition fans out to both branches; both branches meet again.
+  EXPECT_TRUE(fx.HasEdge(cond, then_b));
+  EXPECT_TRUE(fx.HasEdge(cond, else_b));
+  EXPECT_TRUE(fx.HasEdge(then_b, join));
+  EXPECT_TRUE(fx.HasEdge(else_b, join));
+  EXPECT_FALSE(fx.HasBackEdge());
+}
+
+TEST(CfgTest, IfWithoutElseSkipsStraightToJoin) {
+  CfgFixture fx(R"(int f(bool flip) {
+    int out = 0;
+    if (flip) {
+      int then_marker = 1;
+      out = then_marker;
+    }
+    int join_marker = out;
+    return join_marker;
+  })");
+  ASSERT_FALSE(fx.cfg().fell_back);
+  int cond = fx.BlockMentioning("flip");
+  int then_b = fx.BlockMentioning("then_marker");
+  int join = fx.BlockMentioning("join_marker");
+  // Both the taken and the skipped path reach the join.
+  EXPECT_TRUE(fx.HasEdge(cond, then_b));
+  EXPECT_TRUE(fx.HasEdge(cond, join));
+  EXPECT_TRUE(fx.HasEdge(then_b, join));
+}
+
+TEST(CfgTest, ForLoopHasBackEdgeAndLoopDepth) {
+  CfgFixture fx(R"(int f(int n) {
+    int total = 0;
+    for (int i = 0; i < n; ++i) {
+      int body_marker = i;
+      total += body_marker;
+    }
+    return total;
+  })");
+  ASSERT_FALSE(fx.cfg().fell_back);
+  EXPECT_TRUE(fx.HasBackEdge());
+  const Stmt* body = fx.StmtMentioning("body_marker");
+  ASSERT_NE(body, nullptr);
+  EXPECT_EQ(body->loop_depth, 1);
+  const Stmt* outside = fx.StmtMentioning("total");
+  ASSERT_NE(outside, nullptr);
+  EXPECT_EQ(outside->loop_depth, 0);
+}
+
+TEST(CfgTest, WhileBodyLoopsBackToHeader) {
+  CfgFixture fx(R"(int f(int n) {
+    while (n > 0) {
+      int body_marker = n;
+      n -= body_marker;
+    }
+    return n;
+  })");
+  ASSERT_FALSE(fx.cfg().fell_back);
+  int header = fx.BlockMentioning("n");  // the condition block comes first
+  int body = fx.BlockMentioning("body_marker");
+  ASSERT_NE(header, -1);
+  ASSERT_NE(body, -1);
+  EXPECT_TRUE(fx.HasEdge(body, header));
+}
+
+TEST(CfgTest, NestedLoopsStackTheirDepths) {
+  CfgFixture fx(R"(int f(int n) {
+    int total = 0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        int inner_marker = i * j;
+        total += inner_marker;
+      }
+    }
+    return total;
+  })");
+  ASSERT_FALSE(fx.cfg().fell_back);
+  const Stmt* inner = fx.StmtMentioning("inner_marker");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->loop_depth, 2);
+  EXPECT_GE(inner->scope_depth, 2);
+}
+
+TEST(CfgTest, EarlyReturnEdgesToExit) {
+  CfgFixture fx(R"(int f(bool flip) {
+    if (flip) {
+      return 1;
+    }
+    int tail_marker = 2;
+    return tail_marker;
+  })");
+  ASSERT_FALSE(fx.cfg().fell_back);
+  int early = fx.BlockMentioning("return");
+  const Stmt* ret = fx.StmtMentioning("tail_marker");
+  ASSERT_NE(ret, nullptr);
+  // Every return statement's block must reach exit directly.
+  bool all_returns_reach_exit = true;
+  for (const BasicBlock& b : fx.cfg().blocks) {
+    for (const Stmt& s : b.stmts) {
+      if (s.kind != StmtKind::kReturn) continue;
+      if (!fx.HasEdge(b.id, fx.cfg().exit)) all_returns_reach_exit = false;
+    }
+  }
+  EXPECT_TRUE(all_returns_reach_exit);
+  (void)early;
+}
+
+TEST(CfgTest, MacroWithBraceBodyParsesAsPlainBlock) {
+  // A control-flow-like macro is not a loop the builder understands; its
+  // braces read as a plain nested scope: deeper scope, zero loop depth,
+  // and no back edge — the documented safe under-approximation.
+  CfgFixture fx(R"(int f(int n) {
+    int total = 0;
+    ALICOCO_REPEAT_N(n) {
+      int macro_marker = 1;
+      total += macro_marker;
+    }
+    return total;
+  })");
+  ASSERT_FALSE(fx.cfg().fell_back);
+  EXPECT_FALSE(fx.HasBackEdge());
+  const Stmt* inner = fx.StmtMentioning("macro_marker");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->loop_depth, 0);
+  EXPECT_GE(inner->scope_depth, 1);
+}
+
+TEST(CfgTest, GotoFallsBackToEntryExit) {
+  CfgFixture fx(R"(int f(int n) {
+    if (n < 0) goto fail;
+    return n;
+  fail:
+    return -1;
+  })");
+  EXPECT_TRUE(fx.cfg().fell_back);
+  ASSERT_EQ(fx.cfg().blocks.size(), 2u);
+  EXPECT_TRUE(fx.HasEdge(fx.cfg().entry, fx.cfg().exit));
+}
+
+TEST(CfgTest, CoroutineFallsBack) {
+  CfgFixture fx(R"(Task f() {
+    co_return 1;
+  })");
+  EXPECT_TRUE(fx.cfg().fell_back);
+}
+
+TEST(CfgTest, TornBracesFallBackInsteadOfGuessing) {
+  CfgFixture fx(R"(int f() {
+    if (cond) {
+      return 1;
+  })");
+  EXPECT_TRUE(fx.cfg().fell_back);
+}
+
+}  // namespace
+}  // namespace alicoco::lint

@@ -1,0 +1,43 @@
+// lint-fixture: views bound to temporaries, inner-scope owners, and
+// function locals that escape through return; statics and same-scope
+// bindings stay quiet.
+#include <string>
+#include <string_view>
+
+namespace fixture {
+
+std::string MakeLabel();
+
+int TempBound() {
+  std::string base = "alicoco-net";
+  std::string_view head = base.substr(0, 7);  // view of a temporary
+  return static_cast<int>(head.size());
+}
+
+int InnerScopeEscapes(bool flip) {
+  std::string_view view;
+  if (flip) {
+    std::string local = MakeLabel();
+    view = local;  // owner dies at the brace, the view survives
+  }
+  return static_cast<int>(view.size());
+}
+
+std::string_view ReturnsLocalView() {
+  std::string local = MakeLabel();
+  std::string_view v = local;
+  return v;
+}
+
+int SameScopeIsFine() {
+  std::string base = MakeLabel();
+  std::string_view whole = base;
+  return static_cast<int>(whole.size());
+}
+
+std::string_view StaticIsFine() {
+  static const std::string kName = "alicoco";
+  return kName;
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// lint-fixture: identical shapes off the hot path stay quiet unless the
+// function opts in with a lint:hot marker.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+int ColdJoin(const std::vector<std::string>& parts) {
+  int total = 0;
+  for (const auto& p : parts) {
+    std::string padded = p + "|";
+    total += static_cast<int>(padded.size());
+  }
+  return total;
+}
+
+// lint:hot
+int MarkedHotJoin(const std::vector<std::string>& parts) {
+  int total = 0;
+  for (const auto& p : parts) {
+    std::string padded = p + "|";
+    total += static_cast<int>(padded.size());
+  }
+  return total;
+}
+
+}  // namespace fixture

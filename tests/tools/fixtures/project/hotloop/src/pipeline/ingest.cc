@@ -1,0 +1,36 @@
+// lint-fixture: hot by path (src/pipeline). One allocation per iteration,
+// one container declared inside the loop, one un-reserved push_back
+// target; the reserved vector shows the sanctioned pattern.
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Row {
+  int id = 0;
+};
+
+int IngestRows(const std::vector<int>& ids) {
+  std::vector<std::unique_ptr<Row>> rows;
+  rows.reserve(ids.size());
+  int checksum = 0;
+  for (int id : ids) {
+    auto row = std::make_unique<Row>();      // heap alloc per iteration
+    row->id = id;
+    std::string label = std::to_string(id);  // container born per iteration
+    checksum += static_cast<int>(label.size());
+    rows.push_back(std::move(row));
+  }
+  return checksum + static_cast<int>(rows.size());
+}
+
+std::vector<int> CollectSquares(int n) {
+  std::vector<int> squares;
+  for (int i = 0; i < n; ++i) {
+    squares.push_back(i * i);  // growing an un-reserved vector
+  }
+  return squares;
+}
+
+}  // namespace fixture

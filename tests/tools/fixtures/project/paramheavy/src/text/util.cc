@@ -1,0 +1,25 @@
+// lint-fixture: definitions matching util.h; findings land here, at the
+// definition site, once per (class, name) group.
+#include "text/util.h"
+
+#include <utility>
+
+namespace fixture {
+
+int CountBytes(std::string text) { return static_cast<int>(text.size()); }
+
+int SumLengths(std::vector<std::string> values) {
+  int total = 0;
+  for (const auto& v : values) total += static_cast<int>(v.size());
+  return total;
+}
+
+int Clamp(int value) { return value < 0 ? 0 : value; }
+
+void Archive::Add(std::string name) { names_.push_back(std::move(name)); }
+
+int Archive::Total(Document doc) const {
+  return static_cast<int>(doc.lines.size() + names_.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// lint-fixture: heavy parameters declared by value; the sink that moves
+// its argument and the small scalar stay quiet.
+#ifndef ALICOCO_TEXT_UTIL_H_
+#define ALICOCO_TEXT_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Document {
+  std::vector<std::string> lines;
+};
+
+int CountBytes(std::string text);
+int SumLengths(std::vector<std::string> values);
+int Clamp(int value);
+
+class Archive {
+ public:
+  void Add(std::string name);
+  int Total(Document doc) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace fixture
+
+#endif  // ALICOCO_TEXT_UTIL_H_

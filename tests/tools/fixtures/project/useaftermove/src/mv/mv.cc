@@ -1,0 +1,62 @@
+// lint-fixture: a move on one branch poisons the merge point and a loop
+// back edge carries the poison into the next iteration; reassignment,
+// revalidation, and lambda init-captures all stay quiet.
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+int BranchMerge(bool flip) {
+  std::string name = "alicoco";
+  std::vector<std::string> bag;
+  bag.reserve(1);
+  if (flip) {
+    bag.push_back(std::move(name));
+  }
+  return static_cast<int>(name.size());  // moved on one incoming path
+}
+
+int ReassignedIsFine(bool flip) {
+  std::string name = "alicoco";
+  std::vector<std::string> bag;
+  bag.reserve(1);
+  if (flip) {
+    bag.push_back(std::move(name));
+    name = "fresh";
+  }
+  return static_cast<int>(name.size());
+}
+
+int LoopBackEdge(int rounds) {
+  std::vector<std::string> bag;
+  bag.reserve(4);
+  std::string scratch = "seed";
+  for (int i = 0; i < rounds; ++i) {
+    scratch.append("x");  // poisoned by the previous iteration's move
+    bag.push_back(std::move(scratch));
+  }
+  return static_cast<int>(bag.size());
+}
+
+int ClearRevalidates(int rounds) {
+  std::vector<std::string> bag;
+  bag.reserve(4);
+  std::string scratch = "seed";
+  for (int i = 0; i < rounds; ++i) {
+    scratch.clear();
+    scratch.append("x");
+    bag.push_back(std::move(scratch));
+  }
+  return static_cast<int>(bag.size());
+}
+
+int InitCaptureShadows() {
+  std::string name = "alicoco";
+  auto user = [name = std::move(name)]() {
+    return static_cast<int>(name.size());  // the capture, not the local
+  };
+  return user();
+}
+
+}  // namespace fixture

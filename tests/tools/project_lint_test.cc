@@ -209,7 +209,9 @@ TEST_P(ProjectFixtureTest, MatchesGolden) {
 
 INSTANTIATE_TEST_SUITE_P(AllFixtures, ProjectFixtureTest,
                          ::testing::Values("cycle", "layering", "lockorder",
-                                           "nodiscard"));
+                                           "nodiscard", "useaftermove",
+                                           "danglingview", "hotloop",
+                                           "paramheavy"));
 
 // ---------------------------------------------------------------------------
 // SARIF

@@ -3,7 +3,7 @@
 #
 #   1. lint gate (tools/lint.sh): per-file rules over the whole tree, then
 #      the cross-file passes (include-graph layering, lock-order deadlock
-#      detection, discarded-result) via `alicoco_lint --project src`,
+#      detection, discarded-result, CFG dataflow) via `alicoco_lint --project src`,
 #      leaving build/lint/alicoco_lint.sarif for CI artifact upload
 #   2. plain RelWithDebInfo build + full ctest
 #   3. pipeline profile gate (obs_report vs committed BENCH_pipeline.json)

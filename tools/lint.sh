@@ -10,8 +10,8 @@
 #      checked-in suppression file tools/lint/suppressions.txt. Built on
 #      demand; this is the authoritative layer. Runs twice: the per-file
 #      tree walk, then whole-program mode (--project src) for the
-#      include-graph / lock-order / discarded-result passes, writing
-#      SARIF to <build-dir>/lint/alicoco_lint.sarif and keeping an
+#      include-graph / lock-order / discarded-result / dataflow passes,
+#      writing SARIF to <build-dir>/lint/alicoco_lint.sarif and keeping an
 #      incremental summary cache in <build-dir>/lint/summary.cache.
 #      With --changed-only, project-mode findings are limited to files
 #      that changed since the cached run (pre-commit mode).
@@ -61,7 +61,7 @@ if command -v cmake >/dev/null 2>&1 && { command -v c++ >/dev/null 2>&1 \
         --sarif "${BUILD_DIR}/lint/alicoco_lint.sarif"
         --cache "${BUILD_DIR}/lint/summary.cache" --stats)
       [ "$CHANGED_ONLY" -eq 1 ] && PROJECT_FLAGS+=(--changed-only)
-      note "running cross-file passes (include-graph, lock-order, discarded-result)..."
+      note "running project passes (include-graph, lock-order, discarded-result, dataflow)..."
       if ! "${BUILD_DIR}/tools/lint/alicoco_lint" "${PROJECT_FLAGS[@]}"; then
         fail "alicoco_lint --project src reported findings"
       fi

@@ -1,0 +1,86 @@
+// Per-function control-flow graphs for alicoco_lint's dataflow passes.
+//
+// The builder consumes the same comment/directive-free token-pointer
+// stream the ProjectIndex extractor walks, and produces basic blocks of
+// statements split on `if/else/for/while/do/switch/return/break/continue`.
+// Each statement records its token range, lexical scope depth, and loop
+// nesting depth, so passes can reason about both control flow (via block
+// edges) and lifetimes (via scopes) without an AST.
+//
+// Conservatism is deliberate and one-sided: anything the builder cannot
+// classify — `goto`, coroutines, unbalanced macro soup — flips
+// `Cfg::fell_back` and the dataflow passes stay silent on that function.
+// A lint gate that must keep the tree clean with zero suppressions can
+// afford missed findings; it cannot afford false ones. Control-flow-like
+// macros with brace bodies are parsed as plain nested blocks (no loop or
+// branch semantics), which under-approximates in the same safe direction.
+
+#ifndef ALICOCO_TOOLS_LINT_CFG_H_
+#define ALICOCO_TOOLS_LINT_CFG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+
+namespace alicoco::lint {
+
+enum class StmtKind {
+  kPlain,   // expression / declaration statement
+  kCond,    // an if/while/for/switch condition (evaluated in its block)
+  kReturn,  // `return ...;`
+};
+
+/// One statement: a half-open token range into the code stream the CFG was
+/// built from, plus the lexical facts the passes key on.
+struct Stmt {
+  size_t begin = 0;  ///< first token index
+  size_t end = 0;    ///< one past the last token
+  int line = 0;
+  int scope_depth = 0;  ///< 0 = function-body top level, +1 per nested scope
+  int loop_depth = 0;   ///< number of enclosing loops (0 = straight-line)
+  StmtKind kind = StmtKind::kPlain;
+};
+
+struct BasicBlock {
+  int id = 0;
+  std::vector<Stmt> stmts;
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  int entry = 0;
+  int exit = 0;
+  /// True when the builder met something it could not model (goto, torn
+  /// braces). The graph is then just entry->exit and passes must skip the
+  /// function rather than analyze a wrong approximation.
+  bool fell_back = false;
+};
+
+/// A function definition's location inside a file's code-token stream, as
+/// recorded by the ProjectIndex extractor. `body_begin` indexes the `{`,
+/// `body_end` is one past the matching `}`.
+struct FunctionBody {
+  std::string name;
+  std::string class_name;  ///< "" for free functions
+  int line = 0;
+  size_t decl_begin = 0;  ///< first token of the declaration
+  size_t body_begin = 0;
+  size_t body_end = 0;
+  bool hot = false;          ///< marked `// lint:hot`
+  bool returns_view = false;  ///< return type mentions string_view/span
+  bool returns_ref = false;   ///< return type is a (non-rvalue) reference
+};
+
+/// Builds the CFG for one function body over `code` (comments and
+/// directives already filtered out). `body_begin` must index the opening
+/// `{` and `body_end` sit one past the closing `}`.
+Cfg BuildCfg(const std::vector<const Token*>& code, size_t body_begin,
+             size_t body_end);
+
+}  // namespace alicoco::lint
+
+#endif  // ALICOCO_TOOLS_LINT_CFG_H_

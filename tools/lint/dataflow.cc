@@ -1,0 +1,41 @@
+#include "tools/lint/dataflow.h"
+
+#include <algorithm>
+
+namespace alicoco::lint {
+
+std::vector<int> ReversePostOrder(const Cfg& cfg) {
+  const size_t n = cfg.blocks.size();
+  std::vector<char> seen(n, 0);
+  std::vector<int> post;
+  post.reserve(n);
+
+  // Iterative DFS with an explicit (node, next-successor) stack; function
+  // bodies can nest arbitrarily deep and the analyzer must not.
+  std::vector<std::pair<int, size_t>> stack;
+  if (n != 0) {
+    stack.emplace_back(cfg.entry, 0);
+    seen[cfg.entry] = 1;
+  }
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    const std::vector<int>& succs = cfg.blocks[node].succs;
+    if (next < succs.size()) {
+      int s = succs[next++];
+      if (!seen[s]) {
+        seen[s] = 1;
+        stack.emplace_back(s, 0);
+      }
+      continue;
+    }
+    post.push_back(node);
+    stack.pop_back();
+  }
+  std::reverse(post.begin(), post.end());
+  for (size_t b = 0; b < n; ++b) {
+    if (!seen[b]) post.push_back(static_cast<int>(b));
+  }
+  return post;
+}
+
+}  // namespace alicoco::lint

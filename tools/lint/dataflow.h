@@ -1,0 +1,94 @@
+// A small forward-dataflow framework over the lint CFG.
+//
+// The lattice is whatever the pass picks as its State type (typically a
+// map from variable name to fact); the framework contributes the fixpoint
+// machinery: reverse post-order iteration, join over reachable
+// predecessors, and a change-driven loop that terminates because every
+// pass lattice here is finite and its join is monotone. Unreachable
+// blocks (dead code after `return`) are never given a state, so passes
+// cannot report findings from paths that do not exist.
+//
+// Usage:
+//
+//   auto result = SolveForward<MyState>(
+//       cfg, /*boundary=*/MyState{},
+//       [](const MyState& a, const MyState& b) { return Join(a, b); },
+//       [&](const BasicBlock& block, MyState state) {
+//         for (const Stmt& s : block.stmts) state = Transfer(s, state);
+//         return state;
+//       });
+//   // result.in[b] / result.out[b] hold the block states; result.reached[b]
+//   // says whether block b is reachable from entry at all.
+
+#ifndef ALICOCO_TOOLS_LINT_DATAFLOW_H_
+#define ALICOCO_TOOLS_LINT_DATAFLOW_H_
+
+#include <vector>
+
+#include "tools/lint/cfg.h"
+
+namespace alicoco::lint {
+
+/// Block ids in reverse post-order from the entry block. Unreachable
+/// blocks are appended after the reachable ones so indices stay total.
+std::vector<int> ReversePostOrder(const Cfg& cfg);
+
+template <typename State>
+struct DataflowResult {
+  std::vector<State> in;
+  std::vector<State> out;
+  std::vector<char> reached;
+};
+
+/// Runs the forward fixpoint. `join(a, b)` must be commutative and
+/// monotone; `transfer(block, state)` maps a block's IN state to its OUT
+/// state. State needs operator== (the change detector) and copyability.
+template <typename State, typename JoinFn, typename TransferFn>
+DataflowResult<State> SolveForward(const Cfg& cfg, const State& boundary,
+                                   JoinFn join, TransferFn transfer) {
+  const size_t n = cfg.blocks.size();
+  DataflowResult<State> result;
+  result.in.resize(n);
+  result.out.resize(n);
+  result.reached.assign(n, 0);
+  if (n == 0 || cfg.fell_back) return result;
+
+  const std::vector<int> order = ReversePostOrder(cfg);
+  result.in[cfg.entry] = boundary;
+  result.reached[cfg.entry] = 1;
+
+  // The iteration bound is a belt-and-braces guard: with a monotone join
+  // the loop settles in O(lattice height * loop nesting) sweeps, and every
+  // lattice a pass uses here has height O(locals in one function).
+  bool changed = true;
+  for (int sweep = 0; changed && sweep < 1000; ++sweep) {
+    changed = false;
+    for (int b : order) {
+      State in_state;
+      bool any_pred = false;
+      if (b == cfg.entry) {
+        in_state = boundary;
+        any_pred = true;
+      }
+      for (int p : cfg.blocks[b].preds) {
+        if (!result.reached[p]) continue;
+        in_state = any_pred ? join(in_state, result.out[p]) : result.out[p];
+        any_pred = true;
+      }
+      if (!any_pred) continue;  // unreachable so far (maybe forever)
+      State out_state = transfer(cfg.blocks[b], in_state);
+      if (!result.reached[b] || !(out_state == result.out[b]) ||
+          !(in_state == result.in[b])) {
+        changed = true;
+      }
+      result.in[b] = std::move(in_state);
+      result.out[b] = std::move(out_state);
+      result.reached[b] = 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace alicoco::lint
+
+#endif  // ALICOCO_TOOLS_LINT_DATAFLOW_H_

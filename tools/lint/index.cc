@@ -9,7 +9,9 @@
 
 #include "common/string_util.h"
 #include "tools/lint/analyzer.h"
+#include "tools/lint/cfg.h"
 #include "tools/lint/lexer.h"
+#include "tools/lint/passes/passes.h"
 
 namespace alicoco::lint {
 namespace {
@@ -69,6 +71,25 @@ bool CheckedBoolName(const std::string& name) {
                      [&](const char* p) { return StartsWith(name, p); });
 }
 
+/// std containers that make a by-value member (and so its class) heavy.
+bool HeavyStdContainer(const std::string& name) {
+  static const char* kHeavy[] = {"string",        "vector",   "map",
+                                 "set",           "unordered_map",
+                                 "unordered_set", "multimap", "multiset",
+                                 "deque",         "list"};
+  return std::any_of(std::begin(kHeavy), std::end(kHeavy),
+                     [&](const char* h) { return name == h; });
+}
+
+/// Words that appear in a parameter's type position but never name it.
+bool IsTypeQualifierWord(const std::string& text) {
+  static const char* kWords[] = {"const",   "volatile", "unsigned", "signed",
+                                 "struct",  "class",    "typename", "long",
+                                 "short",   "register", "inline"};
+  return std::any_of(std::begin(kWords), std::end(kWords),
+                     [&](const char* w) { return text == w; });
+}
+
 /// Walks the whole-file token stream once, tracking namespace / class /
 /// function scopes, and fills the structural half of a FileSummary. The
 /// grammar is the pragmatic subset this codebase uses; anything the
@@ -88,7 +109,18 @@ class Extractor {
   void Run() {
     size_t i = 0;
     ParseOuter(&i, /*class_name=*/"", code_.size());
+    std::sort(out_->heavy_classes.begin(), out_->heavy_classes.end());
+    out_->heavy_classes.erase(std::unique(out_->heavy_classes.begin(),
+                                          out_->heavy_classes.end()),
+                              out_->heavy_classes.end());
   }
+
+  /// The comment/directive-free token-pointer stream the extractor walked;
+  /// FunctionBody token indices refer to this stream.
+  const std::vector<const Token*>& code() const { return code_; }
+
+  /// Every function definition found, in source order.
+  std::vector<FunctionBody>& bodies() { return bodies_; }
 
  private:
   const Token* At(size_t i) const {
@@ -255,7 +287,11 @@ class Extractor {
     size_t name_index = 0;   ///< the identifier before the param '('
     size_t body_index = 0;   ///< index of the body '{' when has_body
     size_t end_index = 0;    ///< one past the declaration
+    size_t params_begin = 0;  ///< index of the parameter-list '('
+    size_t params_end = 0;    ///< one past the parameter-list ')'
     bool checked = false;    ///< [[nodiscard]] / Status / Result / bool API
+    bool returns_view = false;  ///< return type mentions string_view/span
+    bool returns_ref = false;   ///< return type is an lvalue reference
     std::string class_qualifier;  ///< Foo for `void Foo::Bar(...)`
   };
 
@@ -274,9 +310,11 @@ class Extractor {
         if (IsPunct(t, "(") && j > start && IsIdent(code_[j - 1])) {
           shape.name_index = j - 1;
           saw_params = true;
+          shape.params_begin = j;
           size_t k = j;
           SkipParens(&k);
           params_end = k;
+          shape.params_end = k;
           j = k;
           continue;
         }
@@ -375,6 +413,16 @@ class Extractor {
         returns_checked_type = true;
       }
       if (IsIdent(code_[k], "bool")) returns_bool = true;
+      if (IsIdent(code_[k], "string_view") || IsIdent(code_[k], "span")) {
+        shape.returns_view = true;
+      }
+      // An lvalue reference return: a lone `&` (the lexer leaves `&&` as
+      // two adjacent single-char puncts, so check both neighbors).
+      if (IsPunct(code_[k], "&") &&
+          !(k > start && IsPunct(code_[k - 1], "&")) &&
+          !IsPunct(At(k + 1), "&")) {
+        shape.returns_ref = true;
+      }
     }
     for (size_t k = params_end; k + 1 < shape.end_index; ++k) {
       if (!IsPunct(code_[k], "->")) continue;
@@ -404,21 +452,122 @@ class Extractor {
     decl.class_name =
         shape.class_qualifier.empty() ? class_name : shape.class_qualifier;
     decl.checked = shape.checked;
+    decl.has_body = shape.has_body;
+    decl.params = ParseParams(shape.params_begin, shape.params_end);
+
+    size_t body_end = shape.body_index;
+    if (shape.has_body) {
+      SkipBraces(&body_end);
+      // `std::move(param)` anywhere in the body sanctions a by-value sink.
+      for (size_t k = shape.body_index; k + 5 < body_end; ++k) {
+        if (IsIdent(code_[k], "std") && IsPunct(code_[k + 1], "::") &&
+            IsIdent(code_[k + 2], "move") && IsPunct(code_[k + 3], "(") &&
+            IsIdent(code_[k + 4])) {
+          for (ParamInfo& p : decl.params) {
+            if (p.name == code_[k + 4]->text) p.moved = true;
+          }
+        }
+      }
+    }
     // Constructors/destructors are not value-returning APIs.
     if (decl.name != decl.class_name) out_->decls.push_back(decl);
 
     if (shape.has_body) {
+      FunctionBody body;
+      body.name = decl.name;
+      body.class_name = decl.class_name;
+      body.line = decl.line;
+      body.decl_begin = start;
+      body.body_begin = shape.body_index;
+      body.body_end = body_end;
+      body.returns_view = shape.returns_view;
+      body.returns_ref = shape.returns_ref;
+      bodies_.push_back(std::move(body));
+
       FunctionSummary fn;
       fn.name = decl.name;
       fn.class_name = decl.class_name;
-      size_t body_end = shape.body_index;
-      SkipBraces(&body_end);
       ParseFunctionBody(shape.body_index, body_end, &fn);
       if (!fn.acquisitions.empty() || !fn.calls.empty()) {
         out_->functions.push_back(std::move(fn));
       }
     }
     *i = shape.end_index;
+  }
+
+  /// Parses the parameter list between `begin` (the '(') and `end` (one
+  /// past the ')') into ParamInfo records. Only the facts the
+  /// param-by-value-heavy pass needs survive: a normalized type name, the
+  /// parameter name, and whether it is passed by value.
+  std::vector<ParamInfo> ParseParams(size_t begin, size_t end) const {
+    std::vector<ParamInfo> params;
+    if (begin + 1 >= end || end > code_.size()) return params;
+    size_t piece_start = begin + 1;
+    int nest = 0;
+    for (size_t j = begin + 1; j < end; ++j) {
+      const Token* t = code_[j];
+      if (IsPunct(t, "(") || IsPunct(t, "{") || IsPunct(t, "[") ||
+          IsPunct(t, "<")) {
+        ++nest;
+      } else if (IsPunct(t, ")") || IsPunct(t, "}") || IsPunct(t, "]") ||
+                 IsPunct(t, ">")) {
+        --nest;
+      }
+      const bool at_end = j + 1 == end;
+      if ((IsPunct(t, ",") && nest == 0) || at_end) {
+        const size_t piece_end = at_end ? j : j;
+        if (piece_end > piece_start) {
+          params.push_back(ParseOneParam(piece_start, piece_end));
+        }
+        piece_start = j + 1;
+      }
+    }
+    return params;
+  }
+
+  ParamInfo ParseOneParam(size_t begin, size_t end) const {
+    ParamInfo param;
+    param.by_value = true;
+    std::vector<std::string> idents;
+    int angle = 0;
+    for (size_t j = begin; j < end; ++j) {
+      const Token* t = code_[j];
+      if (IsPunct(t, "<")) {
+        ++angle;
+        continue;
+      }
+      if (IsPunct(t, ">")) {
+        if (angle > 0) --angle;
+        continue;
+      }
+      if (angle > 0) continue;  // template arguments don't shape the pass
+      if (IsPunct(t, "=")) break;  // default argument
+      if (IsPunct(t, "&") || IsPunct(t, "*") || IsPunct(t, ".")) {
+        // References, pointers, and `...` packs are not by-value copies.
+        param.by_value = false;
+        continue;
+      }
+      if (IsPunct(t, "(") || IsPunct(t, "[")) {
+        // Function pointers / array declarators: out of scope, and never
+        // a silent heavy copy.
+        param.by_value = false;
+        break;
+      }
+      if (!IsIdent(t) || IsTypeQualifierWord(t->text)) continue;
+      if (t->text == "std" && IsPunct(At(j + 1), "::") && IsIdent(At(j + 2))) {
+        idents.push_back("std::" + code_[j + 2]->text);
+        j += 2;
+        continue;
+      }
+      idents.push_back(t->text);
+    }
+    if (idents.size() >= 2) {
+      param.type = idents[idents.size() - 2];
+      param.name = idents.back();
+    } else if (idents.size() == 1) {
+      param.type = idents.front();  // unnamed parameter
+    }
+    return param;
   }
 
   /// Non-function declaration in a class body: mutex members, either
@@ -430,6 +579,20 @@ class Extractor {
       if (IsIdent(code_[k], "Mutex") && IsIdent(code_[k + 1])) {
         out_->mutexes.push_back(MutexMemberDecl{class_name,
                                                 code_[k + 1]->text});
+      }
+      // A by-value std::string / container member makes the class itself
+      // expensive to copy — the param-by-value-heavy pass treats such
+      // classes like std containers.
+      if (IsIdent(code_[k], "std") && IsPunct(At(k + 1), "::") &&
+          IsIdent(At(k + 2)) && HeavyStdContainer(code_[k + 2]->text)) {
+        size_t m = k + 3;
+        if (m < end && IsPunct(code_[m], "<")) {
+          SkipAngles(&m);
+        }
+        // Pointer/reference members don't carry the payload.
+        if (m < end && IsIdent(At(m))) {
+          out_->heavy_classes.push_back(class_name);
+        }
       }
       if ((IsIdent(code_[k], "ALICOCO_GUARDED_BY") ||
            IsIdent(code_[k], "ALICOCO_PT_GUARDED_BY")) &&
@@ -600,6 +763,7 @@ class Extractor {
   }
 
   std::vector<const Token*> code_;
+  std::vector<FunctionBody> bodies_;
   FileSummary* out_;
 };
 
@@ -664,7 +828,7 @@ Result<std::vector<int>> ParseHeld(const std::string& field) {
   return held;
 }
 
-constexpr char kCacheMagic[] = "alicoco_lint_cache_v1";
+constexpr char kCacheMagic[] = "alicoco_lint_cache_v2";
 
 }  // namespace
 
@@ -692,11 +856,6 @@ FileSummary SummarizeSource(const std::string& path,
   for (const auto& rule : RuleRegistry()) {
     rule->Check(file, &summary.findings);
   }
-  std::sort(summary.findings.begin(), summary.findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.line, a.rule, a.message) <
-                     std::tie(b.line, b.rule, b.message);
-            });
   summary.allowances = InlineAllowances(file.tokens);
 
   for (const Token& t : file.tokens) {
@@ -713,8 +872,58 @@ FileSummary SummarizeSource(const std::string& path,
         t.text.substr(open + 1, end - open - 1)});
   }
 
-  Extractor(file.tokens, &summary).Run();
+  Extractor extractor(file.tokens, &summary);
+  extractor.Run();
+
+  // `// lint:hot` markers opt a function into the hot-loop-alloc check
+  // regardless of its path; a marker on the signature line (or up to two
+  // lines above it) or anywhere inside the body counts.
+  std::vector<int> hot_lines;
+  for (const Token& t : file.tokens) {
+    if (t.kind == TokenKind::kComment &&
+        t.text.find("lint:hot") != std::string::npos) {
+      hot_lines.push_back(t.line);
+    }
+  }
+  const std::vector<const Token*>& code = extractor.code();
+  for (FunctionBody& fn : extractor.bodies()) {
+    const int last_line =
+        fn.body_end > 0 && fn.body_end <= code.size()
+            ? code[fn.body_end - 1]->line
+            : fn.line;
+    for (int hot : hot_lines) {
+      if (hot >= fn.line - 2 && hot <= last_line) fn.hot = true;
+    }
+  }
+
+  // The intraprocedural dataflow checks run here — at summarize time — so
+  // their findings live in the summary and ride the content-hash cache
+  // exactly like per-file rule findings.
+  std::vector<Finding> flow =
+      RunFunctionDataflowChecks(path, code, extractor.bodies());
+  summary.findings.insert(summary.findings.end(), flow.begin(), flow.end());
+
+  std::sort(summary.findings.begin(), summary.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule, a.message) <
+                     std::tie(b.line, b.rule, b.message);
+            });
   return summary;
+}
+
+uint64_t AnalyzerCacheVersion() {
+  // Hand-bumped when the FileSummary shape or cache line protocol changes
+  // in a way the tag set alone doesn't reveal.
+  std::string ident = "summary-format-2";
+  for (const auto& rule : RuleRegistry()) {
+    ident.push_back('|');
+    ident.append(rule->id());
+  }
+  for (const PassInfo& pass : PassRegistry()) {
+    ident.push_back('|');
+    ident.append(pass.id);
+  }
+  return HashContent(ident);
 }
 
 const FileSummary* ProjectIndex::Find(const std::string& path) const {
@@ -804,7 +1013,13 @@ Result<ProjectIndex> ProjectIndex::Build(
 }
 
 std::string SerializeSummaries(const std::vector<FileSummary>& files) {
+  // The header carries the analyzer's own fingerprint: a cache written by
+  // an older lint (fewer rules, different summary shape) fails the
+  // comparison below and is discarded wholesale, so an upgraded analyzer
+  // never serves findings it didn't compute.
   std::string out(kCacheMagic);
+  out.push_back(' ');
+  out.append(std::to_string(AnalyzerCacheVersion()));
   out.push_back('\n');
   for (const FileSummary& f : files) {
     out.append("F ");
@@ -847,12 +1062,20 @@ std::string SerializeSummaries(const std::vector<FileSummary>& files) {
       }
     }
     for (const DeclInfo& d : f.decls) {
-      out.append("D " + std::to_string(d.line) +
-                 (d.checked ? " 1 " : " 0 "));
+      out.append("D " + std::to_string(d.line) + (d.checked ? " 1" : " 0") +
+                 (d.has_body ? " 1 " : " 0 "));
       AppendEscaped(d.name, &out);
       out.push_back(' ');
       AppendEscaped(d.class_name, &out);
       out.push_back('\n');
+      for (const ParamInfo& p : d.params) {
+        out.append(std::string("P ") + (p.by_value ? "1" : "0") +
+                   (p.moved ? " 1 " : " 0 "));
+        AppendEscaped(p.type, &out);
+        out.push_back(' ');
+        AppendEscaped(p.name, &out);
+        out.push_back('\n');
+      }
     }
     for (const CallStatement& s : f.call_statements) {
       out.append("S " + std::to_string(s.line) + " ");
@@ -871,6 +1094,11 @@ std::string SerializeSummaries(const std::vector<FileSummary>& files) {
       for (const std::string& rule : rules) out.append(" " + rule);
       out.push_back('\n');
     }
+    for (const std::string& cls : f.heavy_classes) {
+      out.append("H ");
+      AppendEscaped(cls, &out);
+      out.push_back('\n');
+    }
     out.append("E\n");
   }
   return out;
@@ -880,12 +1108,15 @@ Result<std::vector<FileSummary>> DeserializeSummaries(
     const std::string& text) {
   std::istringstream lines(text);
   std::string line;
-  if (!std::getline(lines, line) || line != kCacheMagic) {
-    return Status::Corruption("bad cache magic");
+  const std::string expected_header =
+      std::string(kCacheMagic) + " " + std::to_string(AnalyzerCacheVersion());
+  if (!std::getline(lines, line) || line != expected_header) {
+    return Status::Corruption("cache written by a different analyzer");
   }
   std::vector<FileSummary> files;
   FileSummary* cur = nullptr;
   FunctionSummary* fn = nullptr;
+  DeclInfo* decl = nullptr;
   int lineno = 1;
   auto bad = [&lineno](const std::string& why) {
     return Status::Corruption("cache line " + std::to_string(lineno) + ": " +
@@ -903,6 +1134,7 @@ Result<std::vector<FileSummary>> DeserializeSummaries(
       files.emplace_back();
       cur = &files.back();
       fn = nullptr;
+      decl = nullptr;
       ALICOCO_ASSIGN_OR_RETURN(cur->path, Unescape(path));
       try {
         cur->content_hash = std::stoull(hash);
@@ -915,6 +1147,7 @@ Result<std::vector<FileSummary>> DeserializeSummaries(
     if (tag == "E") {
       cur = nullptr;
       fn = nullptr;
+      decl = nullptr;
     } else if (tag == "I") {
       int ln = 0, angled = 0;
       std::string path;
@@ -968,15 +1201,38 @@ Result<std::vector<FileSummary>> DeserializeSummaries(
       ALICOCO_ASSIGN_OR_RETURN(c.held, ParseHeld(held));
       fn->calls.push_back(std::move(c));
     } else if (tag == "D") {
-      int ln = 0, checked = 0;
+      int ln = 0, checked = 0, has_body = 0;
       std::string name, cls;
-      if (!(fields >> ln >> checked >> name >> cls)) return bad("truncated D");
+      if (!(fields >> ln >> checked >> has_body >> name >> cls)) {
+        return bad("truncated D");
+      }
       DeclInfo d;
       d.line = ln;
       d.checked = checked != 0;
+      d.has_body = has_body != 0;
       ALICOCO_ASSIGN_OR_RETURN(d.name, Unescape(name));
       ALICOCO_ASSIGN_OR_RETURN(d.class_name, Unescape(cls));
       cur->decls.push_back(std::move(d));
+      decl = &cur->decls.back();
+    } else if (tag == "P") {
+      if (decl == nullptr) return bad("P before D");
+      int by_value = 0, moved = 0;
+      std::string type, name;
+      if (!(fields >> by_value >> moved >> type >> name)) {
+        return bad("truncated P");
+      }
+      ParamInfo p;
+      p.by_value = by_value != 0;
+      p.moved = moved != 0;
+      ALICOCO_ASSIGN_OR_RETURN(p.type, Unescape(type));
+      ALICOCO_ASSIGN_OR_RETURN(p.name, Unescape(name));
+      decl->params.push_back(std::move(p));
+    } else if (tag == "H") {
+      std::string cls;
+      if (!(fields >> cls)) return bad("truncated H");
+      std::string unescaped;
+      ALICOCO_ASSIGN_OR_RETURN(unescaped, Unescape(cls));
+      cur->heavy_classes.push_back(std::move(unescaped));
     } else if (tag == "S") {
       int ln = 0;
       std::string callee;

@@ -77,6 +77,19 @@ struct CallInfo {
   std::vector<int> held;
 };
 
+/// One parameter of a function declaration, as the param-by-value-heavy
+/// pass needs it. `type` is the normalized type name with qualifiers and
+/// template arguments stripped ("std::string", "ConceptNode"); `by_value`
+/// is false for references, pointers, and rvalue references.
+struct ParamInfo {
+  std::string type;
+  std::string name;
+  bool by_value = false;
+  /// Definition sites only: the body contains `std::move(<name>)`, which
+  /// sanctions the by-value sink pattern.
+  bool moved = false;
+};
+
 /// A function declaration or definition seen at class or namespace scope.
 struct DeclInfo {
   int line = 0;
@@ -85,6 +98,9 @@ struct DeclInfo {
   /// Return value must not be ignored: [[nodiscard]], or a Status/Result
   /// return, or a bool-returning Load/Save/Parse/Read/Write-style API.
   bool checked = false;
+  /// This declaration carries a body (it is the definition).
+  bool has_body = false;
+  std::vector<ParamInfo> params;
 };
 
 /// A statement that consists of nothing but a call — the shape that
@@ -113,6 +129,9 @@ struct FileSummary {
   std::vector<Finding> findings;  ///< per-file rule findings, unsuppressed
   /// line -> rules allowed there via inline `lint:allow(...)` comments.
   std::map<int, std::set<std::string>> allowances;
+  /// Classes declared here that own a string/container member — they copy
+  /// heavily, so param-by-value-heavy treats them like std containers.
+  std::vector<std::string> heavy_classes;
 };
 
 /// Injectable cost clock. The index charges units of simulated time as
@@ -145,6 +164,13 @@ struct IndexStats {
 
 /// FNV-1a 64-bit, the cache's change detector.
 uint64_t HashContent(const std::string& contents);
+
+/// A fingerprint of the analyzer itself: the hash of every rule id, every
+/// pass id, and a hand-bumped summary-format revision. Part of the cache
+/// header, so upgrading the lint binary (new rule, new pass, changed
+/// summary shape) invalidates every cached FileSummary instead of serving
+/// findings computed by an older analyzer.
+uint64_t AnalyzerCacheVersion();
 
 /// Lexes `contents` once and extracts the full FileSummary, running every
 /// per-file registry rule along the way. Exposed for unit tests; Build is

@@ -1,0 +1,107 @@
+// param-by-value-heavy: a by-value parameter of a known-heavy type crosses
+// a function boundary as a full copy. Heavy means std::string or a std
+// container, or a project class the index saw declare a container/string
+// member. Like discarded-result, the pass demands unanimity: a parameter
+// is flagged only when every declaration of that (class, function) agrees
+// it is by-value and heavy. A parameter the definition body std::moves is
+// a sanctioned sink-by-value and stays silent.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/passes/passes.h"
+
+namespace alicoco::lint {
+namespace {
+
+bool IsStdHeavy(const std::string& type) {
+  static const std::set<std::string> kHeavy = {
+      "string",        "vector",   "map",      "set",
+      "unordered_map", "unordered_set", "multimap", "multiset",
+      "deque",         "list"};
+  // Types arrive normalized by the extractor: "std::vector", "std::string".
+  if (type.rfind("std::", 0) != 0) return false;
+  return kHeavy.count(type.substr(5)) != 0;
+}
+
+struct Site {
+  const FileSummary* file = nullptr;
+  const DeclInfo* decl = nullptr;
+};
+
+}  // namespace
+
+std::vector<Finding> RunParamByValuePass(const ProjectIndex& index) {
+  // Every class anywhere in the project that the extractor judged heavy.
+  std::set<std::string> heavy_classes;
+  for (const FileSummary& file : index.files()) {
+    heavy_classes.insert(file.heavy_classes.begin(),
+                         file.heavy_classes.end());
+  }
+  auto is_heavy = [&heavy_classes](const std::string& type) {
+    return IsStdHeavy(type) || heavy_classes.count(type) != 0;
+  };
+
+  // Group every declaration of the same (class, function).
+  std::map<std::string, std::vector<Site>> groups;
+  for (const FileSummary& file : index.files()) {
+    for (const DeclInfo& decl : file.decls) {
+      if (decl.name == "main") continue;
+      groups[decl.class_name + "::" + decl.name].push_back(
+          Site{&file, &decl});
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (auto& [key, sites] : groups) {
+    (void)key;
+    const size_t nparams = sites.front().decl->params.size();
+    // Overload sets with differing arity can't be told apart by name; the
+    // unanimity rule makes them silent automatically (param counts differ,
+    // so some site lacks the index and agreement fails).
+    bool arity_agrees = true;
+    for (const Site& s : sites) {
+      if (s.decl->params.size() != nparams) arity_agrees = false;
+    }
+    if (!arity_agrees) continue;
+
+    // The reporting site: the definition when one exists, else the first
+    // site in deterministic (file, line) order.
+    const Site* report_at = nullptr;
+    for (const Site& s : sites) {
+      if (s.decl->has_body) {
+        report_at = &s;
+        break;
+      }
+    }
+    if (report_at == nullptr) report_at = &sites.front();
+
+    for (size_t i = 0; i < nparams; ++i) {
+      bool unanimous = true;
+      bool moved = false;
+      for (const Site& s : sites) {
+        const ParamInfo& p = s.decl->params[i];
+        if (!p.by_value || !is_heavy(p.type)) unanimous = false;
+        if (s.decl->has_body && p.moved) moved = true;
+      }
+      if (!unanimous || moved) continue;
+      const ParamInfo& p = report_at->decl->params[i];
+      const std::string qualified = report_at->decl->class_name.empty()
+                                        ? report_at->decl->name
+                                        : report_at->decl->class_name +
+                                              "::" + report_at->decl->name;
+      findings.push_back(Finding{
+          report_at->file->path, report_at->decl->line,
+          "param-by-value-heavy",
+          "parameter '" + p.name + "' of '" + qualified + "' takes " +
+              p.type +
+              " by value; pass by const reference (or std::move it into a "
+              "member to keep the sink)"});
+    }
+  }
+  return findings;
+}
+
+}  // namespace alicoco::lint

@@ -19,6 +19,18 @@ const std::vector<PassInfo>& PassRegistry() {
       {"discarded-result",
        "ignoring a Status/Result/[[nodiscard]] return silently swallows "
        "the error path"},
+      {"use-after-move",
+       "reading a moved-from object on any path is at best empty data and "
+       "at worst undefined behavior"},
+      {"dangling-view",
+       "a string_view or span that outlives the buffer it points into is a "
+       "use-after-free in slow motion"},
+      {"hot-loop-alloc",
+       "an allocation per iteration on the embedding/matching/pipeline hot "
+       "path turns O(n) work into O(n) malloc traffic"},
+      {"param-by-value-heavy",
+       "passing a string or container by value copies it at every call "
+       "site; sinks should std::move, everything else takes const&"},
   };
   return kPasses;
 }
@@ -30,10 +42,30 @@ std::vector<Finding> RunAllPasses(const ProjectIndex& index,
   findings.insert(findings.end(), locks.begin(), locks.end());
   std::vector<Finding> discards = RunDiscardedResultPass(index);
   findings.insert(findings.end(), discards.begin(), discards.end());
+  std::vector<Finding> copies = RunParamByValuePass(index);
+  findings.insert(findings.end(), copies.begin(), copies.end());
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.file, a.line, a.rule, a.message) <
                      std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return findings;
+}
+
+std::vector<Finding> RunFunctionDataflowChecks(
+    const std::string& path, const std::vector<const Token*>& code,
+    const std::vector<FunctionBody>& functions) {
+  std::vector<Finding> findings;
+  for (const FunctionBody& fn : functions) {
+    const Cfg cfg = BuildCfg(code, fn.body_begin, fn.body_end);
+    CheckUseAfterMove(path, code, fn, cfg, &findings);
+    CheckDanglingView(path, code, fn, cfg, &findings);
+    CheckHotLoopAlloc(path, code, fn, cfg, &findings);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule, a.message) <
+                     std::tie(b.line, b.rule, b.message);
             });
   return findings;
 }

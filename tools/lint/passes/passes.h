@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "tools/lint/cfg.h"
 #include "tools/lint/graph.h"
 #include "tools/lint/index.h"
 #include "tools/lint/rules.h"
@@ -51,10 +52,57 @@ std::vector<Finding> RunLockOrderPass(const ProjectIndex& index);
 /// Opt out at a call site by casting to void.
 std::vector<Finding> RunDiscardedResultPass(const ProjectIndex& index);
 
-/// Runs all passes in registry order and returns the merged findings
-/// sorted by (file, line, rule, message).
+/// Pass 4 — param-by-value-heavy. Flags by-value parameters of known-heavy
+/// types (std::string, containers, and project classes the index saw
+/// declare container/string members) crossing function boundaries.
+/// Unanimity over every declaration of a (class, function) pair, and a
+/// parameter the definition body std::moves is a sanctioned sink and stays
+/// silent.
+std::vector<Finding> RunParamByValuePass(const ProjectIndex& index);
+
+/// Runs all cross-file passes in registry order and returns the merged
+/// findings sorted by (file, line, rule, message).
 std::vector<Finding> RunAllPasses(const ProjectIndex& index,
                                   const Layers& layers);
+
+// ---------------------------------------------------------------------------
+// Intraprocedural dataflow checks.
+//
+// These run at summarize time (per file), so their findings are stored in
+// the FileSummary and ride the content-hash cache exactly like per-file
+// rule findings. Each check consumes the function's CFG; none of them
+// reports anything on a function whose CFG builder fell back.
+
+/// use-after-move: `std::move(x)` poisons `x` until it is reassigned /
+/// cleared / rebound; a use while poisoned on ANY path (merged over
+/// branches and loop back-edges) is a finding.
+void CheckUseAfterMove(const std::string& path,
+                       const std::vector<const Token*>& code,
+                       const FunctionBody& fn, const Cfg& cfg,
+                       std::vector<Finding>* out);
+
+/// dangling-view: a string_view/span bound to a temporary or to a local
+/// that dies before the view, and `return view-of-local` /
+/// `return local` from a view- or reference-returning function.
+void CheckDanglingView(const std::string& path,
+                       const std::vector<const Token*>& code,
+                       const FunctionBody& fn, const Cfg& cfg,
+                       std::vector<Finding>* out);
+
+/// hot-loop-alloc: heap allocation, std container construction, or
+/// un-reserve()d push_back growth inside a loop, in hot-path files
+/// (src/nn, src/matching, src/pipeline) or functions marked `// lint:hot`.
+void CheckHotLoopAlloc(const std::string& path,
+                       const std::vector<const Token*>& code,
+                       const FunctionBody& fn, const Cfg& cfg,
+                       std::vector<Finding>* out);
+
+/// Driver used by SummarizeSource: builds each function's CFG once and
+/// runs the three checks above, returning findings sorted by
+/// (line, rule, message).
+std::vector<Finding> RunFunctionDataflowChecks(
+    const std::string& path, const std::vector<const Token*>& code,
+    const std::vector<FunctionBody>& functions);
 
 }  // namespace alicoco::lint
 
