@@ -34,7 +34,9 @@ class ThreadPool {
  public:
   /// Starts `num_threads` workers (>= 1).
   explicit ThreadPool(size_t num_threads);
-  ~ThreadPool();
+  /// Drains the queue, signals shutdown under mu_, and joins the workers;
+  /// must not be entered with mu_ held or the workers deadlock on it.
+  ~ThreadPool() ALICOCO_EXCLUDES(mu_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;

@@ -144,9 +144,13 @@ FileLogSink::~FileLogSink() = default;
 Status FileLogSink::status() const { return status_; }
 
 void FileLogSink::Write(const LogRecord& record) {
+  // Format outside the critical section: the lock only needs to cover the
+  // stream write, not the string assembly, and Write is called from every
+  // logging thread at once.
+  const std::string line = Logger::FormatRecord(record);
   MutexLock lock(mu_);
   if (!out_.is_open()) return;
-  out_ << Logger::FormatRecord(record) << "\n";
+  out_ << line << "\n";
   out_.flush();
 }
 

@@ -1,0 +1,47 @@
+// lint-fixture: blocking-under-lock. Nap blocks directly (seeded sleep)
+// under mu_; Publish reaches fwrite through WriteLog one hop down;
+// Collect reaches a thread join two hops down, and JoinWorkers itself is
+// flagged because its only caller holds the lock on entry. Drain's
+// cv_.Wait(mu_) is the sanctioned condition-wait idiom, and Flush blocks
+// with no lock held — both stay clean.
+#ifndef ALICOCO_NET_SERVER_H_
+#define ALICOCO_NET_SERVER_H_
+
+class Server {
+ public:
+  void Publish(int v) {
+    MutexLock lock(mu_);
+    queue_ += v;
+    WriteLog();
+  }
+
+  void Drain() {
+    MutexLock lock(mu_);
+    while (queue_ != 0) cv_.Wait(mu_);
+  }
+
+  void Flush() { WriteLog(); }
+
+  void Nap() {
+    MutexLock lock(mu_);
+    sleep(1);
+  }
+
+  void Collect() {
+    MutexLock lock(mu_);
+    JoinWorkers();
+  }
+
+ private:
+  void WriteLog() { fwrite(buf_, 1, 4, log_); }
+  void JoinWorkers() { worker_.join(); }
+
+  Mutex mu_;
+  CondVar cv_;  // waits on mu_; signalled when queue_ drains
+  int queue_ ALICOCO_GUARDED_BY(mu_) = 0;
+  char buf_[4];
+  FilePtr log_;
+  Thread worker_;
+};
+
+#endif  // ALICOCO_NET_SERVER_H_

@@ -1,0 +1,22 @@
+// lint-fixture: the clean deep chain. Every observed caller of Step holds
+// mu_, and Step is Bump's only caller, so the guard flows two unannotated
+// hops down to the increment — no finding anywhere.
+#ifndef ALICOCO_STORE_DEEP_H_
+#define ALICOCO_STORE_DEEP_H_
+
+class Meter {
+ public:
+  void Tick() {
+    MutexLock lock(mu_);
+    Step();
+  }
+
+ private:
+  void Step() { Bump(); }
+  void Bump() { ++count_; }
+
+  Mutex mu_;
+  int count_ ALICOCO_GUARDED_BY(mu_) = 0;
+};
+
+#endif  // ALICOCO_STORE_DEEP_H_

@@ -1,0 +1,34 @@
+// lint-fixture: interprocedural GUARDED_BY enforcement. Peek reads the
+// guarded member with no lock on any path; FlushLocked is reached both
+// with and without the lock (Flush vs Drop), so its entry set collapses
+// to empty and the write inside it is flagged. Put, Sum (REQUIRES), and
+// Flush are the clean near-misses.
+#ifndef ALICOCO_STORE_STORE_H_
+#define ALICOCO_STORE_STORE_H_
+
+class Store {
+ public:
+  void Put(int v) {
+    MutexLock lock(mu_);
+    items_ += v;
+  }
+
+  int Peek() const { return items_; }
+
+  int Sum() const ALICOCO_REQUIRES(mu_) { return items_; }
+
+  void Flush() {
+    MutexLock lock(mu_);
+    FlushLocked();
+  }
+
+  void Drop() { FlushLocked(); }
+
+ private:
+  void FlushLocked() { items_ = 0; }
+
+  Mutex mu_;
+  int items_ ALICOCO_GUARDED_BY(mu_) = 0;
+};
+
+#endif  // ALICOCO_STORE_STORE_H_

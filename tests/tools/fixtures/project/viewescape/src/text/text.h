@@ -1,0 +1,28 @@
+// lint-fixture: view-escapes-call. First returns a view of its by-value
+// owner parameter (callee-side); Name and Tag return views through Head
+// into a local and a temporary (caller-side, the dangle spans the call
+// boundary). Label forwards a caller-owned reference and Trim is the
+// view-of-a-view idiom — both stay clean.
+#ifndef ALICOCO_TEXT_TEXT_H_
+#define ALICOCO_TEXT_TEXT_H_
+
+inline std::string_view Head(const std::string& s) {
+  return std::string_view(s.data(), 1);
+}
+
+inline std::string_view First(std::string s) { return std::string_view(s); }
+
+inline std::string_view Name() {
+  std::string local = MakeName();
+  return Head(local);
+}
+
+inline std::string_view Tag() { return Head(std::string("tag")); }
+
+inline std::string_view Label(const std::string& stable) {
+  return Head(stable);
+}
+
+inline std::string_view Trim(std::string_view v) { return v; }
+
+#endif  // ALICOCO_TEXT_TEXT_H_

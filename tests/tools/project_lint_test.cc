@@ -14,6 +14,7 @@
 #include "tools/lint/analyzer.h"
 #include "tools/lint/graph.h"
 #include "tools/lint/index.h"
+#include "tools/lint/passes/interproc.h"
 #include "tools/lint/passes/passes.h"
 #include "tools/lint/sarif.h"
 
@@ -98,6 +99,36 @@ TEST(DigraphTest, AcyclicGraphHasNoCycles) {
   g.AddEdge("b", "c", {"b.h", 1});
   g.AddEdge("a", "c", {"a.h", 2});
   EXPECT_TRUE(g.Cycles().empty());
+}
+
+TEST(DigraphTest, StronglyConnectedComponentsEmitCalleesFirst) {
+  Digraph g;
+  g.AddEdge("a", "b", {"a.h", 1});
+  g.AddEdge("b", "c", {"b.h", 1});
+  g.AddEdge("c", "a", {"c.h", 1});  // three-way recursion: one component
+  g.AddEdge("d", "a", {"d.h", 1});  // d calls into the cycle
+  g.AddEdge("e", "e", {"e.h", 1});  // self-recursion
+  g.AddEdge("f", "g", {"f.h", 1});  // mutual recursion...
+  g.AddEdge("g", "f", {"g.h", 1});
+  g.AddEdge("g", "e", {"g.h", 2});  // ...that calls the self-loop
+  const auto sccs = g.StronglyConnectedComponents();
+  auto where = [&](const std::string& node) {
+    for (size_t i = 0; i < sccs.size(); ++i) {
+      if (std::find(sccs[i].begin(), sccs[i].end(), node) != sccs[i].end()) {
+        return i;
+      }
+    }
+    ADD_FAILURE() << "node " << node << " missing from the condensation";
+    return sccs.size();
+  };
+  EXPECT_EQ(sccs.size(), 4u);
+  EXPECT_EQ(where("a"), where("b"));
+  EXPECT_EQ(where("a"), where("c"));
+  EXPECT_EQ(where("f"), where("g"));
+  // Callees-first: a bottom-up sweep sees a component only after every
+  // component it calls into.
+  EXPECT_LT(where("a"), where("d"));
+  EXPECT_LT(where("e"), where("f"));
 }
 
 // ---------------------------------------------------------------------------
@@ -191,6 +222,134 @@ TEST(SummarizeSourceTest, RecordsBareCallStatementsOnly) {
   EXPECT_EQ(callees, (std::vector<std::string>{"LoadThing", "Save", "Next"}));
 }
 
+TEST(SummarizeSourceTest, ExtractsGuardedMembersRequiresAndViewEscapes) {
+  const std::string src =
+      "#ifndef ALICOCO_A_GUARD_H_\n"
+      "#define ALICOCO_A_GUARD_H_\n"
+      "class Box {\n"
+      " public:\n"
+      "  int Read() const ALICOCO_REQUIRES(mu_) { return items_; }\n"
+      "  void Bump() {\n"
+      "    MutexLock lock(mu_);\n"
+      "    items_ += 1;\n"
+      "  }\n"
+      " private:\n"
+      "  Mutex mu_;\n"
+      "  int items_ ALICOCO_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "inline std::string_view Half(const std::string& s) {\n"
+      "  return std::string_view(s.data(), 1);\n"
+      "}\n"
+      "inline std::string_view Top() {\n"
+      "  std::string owner = MakeName();\n"
+      "  return Half(owner);\n"
+      "}\n"
+      "#endif  // ALICOCO_A_GUARD_H_\n";
+  FileSummary s = SummarizeSource("src/a/guard.h", src);
+
+  ASSERT_EQ(s.guarded_members.size(), 1u);
+  EXPECT_EQ(s.guarded_members[0].class_name, "Box");
+  EXPECT_EQ(s.guarded_members[0].member, "items_");
+  EXPECT_EQ(s.guarded_members[0].mutex, "mu_");
+
+  auto fn = [&](const std::string& name) -> const FunctionSummary* {
+    for (const FunctionSummary& f : s.functions) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  };
+  const FunctionSummary* read = fn("Read");
+  ASSERT_NE(read, nullptr);
+  ASSERT_EQ(read->member_refs.size(), 1u);
+  EXPECT_EQ(read->member_refs[0].name, "items_");
+  EXPECT_TRUE(read->member_refs[0].held.empty());  // contract, not a lock
+  const FunctionSummary* bump = fn("Bump");
+  ASSERT_NE(bump, nullptr);
+  ASSERT_EQ(bump->member_refs.size(), 1u);
+  EXPECT_EQ(bump->member_refs[0].held, (std::vector<int>{0}));
+  const FunctionSummary* top = fn("Top");
+  ASSERT_NE(top, nullptr);
+  ASSERT_EQ(top->view_returns.size(), 1u);
+  EXPECT_EQ(top->view_returns[0].callee, "Half");
+  ASSERT_EQ(top->view_returns[0].args.size(), 1u);
+  EXPECT_EQ(top->view_returns[0].args[0].owner, "owner");
+  EXPECT_FALSE(top->view_returns[0].args[0].is_temp);
+
+  auto decl = [&](const std::string& name) -> const DeclInfo* {
+    for (const DeclInfo& d : s.decls) {
+      if (d.name == name) return &d;
+    }
+    return nullptr;
+  };
+  const DeclInfo* read_decl = decl("Read");
+  ASSERT_NE(read_decl, nullptr);
+  EXPECT_EQ(read_decl->requires_locks, (std::vector<std::string>{"mu_"}));
+  const DeclInfo* half = decl("Half");
+  ASSERT_NE(half, nullptr);
+  ASSERT_EQ(half->params.size(), 1u);
+  EXPECT_FALSE(half->params[0].by_value);
+  EXPECT_TRUE(half->params[0].escapes_return);
+}
+
+// ---------------------------------------------------------------------------
+// The interprocedural tier
+
+TEST(InterprocTest, BlockingSeedTableSplitsSeededFromPropagated) {
+  // The seed table is the ground truth for what blocks directly.
+  EXPECT_STREQ(BlockingSeedKind("fwrite"), "file I/O");
+  EXPECT_STREQ(BlockingSeedKind("fprintf"), "file I/O");
+  EXPECT_STREQ(BlockingSeedKind("sleep_for"), "sleep");
+  EXPECT_STREQ(BlockingSeedKind("Wait"), "condition-variable wait");
+  EXPECT_STREQ(BlockingSeedKind("join"), "thread join");
+  EXPECT_STREQ(BlockingSeedKind("malloc"), "unbounded allocation");
+  EXPECT_EQ(BlockingSeedKind("Compute"), nullptr);
+  EXPECT_EQ(BlockingSeedKind("push_back"), nullptr);
+  EXPECT_TRUE(IsWaitSeedKind(BlockingSeedKind("wait_for")));
+  EXPECT_FALSE(IsWaitSeedKind(BlockingSeedKind("join")));
+  EXPECT_FALSE(IsWaitSeedKind(nullptr));
+
+  // Everything else is propagation, witnessed by the evidence chain.
+  ProjectIndex::Options options;
+  auto index = ProjectIndex::Build(
+      FixtureRoot("blockinglock").generic_string(), {"src"}, options);
+  ASSERT_TRUE(index.ok());
+  const Interproc ip = Interproc::Build(*index);
+  EXPECT_TRUE(ip.MayBlock("Server::WriteLog"));  // seeded: calls fwrite
+  EXPECT_EQ(ip.BlockKind("Server::WriteLog"), "file I/O");
+  EXPECT_EQ(ip.BlockChain("Server::WriteLog"),
+            (std::vector<std::string>{"Server::WriteLog", "fwrite"}));
+  EXPECT_TRUE(ip.MayBlock("Server::Publish"));  // propagated one hop
+  EXPECT_EQ(ip.BlockChain("Server::Publish"),
+            (std::vector<std::string>{"Server::Publish", "Server::WriteLog",
+                                      "fwrite"}));
+  EXPECT_TRUE(ip.MayBlock("Server::Collect"));  // propagated two hops
+  EXPECT_EQ(ip.BlockKind("Server::Collect"), "thread join");
+}
+
+TEST(InterprocTest, EntryHeldPropagatesThroughUnannotatedCalls) {
+  ProjectIndex::Options options;
+  auto index = ProjectIndex::Build(FixtureRoot("guardedby").generic_string(),
+                                   {"src"}, options);
+  ASSERT_TRUE(index.ok());
+  const Interproc ip = Interproc::Build(*index);
+  // Tick holds mu_ around Step, and Step is Bump's only caller: the lock
+  // flows two unannotated hops down.
+  EXPECT_EQ(ip.EntryHeld("Meter::Step"),
+            (std::set<std::string>{"Meter::mu_"}));
+  EXPECT_EQ(ip.EntryHeld("Meter::Bump"),
+            (std::set<std::string>{"Meter::mu_"}));
+  // FlushLocked is reached with the lock (Flush) and without it (Drop);
+  // the call-site meet collapses to empty.
+  EXPECT_TRUE(ip.EntryHeld("Store::FlushLocked").empty());
+  // No observed callers: the REQUIRES contract alone carries the lock.
+  EXPECT_EQ(ip.RequiresOf("Store::Sum"),
+            (std::set<std::string>{"Store::mu_"}));
+  EXPECT_EQ(ip.EntryHeld("Store::Sum"),
+            (std::set<std::string>{"Store::mu_"}));
+  // Uncalled public functions are never assumed to run under a lock.
+  EXPECT_TRUE(ip.EntryHeld("Store::Peek").empty());
+}
+
 // ---------------------------------------------------------------------------
 // Fixture goldens: one mini-tree per pass
 
@@ -211,7 +370,8 @@ INSTANTIATE_TEST_SUITE_P(AllFixtures, ProjectFixtureTest,
                          ::testing::Values("cycle", "layering", "lockorder",
                                            "nodiscard", "useaftermove",
                                            "danglingview", "hotloop",
-                                           "paramheavy"));
+                                           "paramheavy", "guardedby",
+                                           "blockinglock", "viewescape"));
 
 // ---------------------------------------------------------------------------
 // SARIF
@@ -333,6 +493,87 @@ TEST(ProjectIndexTest, SummariesSurviveSerialization) {
     EXPECT_EQ(a.findings.size(), b.findings.size());
     EXPECT_EQ(a.allowances, b.allowances);
   }
+}
+
+TEST(ProjectIndexTest, InterprocSummaryFieldsSurviveSerialization) {
+  for (const char* fixture : {"guardedby", "blockinglock", "viewescape"}) {
+    ProjectIndex::Options options;
+    auto index = ProjectIndex::Build(FixtureRoot(fixture).generic_string(),
+                                     {"src"}, options);
+    ASSERT_TRUE(index.ok());
+    auto round = DeserializeSummaries(SerializeSummaries(index->files()));
+    ASSERT_TRUE(round.ok()) << fixture << ": " << round.status().ToString();
+    ASSERT_EQ(round->size(), index->files().size());
+    for (size_t i = 0; i < round->size(); ++i) {
+      const FileSummary& a = index->files()[i];
+      const FileSummary& b = (*round)[i];
+      ASSERT_EQ(a.guarded_members.size(), b.guarded_members.size());
+      for (size_t j = 0; j < a.guarded_members.size(); ++j) {
+        EXPECT_EQ(a.guarded_members[j].class_name,
+                  b.guarded_members[j].class_name);
+        EXPECT_EQ(a.guarded_members[j].member, b.guarded_members[j].member);
+        EXPECT_EQ(a.guarded_members[j].mutex, b.guarded_members[j].mutex);
+      }
+      ASSERT_EQ(a.functions.size(), b.functions.size());
+      for (size_t j = 0; j < a.functions.size(); ++j) {
+        const FunctionSummary& fa = a.functions[j];
+        const FunctionSummary& fb = b.functions[j];
+        ASSERT_EQ(fa.calls.size(), fb.calls.size());
+        for (size_t k = 0; k < fa.calls.size(); ++k) {
+          EXPECT_EQ(fa.calls[k].arg0, fb.calls[k].arg0);
+          EXPECT_EQ(fa.calls[k].held, fb.calls[k].held);
+        }
+        ASSERT_EQ(fa.member_refs.size(), fb.member_refs.size());
+        for (size_t k = 0; k < fa.member_refs.size(); ++k) {
+          EXPECT_EQ(fa.member_refs[k].line, fb.member_refs[k].line);
+          EXPECT_EQ(fa.member_refs[k].name, fb.member_refs[k].name);
+          EXPECT_EQ(fa.member_refs[k].held, fb.member_refs[k].held);
+        }
+        ASSERT_EQ(fa.view_returns.size(), fb.view_returns.size());
+        for (size_t k = 0; k < fa.view_returns.size(); ++k) {
+          EXPECT_EQ(fa.view_returns[k].line, fb.view_returns[k].line);
+          EXPECT_EQ(fa.view_returns[k].callee, fb.view_returns[k].callee);
+          ASSERT_EQ(fa.view_returns[k].args.size(),
+                    fb.view_returns[k].args.size());
+          for (size_t m = 0; m < fa.view_returns[k].args.size(); ++m) {
+            EXPECT_EQ(fa.view_returns[k].args[m].owner,
+                      fb.view_returns[k].args[m].owner);
+            EXPECT_EQ(fa.view_returns[k].args[m].is_temp,
+                      fb.view_returns[k].args[m].is_temp);
+          }
+        }
+      }
+      ASSERT_EQ(a.decls.size(), b.decls.size());
+      for (size_t j = 0; j < a.decls.size(); ++j) {
+        EXPECT_EQ(a.decls[j].requires_locks, b.decls[j].requires_locks);
+        ASSERT_EQ(a.decls[j].params.size(), b.decls[j].params.size());
+        for (size_t k = 0; k < a.decls[j].params.size(); ++k) {
+          EXPECT_EQ(a.decls[j].params[k].escapes_return,
+                    b.decls[j].params[k].escapes_return);
+        }
+      }
+    }
+  }
+}
+
+TEST(ProjectIndexTest, OlderCacheFormatIsDiscardedNotTrusted) {
+  fs::path root = CloneFixture("guardedby", "v2cache");
+  std::string cache = (root / "cache.bin").generic_string();
+  ProjectIndex::Options options;
+  options.cache_path = cache;
+  auto cold = ProjectIndex::Build(root.generic_string(), {"src"}, options);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->stats().lexed, 2u);
+  {
+    // A v2-era cache: older magic, otherwise plausible content. The
+    // summary shape changed in v3, so it must be re-lexed, not parsed.
+    std::ofstream clobber(cache, std::ios::trunc);
+    clobber << "alicoco_lint_cache_v2 " << AnalyzerCacheVersion() << "\n";
+  }
+  auto rebuilt = ProjectIndex::Build(root.generic_string(), {"src"}, options);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->stats().lexed, 2u);
+  EXPECT_EQ(rebuilt->stats().cache_hits, 0u);
 }
 
 TEST(ProjectIndexTest, WarmRunIsAtLeastFiveTimesFasterThanCold) {

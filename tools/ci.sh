@@ -33,6 +33,15 @@ cmake --preset default >/dev/null
 cmake --build --preset default -j "${JOBS}"
 ctest --preset default
 
+step "analyzer self-bench gate"
+# Cold vs warm analysis of the real tree on the simulated cost clock, plus
+# the interprocedural-tier cost, compared against the committed baseline.
+# Figures are machine-independent (simulated clock), so the ratio is tight.
+mkdir -p build/obs
+build/tools/lint/alicoco_lint --root . --project src \
+  --self-bench build/obs/BENCH_lint.json \
+  --bench-baseline tools/lint/BENCH_lint.json --max-regress 0.25
+
 step "pipeline profile gate"
 # Re-runs the instrumented bench pipeline and compares per-stage wall time
 # against the committed baseline; a stage beyond 2x baseline + slack fails.

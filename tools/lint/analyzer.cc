@@ -204,8 +204,13 @@ Result<ProjectReport> AnalyzeProject(const std::string& root,
     findings.insert(findings.end(), file.findings.begin(),
                     file.findings.end());
   }
-  std::vector<Finding> pass_findings = RunAllPasses(index, layers);
+  InterprocStats interproc_stats;
+  std::vector<Finding> pass_findings =
+      RunAllPasses(index, layers, &interproc_stats);
   findings.insert(findings.end(), pass_findings.begin(), pass_findings.end());
+  if (options.cost_clock != nullptr) {
+    options.cost_clock->AdvanceUs(interproc_stats.cost_us);
+  }
 
   std::set<std::string> changed(index.changed().begin(),
                                 index.changed().end());
@@ -231,6 +236,7 @@ Result<ProjectReport> AnalyzeProject(const std::string& root,
   ProjectReport report;
   report.findings = std::move(findings);
   report.stats = index.stats();
+  report.interproc = interproc_stats;
   return report;
 }
 

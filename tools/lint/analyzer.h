@@ -18,6 +18,7 @@
 
 #include "common/status.h"
 #include "tools/lint/index.h"
+#include "tools/lint/passes/interproc.h"
 #include "tools/lint/rules.h"
 
 namespace alicoco::lint {
@@ -84,6 +85,10 @@ struct ProjectReport {
   /// suppression-filtered, sorted by (file, line, rule, message).
   std::vector<Finding> findings;
   IndexStats stats;
+  /// Size/cost counters of the interprocedural tier (call-graph
+  /// condensation + fixpoints); its cost_us is also charged to the
+  /// options cost clock.
+  InterprocStats interproc;
 };
 
 /// Builds the ProjectIndex for `<root>/<project_dir>`, runs every

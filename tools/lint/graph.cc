@@ -55,7 +55,8 @@ const std::set<std::string>& Digraph::Successors(
 }
 
 // Tarjan over the sorted adjacency; component node lists come out sorted.
-std::vector<std::vector<std::string>> Digraph::StronglyConnected() const {
+std::vector<std::vector<std::string>> Digraph::StronglyConnectedComponents()
+    const {
   struct State {
     int index = -1;
     int lowlink = 0;
@@ -139,7 +140,7 @@ std::vector<std::string> Digraph::CycleThrough(
 
 std::vector<std::vector<std::string>> Digraph::Cycles() const {
   std::vector<std::vector<std::string>> cycles;
-  for (const std::vector<std::string>& scc : StronglyConnected()) {
+  for (const std::vector<std::string>& scc : StronglyConnectedComponents()) {
     if (scc.size() == 1 && !HasEdge(scc[0], scc[0])) continue;
     if (scc.size() == 1) {
       cycles.push_back({scc[0], scc[0]});

@@ -52,8 +52,15 @@ class Digraph {
   /// back), and the list is sorted by that first node.
   std::vector<std::vector<std::string>> Cycles() const;
 
+  /// Tarjan's strongly connected components, each sorted internally, in
+  /// emission order: a component is emitted only after every component it
+  /// has edges into (reverse topological order of the condensation). The
+  /// interprocedural lint tier leans on that order directly — walking the
+  /// components forward visits callees before callers (bottom-up summary
+  /// propagation), walking them backward visits callers first.
+  std::vector<std::vector<std::string>> StronglyConnectedComponents() const;
+
  private:
-  std::vector<std::vector<std::string>> StronglyConnected() const;
   std::vector<std::string> CycleThrough(const std::string& start,
                                         const std::set<std::string>& scc)
       const;

@@ -81,6 +81,28 @@ bool HeavyStdContainer(const std::string& name) {
                      [&](const char* h) { return name == h; });
 }
 
+/// std types whose locals/by-value params own their payload — a view
+/// into one dies with it. `std::array` is aggregated in because a view
+/// into a dead array is just as dangling, heavy or not.
+bool OwnerStdType(const std::string& name) {
+  return HeavyStdContainer(name) || name == "array";
+}
+
+/// The normalized param types ParseOneParam produces for owners.
+bool OwnerParamType(const std::string& type) {
+  return StartsWith(type, "std::") && OwnerStdType(type.substr(5));
+}
+
+/// ALICOCO_GUARDED_BY and friends: all-caps project annotation macros
+/// that take arguments at declaration position.
+bool IsAnnotationMacro(const std::string& name) {
+  if (!StartsWith(name, "ALICOCO_")) return false;
+  for (char c : name) {
+    if (c >= 'a' && c <= 'z') return false;
+  }
+  return true;
+}
+
 /// Words that appear in a parameter's type position but never name it.
 bool IsTypeQualifierWord(const std::string& text) {
   static const char* kWords[] = {"const",   "volatile", "unsigned", "signed",
@@ -293,7 +315,33 @@ class Extractor {
     bool returns_view = false;  ///< return type mentions string_view/span
     bool returns_ref = false;   ///< return type is an lvalue reference
     std::string class_qualifier;  ///< Foo for `void Foo::Bar(...)`
+    /// Locks named by ALICOCO_REQUIRES after the parameter list.
+    std::vector<std::string> requires_locks;
   };
+
+  /// Parses `ALICOCO_REQUIRES(a, b)` at `j` (the macro identifier) into
+  /// one lock name per top-level comma piece (the piece's last
+  /// identifier, matching how lock expressions are named elsewhere).
+  /// Returns one past the closing ')'.
+  size_t ParseRequires(size_t j, std::vector<std::string>* out) const {
+    size_t close = j + 1;
+    SkipParens(&close);  // close = one past ')'
+    std::string last_ident;
+    int nest = 0;
+    for (size_t m = j + 2; m + 1 < close; ++m) {
+      const Token* t = code_[m];
+      if (IsPunct(t, "(")) ++nest;
+      if (IsPunct(t, ")")) --nest;
+      if (IsPunct(t, ",") && nest == 0) {
+        if (!last_ident.empty()) out->push_back(last_ident);
+        last_ident.clear();
+        continue;
+      }
+      if (IsIdent(t)) last_ident = t->text;
+    }
+    if (!last_ident.empty()) out->push_back(last_ident);
+    return close;
+  }
 
   /// Classifies one declaration starting at *i (not a keyword the caller
   /// handles). Fills a DeclShape and leaves *i untouched.
@@ -308,6 +356,13 @@ class Extractor {
       const Token* t = code_[j];
       if (!saw_params) {
         if (IsPunct(t, "(") && j > start && IsIdent(code_[j - 1])) {
+          // An annotation macro (`int x_ ALICOCO_GUARDED_BY(mu_) = 0;`)
+          // would match the `ident (` function shape and swallow the
+          // member declaration — skip its argument list instead.
+          if (IsAnnotationMacro(code_[j - 1]->text)) {
+            SkipParens(&j);
+            continue;
+          }
           shape.name_index = j - 1;
           saw_params = true;
           shape.params_begin = j;
@@ -354,6 +409,12 @@ class Extractor {
         shape.is_function = true;
         shape.end_index = j + 1;
         break;
+      }
+      if ((IsIdent(t, "ALICOCO_REQUIRES") ||
+           IsIdent(t, "ALICOCO_REQUIRES_SHARED")) &&
+          IsPunct(At(j + 1), "(")) {
+        j = ParseRequires(j, &shape.requires_locks);
+        continue;
       }
       if (IsPunct(t, "(")) {  // noexcept(...) / annotation macro args
         SkipParens(&j);
@@ -454,6 +515,7 @@ class Extractor {
     decl.checked = shape.checked;
     decl.has_body = shape.has_body;
     decl.params = ParseParams(shape.params_begin, shape.params_end);
+    decl.requires_locks = shape.requires_locks;
 
     size_t body_end = shape.body_index;
     if (shape.has_body) {
@@ -469,8 +531,6 @@ class Extractor {
         }
       }
     }
-    // Constructors/destructors are not value-returning APIs.
-    if (decl.name != decl.class_name) out_->decls.push_back(decl);
 
     if (shape.has_body) {
       FunctionBody body;
@@ -488,11 +548,126 @@ class Extractor {
       fn.name = decl.name;
       fn.class_name = decl.class_name;
       ParseFunctionBody(shape.body_index, body_end, &fn);
-      if (!fn.acquisitions.empty() || !fn.calls.empty()) {
+      AnalyzeReturns(shape, body_end, &decl, &fn);
+      if (!fn.acquisitions.empty() || !fn.calls.empty() ||
+          !fn.member_refs.empty() || !fn.view_returns.empty()) {
         out_->functions.push_back(std::move(fn));
       }
     }
+    // Constructors/destructors are not value-returning APIs.
+    if (decl.name != decl.class_name) out_->decls.push_back(std::move(decl));
     *i = shape.end_index;
+  }
+
+  /// Scans a function body's return statements. In view/ref-returning
+  /// functions, marks parameters named in any return expression as
+  /// escaping, and records `return Callee(args);` sites whose arguments
+  /// are local owners or temporaries — the raw material the
+  /// view-escapes-call pass composes with callee escape bits.
+  void AnalyzeReturns(const DeclShape& shape, size_t body_end, DeclInfo* decl,
+                      FunctionSummary* fn) {
+    if (!shape.returns_view && !shape.returns_ref) return;
+
+    // Owners whose lifetime ends with this function: local std owners and
+    // by-value owner-typed parameters.
+    std::set<std::string> owners;
+    for (const ParamInfo& p : decl->params) {
+      if (p.by_value && OwnerParamType(p.type)) owners.insert(p.name);
+    }
+    for (size_t k = shape.body_index; k + 2 < body_end; ++k) {
+      if (!IsIdent(code_[k], "std") || !IsPunct(code_[k + 1], "::") ||
+          !IsIdent(At(k + 2)) || !OwnerStdType(code_[k + 2]->text)) {
+        continue;
+      }
+      size_t m = k + 3;
+      if (m < body_end && IsPunct(code_[m], "<")) SkipAngles(&m);
+      if (m < body_end && IsIdent(At(m))) owners.insert(code_[m]->text);
+    }
+
+    for (size_t k = shape.body_index; k < body_end; ++k) {
+      if (!IsIdent(code_[k], "return")) continue;
+      size_t stmt_end = k + 1;
+      while (stmt_end < body_end && !IsPunct(code_[stmt_end], ";")) {
+        ++stmt_end;
+      }
+      for (size_t m = k + 1; m < stmt_end; ++m) {
+        if (!IsIdent(code_[m])) continue;
+        const Token* prev = code_[m - 1];
+        if (IsPunct(prev, ".") || IsPunct(prev, "->") ||
+            IsPunct(prev, "::")) {
+          continue;  // member/qualified name, not the parameter itself
+        }
+        for (ParamInfo& p : decl->params) {
+          if (p.name == code_[m]->text) p.escapes_return = true;
+        }
+      }
+      ParseViewReturnCall(k + 1, stmt_end, owners, fn);
+      k = stmt_end;
+    }
+  }
+
+  /// Matches `return [ns::]*Callee(args);` exactly — the call must be the
+  /// whole return expression — and records it when an argument is a local
+  /// owner or a recognizably-temporary std::string.
+  void ParseViewReturnCall(size_t expr_begin, size_t stmt_end,
+                           const std::set<std::string>& owners,
+                           FunctionSummary* fn) const {
+    size_t m = expr_begin;
+    std::string callee;
+    bool std_qualified = false;
+    while (m < stmt_end && (IsIdent(code_[m]) || IsPunct(code_[m], "::"))) {
+      if (IsIdent(code_[m])) {
+        if (code_[m]->text == "std") std_qualified = true;
+        callee = code_[m]->text;
+      }
+      ++m;
+    }
+    if (callee.empty() || std_qualified || m >= stmt_end ||
+        !IsPunct(code_[m], "(") || IsNonCallKeyword(callee)) {
+      return;
+    }
+    size_t close = m;
+    SkipParens(&close);  // one past ')'
+    if (close != stmt_end) return;  // call result is further transformed
+
+    ViewReturnCall site;
+    site.line = code_[expr_begin]->line;
+    site.callee = callee;
+    bool interesting = false;
+    size_t piece_start = m + 1;
+    int nest = 0;
+    for (size_t j = m + 1; j < close; ++j) {
+      const Token* t = code_[j];
+      if (IsPunct(t, "(") || IsPunct(t, "{") || IsPunct(t, "[")) ++nest;
+      if (IsPunct(t, ")") || IsPunct(t, "}") || IsPunct(t, "]")) --nest;
+      const bool at_end = j + 1 == close;
+      if (!(IsPunct(t, ",") && nest == 0) && !at_end) continue;
+      const size_t piece_end = at_end ? close - 1 : j;
+      if (piece_end > piece_start) {
+        ViewArg arg;
+        if (piece_end == piece_start + 1 && IsIdent(code_[piece_start]) &&
+            owners.count(code_[piece_start]->text) != 0) {
+          arg.owner = code_[piece_start]->text;
+        } else {
+          for (size_t p = piece_start; p + 1 < piece_end; ++p) {
+            const bool string_ctor =
+                IsIdent(code_[p], "std") && IsPunct(At(p + 1), "::") &&
+                p + 3 < piece_end && IsIdent(At(p + 2), "string") &&
+                IsPunct(At(p + 3), "(");
+            const bool to_string =
+                IsIdent(code_[p], "to_string") && IsPunct(At(p + 1), "(");
+            const bool str_call = IsPunct(code_[p], ".") &&
+                                  IsIdent(At(p + 1), "str") &&
+                                  IsPunct(At(p + 2), "(");
+            if (string_ctor || to_string || str_call) arg.is_temp = true;
+          }
+        }
+        if (!arg.owner.empty() || arg.is_temp) interesting = true;
+        site.args.push_back(std::move(arg));
+      }
+      piece_start = j + 1;
+    }
+    if (interesting) fn->view_returns.push_back(std::move(site));
   }
 
   /// Parses the parameter list between `begin` (the '(') and `end` (one
@@ -605,6 +780,12 @@ class Extractor {
         }
         if (!last_ident.empty()) {
           out_->mutexes.push_back(MutexMemberDecl{class_name, last_ident});
+          // The annotated member is the identifier right before the macro:
+          // `std::queue<Task> tasks_ ALICOCO_GUARDED_BY(mu_)`.
+          if (k >= 1 && IsIdent(code_[k - 1])) {
+            out_->guarded_members.push_back(GuardedMemberDecl{
+                class_name, code_[k - 1]->text, last_ident});
+          }
         }
       }
     }
@@ -624,6 +805,19 @@ class Extractor {
                                  a.member == b.member;
                         }),
             v.end());
+    auto& g = out_->guarded_members;
+    std::sort(g.begin(), g.end(), [](const GuardedMemberDecl& a,
+                                     const GuardedMemberDecl& b) {
+      return std::tie(a.class_name, a.member, a.mutex) <
+             std::tie(b.class_name, b.member, b.mutex);
+    });
+    g.erase(std::unique(g.begin(), g.end(),
+                        [](const GuardedMemberDecl& a,
+                           const GuardedMemberDecl& b) {
+                          return a.class_name == b.class_name &&
+                                 a.member == b.member && a.mutex == b.mutex;
+                        }),
+            g.end());
   }
 
   /// If a bare statement-expression call chain starts at `i`, returns the
@@ -672,12 +866,18 @@ class Extractor {
     // (brace depth at acquisition, index into fn->acquisitions)
     std::vector<std::pair<int, int>> held;
     std::set<std::pair<std::string, std::string>> seen_calls;
+    std::set<std::pair<std::string, std::string>> seen_refs;
 
     auto held_indices = [&held] {
       std::vector<int> out;
       out.reserve(held.size());
       for (const auto& [unused, idx] : held) out.push_back(idx);
       return out;
+    };
+    auto held_key_of = [&held_indices] {
+      std::string key;
+      for (int idx : held_indices()) key += std::to_string(idx) + ",";
+      return key;
     };
 
     for (size_t j = body_start; j < body_end && j < code_.size(); ++j) {
@@ -750,12 +950,41 @@ class Extractor {
                           ? CallKind::kThis
                           : CallKind::kMember;
         }
+        // Last identifier of the first argument, for the condition-wait
+        // idiom check.
+        int nest = 1;
+        for (size_t m = j + 2; m < code_.size(); ++m) {
+          const Token* a = code_[m];
+          if (IsPunct(a, "(")) ++nest;
+          if (IsPunct(a, ")") && --nest == 0) break;
+          if (IsPunct(a, ",") && nest == 1) break;
+          if (IsIdent(a)) call.arg0 = a->text;
+        }
         std::string held_key = call.qualifier + "#" +
-                               std::to_string(static_cast<int>(call.kind));
-        for (int idx : held_indices()) held_key += std::to_string(idx) + ",";
+                               std::to_string(static_cast<int>(call.kind)) +
+                               held_key_of();
         if (seen_calls.emplace(t->text, held_key).second) {
           call.held = held_indices();
           fn->calls.push_back(std::move(call));
+        }
+      }
+      // Member-field reads/writes: trailing-underscore identifiers that
+      // are not calls, not qualified, and not reached through a receiver
+      // other than `this`. Deduped per (name, held-set) like calls.
+      if (IsIdent(t) && t->text.size() > 1 && t->text.back() == '_' &&
+          !IsPunct(At(j + 1), "(")) {
+        const Token* prev = code_[j - 1];
+        bool own_member = !IsPunct(prev, "::");
+        if ((IsPunct(prev, ".") || IsPunct(prev, "->")) &&
+            !(j >= 2 && IsIdent(code_[j - 2], "this"))) {
+          own_member = false;
+        }
+        if (own_member && seen_refs.emplace(t->text, held_key_of()).second) {
+          MemberRef ref;
+          ref.line = t->line;
+          ref.name = t->text;
+          ref.held = held_indices();
+          fn->member_refs.push_back(std::move(ref));
         }
       }
       stmt_start = false;
@@ -828,7 +1057,7 @@ Result<std::vector<int>> ParseHeld(const std::string& field) {
   return held;
 }
 
-constexpr char kCacheMagic[] = "alicoco_lint_cache_v2";
+constexpr char kCacheMagic[] = "alicoco_lint_cache_v3";
 
 }  // namespace
 
@@ -914,7 +1143,7 @@ FileSummary SummarizeSource(const std::string& path,
 uint64_t AnalyzerCacheVersion() {
   // Hand-bumped when the FileSummary shape or cache line protocol changes
   // in a way the tag set alone doesn't reveal.
-  std::string ident = "summary-format-2";
+  std::string ident = "summary-format-3";
   for (const auto& rule : RuleRegistry()) {
     ident.push_back('|');
     ident.append(rule->id());
@@ -1038,6 +1267,15 @@ std::string SerializeSummaries(const std::vector<FileSummary>& files) {
       AppendEscaped(m.member, &out);
       out.push_back('\n');
     }
+    for (const GuardedMemberDecl& g : f.guarded_members) {
+      out.append("B ");
+      AppendEscaped(g.class_name, &out);
+      out.push_back(' ');
+      AppendEscaped(g.member, &out);
+      out.push_back(' ');
+      AppendEscaped(g.mutex, &out);
+      out.push_back('\n');
+    }
     for (const FunctionSummary& fn : f.functions) {
       out.append("U ");
       AppendEscaped(fn.name, &out);
@@ -1058,7 +1296,25 @@ std::string SerializeSummaries(const std::vector<FileSummary>& files) {
         AppendEscaped(c.callee, &out);
         out.push_back(' ');
         AppendEscaped(c.qualifier, &out);
+        out.push_back(' ');
+        AppendEscaped(c.arg0, &out);
         out.append(" " + JoinHeld(c.held) + "\n");
+      }
+      for (const MemberRef& r : fn.member_refs) {
+        out.append("R " + std::to_string(r.line) + " ");
+        AppendEscaped(r.name, &out);
+        out.append(" " + JoinHeld(r.held) + "\n");
+      }
+      for (const ViewReturnCall& v : fn.view_returns) {
+        out.append("V " + std::to_string(v.line) + " ");
+        AppendEscaped(v.callee, &out);
+        out.append(" " + std::to_string(v.args.size()));
+        for (const ViewArg& a : v.args) {
+          out.push_back(' ');
+          AppendEscaped(a.owner, &out);
+          out.append(a.is_temp ? " 1" : " 0");
+        }
+        out.push_back('\n');
       }
     }
     for (const DeclInfo& d : f.decls) {
@@ -1070,10 +1326,16 @@ std::string SerializeSummaries(const std::vector<FileSummary>& files) {
       out.push_back('\n');
       for (const ParamInfo& p : d.params) {
         out.append(std::string("P ") + (p.by_value ? "1" : "0") +
-                   (p.moved ? " 1 " : " 0 "));
+                   (p.moved ? " 1" : " 0") +
+                   (p.escapes_return ? " 1 " : " 0 "));
         AppendEscaped(p.type, &out);
         out.push_back(' ');
         AppendEscaped(p.name, &out);
+        out.push_back('\n');
+      }
+      for (const std::string& req : d.requires_locks) {
+        out.append("Q ");
+        AppendEscaped(req, &out);
         out.push_back('\n');
       }
     }
@@ -1162,6 +1424,14 @@ Result<std::vector<FileSummary>> DeserializeSummaries(
       ALICOCO_ASSIGN_OR_RETURN(m.class_name, Unescape(cls));
       ALICOCO_ASSIGN_OR_RETURN(m.member, Unescape(member));
       cur->mutexes.push_back(std::move(m));
+    } else if (tag == "B") {
+      std::string cls, member, mutex;
+      if (!(fields >> cls >> member >> mutex)) return bad("truncated B");
+      GuardedMemberDecl g;
+      ALICOCO_ASSIGN_OR_RETURN(g.class_name, Unescape(cls));
+      ALICOCO_ASSIGN_OR_RETURN(g.member, Unescape(member));
+      ALICOCO_ASSIGN_OR_RETURN(g.mutex, Unescape(mutex));
+      cur->guarded_members.push_back(std::move(g));
     } else if (tag == "U") {
       std::string name, cls;
       if (!(fields >> name >> cls)) return bad("truncated U");
@@ -1186,8 +1456,8 @@ Result<std::vector<FileSummary>> DeserializeSummaries(
     } else if (tag == "C") {
       if (fn == nullptr) return bad("C before U");
       int ln = 0, kind = 0;
-      std::string callee, qualifier, held;
-      if (!(fields >> ln >> kind >> callee >> qualifier >> held)) {
+      std::string callee, qualifier, arg0, held;
+      if (!(fields >> ln >> kind >> callee >> qualifier >> arg0 >> held)) {
         return bad("truncated C");
       }
       if (kind < 0 || kind > static_cast<int>(CallKind::kMember)) {
@@ -1198,8 +1468,38 @@ Result<std::vector<FileSummary>> DeserializeSummaries(
       c.kind = static_cast<CallKind>(kind);
       ALICOCO_ASSIGN_OR_RETURN(c.callee, Unescape(callee));
       ALICOCO_ASSIGN_OR_RETURN(c.qualifier, Unescape(qualifier));
+      ALICOCO_ASSIGN_OR_RETURN(c.arg0, Unescape(arg0));
       ALICOCO_ASSIGN_OR_RETURN(c.held, ParseHeld(held));
       fn->calls.push_back(std::move(c));
+    } else if (tag == "R") {
+      if (fn == nullptr) return bad("R before U");
+      int ln = 0;
+      std::string name, held;
+      if (!(fields >> ln >> name >> held)) return bad("truncated R");
+      MemberRef r;
+      r.line = ln;
+      ALICOCO_ASSIGN_OR_RETURN(r.name, Unescape(name));
+      ALICOCO_ASSIGN_OR_RETURN(r.held, ParseHeld(held));
+      fn->member_refs.push_back(std::move(r));
+    } else if (tag == "V") {
+      if (fn == nullptr) return bad("V before U");
+      int ln = 0;
+      size_t nargs = 0;
+      std::string callee;
+      if (!(fields >> ln >> callee >> nargs)) return bad("truncated V");
+      ViewReturnCall v;
+      v.line = ln;
+      ALICOCO_ASSIGN_OR_RETURN(v.callee, Unescape(callee));
+      for (size_t k = 0; k < nargs; ++k) {
+        std::string owner;
+        int is_temp = 0;
+        if (!(fields >> owner >> is_temp)) return bad("truncated V arg");
+        ViewArg a;
+        ALICOCO_ASSIGN_OR_RETURN(a.owner, Unescape(owner));
+        a.is_temp = is_temp != 0;
+        v.args.push_back(std::move(a));
+      }
+      fn->view_returns.push_back(std::move(v));
     } else if (tag == "D") {
       int ln = 0, checked = 0, has_body = 0;
       std::string name, cls;
@@ -1216,17 +1516,25 @@ Result<std::vector<FileSummary>> DeserializeSummaries(
       decl = &cur->decls.back();
     } else if (tag == "P") {
       if (decl == nullptr) return bad("P before D");
-      int by_value = 0, moved = 0;
+      int by_value = 0, moved = 0, escapes = 0;
       std::string type, name;
-      if (!(fields >> by_value >> moved >> type >> name)) {
+      if (!(fields >> by_value >> moved >> escapes >> type >> name)) {
         return bad("truncated P");
       }
       ParamInfo p;
       p.by_value = by_value != 0;
       p.moved = moved != 0;
+      p.escapes_return = escapes != 0;
       ALICOCO_ASSIGN_OR_RETURN(p.type, Unescape(type));
       ALICOCO_ASSIGN_OR_RETURN(p.name, Unescape(name));
       decl->params.push_back(std::move(p));
+    } else if (tag == "Q") {
+      if (decl == nullptr) return bad("Q before D");
+      std::string req;
+      if (!(fields >> req)) return bad("truncated Q");
+      std::string unescaped;
+      ALICOCO_ASSIGN_OR_RETURN(unescaped, Unescape(req));
+      decl->requires_locks.push_back(std::move(unescaped));
     } else if (tag == "H") {
       std::string cls;
       if (!(fields >> cls)) return bad("truncated H");

@@ -43,6 +43,15 @@ struct MutexMemberDecl {
   std::string member;
 };
 
+/// A data member annotated ALICOCO_GUARDED_BY: `member` of `class_name`
+/// must only be touched while `mutex` is held. The guarded-by-violation
+/// pass unions these across files, like MutexMemberDecl.
+struct GuardedMemberDecl {
+  std::string class_name;
+  std::string member;
+  std::string mutex;  ///< last identifier of the annotation argument
+};
+
 /// One lock acquisition inside a function body: `MutexLock l(expr);`.
 struct Acquisition {
   int line = 0;
@@ -74,7 +83,41 @@ struct CallInfo {
   std::string callee;  ///< unqualified method/function name
   CallKind kind = CallKind::kPlain;
   std::string qualifier;  ///< class/namespace before ::, kQualified only
+  /// Last identifier of the first argument ("" when no arguments). Lets
+  /// the blocking-under-lock pass recognize the sanctioned condition-wait
+  /// idiom `cv_.Wait(mu_)` — the waited-on lock is named right there.
+  std::string arg0;
   std::vector<int> held;
+};
+
+/// A read or write of a member field (`items_`, `this->items_`) inside a
+/// function body, with the locks held lexically at the access. Only
+/// trailing-underscore identifiers are collected — that is this
+/// codebase's member naming convention, and it is what GUARDED_BY
+/// annotations attach to.
+struct MemberRef {
+  int line = 0;
+  std::string name;
+  std::vector<int> held;
+};
+
+/// One argument of a view-returning call site, as the view-escapes-call
+/// pass needs it: either the name of a local/by-value owner, or a marker
+/// that the argument is a temporary. Position matters — args align with
+/// the callee's parameters.
+struct ViewArg {
+  std::string owner;    ///< local owner / by-value owner param, or ""
+  bool is_temp = false;
+};
+
+/// `return Callee(args...);` inside a view- or reference-returning
+/// function. If one of Callee's escaping parameters receives a local
+/// owner or a temporary, the returned view dangles. Only sites with at
+/// least one owner/temp argument are recorded.
+struct ViewReturnCall {
+  int line = 0;
+  std::string callee;
+  std::vector<ViewArg> args;
 };
 
 /// One parameter of a function declaration, as the param-by-value-heavy
@@ -88,6 +131,10 @@ struct ParamInfo {
   /// Definition sites only: the body contains `std::move(<name>)`, which
   /// sanctions the by-value sink pattern.
   bool moved = false;
+  /// Definition sites of view/reference-returning functions only: this
+  /// parameter is named in a return expression, so the returned view may
+  /// alias it. The view-escapes-call pass propagates this across calls.
+  bool escapes_return = false;
 };
 
 /// A function declaration or definition seen at class or namespace scope.
@@ -101,6 +148,9 @@ struct DeclInfo {
   /// This declaration carries a body (it is the definition).
   bool has_body = false;
   std::vector<ParamInfo> params;
+  /// Locks named by an ALICOCO_REQUIRES annotation on this declaration —
+  /// the caller-must-hold contract the guarded-by pass honors.
+  std::vector<std::string> requires_locks;
 };
 
 /// A statement that consists of nothing but a call — the shape that
@@ -115,6 +165,8 @@ struct FunctionSummary {
   std::string class_name;  ///< "" for free functions
   std::vector<Acquisition> acquisitions;
   std::vector<CallInfo> calls;
+  std::vector<MemberRef> member_refs;
+  std::vector<ViewReturnCall> view_returns;
 };
 
 /// Everything the cross-file passes need to know about one file.
@@ -123,6 +175,7 @@ struct FileSummary {
   uint64_t content_hash = 0;
   std::vector<IncludeSite> includes;
   std::vector<MutexMemberDecl> mutexes;
+  std::vector<GuardedMemberDecl> guarded_members;
   std::vector<FunctionSummary> functions;
   std::vector<DeclInfo> decls;
   std::vector<CallStatement> call_statements;

@@ -4,7 +4,10 @@
 //   alicoco_lint --root <repo-root> <repo-relative-file>...
 //   alicoco_lint --root <repo-root> --project src [--sarif OUT] [--cache F]
 //                [--changed-only] [--layers FILE] [--stats]
+//   alicoco_lint --root <repo-root> --project src --self-bench OUT
+//                [--bench-baseline FILE] [--max-regress R]
 //   alicoco_lint --list-rules
+//   alicoco_lint --explain <rule-id>
 //
 // Findings go to stdout as stable `file:line:rule-id: message` lines;
 // exit status is 1 iff any finding survives suppression. With no explicit
@@ -12,11 +15,21 @@
 //
 // `--project DIR` switches to whole-program mode: the subtree is indexed
 // once and the cross-file passes (include-cycle, layer-violation,
-// lock-order-cycle, discarded-result) run alongside every per-file rule.
-// `--cache` makes repeat runs incremental; `--changed-only` additionally
-// restricts the report to files the cache saw change. `--sarif` writes
-// the findings as a SARIF 2.1.0 document for CI upload.
+// lock-order-cycle, discarded-result, and the interprocedural tier:
+// guarded-by-violation, blocking-under-lock, view-escapes-call) run
+// alongside every per-file rule. `--cache` makes repeat runs incremental;
+// `--changed-only` additionally restricts the report to files the cache
+// saw change. `--sarif` writes the findings as a SARIF 2.1.0 document for
+// CI upload.
+//
+// `--explain <rule-id>` prints the rule's rationale plus a minimal
+// bad/good example pair, from the same registries the SARIF writer and
+// --list-rules use. `--self-bench OUT` runs the analyzer over the project
+// twice — cold (cache deleted) then warm — and writes the simulated cost
+// figures as BENCH JSON; with `--bench-baseline`, warm cost regressions
+// beyond `--max-regress` (default 0.25) fail the run.
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -35,6 +48,99 @@ int Fail(const alicoco::Status& status) {
   return 2;
 }
 
+/// Indents every line of a (possibly multi-line) example by four spaces.
+void PrintIndented(std::string_view text) {
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::cout << "    " << text.substr(start, end - start) << "\n";
+    start = end + 1;
+  }
+}
+
+/// `--explain <rule>`: rationale + example pair from the shared
+/// registries. Returns 0 when found, 2 for an unknown id.
+int ExplainRule(const std::string& id) {
+  std::string_view rationale, bad, good;
+  bool found = false;
+  for (const auto& rule : alicoco::lint::RuleRegistry()) {
+    if (rule->id() == id) {
+      rationale = rule->rationale();
+      bad = rule->example_bad();
+      good = rule->example_good();
+      found = true;
+    }
+  }
+  for (const auto& pass : alicoco::lint::PassRegistry()) {
+    if (pass.id == id) {
+      rationale = pass.rationale;
+      bad = pass.bad_example;
+      good = pass.good_example;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::cerr << "alicoco_lint: unknown rule '" << id
+              << "' (see --list-rules)\n";
+    return 2;
+  }
+  std::cout << id << ": " << rationale << "\n";
+  if (!bad.empty()) {
+    std::cout << "\n  bad:\n";
+    PrintIndented(bad);
+  }
+  if (!good.empty()) {
+    std::cout << "\n  good:\n";
+    PrintIndented(good);
+  }
+  return 0;
+}
+
+/// One cold-vs-warm benchmark figure set for BENCH_lint.json.
+struct BenchFigures {
+  size_t files = 0;
+  uint64_t bytes_lexed = 0;
+  uint64_t cold_cost_us = 0;
+  uint64_t warm_cost_us = 0;
+  uint64_t interproc_cost_us = 0;
+};
+
+std::string WriteBenchJson(const BenchFigures& b) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"schema\": \"alicoco.bench_lint.v1\",\n"
+      << "  \"files\": " << b.files << ",\n"
+      << "  \"bytes_lexed\": " << b.bytes_lexed << ",\n"
+      << "  \"cold_cost_us\": " << b.cold_cost_us << ",\n"
+      << "  \"warm_cost_us\": " << b.warm_cost_us << ",\n"
+      << "  \"interproc_cost_us\": " << b.interproc_cost_us << "\n"
+      << "}\n";
+  return out.str();
+}
+
+/// Pulls one `"key": <number>` out of a baseline BENCH_lint.json. The
+/// schema is first-party and flat, so a line scan is enough.
+bool ReadJsonNumber(const std::string& text, const std::string& key,
+                    uint64_t* out) {
+  size_t pos = text.find("\"" + key + "\"");
+  if (pos == std::string::npos) return false;
+  pos = text.find(':', pos);
+  if (pos == std::string::npos) return false;
+  ++pos;
+  while (pos < text.size() && text[pos] == ' ') ++pos;
+  uint64_t value = 0;
+  bool any = false;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(text[pos] - '0');
+    ++pos;
+    any = true;
+  }
+  if (!any) return false;
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -44,6 +150,10 @@ int main(int argc, char** argv) {
   std::string sarif_path;
   std::string cache_path;
   std::string layers_path;
+  std::string explain_rule;
+  std::string self_bench_path;
+  std::string bench_baseline_path;
+  double max_regress = 0.25;
   bool use_suppressions = true;
   bool list_rules = false;
   bool changed_only = false;
@@ -66,6 +176,14 @@ int main(int argc, char** argv) {
       cache_path = argv[++i];
     } else if (arg == "--layers" && i + 1 < argc) {
       layers_path = argv[++i];
+    } else if (arg == "--explain" && i + 1 < argc) {
+      explain_rule = argv[++i];
+    } else if (arg == "--self-bench" && i + 1 < argc) {
+      self_bench_path = argv[++i];
+    } else if (arg == "--bench-baseline" && i + 1 < argc) {
+      bench_baseline_path = argv[++i];
+    } else if (arg == "--max-regress" && i + 1 < argc) {
+      max_regress = std::atof(argv[++i]);
     } else if (arg == "--changed-only") {
       changed_only = true;
     } else if (arg == "--stats") {
@@ -77,7 +195,10 @@ int main(int argc, char** argv) {
                    "[--no-suppressions] [--list-rules]\n"
                    "                    [--project DIR] [--sarif OUT] "
                    "[--cache FILE] [--changed-only]\n"
-                   "                    [--layers FILE] [--stats] [file...]\n";
+                   "                    [--layers FILE] [--stats] "
+                   "[--explain RULE] [file...]\n"
+                   "                    [--self-bench OUT "
+                   "[--bench-baseline FILE] [--max-regress R]]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "alicoco_lint: unknown flag '" << arg << "'\n";
@@ -86,6 +207,8 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
   }
+
+  if (!explain_rule.empty()) return ExplainRule(explain_rule);
 
   if (list_rules) {
     for (const auto& rule : alicoco::lint::RuleRegistry()) {
@@ -99,9 +222,9 @@ int main(int argc, char** argv) {
 
   if (project_dir.empty() &&
       (!sarif_path.empty() || !cache_path.empty() || changed_only ||
-       !layers_path.empty())) {
-    std::cerr << "alicoco_lint: --sarif/--cache/--changed-only/--layers "
-                 "require --project\n";
+       !layers_path.empty() || !self_bench_path.empty())) {
+    std::cerr << "alicoco_lint: --sarif/--cache/--changed-only/--layers/"
+                 "--self-bench require --project\n";
     return 2;
   }
 
@@ -116,6 +239,86 @@ int main(int argc, char** argv) {
       if (!loaded.ok()) return Fail(loaded.status());
       suppressions = std::move(*loaded);
     }
+  }
+
+  if (!self_bench_path.empty()) {
+    // Self-benchmark: analyze the project cold (cache removed), then warm
+    // (every summary served from the cache just written). Costs are
+    // simulated units from the deterministic clock, so the figures are
+    // machine-independent and byte-stable for the regression gate.
+    const std::string bench_cache = self_bench_path + ".cache";
+    std::error_code ec;
+    std::filesystem::remove(bench_cache, ec);
+
+    alicoco::lint::ProjectOptions options;
+    options.project_dir = project_dir;
+    options.layers_path = layers_path;
+    options.cache_path = bench_cache;
+    options.suppressions = &suppressions;
+
+    BenchFigures figures;
+    alicoco::lint::SimulatedClock cold_clock;
+    options.cost_clock = &cold_clock;
+    auto cold = alicoco::lint::AnalyzeProject(root, options);
+    if (!cold.ok()) return Fail(cold.status());
+    figures.files = cold->stats.files;
+    figures.bytes_lexed = cold->stats.bytes_lexed;
+    figures.cold_cost_us = cold_clock.NowUs();
+    figures.interproc_cost_us = cold->interproc.cost_us;
+
+    alicoco::lint::SimulatedClock warm_clock;
+    options.cost_clock = &warm_clock;
+    auto warm = alicoco::lint::AnalyzeProject(root, options);
+    if (!warm.ok()) return Fail(warm.status());
+    figures.warm_cost_us = warm_clock.NowUs();
+    std::filesystem::remove(bench_cache, ec);
+
+    std::ofstream out(self_bench_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Fail(alicoco::Status::IOError("cannot write bench JSON: " +
+                                           self_bench_path));
+    }
+    out << WriteBenchJson(figures);
+    std::cerr << "alicoco_lint: self-bench " << figures.files << " files, "
+              << "cold " << figures.cold_cost_us << "us, warm "
+              << figures.warm_cost_us << "us (interproc "
+              << figures.interproc_cost_us << "us)\n";
+
+    if (!bench_baseline_path.empty()) {
+      std::ifstream baseline_in(bench_baseline_path, std::ios::binary);
+      if (!baseline_in) {
+        return Fail(alicoco::Status::IOError("cannot read bench baseline: " +
+                                             bench_baseline_path));
+      }
+      std::ostringstream buf;
+      buf << baseline_in.rdbuf();
+      uint64_t base_cold = 0, base_warm = 0;
+      if (!ReadJsonNumber(buf.str(), "cold_cost_us", &base_cold) ||
+          !ReadJsonNumber(buf.str(), "warm_cost_us", &base_warm)) {
+        return Fail(alicoco::Status::InvalidArgument(
+            "bench baseline missing cold_cost_us/warm_cost_us: " +
+            bench_baseline_path));
+      }
+      const auto limit = [&](uint64_t base) {
+        return static_cast<uint64_t>(static_cast<double>(base) *
+                                     (1.0 + max_regress));
+      };
+      bool regressed = false;
+      if (base_cold != 0 && figures.cold_cost_us > limit(base_cold)) {
+        std::cerr << "alicoco_lint: cold cost regressed: "
+                  << figures.cold_cost_us << "us > " << base_cold
+                  << "us * " << (1.0 + max_regress) << "\n";
+        regressed = true;
+      }
+      if (base_warm != 0 && figures.warm_cost_us > limit(base_warm)) {
+        std::cerr << "alicoco_lint: warm cost regressed: "
+                  << figures.warm_cost_us << "us > " << base_warm
+                  << "us * " << (1.0 + max_regress) << "\n";
+        regressed = true;
+      }
+      if (regressed) return 1;
+    }
+    return 0;
   }
 
   std::vector<alicoco::lint::Finding> findings;
@@ -145,6 +348,11 @@ int main(int argc, char** argv) {
                 << stats.lexed << " summarized, " << stats.cache_hits
                 << " cache hits, " << stats.bytes_lexed << " bytes lexed, "
                 << stats.cost_us << " cost units\n";
+      const alicoco::lint::InterprocStats& ip = report->interproc;
+      std::cerr << "alicoco_lint: interproc " << ip.functions
+                << " functions, " << ip.sccs << " sccs, " << ip.edges
+                << " edges, " << ip.may_block << " may-block, " << ip.cost_us
+                << " cost units\n";
     }
   } else if (files.empty()) {
     auto result = alicoco::lint::AnalyzeTree(root, &suppressions);

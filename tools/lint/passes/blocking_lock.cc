@@ -1,0 +1,115 @@
+// Blocking-under-lock pass: a blocking operation — condition-variable
+// wait, sleep, file/socket I/O, thread join, raw allocation — reachable
+// while a mutex is held stretches the critical section across an
+// unbounded stall and convoys every other thread behind it. Blocking-ness
+// is seeded from a primitive table and propagated bottom-up through the
+// resolved call graph, so `Publish() { lock; WriteLog(); }` is caught
+// even though only `WriteLog` touches fprintf.
+//
+// The one sanctioned shape is the condition-wait idiom: a direct
+// `cv_.Wait(mu_)` where the waited-on lock is named in the first argument
+// and is exactly what is held, or a wait inside a function that declares
+// ALICOCO_REQUIRES (a lock-coupled wait primitive like CondVar::Wait
+// itself). Waiting is what condition variables are for — the pass flags
+// blocking reached *through* calls, plus direct waits whose lock
+// coupling it cannot see.
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/lint/passes/interproc.h"
+#include "tools/lint/passes/passes.h"
+
+namespace alicoco::lint {
+namespace {
+
+std::string JoinLocks(const std::set<std::string>& locks) {
+  std::string out;
+  for (const std::string& lock : locks) {
+    if (!out.empty()) out += ", ";
+    out += "'" + lock + "'";
+  }
+  return out;
+}
+
+std::string JoinChain(const std::vector<std::string>& chain) {
+  std::string out;
+  for (const std::string& hop : chain) {
+    if (!out.empty()) out += " -> ";
+    out += hop;
+  }
+  return out;
+}
+
+/// The member name a lock key stands for: "ThreadPool::mu_" -> "mu_".
+std::string MemberPart(const std::string& lock_key) {
+  size_t pos = lock_key.rfind("::");
+  return pos == std::string::npos ? lock_key : lock_key.substr(pos + 2);
+}
+
+}  // namespace
+
+std::vector<Finding> RunBlockingLockPass(const ProjectIndex& /*index*/,
+                                         const Interproc& interproc) {
+  std::vector<Finding> findings;
+  for (const FnRef& ref : interproc.functions()) {
+    const FunctionSummary& fn = *ref.fn;
+    const std::string key = Interproc::KeyOf(fn);
+    const std::set<std::string>& entry = interproc.EntryHeld(key);
+    for (const CallInfo& call : fn.calls) {
+      std::set<std::string> held = interproc.HeldKeys(ref, call.held);
+      held.insert(entry.begin(), entry.end());
+      if (held.empty()) continue;
+
+      if (const char* kind = BlockingSeedKind(call.callee)) {
+        if (IsWaitSeedKind(kind)) {
+          // Sanctioned condition-wait idiom: the held lock is the wait's
+          // argument, or the function itself is a REQUIRES-annotated
+          // wait primitive.
+          bool coupled = !interproc.RequiresOf(key).empty();
+          for (const std::string& lock : held) {
+            if (!call.arg0.empty() && MemberPart(lock) == call.arg0) {
+              coupled = true;
+            }
+          }
+          if (coupled) continue;
+        }
+        Finding f;
+        f.file = ref.file->path;
+        f.line = call.line;
+        f.rule = "blocking-under-lock";
+        f.message = "call to '" + call.callee + "' (" + kind +
+                    ") while holding " + JoinLocks(held);
+        findings.push_back(std::move(f));
+        continue;
+      }
+
+      // Transitively blocking resolved callee. Deterministic choice when
+      // overloads disagree: the lexicographically smallest blocking key.
+      std::string blocking_target;
+      for (const FnRef& target :
+           interproc.resolver().Resolve(call, fn.class_name)) {
+        const std::string target_key = Interproc::KeyOf(*target.fn);
+        if (target_key == key || !interproc.MayBlock(target_key)) continue;
+        if (blocking_target.empty() || target_key < blocking_target) {
+          blocking_target = target_key;
+        }
+      }
+      if (blocking_target.empty()) continue;
+      Finding f;
+      f.file = ref.file->path;
+      f.line = call.line;
+      f.rule = "blocking-under-lock";
+      f.message = "call to '" + call.callee + "' may block (" +
+                  JoinChain(interproc.BlockChain(blocking_target)) + ": " +
+                  interproc.BlockKind(blocking_target) + ") while holding " +
+                  JoinLocks(held);
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
+}  // namespace alicoco::lint

@@ -1,0 +1,60 @@
+// Guarded-by pass: every access to an ALICOCO_GUARDED_BY(m) member must
+// happen with m held — lexically, via the interprocedural entry-held set
+// (every observed caller holds it, arbitrarily deep through unannotated
+// calls), or under an ALICOCO_REQUIRES(m) contract on the function.
+//
+// Constructors and destructors are exempt, matching clang's thread-safety
+// analysis: no second thread can see the object mid-construction.
+// Conservatism errs toward silence — a function nobody is seen to call
+// has an empty entry set, so a public accessor without the lock is
+// reported, while a private helper whose callers all hold the lock is
+// not.
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/lint/passes/interproc.h"
+#include "tools/lint/passes/passes.h"
+
+namespace alicoco::lint {
+
+std::vector<Finding> RunGuardedByPass(const ProjectIndex& /*index*/,
+                                      const Interproc& interproc) {
+  std::vector<Finding> findings;
+  for (const FnRef& ref : interproc.functions()) {
+    const FunctionSummary& fn = *ref.fn;
+    if (fn.class_name.empty()) continue;          // free function: no members
+    if (fn.name == fn.class_name) continue;       // constructor/destructor
+    const std::string key = Interproc::KeyOf(fn);
+    const std::set<std::string>& entry = interproc.EntryHeld(key);
+    for (const MemberRef& r : fn.member_refs) {
+      auto guard = interproc.guarded().find(
+          std::make_pair(fn.class_name, r.name));
+      if (guard == interproc.guarded().end()) continue;
+      // Resolve the guard mutex the same way lock expressions resolve.
+      Acquisition as_acq;
+      as_acq.name = guard->second;
+      as_acq.is_plain_member = true;
+      const std::string guard_key =
+          LockKey(as_acq, fn.class_name, interproc.member_classes());
+      std::set<std::string> held = interproc.HeldKeys(ref, r.held);
+      held.insert(entry.begin(), entry.end());
+      if (held.count(guard_key) != 0) continue;
+      Finding f;
+      f.file = ref.file->path;
+      f.line = r.line;
+      f.rule = "guarded-by-violation";
+      f.message = "'" + r.name + "' is guarded by '" + guard_key +
+                  "' but '" + key +
+                  "' reaches it without the lock held; take the lock or "
+                  "annotate the function ALICOCO_REQUIRES(" + guard->second +
+                  ")";
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
+}  // namespace alicoco::lint

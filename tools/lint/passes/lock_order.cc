@@ -15,36 +15,16 @@
 // (transitively) acquired twice — alicoco::Mutex is not reentrant, so
 // that is a guaranteed deadlock rather than an ordering hazard.
 
-#include <algorithm>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "tools/lint/passes/interproc.h"
 #include "tools/lint/passes/passes.h"
 
 namespace alicoco::lint {
 namespace {
-
-struct FnRef {
-  const FileSummary* file = nullptr;
-  const FunctionSummary* fn = nullptr;
-};
-
-std::string LockKey(
-    const Acquisition& acq, const std::string& enclosing_class,
-    const std::map<std::string, std::set<std::string>>& member_classes) {
-  auto it = member_classes.find(acq.name);
-  if (it != member_classes.end()) {
-    if (acq.is_plain_member && it->second.count(enclosing_class) != 0) {
-      return enclosing_class + "::" + acq.name;
-    }
-    if (it->second.size() == 1) {
-      return *it->second.begin() + "::" + acq.name;
-    }
-  }
-  return acq.name;
-}
 
 std::string DescribeCycle(const std::vector<std::string>& cycle) {
   std::string out;
@@ -54,88 +34,6 @@ std::string DescribeCycle(const std::vector<std::string>& cycle) {
   }
   return out;
 }
-
-/// Method names std containers/atomics also expose. A member-access call
-/// on an unknown receiver (`finished_.size()`) must not resolve to a
-/// project method that happens to share such a name — that is how
-/// `Tracer::size()` would grow a phantom edge from every vector.
-bool StdLikeMethodName(const std::string& name) {
-  static const char* kNames[] = {
-      "size",    "empty",   "count",     "min",       "max",      "swap",
-      "clear",   "begin",   "end",       "front",     "back",     "push_back",
-      "pop_back", "push",   "pop",       "top",       "insert",   "erase",
-      "find",    "at",      "reset",     "get",       "data",     "load",
-      "store",   "exchange", "fetch_add", "str",      "c_str",    "substr",
-      "append",  "lock",    "unlock",    "try_lock",  "wait",     "notify_one",
-      "notify_all", "emplace", "emplace_back", "resize", "reserve"};
-  return std::any_of(std::begin(kNames), std::end(kNames),
-                     [&](const char* n) { return name == n; });
-}
-
-/// Resolves one call to candidate project functions, per CallKind:
-/// plain calls see free functions plus the enclosing class's methods;
-/// `this->` calls see the enclosing class only; `Q::` calls see Q's
-/// methods plus free functions (Q may be a namespace); member-access
-/// calls on unknown receivers resolve only when exactly one class defines
-/// the method and the name is not std-container-like — anything more
-/// aggressive invents deadlocks out of name collisions.
-class CallResolver {
- public:
-  explicit CallResolver(const std::vector<FnRef>& all_fns) {
-    for (const FnRef& ref : all_fns) {
-      if (ref.fn->class_name.empty()) {
-        free_fns_[ref.fn->name].push_back(ref);
-      } else {
-        methods_[ref.fn->class_name + "::" + ref.fn->name].push_back(ref);
-        method_classes_[ref.fn->name].insert(ref.fn->class_name);
-      }
-    }
-  }
-
-  std::vector<FnRef> Resolve(const CallInfo& call,
-                             const std::string& enclosing_class) const {
-    std::vector<FnRef> out;
-    auto add_methods = [&](const std::string& cls) {
-      auto it = methods_.find(cls + "::" + call.callee);
-      if (it != methods_.end()) {
-        out.insert(out.end(), it->second.begin(), it->second.end());
-      }
-    };
-    auto add_free = [&] {
-      auto it = free_fns_.find(call.callee);
-      if (it != free_fns_.end()) {
-        out.insert(out.end(), it->second.begin(), it->second.end());
-      }
-    };
-    switch (call.kind) {
-      case CallKind::kPlain:
-        add_free();
-        if (!enclosing_class.empty()) add_methods(enclosing_class);
-        break;
-      case CallKind::kThis:
-        if (!enclosing_class.empty()) add_methods(enclosing_class);
-        break;
-      case CallKind::kQualified:
-        if (!call.qualifier.empty()) add_methods(call.qualifier);
-        add_free();
-        break;
-      case CallKind::kMember: {
-        if (StdLikeMethodName(call.callee)) break;
-        auto it = method_classes_.find(call.callee);
-        if (it != method_classes_.end() && it->second.size() == 1) {
-          add_methods(*it->second.begin());
-        }
-        break;
-      }
-    }
-    return out;
-  }
-
- private:
-  std::map<std::string, std::vector<FnRef>> free_fns_;
-  std::map<std::string, std::vector<FnRef>> methods_;
-  std::map<std::string, std::set<std::string>> method_classes_;
-};
 
 }  // namespace
 

@@ -19,14 +19,21 @@
 
 namespace alicoco::lint {
 
+class Interproc;
+struct InterprocStats;
+
 struct PassInfo {
   std::string id;
   std::string rationale;
+  /// Minimal bad/good example pair for `--explain <rule>`; the SARIF
+  /// writer ignores these, so the CLI and the rule table share one
+  /// registry and cannot drift.
+  std::string bad_example;
+  std::string good_example;
 };
 
-/// Every cross-file pass id with its one-line rationale, in reporting
-/// order: include-cycle, layer-violation, lock-order-cycle,
-/// discarded-result.
+/// Every cross-file pass id with its one-line rationale and examples, in
+/// reporting order.
 const std::vector<PassInfo>& PassRegistry();
 
 /// Pass 1a/1b — include graph. Builds the file-level include graph and the
@@ -60,10 +67,33 @@ std::vector<Finding> RunDiscardedResultPass(const ProjectIndex& index);
 /// silent.
 std::vector<Finding> RunParamByValuePass(const ProjectIndex& index);
 
+/// Pass 5 — guarded-by-violation. Interprocedural GUARDED_BY enforcement:
+/// an access to an annotated member is reported unless the guard is held
+/// lexically, held by every observed caller (through arbitrarily deep
+/// unannotated calls), or promised by ALICOCO_REQUIRES on the function.
+std::vector<Finding> RunGuardedByPass(const ProjectIndex& index,
+                                      const Interproc& interproc);
+
+/// Pass 6 — blocking-under-lock. Reports blocking work (cond-var waits,
+/// sleeps, file/socket I/O, thread joins, raw allocation — seeded from a
+/// table, propagated transitively) reachable while any mutex is held.
+/// The direct `cv_.Wait(mu_)` idiom on the held lock is sanctioned.
+std::vector<Finding> RunBlockingLockPass(const ProjectIndex& index,
+                                         const Interproc& interproc);
+
+/// Pass 7 — view-escapes-call. Cross-function dangling views: returning a
+/// view of a by-value owner parameter, and `return F(local)` where every
+/// definition of F returns a view aliasing that parameter.
+std::vector<Finding> RunViewEscapePass(const ProjectIndex& index);
+
 /// Runs all cross-file passes in registry order and returns the merged
-/// findings sorted by (file, line, rule, message).
+/// findings sorted by (file, line, rule, message). The interprocedural
+/// tier (call-graph condensation + fixpoints) is built once and shared by
+/// the passes that need it; when `interproc_stats` is non-null it
+/// receives that tier's size/cost counters for `--stats`.
 std::vector<Finding> RunAllPasses(const ProjectIndex& index,
-                                  const Layers& layers);
+                                  const Layers& layers,
+                                  InterprocStats* interproc_stats = nullptr);
 
 // ---------------------------------------------------------------------------
 // Intraprocedural dataflow checks.

@@ -1,0 +1,126 @@
+// View-escapes-call pass: the cross-function extension of dangling-view.
+// The index marks each view/reference-returning definition's parameters
+// that are named in a return expression (escape bits), and records
+// `return Callee(args);` sites in view-returning functions whose
+// arguments are local owners or temporaries. Composing the two catches
+// dangles no single function shows:
+//
+//   std::string_view Head(const std::string& s);  // returns view of s
+//   std::string_view Name() {
+//     std::string local = Build();
+//     return Head(local);                         // view of a dead local
+//   }
+//
+// Unanimity keeps it honest: a call-site finding requires every defining
+// declaration of the callee to escape that parameter position through a
+// reference/view parameter; an unknown callee stays silent. The
+// callee-side check is local: a view of a by-value owner parameter
+// always dangles, whoever calls it.
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/lint/passes/interproc.h"
+#include "tools/lint/passes/passes.h"
+
+namespace alicoco::lint {
+namespace {
+
+/// Owner-typed params whose by-value copy dies at return.
+bool OwnerParam(const ParamInfo& p) {
+  static const char* kOwners[] = {
+      "std::string", "std::vector",        "std::array",
+      "std::map",    "std::set",           "std::deque",
+      "std::list",   "std::unordered_map", "std::unordered_set"};
+  for (const char* o : kOwners) {
+    if (p.type == o) return true;
+  }
+  return false;
+}
+
+/// View-typed params: a view of a view is the safe Trim() idiom.
+bool ViewParam(const ParamInfo& p) {
+  return p.type == "std::string_view" || p.type == "std::span";
+}
+
+/// A parameter through which a view of the argument can escape: a
+/// reference, or a by-value view.
+bool EscapeCapableParam(const ParamInfo& p) {
+  return !p.by_value || ViewParam(p);
+}
+
+}  // namespace
+
+std::vector<Finding> RunViewEscapePass(const ProjectIndex& index) {
+  // Defining declarations by unqualified name, project-wide.
+  std::map<std::string, std::vector<const DeclInfo*>> defs;
+  for (const FileSummary& file : index.files()) {
+    for (const DeclInfo& d : file.decls) {
+      if (d.has_body) defs[d.name].push_back(&d);
+    }
+  }
+
+  std::vector<Finding> findings;
+
+  // Callee-side: returning a view of a by-value owner parameter.
+  for (const FileSummary& file : index.files()) {
+    for (const DeclInfo& d : file.decls) {
+      if (!d.has_body) continue;
+      for (const ParamInfo& p : d.params) {
+        if (!p.by_value || !p.escapes_return || !OwnerParam(p)) continue;
+        Finding f;
+        f.file = file.path;
+        f.line = d.line;
+        f.rule = "view-escapes-call";
+        f.message = "'" + d.name + "' returns a view of its by-value " +
+                    p.type + " parameter '" + p.name +
+                    "', which is destroyed when the call returns; take "
+                    "const& (caller-owned) or return an owning value";
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+
+  // Caller-side: `return Callee(local_owner_or_temp)` where every
+  // definition of Callee escapes that position into the returned view.
+  for (const FileSummary& file : index.files()) {
+    for (const FunctionSummary& fn : file.functions) {
+      for (const ViewReturnCall& site : fn.view_returns) {
+        auto def_it = defs.find(site.callee);
+        if (def_it == defs.end()) continue;  // unknown callee: silent
+        for (size_t i = 0; i < site.args.size(); ++i) {
+          const ViewArg& arg = site.args[i];
+          if (arg.owner.empty() && !arg.is_temp) continue;
+          bool escapes_everywhere = true;
+          for (const DeclInfo* d : def_it->second) {
+            if (i >= d->params.size() || !d->params[i].escapes_return ||
+                !EscapeCapableParam(d->params[i])) {
+              escapes_everywhere = false;
+              break;
+            }
+          }
+          if (!escapes_everywhere) continue;
+          Finding f;
+          f.file = file.path;
+          f.line = site.line;
+          f.rule = "view-escapes-call";
+          if (!arg.owner.empty()) {
+            f.message = "returns a view through '" + site.callee +
+                        "' into '" + arg.owner +
+                        "', which is destroyed when the function returns";
+          } else {
+            f.message = "returns a view through '" + site.callee +
+                        "' into a temporary destroyed at the end of the "
+                        "statement";
+          }
+          findings.push_back(std::move(f));
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace alicoco::lint

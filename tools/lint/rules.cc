@@ -71,6 +71,13 @@ class RawNewDeleteRule : public Rule {
     return "ownership must be containers or smart pointers; raw new/delete "
            "is allowed only in src/nn arena code";
   }
+  std::string_view example_bad() const override {
+    return "Node* n = new Node();\n// ...every early return above leaks n\n"
+           "delete n;";
+  }
+  std::string_view example_good() const override {
+    return "auto n = std::make_unique<Node>();  // freed on every path";
+  }
   void Check(const FileContext& file,
              std::vector<Finding>* out) const override {
     if (StartsWith(file.path, "src/nn/")) return;
@@ -95,6 +102,13 @@ class BannedRandRule : public Rule {
   std::string_view rationale() const override {
     return "all randomness goes through common/rng.h so every run is "
            "reproducible per seed";
+  }
+  std::string_view example_bad() const override {
+    return "int pick = rand() % candidates.size();  // differs every run";
+  }
+  std::string_view example_good() const override {
+    return "Rng rng(config.seed);\n"
+           "int pick = rng.UniformInt(0, candidates.size() - 1);";
   }
   void Check(const FileContext& file,
              std::vector<Finding>* out) const override {
@@ -124,6 +138,13 @@ class BareFopenRule : public Rule {
   std::string_view rationale() const override {
     return "fopen handles must live in the FilePtr RAII wrapper so they "
            "close on every path";
+  }
+  std::string_view example_bad() const override {
+    return "FILE* f = fopen(path.c_str(), \"rb\");\n"
+           "if (!Parse(f)) return Status::IOError(path);  // leaks f";
+  }
+  std::string_view example_good() const override {
+    return "FilePtr f(fopen(path.c_str(), \"rb\"));  // closes on all paths";
   }
   void Check(const FileContext& file,
              std::vector<Finding>* out) const override {
@@ -157,6 +178,12 @@ class UsingNamespaceHeaderRule : public Rule {
   std::string_view id() const override { return "using-namespace-header"; }
   std::string_view rationale() const override {
     return "a using-directive in a header leaks into every includer";
+  }
+  std::string_view example_bad() const override {
+    return "// widget.h\nusing namespace std;  // every includer inherits it";
+  }
+  std::string_view example_good() const override {
+    return "// widget.cc (or spell the names out)\nusing std::string;";
   }
   void Check(const FileContext& file,
              std::vector<Finding>* out) const override {
@@ -195,6 +222,14 @@ class IncludeGuardRule : public Rule {
   std::string_view rationale() const override {
     return "guard names must be derivable from the path "
            "(ALICOCO_<PATH>_H_) so moves and copies cannot collide";
+  }
+  std::string_view example_bad() const override {
+    return "// src/kg/taxonomy.h\n#ifndef TAXONOMY_H  // collides on copy\n"
+           "#define TAXONOMY_H";
+  }
+  std::string_view example_good() const override {
+    return "// src/kg/taxonomy.h\n#ifndef ALICOCO_KG_TAXONOMY_H_\n"
+           "#define ALICOCO_KG_TAXONOMY_H_";
   }
   void Check(const FileContext& file,
              std::vector<Finding>* out) const override {
@@ -270,6 +305,14 @@ class IncludeOrderRule : public Rule {
            "blocks sorted — diffs stay minimal and hidden dependencies "
            "surface";
   }
+  std::string_view example_bad() const override {
+    return "// src/kg/taxonomy.cc\n#include \"common/status.h\"\n"
+           "#include <vector>\n#include \"kg/taxonomy.h\"  // own header last";
+  }
+  std::string_view example_good() const override {
+    return "// src/kg/taxonomy.cc\n#include \"kg/taxonomy.h\"\n\n"
+           "#include <vector>\n\n#include \"common/status.h\"";
+  }
   void Check(const FileContext& file,
              std::vector<Finding>* out) const override {
     auto incs = ParseIncludes(file);
@@ -318,6 +361,12 @@ class BannedTimeRule : public Rule {
     return "wall-clock and hardware entropy make runs unreproducible; "
            "seeded common/rng.h is the only randomness source";
   }
+  std::string_view example_bad() const override {
+    return "std::mt19937 gen(std::random_device{}());  // new seed each run";
+  }
+  std::string_view example_good() const override {
+    return "Rng rng(config.seed);  // same seed, same run, bit for bit";
+  }
   void Check(const FileContext& file,
              std::vector<Finding>* out) const override {
     if (StartsWith(file.path, "src/common/rng")) return;
@@ -364,6 +413,14 @@ class UnorderedPersistIterRule : public Rule {
   std::string_view rationale() const override {
     return "iterating a hash container while writing a snapshot bakes "
            "hash-order into persisted bytes; sort keys first";
+  }
+  std::string_view example_bad() const override {
+    return "for (const auto& [id, node] : nodes_) {  // unordered_map\n"
+           "  out << id << node.name;  // byte order = hash order\n}";
+  }
+  std::string_view example_good() const override {
+    return "std::vector<int64_t> ids = SortedKeys(nodes_);\n"
+           "for (int64_t id : ids) out << id << nodes_.at(id).name;";
   }
   void Check(const FileContext& file,
              std::vector<Finding>* out) const override {
@@ -439,6 +496,12 @@ class LockDisciplineRule : public Rule {
            "annotated alicoco::Mutex/CondVar only, and a mutex member must "
            "guard something";
   }
+  std::string_view example_bad() const override {
+    return "std::mutex mu_;  // invisible to -Wthread-safety\nint hits_;";
+  }
+  std::string_view example_good() const override {
+    return "Mutex mu_;\nint hits_ ALICOCO_GUARDED_BY(mu_);";
+  }
   void Check(const FileContext& file,
              std::vector<Finding>* out) const override {
     if (StartsWith(file.path, "tools/lint/") ||
@@ -499,6 +562,12 @@ class DirectStderrLogRule : public Rule {
     return "library code must log through common/logging.h (ALICOCO_LOG) "
            "so records carry timestamps/thread ids and honor the "
            "installed sink; raw stderr writes bypass all of that";
+  }
+  std::string_view example_bad() const override {
+    return "std::cerr << \"rebuild failed: \" << status << \"\\n\";";
+  }
+  std::string_view example_good() const override {
+    return "ALICOCO_LOG(ERROR) << \"rebuild failed: \" << status;";
   }
   void Check(const FileContext& file,
              std::vector<Finding>* out) const override {

@@ -37,6 +37,10 @@ class Rule {
   virtual std::string_view id() const = 0;
   /// One-line rationale for --list-rules and the README catalog.
   virtual std::string_view rationale() const = 0;
+  /// Minimal bad/good example pair for `--explain <rule>`. Empty means
+  /// the rule has no example yet; --explain prints the rationale alone.
+  virtual std::string_view example_bad() const { return ""; }
+  virtual std::string_view example_good() const { return ""; }
   virtual void Check(const FileContext& file,
                      std::vector<Finding>* out) const = 0;
 };
