@@ -1,0 +1,15 @@
+#include "common/lock_stats.h"
+
+namespace alicoco {
+
+namespace internal {
+// constinit: named mutexes may lock during static initialization, before
+// any dynamic initializer could have run.
+constinit std::atomic<LockStatsSink*> g_lock_stats_sink{nullptr};
+}  // namespace internal
+
+void InstallLockStatsSink(LockStatsSink* sink) {
+  internal::g_lock_stats_sink.store(sink, std::memory_order_release);
+}
+
+}  // namespace alicoco

@@ -75,7 +75,9 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;  // written only in the constructor
   std::atomic<ThreadPoolObserver*> observer_{nullptr};
-  Mutex mu_;
+  // Named: the queue lock is the pool's contention point, so the profiling
+  // tier accounts its waits/holds when a LockStatsSink is installed.
+  Mutex mu_{"thread_pool.mu"};
   std::queue<Task> tasks_ ALICOCO_GUARDED_BY(mu_);
   size_t in_flight_ ALICOCO_GUARDED_BY(mu_) = 0;
   bool shutdown_ ALICOCO_GUARDED_BY(mu_) = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
@@ -76,7 +77,13 @@ double Histogram::BucketUpperBound(size_t index) {
 }
 
 double Histogram::QuantileFromSnapshot(const Snapshot& snap, double q) {
-  if (snap.count == 0) return 0;
+  // Documented sentinels: an empty histogram has no quantiles at all
+  // (NaN, so a 0 can never masquerade as "we measured zero latency"),
+  // and a single sample IS every quantile — interpolation across its
+  // power-of-two bucket would report a value nobody observed.
+  if (snap.count == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (snap.count == 1) return snap.min;
+  if (std::isnan(q)) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   // Nearest-rank position, then linear interpolation inside the bucket.
   double rank = q * static_cast<double>(snap.count - 1);

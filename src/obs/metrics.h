@@ -109,7 +109,10 @@ class Histogram {
   double max() const ALICOCO_EXCLUDES(mu_);
   double mean() const ALICOCO_EXCLUDES(mu_);
 
-  /// q in [0, 1]; returns 0 on an empty histogram.
+  /// q in [0, 1] (clamped). Edge cases are explicit sentinels: an empty
+  /// histogram returns NaN (there is no distribution to query — never a
+  /// fake 0), a single-sample histogram returns that exact sample for
+  /// every q (no bucket interpolation), and a NaN q returns NaN.
   double Quantile(double q) const ALICOCO_EXCLUDES(mu_);
 
   /// Consistent point-in-time copy for exporters.

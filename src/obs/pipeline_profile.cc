@@ -1,11 +1,10 @@
 #include "obs/pipeline_profile.h"
 
 #include <algorithm>
-#include <cctype>
-#include <memory>
 
 #include "common/string_util.h"
 #include "obs/exporters.h"
+#include "obs/json.h"
 
 namespace alicoco::obs {
 namespace {
@@ -15,235 +14,6 @@ constexpr char kStagePrefix[] = "pipeline.";
 constexpr char kRootSpan[] = "pipeline.build";
 
 std::string FormatDouble(double v) { return StringPrintf("%.6g", v); }
-
-// ---- minimal JSON reader -------------------------------------------------
-// Just enough of RFC 8259 for the profile schema: objects, arrays,
-// strings, numbers, true/false/null. No unicode escapes beyond \uXXXX
-// pass-through needs; profile strings are ASCII by construction.
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  Result<JsonValue> Parse() {
-    ALICOCO_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
-    SkipSpace();
-    if (pos_ != text_.size()) {
-      return Error("trailing characters after JSON value");
-    }
-    return value;
-  }
-
- private:
-  Status Error(const std::string& what) const {
-    return Status::Corruption("JSON parse error at offset " +
-                              std::to_string(pos_) + ": " + what);
-  }
-
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  Result<JsonValue> ParseValue() {
-    SkipSpace();
-    if (pos_ >= text_.size()) return Error("unexpected end of input");
-    char c = text_[pos_];
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
-    if (c == '"') return ParseString();
-    if (c == 't' || c == 'f' || c == 'n') return ParseKeyword();
-    return ParseNumber();
-  }
-
-  Result<JsonValue> ParseObject() {
-    JsonValue out;
-    out.kind = JsonValue::Kind::kObject;
-    ++pos_;  // '{'
-    if (Consume('}')) return out;
-    for (;;) {
-      SkipSpace();
-      if (pos_ >= text_.size() || text_[pos_] != '"') {
-        return Error("expected object key string");
-      }
-      ALICOCO_ASSIGN_OR_RETURN(JsonValue key, ParseString());
-      if (!Consume(':')) return Error("expected ':' after key");
-      ALICOCO_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
-      out.object.emplace_back(std::move(key.str), std::move(value));
-      if (Consume(',')) continue;
-      if (Consume('}')) return out;
-      return Error("expected ',' or '}' in object");
-    }
-  }
-
-  Result<JsonValue> ParseArray() {
-    JsonValue out;
-    out.kind = JsonValue::Kind::kArray;
-    ++pos_;  // '['
-    if (Consume(']')) return out;
-    for (;;) {
-      ALICOCO_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
-      out.array.push_back(std::move(value));
-      if (Consume(',')) continue;
-      if (Consume(']')) return out;
-      return Error("expected ',' or ']' in array");
-    }
-  }
-
-  Result<JsonValue> ParseString() {
-    JsonValue out;
-    out.kind = JsonValue::Kind::kString;
-    ++pos_;  // '"'
-    while (pos_ < text_.size()) {
-      char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out.str.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) break;
-      char esc = text_[pos_++];
-      switch (esc) {
-        case '"':
-        case '\\':
-        case '/':
-          out.str.push_back(esc);
-          break;
-        case 'n':
-          out.str.push_back('\n');
-          break;
-        case 't':
-          out.str.push_back('\t');
-          break;
-        case 'r':
-          out.str.push_back('\r');
-          break;
-        case 'b':
-          out.str.push_back('\b');
-          break;
-        case 'f':
-          out.str.push_back('\f');
-          break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code += static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code += static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code += static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              return Error("bad \\u escape digit");
-            }
-          }
-          // Profile strings are ASCII; anything else degrades to '?'.
-          out.str.push_back(code < 0x80 ? static_cast<char>(code) : '?');
-          break;
-        }
-        default:
-          return Error("unknown escape character");
-      }
-    }
-    return Error("unterminated string");
-  }
-
-  Result<JsonValue> ParseKeyword() {
-    auto match = [&](const char* word) {
-      size_t len = std::string_view(word).size();
-      if (text_.compare(pos_, len, word) != 0) return false;
-      pos_ += len;
-      return true;
-    };
-    JsonValue out;
-    if (match("true")) {
-      out.kind = JsonValue::Kind::kBool;
-      out.boolean = true;
-      return out;
-    }
-    if (match("false")) {
-      out.kind = JsonValue::Kind::kBool;
-      return out;
-    }
-    if (match("null")) return out;
-    return Error("unknown keyword");
-  }
-
-  Result<JsonValue> ParseNumber() {
-    size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    bool digits = false;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_];
-      if (std::isdigit(static_cast<unsigned char>(c))) {
-        digits = true;
-        ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    if (!digits) return Error("expected a number");
-    JsonValue out;
-    out.kind = JsonValue::Kind::kNumber;
-    out.number = std::stod(text_.substr(start, pos_ - start));
-    return out;
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
-
-Result<double> RequireNumber(const JsonValue& object, const std::string& key) {
-  const JsonValue* v = object.Find(key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
-    return Status::Corruption("missing numeric field '" + key + "'");
-  }
-  return v->number;
-}
-
-Result<std::string> RequireString(const JsonValue& object,
-                                  const std::string& key) {
-  const JsonValue* v = object.Find(key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kString) {
-    return Status::Corruption("missing string field '" + key + "'");
-  }
-  return v->str;
-}
 
 }  // namespace
 
@@ -280,18 +50,19 @@ std::string PipelineProfile::ToJson() const {
 }
 
 Result<PipelineProfile> PipelineProfile::FromJson(const std::string& text) {
-  ALICOCO_ASSIGN_OR_RETURN(JsonValue root, JsonParser(text).Parse());
+  ALICOCO_ASSIGN_OR_RETURN(JsonValue root, ParseJson(text));
   if (root.kind != JsonValue::Kind::kObject) {
     return Status::Corruption("profile root must be a JSON object");
   }
-  ALICOCO_ASSIGN_OR_RETURN(std::string schema, RequireString(root, "schema"));
+  ALICOCO_ASSIGN_OR_RETURN(std::string schema,
+                           JsonRequireString(root, "schema"));
   if (schema != kSchemaId) {
     return Status::Corruption("unknown profile schema '" + schema + "'");
   }
   PipelineProfile profile;
-  ALICOCO_ASSIGN_OR_RETURN(profile.world, RequireString(root, "world"));
+  ALICOCO_ASSIGN_OR_RETURN(profile.world, JsonRequireString(root, "world"));
   ALICOCO_ASSIGN_OR_RETURN(profile.total_ms,
-                           RequireNumber(root, "total_ms"));
+                           JsonRequireNumber(root, "total_ms"));
   const JsonValue* stages = root.Find("stages");
   if (stages == nullptr || stages->kind != JsonValue::Kind::kArray) {
     return Status::Corruption("missing 'stages' array");
@@ -301,8 +72,9 @@ Result<PipelineProfile> PipelineProfile::FromJson(const std::string& text) {
       return Status::Corruption("stage entries must be objects");
     }
     StageProfile stage;
-    ALICOCO_ASSIGN_OR_RETURN(stage.name, RequireString(entry, "name"));
-    ALICOCO_ASSIGN_OR_RETURN(stage.wall_ms, RequireNumber(entry, "wall_ms"));
+    ALICOCO_ASSIGN_OR_RETURN(stage.name, JsonRequireString(entry, "name"));
+    ALICOCO_ASSIGN_OR_RETURN(stage.wall_ms,
+                             JsonRequireNumber(entry, "wall_ms"));
     const JsonValue* counters = entry.Find("counters");
     if (counters != nullptr) {
       if (counters->kind != JsonValue::Kind::kObject) {

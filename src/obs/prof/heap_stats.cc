@@ -1,0 +1,57 @@
+#include "obs/prof/heap_stats.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define ALICOCO_PROF_HAVE_GETRUSAGE 1
+#else
+#define ALICOCO_PROF_HAVE_GETRUSAGE 0
+#endif
+
+namespace alicoco::obs::prof {
+
+namespace internal {
+constinit std::atomic<uint64_t> g_heap_allocs{0};
+constinit std::atomic<uint64_t> g_heap_frees{0};
+constinit std::atomic<uint64_t> g_heap_alloc_bytes{0};
+constinit std::atomic<uint64_t> g_heap_free_bytes{0};
+constinit std::atomic<bool> g_heap_tracking{false};
+constinit std::atomic<bool> g_heap_hook_linked{false};
+}  // namespace internal
+
+HeapCounters HeapCountersNow() {
+  HeapCounters out;
+  out.allocs = internal::g_heap_allocs.load(std::memory_order_relaxed);
+  out.frees = internal::g_heap_frees.load(std::memory_order_relaxed);
+  out.alloc_bytes =
+      internal::g_heap_alloc_bytes.load(std::memory_order_relaxed);
+  out.free_bytes = internal::g_heap_free_bytes.load(std::memory_order_relaxed);
+  return out;
+}
+
+bool HeapHookLinked() {
+  return internal::g_heap_hook_linked.load(std::memory_order_relaxed);
+}
+
+void SetHeapTrackingEnabled(bool enabled) {
+  internal::g_heap_tracking.store(enabled, std::memory_order_relaxed);
+}
+
+bool HeapTrackingEnabled() {
+  return internal::g_heap_tracking.load(std::memory_order_relaxed);
+}
+
+uint64_t PeakRssBytes() {
+#if ALICOCO_PROF_HAVE_GETRUSAGE
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace alicoco::obs::prof

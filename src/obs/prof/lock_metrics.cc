@@ -1,0 +1,54 @@
+#include "obs/prof/lock_metrics.h"
+
+#include "common/check.h"
+
+namespace alicoco::obs::prof {
+
+LockContentionMetrics::LockContentionMetrics(Registry* registry)
+    : registry_(registry) {
+  ALICOCO_CHECK(registry != nullptr);
+}
+
+const LockContentionMetrics::PerMutex& LockContentionMetrics::InstrumentsFor(
+    const char* name) {
+  MutexLock lock(mu_);
+  auto ptr_it = by_ptr_.find(name);
+  if (ptr_it != by_ptr_.end()) return *ptr_it->second;
+
+  auto [name_it, inserted] = by_name_.try_emplace(std::string(name));
+  PerMutex& per = name_it->second;
+  if (inserted) {
+    const std::string label = std::string("{mutex=") + name + "}";
+    per.acquires = registry_->GetCounter("lock.acquires" + label);
+    per.contended = registry_->GetCounter("lock.contended" + label);
+    per.wait_us = registry_->GetHistogram("lock.wait_us" + label);
+    per.hold_us = registry_->GetHistogram("lock.hold_us" + label);
+    per.cv_wait_us = registry_->GetHistogram("lock.cv_wait_us" + label);
+  }
+  by_ptr_.emplace(name, &per);
+  return per;
+}
+
+void LockContentionMetrics::OnAcquire(const char* name, uint64_t wait_us,
+                                      bool contended) {
+  const PerMutex& per = InstrumentsFor(name);
+  per.acquires->Increment();
+  total_acquires_.fetch_add(1, std::memory_order_relaxed);
+  if (contended) {
+    per.contended->Increment();
+    per.wait_us->Observe(static_cast<double>(wait_us));
+    total_contended_.fetch_add(1, std::memory_order_relaxed);
+    total_wait_us_.fetch_add(wait_us, std::memory_order_relaxed);
+  }
+}
+
+void LockContentionMetrics::OnRelease(const char* name, uint64_t hold_us) {
+  InstrumentsFor(name).hold_us->Observe(static_cast<double>(hold_us));
+}
+
+void LockContentionMetrics::OnCondVarWait(const char* name, uint64_t wait_us) {
+  InstrumentsFor(name).cv_wait_us->Observe(static_cast<double>(wait_us));
+  total_cv_wait_us_.fetch_add(wait_us, std::memory_order_relaxed);
+}
+
+}  // namespace alicoco::obs::prof

@@ -1,0 +1,124 @@
+// Bounded lock-free MPMC ring (Vyukov-style sequenced slots) sized for
+// the profiling tier's hot producers.
+//
+// The SIGPROF handler is a producer, so TryPush must be async-signal-safe:
+// it uses only atomic loads, a CAS, and a trivially-copyable value write —
+// no locks, no allocation, no syscalls. A full ring drops the sample (and
+// counts the drop) rather than ever blocking; losing a sample under burst
+// is the correct profiler behavior, losing the signal handler is not.
+//
+// Protocol: each slot carries a sequence number. seq == pos means "free
+// for the producer claiming position pos"; seq == pos + 1 means "filled,
+// ready for the consumer at pos"; after consumption seq becomes
+// pos + capacity, handing the slot to the producer one lap ahead. A
+// producer suspended between claiming and publishing (e.g. a thread
+// preempted inside a signal handler) makes the consumer see that slot as
+// "not ready yet" — TryPop returns false and the caller retries later,
+// which is exactly the drain loop's shape.
+//
+// T must be trivially copyable; the slots are stored inline.
+
+#ifndef ALICOCO_OBS_PROF_SAMPLE_RING_H_
+#define ALICOCO_OBS_PROF_SAMPLE_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "common/check.h"
+
+namespace alicoco::obs::prof {
+
+template <typename T>
+class SampleRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SampleRing slots are raw copies");
+
+ public:
+  /// Capacity is rounded up to a power of two, minimum 2. Allocation
+  /// happens here, never on the push path.
+  explicit SampleRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  SampleRing(const SampleRing&) = delete;
+  SampleRing& operator=(const SampleRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Async-signal-safe. False (and a drop count) when the ring is full.
+  bool TryPush(const T& value) {
+    uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.value = value;
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS refreshed pos; retry with the new claim point.
+      } else if (dif < 0) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;  // full: the consumer is a whole lap behind
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// False when empty (or when the next slot's producer has not yet
+  /// published — the caller just retries on its next drain pass).
+  bool TryPop(T* out) {
+    ALICOCO_DCHECK(out != nullptr);
+    uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      int64_t dif =
+          static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          *out = slot.value;
+          slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // empty or unpublished
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Samples rejected because the ring was full.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> head_{0};  ///< next producer position
+  alignas(64) std::atomic<uint64_t> tail_{0};  ///< next consumer position
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace alicoco::obs::prof
+
+#endif  // ALICOCO_OBS_PROF_SAMPLE_RING_H_

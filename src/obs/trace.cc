@@ -50,7 +50,15 @@ uint64_t Tracer::NextId() {
   return next_id_++;
 }
 
+void Tracer::SetSpanListener(SpanListener listener) {
+  listener_ = std::move(listener);
+}
+
 void Tracer::Record(SpanRecord record) {
+  // The listener runs before the record is moved into the collection and
+  // outside the lock: a slow listener must not extend the critical
+  // section the contention accounting is watching.
+  if (listener_) listener_(record);
   MutexLock lock(mu_);
   finished_.push_back(std::move(record));
 }

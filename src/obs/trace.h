@@ -68,6 +68,14 @@ class Tracer {
 
   uint64_t NowUs() const { return clock_(); }
 
+  /// Observer invoked (outside the tracer lock, on the closing thread)
+  /// for every finished span, in addition to normal collection — the
+  /// flight recorder uses this to keep a ring of recent spans. Set before
+  /// spans start closing and keep the callee alive until tracing ends;
+  /// the listener must be thread-safe.
+  using SpanListener = std::function<void(const SpanRecord&)>;
+  void SetSpanListener(SpanListener listener);
+
  private:
   friend class ScopedSpan;
 
@@ -75,9 +83,12 @@ class Tracer {
   void Record(SpanRecord record) ALICOCO_EXCLUDES(mu_);
 
   Clock clock_;
-  mutable Mutex mu_;
+  // Named: every span open/close crosses this lock, so profiled runs
+  // surface tracer contention alongside the pool's.
+  mutable Mutex mu_{"obs.tracer.mu"};
   std::vector<SpanRecord> finished_ ALICOCO_GUARDED_BY(mu_);
   uint64_t next_id_ ALICOCO_GUARDED_BY(mu_) = 1;
+  SpanListener listener_;  // written once before tracing, then read-only
 };
 
 /// RAII span handle. Not copyable or movable: a span is opened and closed

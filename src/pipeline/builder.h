@@ -35,6 +35,10 @@
 #include "obs/trace.h"
 #include "tagging/concept_tagger.h"
 
+namespace alicoco::obs::prof {
+class StageProfiler;
+}  // namespace alicoco::obs::prof
+
 namespace alicoco::pipeline {
 
 struct PipelineConfig {
@@ -83,6 +87,11 @@ struct PipelineConfig {
   /// no-op. Neither is owned; both must outlive Build().
   obs::Tracer* tracer = nullptr;
   obs::Registry* metrics = nullptr;
+  /// Profiling tier (src/obs/prof). When set, Build() cuts a stage
+  /// attribution window at every stage boundary (wall/cpu/lock-wait/
+  /// queue-wait/alloc deltas — see obs/prof/bench_profile.h) and closes
+  /// the last window before returning. Not owned; may be null.
+  obs::prof::StageProfiler* stage_profiler = nullptr;
 };
 
 /// Per-stage accounting.

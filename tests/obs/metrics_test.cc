@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -83,15 +85,31 @@ TEST(HistogramTest, QuantilesOfUniformDistribution) {
 }
 
 TEST(HistogramTest, QuantileOfSingleValueIsThatValue) {
+  // One sample IS every quantile — no interpolation across its
+  // power-of-two bucket (7 lives in [4, 8); interpolation used to be
+  // able to report values nobody observed).
   Histogram h;
   h.Observe(7);
+  EXPECT_EQ(h.Quantile(0.0), 7.0);
   EXPECT_EQ(h.Quantile(0.5), 7.0);
   EXPECT_EQ(h.Quantile(0.99), 7.0);
+  EXPECT_EQ(h.Quantile(1.0), 7.0);
 }
 
-TEST(HistogramTest, QuantileOnEmptyHistogramIsZero) {
+TEST(HistogramTest, QuantileOnEmptyHistogramIsNaN) {
+  // Documented sentinel: no samples means no distribution to query. NaN
+  // can never be mistaken for a measured zero latency.
   Histogram h;
-  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_TRUE(std::isnan(h.Quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.Quantile(0.0)));
+  EXPECT_TRUE(std::isnan(h.Quantile(1.0)));
+}
+
+TEST(HistogramTest, NaNQuantileRequestIsNaN) {
+  Histogram h;
+  h.Observe(1);
+  h.Observe(2);
+  EXPECT_TRUE(std::isnan(h.Quantile(std::nan(""))));
 }
 
 TEST(RegistryTest, RegistersOnFirstUseAndReturnsStablePointers) {
@@ -155,6 +173,53 @@ TEST(PrometheusExportTest, GoldenOutput) {
 TEST(PrometheusExportTest, EmptyRegistryExportsNothing) {
   Registry reg;
   EXPECT_EQ(ExportPrometheusText(reg), "");
+}
+
+TEST(PrometheusExportTest, EmptyHistogramQuantilesPrintNaN) {
+  Registry reg;
+  reg.GetHistogram("empty_us");
+  std::string out = ExportPrometheusText(reg);
+  // Prometheus spells unset samples "NaN" exactly; libc %g would print
+  // "nan" and break scrapers.
+  EXPECT_NE(out.find("empty_us{quantile=\"0.5\"} NaN\n"), std::string::npos);
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+}
+
+TEST(PrometheusExportTest, LabeledRegistryNamesBecomeLabels) {
+  // The profiling tier names per-mutex instruments with inline labels:
+  // `base{key=value}`. The exporter must surface them as real Prometheus
+  // labels and merge `le`/`quantile` into the same brace group.
+  Registry reg;
+  reg.GetCounter("lock.acquires{mutex=thread_pool.mu}")->Add(7);
+  reg.GetCounter("lock.acquires{mutex=obs.tracer.mu}")->Add(3);
+  Histogram* wait = reg.GetHistogram("lock.wait_us{mutex=thread_pool.mu}");
+  wait->Observe(3);
+
+  std::string out = ExportPrometheusText(reg);
+  EXPECT_NE(out.find("lock_acquires_total{mutex=\"obs.tracer.mu\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("lock_acquires_total{mutex=\"thread_pool.mu\"} 7\n"),
+            std::string::npos);
+  // One TYPE line per family even with several labeled series.
+  EXPECT_EQ(out.find("# TYPE lock_acquires_total counter"),
+            out.rfind("# TYPE lock_acquires_total counter"));
+  EXPECT_NE(
+      out.find("lock_wait_us_bucket{mutex=\"thread_pool.mu\",le=\"4\"} 1\n"),
+      std::string::npos);
+  EXPECT_NE(out.find("lock_wait_us_sum{mutex=\"thread_pool.mu\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("lock_wait_us{mutex=\"thread_pool.mu\",quantile="),
+            std::string::npos);
+}
+
+TEST(PrometheusExportTest, InvalidNamesAndLabelValuesAreSanitized) {
+  Registry reg;
+  // Leading digit, dashes, and a label value containing every character
+  // the exposition format requires escaping.
+  reg.GetCounter("9lives-total{bad-key=a\"b\\c\nd}")->Add(1);
+  std::string out = ExportPrometheusText(reg);
+  EXPECT_NE(out.find("_9lives_total_total{bad_key=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
 }
 
 }  // namespace

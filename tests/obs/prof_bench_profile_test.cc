@@ -1,0 +1,185 @@
+#include "obs/prof/bench_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/prof/heap_stats.h"
+
+namespace alicoco::obs::prof {
+namespace {
+
+BenchProfile MakeProfile() {
+  BenchProfile profile;
+  profile.world = "medium";
+  profile.total_ms = 1234.5;
+  profile.total_cpu_ms = 2200.25;
+  profile.peak_rss_mb = 512.5;
+  profile.heap_tracked = true;
+  StageAttribution mining;
+  mining.name = "mining";
+  mining.wall_ms = 700.5;
+  mining.cpu_ms = 1400.25;
+  mining.lock_wait_ms = 12.5;
+  mining.queue_wait_ms = 90.75;
+  mining.alloc_mb = 244.5;
+  mining.allocs = 1234567;
+  profile.stages.push_back(mining);
+  StageAttribution tagging;
+  tagging.name = "tagging";
+  tagging.wall_ms = 534;
+  tagging.cpu_ms = 800;
+  profile.stages.push_back(tagging);
+  profile.overhead.per_lock_ns = 0.5;
+  profile.overhead.per_alloc_ns = 1.25;
+  profile.overhead.lock_ops = 42;
+  profile.overhead.alloc_ops = 10000000;
+  profile.overhead.pct_of_total = 0.53;
+  return profile;
+}
+
+TEST(BenchProfileTest, JsonRoundTripPreservesEveryField) {
+  BenchProfile original = MakeProfile();
+  Result<BenchProfile> parsed = BenchProfile::FromJson(original.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const BenchProfile& p = *parsed;
+  EXPECT_EQ(p.world, "medium");
+  EXPECT_DOUBLE_EQ(p.total_ms, 1234.5);
+  EXPECT_DOUBLE_EQ(p.total_cpu_ms, 2200.25);
+  EXPECT_DOUBLE_EQ(p.peak_rss_mb, 512.5);
+  EXPECT_TRUE(p.heap_tracked);
+  ASSERT_EQ(p.stages.size(), 2u);
+  EXPECT_EQ(p.stages[0].name, "mining");
+  EXPECT_DOUBLE_EQ(p.stages[0].wall_ms, 700.5);
+  EXPECT_DOUBLE_EQ(p.stages[0].cpu_ms, 1400.25);
+  EXPECT_DOUBLE_EQ(p.stages[0].lock_wait_ms, 12.5);
+  EXPECT_DOUBLE_EQ(p.stages[0].queue_wait_ms, 90.75);
+  EXPECT_DOUBLE_EQ(p.stages[0].alloc_mb, 244.5);
+  EXPECT_EQ(p.stages[0].allocs, 1234567u);
+  EXPECT_EQ(p.stages[1].name, "tagging");
+  EXPECT_DOUBLE_EQ(p.overhead.per_lock_ns, 0.5);
+  EXPECT_DOUBLE_EQ(p.overhead.per_alloc_ns, 1.25);
+  EXPECT_EQ(p.overhead.lock_ops, 42u);
+  EXPECT_EQ(p.overhead.alloc_ops, 10000000u);
+  EXPECT_DOUBLE_EQ(p.overhead.pct_of_total, 0.53);
+}
+
+TEST(BenchProfileTest, FromJsonRejectsWrongSchema) {
+  std::string text = MakeProfile().ToJson();
+  size_t pos = text.find("alicoco.bench_profile.v1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 24, "alicoco.bench_profile.v9");
+  Result<BenchProfile> parsed = BenchProfile::FromJson(text);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsCorruption());
+}
+
+TEST(BenchProfileTest, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(BenchProfile::FromJson("not json").ok());
+  EXPECT_FALSE(BenchProfile::FromJson("[]").ok());
+}
+
+TEST(BenchProfileTest, FindStageByName) {
+  BenchProfile profile = MakeProfile();
+  ASSERT_NE(profile.FindStage("tagging"), nullptr);
+  EXPECT_DOUBLE_EQ(profile.FindStage("tagging")->cpu_ms, 800);
+  EXPECT_EQ(profile.FindStage("absent"), nullptr);
+}
+
+TEST(CompareBenchProfileTest, PassesWithinRatioAndSlack) {
+  BenchProfile baseline = MakeProfile();
+  BenchProfile current = MakeProfile();
+  current.stages[0].cpu_ms = baseline.stages[0].cpu_ms * 1.2;  // within 1.5x
+  EXPECT_TRUE(CompareBenchProfile(baseline, current, 1.5, 200.0).empty());
+}
+
+TEST(CompareBenchProfileTest, FlagsCpuRegression) {
+  BenchProfile baseline = MakeProfile();
+  BenchProfile current = MakeProfile();
+  current.stages[0].cpu_ms = baseline.stages[0].cpu_ms * 3.0;
+  std::vector<std::string> regressions =
+      CompareBenchProfile(baseline, current, 1.5, 200.0);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_NE(regressions[0].find("mining"), std::string::npos);
+  EXPECT_NE(regressions[0].find("cpu regressed"), std::string::npos);
+}
+
+TEST(CompareBenchProfileTest, FlagsMissingStage) {
+  BenchProfile baseline = MakeProfile();
+  BenchProfile current = MakeProfile();
+  current.stages.pop_back();  // drop "tagging"
+  std::vector<std::string> regressions =
+      CompareBenchProfile(baseline, current, 1.5, 200.0);
+  ASSERT_EQ(regressions.size(), 1u);
+  EXPECT_NE(regressions[0].find("'tagging' missing"), std::string::npos);
+}
+
+TEST(CompareBenchProfileTest, ExtraCurrentStagesAreAllowed) {
+  // New stages in the current profile are growth, not regression.
+  BenchProfile baseline = MakeProfile();
+  BenchProfile current = MakeProfile();
+  StageAttribution extra;
+  extra.name = "brand_new";
+  extra.cpu_ms = 1e9;
+  current.stages.push_back(extra);
+  EXPECT_TRUE(CompareBenchProfile(baseline, current, 1.5, 200.0).empty());
+}
+
+TEST(StageProfilerTest, NullSourcesYieldNamedStagesInOrder) {
+  StageProfiler profiler(nullptr, nullptr, "");
+  profiler.BeginStage("alpha");
+  profiler.BeginStage("beta");
+  profiler.Finish();
+  profiler.Finish();  // idempotent
+
+  std::vector<StageAttribution> stages = profiler.TakeStages();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].name, "alpha");
+  EXPECT_EQ(stages[1].name, "beta");
+  EXPECT_GE(stages[0].wall_ms, 0.0);
+  EXPECT_EQ(stages[0].lock_wait_ms, 0.0);
+  EXPECT_EQ(stages[0].queue_wait_ms, 0.0);
+}
+
+TEST(StageProfilerTest, QueueWaitComesFromTheNamedHistogramDelta) {
+  Registry registry;
+  Histogram* queue = registry.GetHistogram("pool.queue_wait_us");
+  StageProfiler profiler(nullptr, &registry, "pool.queue_wait_us");
+
+  queue->Observe(1000);  // pre-existing sum is baseline, not stage cost
+  profiler.BeginStage("alpha");
+  queue->Observe(2500);
+  queue->Observe(1500);
+  profiler.BeginStage("beta");
+  profiler.Finish();
+
+  std::vector<StageAttribution> stages = profiler.TakeStages();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_DOUBLE_EQ(stages[0].queue_wait_ms, 4.0);  // (2500+1500)us
+  EXPECT_DOUBLE_EQ(stages[1].queue_wait_ms, 0.0);
+}
+
+TEST(StageProfilerTest, HeapDeltaAttributesAllocationsToTheOpenStage) {
+  if (!HeapHookLinked()) GTEST_SKIP() << "alloc hook not linked";
+  ScopedHeapTracking tracking;
+  StageProfiler profiler(nullptr, nullptr, "");
+
+  profiler.BeginStage("alloc_heavy");
+  constexpr size_t kBytes = 8 * 1024 * 1024;
+  HeapProbeAlloc(kBytes);
+  profiler.BeginStage("quiet");
+  profiler.Finish();
+
+  std::vector<StageAttribution> stages = profiler.TakeStages();
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_GE(stages[0].alloc_mb, 8.0);
+  EXPECT_GE(stages[0].allocs, 1u);
+  // The quiet stage allocated at most test-harness noise, never 8MB.
+  EXPECT_LT(stages[1].alloc_mb, 1.0);
+}
+
+}  // namespace
+}  // namespace alicoco::obs::prof

@@ -1,0 +1,165 @@
+#include "obs/prof/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace alicoco::obs::prof {
+namespace {
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(FlightRecorderTest, RecordsAppearInSnapshotOldestFirst) {
+  FlightRecorder recorder(16);
+  recorder.Record("mark", "first");
+  recorder.Record("span", "second");
+  recorder.Record("third");  // shorthand -> kind "mark"
+  EXPECT_EQ(recorder.recorded(), 3u);
+
+  std::vector<std::string> lines = recorder.Snapshot();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"kind\":\"mark\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"detail\":\"first\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\":\"span\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"detail\":\"third\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RingOverwriteKeepsOnlyTheTail) {
+  FlightRecorder recorder(4);  // rounds to capacity 4
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record("mark", "event-" + std::to_string(i));
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  std::vector<std::string> lines = recorder.Snapshot();
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines.front().find("event-6"), std::string::npos);
+  EXPECT_NE(lines.back().find("event-9"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DetailIsEscapedAndTruncatedWithMarker) {
+  FlightRecorder recorder(8);
+  recorder.Record("mark", "quote \" backslash \\ newline \n done");
+  std::vector<std::string> lines = recorder.Snapshot();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("quote \\\" backslash \\\\ newline \\n done"),
+            std::string::npos);
+
+  recorder.Record("mark", std::string(1000, 'x'));
+  lines = recorder.Snapshot();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_LE(lines[1].size(), FlightRecorder::kLineBytes);
+  EXPECT_NE(lines[1].find("xxx..."), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpJsonlWritesOneLinePerEvent) {
+  FlightRecorder recorder(8);
+  recorder.Record("mark", "alpha");
+  recorder.Record("mark", "beta");
+  const std::string path =
+      testing::TempDir() + "flight_recorder_dump_test.jsonl";
+  ASSERT_TRUE(recorder.DumpJsonl(path).ok());
+  const std::string blob = ReadWholeFile(path);
+  EXPECT_NE(blob.find("\"detail\":\"alpha\"}\n"), std::string::npos);
+  EXPECT_NE(blob.find("\"detail\":\"beta\"}\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, LogSinkTeesRecordsIntoTheRing) {
+  FlightRecorder recorder(8);
+  FlightRecorderLogSink sink(&recorder);
+  LogRecord record;
+  record.file = "builder.cc";
+  record.line = 42;
+  record.message = "stage mining begin";
+  sink.Write(record);
+  std::vector<std::string> lines = recorder.Snapshot();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"kind\":\"log\""), std::string::npos);
+  EXPECT_NE(lines[0].find("builder.cc:42 stage mining begin"),
+            std::string::npos);
+}
+
+TEST(FlightRecorderTest, SpanListenerRecordsFinishedSpans) {
+  FlightRecorder recorder(8);
+  Tracer tracer;
+  tracer.SetSpanListener(MakeSpanFlightListener(&recorder));
+  {
+    ScopedSpan outer(&tracer, "pipeline.build");
+    ScopedSpan inner(&tracer, "pipeline.mining");
+  }
+  std::vector<std::string> lines = recorder.Snapshot();
+  ASSERT_EQ(lines.size(), 2u);  // inner closes first
+  EXPECT_NE(lines[0].find("\"kind\":\"span\""), std::string::npos);
+  EXPECT_NE(lines[0].find("pipeline.mining"), std::string::npos);
+  EXPECT_NE(lines[1].find("pipeline.build"), std::string::npos);
+}
+
+// Death tests: the crash-dump machinery runs in the forked child, so the
+// parent's process-wide handler state is never touched.
+TEST(FlightRecorderDeathTest, CheckFailureDumpsTheRing) {
+  const std::string path =
+      testing::TempDir() + "flight_recorder_check_dump.jsonl";
+  std::remove(path.c_str());
+  EXPECT_DEATH(
+      {
+        FlightRecorder recorder(64);
+        recorder.Record("mark", "pre-crash breadcrumb");
+        recorder.InstallCrashDump(path);
+        ALICOCO_CHECK(1 == 2) << "kaboom";
+      },
+      "kaboom");
+  const std::string blob = ReadWholeFile(path);
+  // The dump holds the breadcrumb trail plus the rendered CHECK message.
+  EXPECT_NE(blob.find("pre-crash breadcrumb"), std::string::npos) << blob;
+  EXPECT_NE(blob.find("\"kind\":\"check\""), std::string::npos) << blob;
+  EXPECT_NE(blob.find("kaboom"), std::string::npos) << blob;
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderDeathTest, FatalSignalDumpsTheRing) {
+  const std::string path =
+      testing::TempDir() + "flight_recorder_signal_dump.jsonl";
+  std::remove(path.c_str());
+  EXPECT_DEATH(
+      {
+        FlightRecorder recorder(64);
+        recorder.Record("mark", "before the abort");
+        recorder.InstallCrashDump(path);
+        std::abort();  // SIGABRT -> handler dumps, then re-raises
+      },
+      "");
+  const std::string blob = ReadWholeFile(path);
+  EXPECT_NE(blob.find("before the abort"), std::string::npos) << blob;
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, DestructorDropsCrashRegistration) {
+  const std::string path =
+      testing::TempDir() + "flight_recorder_unregister.jsonl";
+  {
+    FlightRecorder recorder(8);
+    recorder.InstallCrashDump(path);
+  }  // destructor must clear the global registration
+  // A second recorder can now install without tripping the CHECK.
+  FlightRecorder next(8);
+  next.InstallCrashDump(path);
+  FlightRecorder::UninstallCrashDumpForTest();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace alicoco::obs::prof

@@ -1,0 +1,81 @@
+#include "obs/prof/heap_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+
+namespace alicoco::obs::prof {
+namespace {
+
+// obs_test links $<TARGET_OBJECTS:alicoco_alloc_hook>, so the global
+// operator new/delete replacements are live in this binary.
+TEST(HeapStatsTest, HookIsLinkedIntoThisBinary) {
+  EXPECT_TRUE(HeapHookLinked());
+}
+
+TEST(HeapStatsTest, TrackingDisabledByDefaultCountsNothing) {
+  ASSERT_FALSE(HeapTrackingEnabled());
+  HeapCounters before = HeapCountersNow();
+  HeapProbeAlloc(128);
+  HeapCounters after = HeapCountersNow();
+  EXPECT_EQ(after.allocs, before.allocs);
+  EXPECT_EQ(after.alloc_bytes, before.alloc_bytes);
+}
+
+TEST(HeapStatsTest, ScopedTrackingCountsNewAndSizedDelete) {
+  ScopedHeapTracking tracking;
+  ASSERT_TRUE(HeapTrackingEnabled());
+  HeapCounters before = HeapCountersNow();
+  // The out-of-line volatile probe in alloc_hook.cc defeats C++14
+  // allocation elision: the new/delete pair must actually run.
+  HeapProbeAlloc(4096);
+  HeapCounters after = HeapCountersNow();
+  EXPECT_GE(after.allocs - before.allocs, 1u);
+  EXPECT_GE(after.frees - before.frees, 1u);
+  EXPECT_GE(after.alloc_bytes - before.alloc_bytes, 4096u);
+}
+
+TEST(HeapStatsTest, AlignedAllocationsAreCounted) {
+  ScopedHeapTracking tracking;
+  HeapCounters before = HeapCountersNow();
+  HeapProbeAllocAligned(64);  // 64-byte-aligned operator new/delete pair
+  HeapCounters after = HeapCountersNow();
+  EXPECT_GE(after.allocs - before.allocs, 1u);
+  EXPECT_GE(after.alloc_bytes - before.alloc_bytes, 64u);
+}
+
+TEST(HeapStatsTest, CountersAreCumulativeAcrossDisable) {
+  HeapCounters mid;
+  {
+    ScopedHeapTracking tracking;
+    HeapProbeAlloc(32);
+    mid = HeapCountersNow();
+  }
+  // Disabling stops the counting but never resets the totals.
+  EXPECT_FALSE(HeapTrackingEnabled());
+  HeapCounters after = HeapCountersNow();
+  EXPECT_GE(after.allocs, mid.allocs);
+  EXPECT_EQ(after.alloc_bytes, HeapCountersNow().alloc_bytes);
+}
+
+TEST(HeapStatsTest, PeakRssIsNonTrivial) {
+  // getrusage truth: a running test binary is at least a megabyte big.
+  EXPECT_GT(PeakRssBytes(), uint64_t{1} << 20);
+}
+
+TEST(HeapStatsTest, ScopedTrackingRestoresPreviousState) {
+  ASSERT_FALSE(HeapTrackingEnabled());
+  {
+    ScopedHeapTracking outer;
+    {
+      ScopedHeapTracking inner;
+      EXPECT_TRUE(HeapTrackingEnabled());
+    }
+    EXPECT_TRUE(HeapTrackingEnabled());  // inner restored outer's "on"
+  }
+  EXPECT_FALSE(HeapTrackingEnabled());
+}
+
+}  // namespace
+}  // namespace alicoco::obs::prof

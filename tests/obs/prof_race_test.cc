@@ -1,0 +1,146 @@
+// TSan stress tests for the profiling tier's concurrent structures
+// (tools/ci.sh runs the ProfRace* suite under ThreadSanitizer).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/lock_stats.h"
+#include "common/mutex.h"
+#include "obs/metrics.h"
+#include "obs/prof/flight_recorder.h"
+#include "obs/prof/lock_metrics.h"
+#include "obs/prof/sample_ring.h"
+
+namespace alicoco::obs::prof {
+namespace {
+
+TEST(ProfRaceTest, SampleRingMpmcDeliversEveryAcceptedPush) {
+  SampleRing<uint64_t> ring(256);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 2;
+  constexpr uint64_t kPerProducer = 20000;
+
+  std::atomic<uint64_t> pushed_ok{0};
+  std::atomic<uint64_t> popped{0};
+  std::atomic<uint64_t> popped_sum{0};
+  std::atomic<bool> producing{true};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        // Values are globally unique so a duplicated or torn slot would
+        // corrupt the checksum below.
+        const uint64_t value = static_cast<uint64_t>(p) * kPerProducer + i + 1;
+        if (ring.TryPush(value)) {
+          pushed_ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      uint64_t value = 0;
+      for (;;) {
+        if (ring.TryPop(&value)) {
+          popped.fetch_add(1, std::memory_order_relaxed);
+          popped_sum.fetch_add(value, std::memory_order_relaxed);
+          continue;
+        }
+        // An empty pop is final only once the producers have all joined:
+        // no slot can still be mid-publish at that point.
+        if (!producing.load(std::memory_order_acquire)) break;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  producing.store(false, std::memory_order_release);
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(popped.load(), pushed_ok.load());
+  EXPECT_EQ(pushed_ok.load() + ring.dropped(), kProducers * kPerProducer);
+  EXPECT_GT(popped_sum.load(), 0u);
+}
+
+#if ALICOCO_LOCK_STATS
+TEST(ProfRaceTest, NamedMutexHammerWithSinkInstalled) {
+  Registry registry;
+  LockContentionMetrics metrics(&registry);
+  ScopedLockStatsSink installed(&metrics);
+
+  Mutex mu{"race.hammer.mu"};
+  CondVar cv;
+  uint64_t shared = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 3000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MutexLock lock(mu);
+        ++shared;
+      }
+      cv.NotifyAll();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  {
+    MutexLock lock(mu);
+    EXPECT_EQ(shared, static_cast<uint64_t>(kThreads) * kIters);
+  }
+  EXPECT_GE(metrics.total_acquires(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  const Counter* acquires =
+      registry.FindCounter("lock.acquires{mutex=race.hammer.mu}");
+  ASSERT_NE(acquires, nullptr);
+  EXPECT_GE(acquires->value(), static_cast<uint64_t>(kThreads) * kIters);
+}
+#endif  // ALICOCO_LOCK_STATS
+
+TEST(ProfRaceTest, FlightRecorderConcurrentRecordAndSnapshot) {
+  FlightRecorder recorder(128);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 5000;
+  std::atomic<bool> writing{true};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        recorder.Record("mark", "writer-" + std::to_string(w) + "-event-" +
+                                    std::to_string(i));
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (writing.load(std::memory_order_acquire)) {
+      std::vector<std::string> lines = recorder.Snapshot();
+      EXPECT_LE(lines.size(), 128u);
+      // Accepted lines must be whole: Snapshot discards torn slots, so
+      // every survivor parses as one complete JSON object.
+      for (const std::string& line : lines) {
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+      }
+    }
+  });
+  for (auto& t : writers) t.join();
+  writing.store(false, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<uint64_t>(kWriters) * kPerWriter);
+  std::vector<std::string> final_lines = recorder.Snapshot();
+  EXPECT_EQ(final_lines.size(), 128u);
+}
+
+}  // namespace
+}  // namespace alicoco::obs::prof

@@ -1,0 +1,77 @@
+#include "obs/prof/sample_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace alicoco::obs::prof {
+namespace {
+
+TEST(SampleRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SampleRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SampleRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SampleRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SampleRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SampleRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SampleRingTest, FifoOrderWithinCapacity) {
+  SampleRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.TryPush(i));
+  int v = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.TryPop(&v));
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(SampleRingTest, FullRingDropsAndCounts) {
+  SampleRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99));
+  EXPECT_FALSE(ring.TryPush(100));
+  EXPECT_EQ(ring.dropped(), 2u);
+  // Draining one slot makes room for exactly one more push.
+  int v = -1;
+  ASSERT_TRUE(ring.TryPop(&v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ring.TryPush(42));
+  EXPECT_FALSE(ring.TryPush(43));
+  EXPECT_EQ(ring.dropped(), 3u);
+}
+
+TEST(SampleRingTest, SlotsAreReusableAcrossManyLaps) {
+  SampleRing<uint64_t> ring(4);
+  uint64_t v = 0;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(ring.TryPush(i));
+    ASSERT_TRUE(ring.TryPop(&v));
+    ASSERT_EQ(v, i);
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(SampleRingTest, StructPayloadCopiesIntact) {
+  struct Payload {
+    int32_t depth;
+    void* frames[4];
+  };
+  SampleRing<Payload> ring(2);
+  Payload in{};
+  in.depth = 3;
+  int dummy = 0;
+  in.frames[0] = &dummy;
+  in.frames[2] = &ring;
+  ASSERT_TRUE(ring.TryPush(in));
+  Payload out{};
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out.depth, 3);
+  EXPECT_EQ(out.frames[0], &dummy);
+  EXPECT_EQ(out.frames[1], nullptr);
+  EXPECT_EQ(out.frames[2], &ring);
+}
+
+}  // namespace
+}  // namespace alicoco::obs::prof

@@ -1,0 +1,25 @@
+// lint-fixture: src/obs/bad_mutex_name.cc
+
+#include <string>
+
+#include "common/mutex.h"
+
+namespace alicoco {
+
+class BadNames {
+ private:
+  std::string label_ = "pool.mu";
+  Mutex mu_{label_.c_str()};
+  int hits_ ALICOCO_GUARDED_BY(mu_) = 0;
+};
+
+inline void UseLocals(const char* runtime_name) {
+  Mutex dynamic_name(runtime_name);
+  Mutex fine{"obs.fixture.mu"};
+  Mutex unnamed;
+  MutexLock lock(fine);
+  (void)dynamic_name;
+  (void)unnamed;
+}
+
+}  // namespace alicoco

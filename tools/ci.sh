@@ -7,6 +7,8 @@
 #      leaving build/lint/alicoco_lint.sarif for CI artifact upload
 #   2. plain RelWithDebInfo build + full ctest
 #   3. pipeline profile gate (obs_report vs committed BENCH_pipeline.json)
+#      + profiling-tier gate: per-stage cpu attribution vs the committed
+#      BENCH_profile.json, collapsed-stack smoke, disabled-overhead <1%
 #   4. kernel smoke gate (bench_micro vs committed BENCH_kernels.json)
 #   5. ASan+UBSan build + full ctest   (DCHECKs forced on)
 #   6. TSan build + threaded tests     (DCHECKs forced on)
@@ -27,6 +29,9 @@ step() { printf '\n==== %s ====\n' "$*"; }
 
 step "lint"
 tools/lint.sh
+# Every registered rule must be able to explain itself (rationale +
+# bad/good example); spot-check the newest rule's card renders.
+build/tools/lint/alicoco_lint --explain mutex-name-literal >/dev/null
 
 step "plain build + tests"
 cmake --preset default >/dev/null
@@ -49,7 +54,20 @@ step "pipeline profile gate"
 # catching order-of-magnitude stage regressions.
 mkdir -p build/obs
 build/bench/obs_report --out build/obs/BENCH_pipeline.json --outdir build/obs \
-  --baseline BENCH_pipeline.json --max-regress 2.0 --slack-ms 500
+  --baseline BENCH_pipeline.json --max-regress 2.0 --slack-ms 500 \
+  --profile-out build/obs/BENCH_profile.json \
+  --profile-baseline BENCH_profile.json --overhead-limit 1.0
+
+step "profiling tier smoke"
+# The run above must leave a non-empty collapsed-stack dump (flamegraph
+# input) and a profile whose schema the tooling can re-read.
+test -s build/obs/profile.collapsed
+python3 - <<'PY'
+import json
+prof = json.load(open("build/obs/BENCH_profile.json"))
+assert prof["schema"] == "alicoco.bench_profile.v1", prof["schema"]
+assert len(prof["stages"]) >= 9, [s["name"] for s in prof["stages"]]
+PY
 
 step "kernel smoke gate"
 # Deterministic kernel/fused-op/parallel-train timings vs the committed
@@ -73,10 +91,11 @@ step "TSan build + threaded tests"
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "${JOBS}"
 # The threaded surface: the thread pool (incl. the race stress suite), the
-# observability registry/tracer stress suite, and the trainers that fan out
-# over the pool. Running the full suite under TSan works too but takes far
-# longer for no extra thread coverage.
+# observability registry/tracer stress suite, the profiling-tier stress
+# suite (sample ring, instrumented mutex, flight recorder), and the
+# trainers that fan out over the pool. Running the full suite under TSan
+# works too but takes far longer for no extra thread coverage.
 TSAN_OPTIONS="halt_on_error=1" \
-  ctest --preset tsan -R 'ThreadPool|ObsRace|Training|Skipgram|Classifier|Matching|Tagger|Projection'
+  ctest --preset tsan -R 'ThreadPool|ObsRace|ProfRace|LockStats|LockContentionMetrics|Training|Skipgram|Classifier|Matching|Tagger|Projection'
 
 step "all green"

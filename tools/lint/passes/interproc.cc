@@ -38,7 +38,8 @@ bool StdLikeMethodName(const std::string& name) {
       "find",    "at",      "reset",     "get",       "data",     "load",
       "store",   "exchange", "fetch_add", "str",      "c_str",    "substr",
       "append",  "lock",    "unlock",    "try_lock",  "wait",     "notify_one",
-      "notify_all", "emplace", "emplace_back", "resize", "reserve"};
+      "notify_all", "emplace", "emplace_back", "try_emplace", "resize",
+      "reserve", "now",     "time_since_epoch", "duration_cast"};
   return std::any_of(std::begin(kNames), std::end(kNames),
                      [&](const char* n) { return name == n; });
 }
