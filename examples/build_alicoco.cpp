@@ -2,9 +2,14 @@
 // synthetic world (corpora + seed knowledge + simulated annotators) and
 // save the constructed AliCoCo to disk.
 //
-//   build/examples/build_alicoco [output_path]
+//   build/examples/build_alicoco [output_path] [--quant=int8|fp16]
+//
+// --quant routes the stage-7 item-association scoring (the hottest
+// inference loop of the build) through quantized weights; see DESIGN.md §5
+// for the accuracy-tolerance policy.
 
 #include <cstdio>
+#include <cstring>
 
 #include "kg/persistence.h"
 #include "kg/stats.h"
@@ -13,7 +18,20 @@
 using namespace alicoco;
 
 int main(int argc, char** argv) {
-  const char* out_path = argc > 1 ? argv[1] : "/tmp/alicoco_net.txt";
+  const char* out_path = "/tmp/alicoco_net.txt";
+  nn::quant::QuantMode quant = nn::quant::QuantMode::kNone;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quant=int8") == 0) {
+      quant = nn::quant::QuantMode::kInt8;
+    } else if (std::strcmp(argv[i], "--quant=fp16") == 0) {
+      quant = nn::quant::QuantMode::kFp16;
+    } else if (std::strncmp(argv[i], "--quant=", 8) == 0) {
+      std::printf("unknown quant mode %s (want int8 or fp16)\n", argv[i] + 8);
+      return 1;
+    } else {
+      out_path = argv[i];
+    }
+  }
 
   datagen::WorldConfig wc;
   wc.seed = 2020;
@@ -29,6 +47,11 @@ int main(int argc, char** argv) {
   cfg.classifier.epochs = 3;
   cfg.tagger.epochs = 4;
   cfg.matcher.base.epochs = 4;
+  cfg.association_quant = quant;
+  if (quant != nn::quant::QuantMode::kNone) {
+    std::printf("association scoring will run %s-quantized\n",
+                nn::quant::QuantModeName(quant));
+  }
   pipeline::AliCoCoBuilder builder(&world, &resources, cfg);
   pipeline::BuildReport report;
   std::printf("running the 7-stage construction pipeline...\n\n");

@@ -1,85 +1,86 @@
 #include "nn/kernels.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 namespace alicoco::nn::kernels {
+
+namespace scalar {
 namespace {
 
-// Register tile height: each B row loaded in the micro-kernel is reused for
-// kMr rows of A/C. Cache tiles keep the active B panel (kKc x kNc floats,
-// 32 KiB) L1/L2-resident for large shapes while adding no overhead for the
-// small ones the models use.
+// Register tile: the micro-kernel accumulates a kMr x kNr patch of C in
+// locals across the whole k pass (the compiler turns the fixed-width inner
+// loops into SIMD accumulators), so C traffic is one load + one store per
+// panel instead of one per k step. Cache tiles keep the active B panel
+// (kKc x kNc floats) L1/L2-resident for large shapes while adding no
+// overhead for the small ones the models use.
 constexpr int kMr = 4;
-constexpr int kKc = 64;
+constexpr int kNr = 8;
+constexpr int kKc = 128;
 constexpr int kNc = 128;
 
-// C[i0..i0+rows) x [j0..j0+nb) += A[i0..i0+rows) x [p0..p0+kb) * B-panel.
-// rows <= kMr; all inner loops branch-free.
-inline void MicroGemm(int rows, int kb, int nb, const float* __restrict a0,
+// C tile [R x kNr] at c0 += A rows [R x kb] at a0 * B panel at b0.
+template <int R>
+inline void MicroTile(int kb, const float* __restrict a0, int lda,
+                      const float* __restrict b0, int ldb,
+                      float* __restrict c0, int ldc) {
+  float acc[R][kNr];
+  for (int r = 0; r < R; ++r) {
+    for (int j = 0; j < kNr; ++j) acc[r][j] = c0[r * ldc + j];
+  }
+  for (int p = 0; p < kb; ++p) {
+    const float* __restrict br = b0 + static_cast<long>(p) * ldb;
+    for (int r = 0; r < R; ++r) {
+      const float av = a0[r * lda + p];
+      for (int j = 0; j < kNr; ++j) acc[r][j] += av * br[j];
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    for (int j = 0; j < kNr; ++j) c0[r * ldc + j] = acc[r][j];
+  }
+}
+
+// Ragged edge: rows < kMr and/or nb < kNr, accumulators still hoisted out
+// of the k loop (variable-width, so scalar code — at most kMr*kNr locals).
+inline void MicroEdge(int rows, int kb, int nb, const float* __restrict a0,
                       int lda, const float* __restrict b0, int ldb,
                       float* __restrict c0, int ldc) {
-  switch (rows) {
-    case 4:
-      for (int p = 0; p < kb; ++p) {
-        const float av0 = a0[p];
-        const float av1 = a0[lda + p];
-        const float av2 = a0[2 * lda + p];
-        const float av3 = a0[3 * lda + p];
-        const float* __restrict br = b0 + static_cast<long>(p) * ldb;
-        float* __restrict cr0 = c0;
-        float* __restrict cr1 = c0 + ldc;
-        float* __restrict cr2 = c0 + 2 * ldc;
-        float* __restrict cr3 = c0 + 3 * ldc;
-        for (int j = 0; j < nb; ++j) {
-          const float bv = br[j];
-          cr0[j] += av0 * bv;
-          cr1[j] += av1 * bv;
-          cr2[j] += av2 * bv;
-          cr3[j] += av3 * bv;
-        }
-      }
-      break;
-    case 3:
-      for (int p = 0; p < kb; ++p) {
-        const float av0 = a0[p];
-        const float av1 = a0[lda + p];
-        const float av2 = a0[2 * lda + p];
-        const float* __restrict br = b0 + static_cast<long>(p) * ldb;
-        float* __restrict cr0 = c0;
-        float* __restrict cr1 = c0 + ldc;
-        float* __restrict cr2 = c0 + 2 * ldc;
-        for (int j = 0; j < nb; ++j) {
-          const float bv = br[j];
-          cr0[j] += av0 * bv;
-          cr1[j] += av1 * bv;
-          cr2[j] += av2 * bv;
-        }
-      }
-      break;
-    case 2:
-      for (int p = 0; p < kb; ++p) {
-        const float av0 = a0[p];
-        const float av1 = a0[lda + p];
-        const float* __restrict br = b0 + static_cast<long>(p) * ldb;
-        float* __restrict cr0 = c0;
-        float* __restrict cr1 = c0 + ldc;
-        for (int j = 0; j < nb; ++j) {
-          const float bv = br[j];
-          cr0[j] += av0 * bv;
-          cr1[j] += av1 * bv;
-        }
-      }
-      break;
-    default:
-      for (int p = 0; p < kb; ++p) {
-        const float av0 = a0[p];
-        const float* __restrict br = b0 + static_cast<long>(p) * ldb;
-        float* __restrict cr0 = c0;
-        for (int j = 0; j < nb; ++j) cr0[j] += av0 * br[j];
-      }
-      break;
+  float acc[kMr][kNr];
+  for (int r = 0; r < rows; ++r) {
+    for (int j = 0; j < nb; ++j) acc[r][j] = c0[r * ldc + j];
   }
+  for (int p = 0; p < kb; ++p) {
+    const float* __restrict br = b0 + static_cast<long>(p) * ldb;
+    for (int r = 0; r < rows; ++r) {
+      const float av = a0[r * lda + p];
+      for (int j = 0; j < nb; ++j) acc[r][j] += av * br[j];
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int j = 0; j < nb; ++j) c0[r * ldc + j] = acc[r][j];
+  }
+}
+
+// One panel: C [rows x nb] += A [rows x kb] * B [kb x nb], j chunked by
+// the register tile width.
+inline void MicroPanel(int rows, int kb, int nb, const float* __restrict a0,
+                       int lda, const float* __restrict b0, int ldb,
+                       float* __restrict c0, int ldc) {
+  int j = 0;
+  if (rows == kMr) {
+    for (; j + kNr <= nb; j += kNr) {
+      MicroTile<kMr>(kb, a0, lda, b0 + j, ldb, c0 + j, ldc);
+    }
+  } else {
+    for (; j + kNr <= nb; j += kNr) {
+      MicroEdge(rows, kb, kNr, a0, lda, b0 + j, ldb, c0 + j, ldc);
+    }
+  }
+  if (j < nb) MicroEdge(rows, kb, nb - j, a0, lda, b0 + j, ldb, c0 + j, ldc);
 }
 
 }  // namespace
@@ -87,11 +88,11 @@ inline void MicroGemm(int rows, int kb, int nb, const float* __restrict a0,
 void GemmAccum(int m, int k, int n, const float* a, const float* b, float* c) {
   if (k <= kKc && n <= kNc) {
     // The whole problem is one cache tile (the common case for the model
-    // dims in this repo); go straight to the micro-kernel.
+    // dims in this repo); go straight to the micro-kernels.
     for (int i0 = 0; i0 < m; i0 += kMr) {
       const int rows = std::min(kMr, m - i0);
-      MicroGemm(rows, k, n, a + static_cast<long>(i0) * k, k, b, n,
-                c + static_cast<long>(i0) * n, n);
+      MicroPanel(rows, k, n, a + static_cast<long>(i0) * k, k, b, n,
+                 c + static_cast<long>(i0) * n, n);
     }
     return;
   }
@@ -102,8 +103,8 @@ void GemmAccum(int m, int k, int n, const float* a, const float* b, float* c) {
       const float* bpanel = b + static_cast<long>(p0) * n + j0;
       for (int i0 = 0; i0 < m; i0 += kMr) {
         const int rows = std::min(kMr, m - i0);
-        MicroGemm(rows, kb, nb, a + static_cast<long>(i0) * k + p0, k, bpanel,
-                  n, c + static_cast<long>(i0) * n + j0, n);
+        MicroPanel(rows, kb, nb, a + static_cast<long>(i0) * k + p0, k,
+                   bpanel, n, c + static_cast<long>(i0) * n + j0, n);
       }
     }
   }
@@ -209,6 +210,218 @@ void AddBiasRelu(int rows, int cols, const float* x,
     }
   }
 }
+
+void Q8GemmDotAccum(int m, int k, int n, const int8_t* aq,
+                    const float* ascales, const int8_t* bq,
+                    const float* bscales, float* c) {
+  const int blocks = Q8Blocks(k);
+  const long row_q = static_cast<long>(blocks) * kQ8Block;
+  for (int i = 0; i < m; ++i) {
+    const int8_t* __restrict ar = aq + i * row_q;
+    const float* __restrict as = ascales + static_cast<long>(i) * blocks;
+    float* __restrict cr = c + static_cast<long>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const int8_t* __restrict br = bq + j * row_q;
+      const float* __restrict bs = bscales + static_cast<long>(j) * blocks;
+      float acc = 0.0f;
+      for (int blk = 0; blk < blocks; ++blk) {
+        const int8_t* __restrict ab = ar + blk * kQ8Block;
+        const int8_t* __restrict bb = br + blk * kQ8Block;
+        int32_t idot = 0;
+        for (int l = 0; l < kQ8Block; ++l) {
+          idot += static_cast<int32_t>(ab[l]) * static_cast<int32_t>(bb[l]);
+        }
+        acc += as[blk] * bs[blk] * static_cast<float>(idot);
+      }
+      cr[j] += acc;
+    }
+  }
+}
+
+namespace {
+
+// Round-to-nearest-even binary32 -> binary16 (handles subnormals, inf,
+// nan, mantissa-carry into the exponent and overflow to inf). Must stay
+// bit-identical to F16C's VCVTPS2PH so checkpoints do not depend on the
+// tier that wrote them.
+inline uint16_t F32ToF16One(float f) {
+  const uint32_t x = std::bit_cast<uint32_t>(f);
+  const uint16_t sign = static_cast<uint16_t>((x >> 16) & 0x8000u);
+  const uint32_t abs = x & 0x7FFFFFFFu;
+  if (abs >= 0x47800000u) {  // >= 65536: inf/nan, or overflow to inf
+    if (abs > 0x7F800000u) return sign | 0x7E00u;  // nan (quiet)
+    return sign | 0x7C00u;
+  }
+  if (abs < 0x38800000u) {  // below the smallest normal half: subnormal
+    if (abs < 0x33000000u) return sign;  // < 2^-25 underflows to zero
+    const int shift = 113 - static_cast<int>(abs >> 23);
+    const uint32_t mant = (abs & 0x7FFFFFu) | 0x800000u;
+    uint32_t half = mant >> (shift + 13);
+    const uint32_t rem = mant & ((1u << (shift + 13)) - 1u);
+    const uint32_t halfway = 1u << (shift + 12);
+    if (rem > halfway || (rem == halfway && (half & 1u))) ++half;
+    return sign | static_cast<uint16_t>(half);
+  }
+  const uint32_t mant = abs & 0x7FFFFFu;
+  const int exp = static_cast<int>(abs >> 23) - 127 + 15;
+  uint16_t h = static_cast<uint16_t>((exp << 10) | (mant >> 13));
+  const uint32_t rem = mant & 0x1FFFu;
+  // A carry out of the rounded mantissa increments the exponent (and can
+  // legitimately round 65504 < |x| into inf).
+  if (rem > 0x1000u || (rem == 0x1000u && (h & 1u))) ++h;
+  return sign | h;
+}
+
+inline float F16ToF32One(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1Fu;
+  uint32_t mant = h & 0x3FFu;
+  uint32_t f;
+  if (exp == 0) {
+    if (mant == 0) {
+      f = sign;
+    } else {  // subnormal half: renormalize
+      int s = 0;
+      while (!(mant & 0x400u)) {
+        mant <<= 1;
+        ++s;
+      }
+      f = sign | (static_cast<uint32_t>(113 - s) << 23) |
+          ((mant & 0x3FFu) << 13);
+    }
+  } else if (exp == 31) {
+    f = sign | 0x7F800000u | (mant << 13);
+  } else {
+    f = sign | ((exp + 112u) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+}  // namespace
+
+void Fp16GemmTransBAccum(int m, int k, int n, const float* a,
+                         const uint16_t* b, float* c) {
+  for (int i = 0; i < m; ++i) {
+    const float* __restrict ar = a + static_cast<long>(i) * k;
+    float* __restrict cr = c + static_cast<long>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const uint16_t* __restrict br = b + static_cast<long>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += ar[p] * F16ToF32One(br[p]);
+      cr[j] += acc;
+    }
+  }
+}
+
+void Fp32ToFp16(const float* src, uint16_t* dst, int n) {
+  for (int i = 0; i < n; ++i) dst[i] = F32ToF16One(src[i]);
+}
+
+void Fp16ToFp32(const uint16_t* src, float* dst, int n) {
+  for (int i = 0; i < n; ++i) dst[i] = F16ToF32One(src[i]);
+}
+
+}  // namespace scalar
+
+// ---- dispatch ------------------------------------------------------------
+
+namespace {
+
+constexpr KernelDispatch kScalarTable = {
+    "scalar",
+    scalar::GemmAccum,
+    scalar::GemmTransBAccum,
+    scalar::GemmTransAAccum,
+    scalar::AddBias,
+    scalar::AddBiasTanh,
+    scalar::AddBiasRelu,
+    scalar::Q8GemmDotAccum,
+    scalar::Fp16GemmTransBAccum,
+    scalar::Fp32ToFp16,
+    scalar::Fp16ToFp32,
+};
+
+// The CPUID-selected default, resolved once. ALICOCO_SIMD=scalar pins the
+// portable tier (CI coverage of the fallback on AVX2 hosts).
+const KernelDispatch* DetectTable() {
+  const char* env = std::getenv("ALICOCO_SIMD");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return &kScalarTable;
+  }
+  const KernelDispatch* simd = avx2::Table();
+  return simd != nullptr ? simd : &kScalarTable;
+}
+
+std::atomic<const KernelDispatch*>& ActiveSlot() {
+  static std::atomic<const KernelDispatch*> slot{DetectTable()};
+  return slot;
+}
+
+}  // namespace
+
+const KernelDispatch& ActiveKernels() {
+  return *ActiveSlot().load(std::memory_order_relaxed);
+}
+
+const char* ActiveKernelTier() { return ActiveKernels().tier; }
+
+void ForceScalarKernels(bool force) {
+  ActiveSlot().store(force ? &kScalarTable : DetectTable(),
+                     std::memory_order_relaxed);
+}
+
+bool KernelsHaveAvx2() { return avx2::Table() != nullptr; }
+
+void GemmAccum(int m, int k, int n, const float* a, const float* b,
+               float* c) {
+  ActiveKernels().gemm(m, k, n, a, b, c);
+}
+
+void GemmTransBAccum(int m, int k, int n, const float* a, const float* b,
+                     float* c) {
+  ActiveKernels().gemm_transb(m, k, n, a, b, c);
+}
+
+void GemmTransAAccum(int m, int k, int n, const float* a, const float* b,
+                     float* c) {
+  ActiveKernels().gemm_transa(m, k, n, a, b, c);
+}
+
+void AddBias(int rows, int cols, const float* x, const float* bias,
+             float* out) {
+  ActiveKernels().add_bias(rows, cols, x, bias, out);
+}
+
+void AddBiasTanh(int rows, int cols, const float* x, const float* bias,
+                 float* out) {
+  ActiveKernels().add_bias_tanh(rows, cols, x, bias, out);
+}
+
+void AddBiasRelu(int rows, int cols, const float* x, const float* bias,
+                 float* out) {
+  ActiveKernels().add_bias_relu(rows, cols, x, bias, out);
+}
+
+void Q8GemmDotAccum(int m, int k, int n, const int8_t* aq,
+                    const float* ascales, const int8_t* bq,
+                    const float* bscales, float* c) {
+  ActiveKernels().q8_gemm_dot(m, k, n, aq, ascales, bq, bscales, c);
+}
+
+void Fp16GemmTransBAccum(int m, int k, int n, const float* a,
+                         const uint16_t* b, float* c) {
+  ActiveKernels().fp16_gemm_transb(m, k, n, a, b, c);
+}
+
+void Fp32ToFp16(const float* src, uint16_t* dst, int n) {
+  ActiveKernels().fp32_to_fp16(src, dst, n);
+}
+
+void Fp16ToFp32(const uint16_t* src, float* dst, int n) {
+  ActiveKernels().fp16_to_fp32(src, dst, n);
+}
+
+// ---- naive reference -----------------------------------------------------
 
 namespace naive {
 

@@ -1,29 +1,48 @@
-// Blocked, register-tiled float GEMM kernels — the compute substrate for
-// every matmul in the autodiff graph and the fused layer ops.
+// Runtime-dispatched GEMM / fused-bias / quantized micro-kernels — the
+// compute substrate for every matmul in the autodiff graph, the fused layer
+// ops, and the quantized inference tier (nn/quant.h).
 //
-// All kernels ACCUMULATE into C (row-major, dense: leading dimension equals
-// the logical column count) so they slot directly into reverse-mode gradient
-// accumulation. Three orientations cover forward, dA and dB of a matmul:
+// All GEMM kernels ACCUMULATE into C (row-major, dense: leading dimension
+// equals the logical column count) so they slot directly into reverse-mode
+// gradient accumulation. Three orientations cover forward, dA and dB of a
+// matmul:
 //
 //   GemmAccum:       C (m x n) += A (m x k)   * B (k x n)
 //   GemmTransBAccum: C (m x n) += A (m x k)   * B^T, B stored (n x k)
 //   GemmTransAAccum: C (k x n) += A^T * B,    A stored (m x k), B (m x n)
 //
-// Blocking scheme: the n and k dimensions are tiled (kNc x kKc) so the
-// active B panel stays L1-resident, and the m dimension is register-tiled
-// kMr rows at a time so each loaded B row is reused kMr times from
-// registers. Inner loops are branch-free over `__restrict` pointers, which
-// lets the compiler auto-vectorize them (the old scalar triple loop carried
-// an `if (av == 0.0f) continue;` that defeated this).
+// Dispatch tiers. Every public kernel routes through a `KernelDispatch`
+// table selected once at startup by CPUID: `avx2` (AVX2 + FMA + F16C
+// vectorized implementations, kernels_avx2.cc) where the hardware supports
+// it, `scalar` (portable blocked + register-tiled C++, this header's
+// `scalar` namespace) everywhere else. `ALICOCO_SIMD=scalar` in the
+// environment — or `ForceScalarKernels(true)` in tests — pins the scalar
+// tier so CI without AVX2 hardware still covers every code path. The
+// scalar tier is the correctness reference for the vectorized one; both
+// may differ from `naive` (the original triple loops) only by float
+// reassociation.
 //
-// `naive` holds the original scalar implementations; they are the reference
-// oracle for the randomized equivalence tests and a fallback for debugging.
-// Results may differ from the blocked kernels only by float reassociation.
+// Scalar blocking scheme: the n and k dimensions are tiled (kNc x kKc in
+// kernels.cc) so the active B panel stays L1-resident, and the micro-kernel
+// accumulates a kMr x kNr register tile of C across the whole k pass —
+// C rows are loaded and stored once per panel instead of once per k step,
+// which is what the pre-retune kernel got wrong (~1.1x over naive).
+//
+// Quantized kernels: `Q8GemmDotAccum` is the int8 x int8 -> int32 dot
+// micro-kernel over 32-lane blocks (one float scale per block, values in
+// [-127, 127] so the AVX2 `maddubs` pairing cannot saturate);
+// `Fp16GemmTransBAccum` loads IEEE half weights and accumulates in fp32.
+// `Fp32ToFp16`/`Fp16ToFp32` are round-to-nearest-even conversions that are
+// bit-identical between the scalar and F16C paths.
 
 #ifndef ALICOCO_NN_KERNELS_H_
 #define ALICOCO_NN_KERNELS_H_
 
+#include <cstdint>
+
 namespace alicoco::nn::kernels {
+
+// ---- dispatched fp32 kernels --------------------------------------------
 
 void GemmAccum(int m, int k, int n, const float* a, const float* b, float* c);
 void GemmTransBAccum(int m, int k, int n, const float* a, const float* b,
@@ -39,6 +58,107 @@ void AddBiasTanh(int rows, int cols, const float* x, const float* bias,
                  float* out);
 void AddBiasRelu(int rows, int cols, const float* x, const float* bias,
                  float* out);
+
+// ---- dispatched quantized kernels ---------------------------------------
+
+/// Lanes per int8 quantization block (one float scale per block).
+inline constexpr int kQ8Block = 32;
+
+/// Number of 32-lane blocks covering a k-length row (tail lanes are stored
+/// as zero, which contribute nothing to the integer dot).
+constexpr int Q8Blocks(int k) { return (k + kQ8Block - 1) / kQ8Block; }
+
+/// C (m x n) += A_q8 (m rows over k) . B_q8^T (n rows over k), both sides
+/// blockwise int8: row i of A starts at aq + i * Q8Blocks(k) * 32 with
+/// scales at ascales + i * Q8Blocks(k) (likewise B). Each block contributes
+/// ascale * bscale * (int32 dot of 32 int8 pairs).
+void Q8GemmDotAccum(int m, int k, int n, const int8_t* aq,
+                    const float* ascales, const int8_t* bq,
+                    const float* bscales, float* c);
+
+/// C (m x n) += A (m x k, fp32) . B^T where B is n x k IEEE-half values
+/// (row j of B at b + j * k); accumulation is fp32.
+void Fp16GemmTransBAccum(int m, int k, int n, const float* a,
+                         const uint16_t* b, float* c);
+
+/// IEEE 754 binary32 <-> binary16, round-to-nearest-even. Scalar and F16C
+/// paths are bit-identical (asserted in tests).
+void Fp32ToFp16(const float* src, uint16_t* dst, int n);
+void Fp16ToFp32(const uint16_t* src, float* dst, int n);
+
+// ---- dispatch table ------------------------------------------------------
+
+/// One entry per dispatched kernel; `ActiveKernels()` returns the table the
+/// public functions above route through.
+struct KernelDispatch {
+  const char* tier;  ///< "scalar" or "avx2"
+  void (*gemm)(int, int, int, const float*, const float*, float*);
+  void (*gemm_transb)(int, int, int, const float*, const float*, float*);
+  void (*gemm_transa)(int, int, int, const float*, const float*, float*);
+  void (*add_bias)(int, int, const float*, const float*, float*);
+  void (*add_bias_tanh)(int, int, const float*, const float*, float*);
+  void (*add_bias_relu)(int, int, const float*, const float*, float*);
+  void (*q8_gemm_dot)(int, int, int, const int8_t*, const float*,
+                      const int8_t*, const float*, float*);
+  void (*fp16_gemm_transb)(int, int, int, const float*, const uint16_t*,
+                           float*);
+  void (*fp32_to_fp16)(const float*, uint16_t*, int);
+  void (*fp16_to_fp32)(const uint16_t*, float*, int);
+};
+
+/// The active table: CPUID-selected at first use; `ALICOCO_SIMD=scalar`
+/// in the environment pins the portable tier.
+const KernelDispatch& ActiveKernels();
+
+/// Name of the active tier ("scalar" / "avx2").
+const char* ActiveKernelTier();
+
+/// Test/CI hook: `true` forces the scalar table regardless of CPU,
+/// `false` restores the CPUID choice. Not thread-safe against in-flight
+/// kernels; flip only from single-threaded context.
+void ForceScalarKernels(bool force);
+
+/// Whether this build + CPU can run the AVX2 tier at all (independent of
+/// the current force state).
+bool KernelsHaveAvx2();
+
+// ---- portable reference tier --------------------------------------------
+
+namespace scalar {
+
+void GemmAccum(int m, int k, int n, const float* a, const float* b, float* c);
+void GemmTransBAccum(int m, int k, int n, const float* a, const float* b,
+                     float* c);
+void GemmTransAAccum(int m, int k, int n, const float* a, const float* b,
+                     float* c);
+void AddBias(int rows, int cols, const float* x, const float* bias,
+             float* out);
+void AddBiasTanh(int rows, int cols, const float* x, const float* bias,
+                 float* out);
+void AddBiasRelu(int rows, int cols, const float* x, const float* bias,
+                 float* out);
+void Q8GemmDotAccum(int m, int k, int n, const int8_t* aq,
+                    const float* ascales, const int8_t* bq,
+                    const float* bscales, float* c);
+void Fp16GemmTransBAccum(int m, int k, int n, const float* a,
+                         const uint16_t* b, float* c);
+void Fp32ToFp16(const float* src, uint16_t* dst, int n);
+void Fp16ToFp32(const uint16_t* src, float* dst, int n);
+
+}  // namespace scalar
+
+// ---- AVX2 tier (kernels_avx2.cc, compiled with -mavx2 -mfma -mf16c) -----
+
+namespace avx2 {
+
+/// The AVX2 dispatch table, or nullptr when the build target or the
+/// running CPU cannot execute it. Callers must not invoke table entries
+/// obtained while this returned nullptr.
+const KernelDispatch* Table();
+
+}  // namespace avx2
+
+// ---- original triple loops (oracle for the equivalence tests) -----------
 
 namespace naive {
 

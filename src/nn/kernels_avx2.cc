@@ -1,0 +1,408 @@
+// AVX2 + FMA + F16C tier of the kernel dispatch table (see kernels.h).
+// Compiled with -mavx2 -mfma -mf16c for this TU only; Table() gates on
+// CPUID at runtime so the binary stays runnable on pre-AVX2 hardware.
+// All memory access uses unaligned loads/stores (loadu/storeu discipline)
+// — tensor buffers are plain std::vector allocations with no alignment
+// guarantee beyond what the allocator gives.
+#include "nn/kernels.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace alicoco::nn::kernels::avx2 {
+namespace {
+
+// ---- fp32 GEMM: C += A * B ----------------------------------------------
+//
+// Register tile: ROWS x 16 floats of C in ymm accumulators held across the
+// whole k pass. ROWS=4 uses 8 accumulator registers + 2 B registers + 1
+// broadcast, comfortably inside the 16 ymm registers.
+
+template <int ROWS>
+inline void GemmTile16(int k, const float* a, int lda, const float* b,
+                       int ldb, float* c, int ldc) {
+  __m256 acc0[ROWS], acc1[ROWS];
+  for (int r = 0; r < ROWS; ++r) {
+    acc0[r] = _mm256_loadu_ps(c + r * ldc);
+    acc1[r] = _mm256_loadu_ps(c + r * ldc + 8);
+  }
+  for (int p = 0; p < k; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(b + static_cast<long>(p) * ldb);
+    const __m256 b1 = _mm256_loadu_ps(b + static_cast<long>(p) * ldb + 8);
+    for (int r = 0; r < ROWS; ++r) {
+      const __m256 av = _mm256_broadcast_ss(a + r * lda + p);
+      acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+      acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    _mm256_storeu_ps(c + r * ldc, acc0[r]);
+    _mm256_storeu_ps(c + r * ldc + 8, acc1[r]);
+  }
+}
+
+template <int ROWS>
+inline void GemmTile8(int k, const float* a, int lda, const float* b,
+                      int ldb, float* c, int ldc) {
+  __m256 acc[ROWS];
+  for (int r = 0; r < ROWS; ++r) acc[r] = _mm256_loadu_ps(c + r * ldc);
+  for (int p = 0; p < k; ++p) {
+    const __m256 bv = _mm256_loadu_ps(b + static_cast<long>(p) * ldb);
+    for (int r = 0; r < ROWS; ++r) {
+      acc[r] = _mm256_fmadd_ps(_mm256_broadcast_ss(a + r * lda + p), bv,
+                               acc[r]);
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) _mm256_storeu_ps(c + r * ldc, acc[r]);
+}
+
+// Scalar tail columns (n % 8) for a block of ROWS rows.
+inline void GemmTailCols(int rows, int k, int n0, int n, const float* a,
+                         int lda, const float* b, int ldb, float* c,
+                         int ldc) {
+  for (int r = 0; r < rows; ++r) {
+    for (int j = n0; j < n; ++j) {
+      float acc = c[r * ldc + j];
+      for (int p = 0; p < k; ++p) {
+        acc += a[r * lda + p] * b[static_cast<long>(p) * ldb + j];
+      }
+      c[r * ldc + j] = acc;
+    }
+  }
+}
+
+template <int ROWS>
+inline void GemmRowBlock(int k, int n, const float* a, int lda,
+                         const float* b, int ldb, float* c, int ldc) {
+  int j = 0;
+  for (; j + 16 <= n; j += 16) {
+    GemmTile16<ROWS>(k, a, lda, b + j, ldb, c + j, ldc);
+  }
+  if (j + 8 <= n) {
+    GemmTile8<ROWS>(k, a, lda, b + j, ldb, c + j, ldc);
+    j += 8;
+  }
+  if (j < n) GemmTailCols(ROWS, k, j, n, a, lda, b, ldb, c, ldc);
+}
+
+void GemmAccum(int m, int k, int n, const float* a, const float* b,
+               float* c) {
+  int i = 0;
+  for (; i + 4 <= m; i += 4) {
+    GemmRowBlock<4>(k, n, a + static_cast<long>(i) * k, k, b, n,
+                    c + static_cast<long>(i) * n, n);
+  }
+  switch (m - i) {
+    case 3:
+      GemmRowBlock<3>(k, n, a + static_cast<long>(i) * k, k, b, n,
+                      c + static_cast<long>(i) * n, n);
+      break;
+    case 2:
+      GemmRowBlock<2>(k, n, a + static_cast<long>(i) * k, k, b, n,
+                      c + static_cast<long>(i) * n, n);
+      break;
+    case 1:
+      GemmRowBlock<1>(k, n, a + static_cast<long>(i) * k, k, b, n,
+                      c + static_cast<long>(i) * n, n);
+      break;
+    default:
+      break;
+  }
+}
+
+// ---- fp32 GEMM, B transposed: C[i][j] += dot(A row i, B row j) ----------
+
+inline float HSum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+void GemmTransBAccum(int m, int k, int n, const float* a, const float* b,
+                     float* c) {
+  for (int i = 0; i < m; ++i) {
+    const float* ar = a + static_cast<long>(i) * k;
+    float* cr = c + static_cast<long>(i) * n;
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + static_cast<long>(j) * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      __m256 s0 = _mm256_setzero_ps();
+      __m256 s1 = _mm256_setzero_ps();
+      __m256 s2 = _mm256_setzero_ps();
+      __m256 s3 = _mm256_setzero_ps();
+      int p = 0;
+      for (; p + 8 <= k; p += 8) {
+        const __m256 av = _mm256_loadu_ps(ar + p);
+        s0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0 + p), s0);
+        s1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1 + p), s1);
+        s2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2 + p), s2);
+        s3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3 + p), s3);
+      }
+      float acc0 = HSum(s0), acc1 = HSum(s1), acc2 = HSum(s2),
+            acc3 = HSum(s3);
+      for (; p < k; ++p) {
+        const float av = ar[p];
+        acc0 += av * b0[p];
+        acc1 += av * b1[p];
+        acc2 += av * b2[p];
+        acc3 += av * b3[p];
+      }
+      cr[j] += acc0;
+      cr[j + 1] += acc1;
+      cr[j + 2] += acc2;
+      cr[j + 3] += acc3;
+    }
+    for (; j < n; ++j) {
+      const float* br = b + static_cast<long>(j) * k;
+      __m256 s = _mm256_setzero_ps();
+      int p = 0;
+      for (; p + 8 <= k; p += 8) {
+        s = _mm256_fmadd_ps(_mm256_loadu_ps(ar + p), _mm256_loadu_ps(br + p),
+                            s);
+      }
+      float acc = HSum(s);
+      for (; p < k; ++p) acc += ar[p] * br[p];
+      cr[j] += acc;
+    }
+  }
+}
+
+// ---- fp32 GEMM, A transposed: C (k x n) += A^T * B ----------------------
+
+void GemmTransAAccum(int m, int k, int n, const float* a, const float* b,
+                     float* c) {
+  for (int i = 0; i < m; ++i) {
+    const float* ar = a + static_cast<long>(i) * k;
+    const float* br = b + static_cast<long>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const __m256 av = _mm256_broadcast_ss(ar + p);
+      float* cr = c + static_cast<long>(p) * n;
+      int j = 0;
+      for (; j + 8 <= n; j += 8) {
+        _mm256_storeu_ps(
+            cr + j, _mm256_fmadd_ps(av, _mm256_loadu_ps(br + j),
+                                    _mm256_loadu_ps(cr + j)));
+      }
+      const float avs = ar[p];
+      for (; j < n; ++j) cr[j] += avs * br[j];
+    }
+  }
+}
+
+// ---- fused bias + activation --------------------------------------------
+
+// Vectorized tanh via the rational polynomial from Eigen/Cephes
+// (numerator degree 13 odd / denominator degree 6 even), accurate to a
+// few ULP across the clamped range — the fused-op tests compare against
+// std::tanh at 1e-6.
+inline __m256 TanhPs(__m256 x) {
+  const __m256 kClamp = _mm256_set1_ps(7.90531110763549805f);
+  x = _mm256_max_ps(_mm256_min_ps(x, kClamp),
+                    _mm256_sub_ps(_mm256_setzero_ps(), kClamp));
+  const __m256 x2 = _mm256_mul_ps(x, x);
+
+  __m256 p = _mm256_set1_ps(-2.76076847742355e-16f);
+  p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(2.00018790482477e-13f));
+  p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(-8.60467152213735e-11f));
+  p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(5.12229709037114e-08f));
+  p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(1.48572235717979e-05f));
+  p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(6.37261928875436e-04f));
+  p = _mm256_fmadd_ps(p, x2, _mm256_set1_ps(4.89352455891786e-03f));
+  p = _mm256_mul_ps(p, x);
+
+  __m256 q = _mm256_set1_ps(1.19825839466702e-06f);
+  q = _mm256_fmadd_ps(q, x2, _mm256_set1_ps(1.18534705686654e-04f));
+  q = _mm256_fmadd_ps(q, x2, _mm256_set1_ps(2.26843463243900e-03f));
+  q = _mm256_fmadd_ps(q, x2, _mm256_set1_ps(4.89352518554385e-03f));
+
+  return _mm256_div_ps(p, q);
+}
+
+void AddBias(int rows, int cols, const float* x, const float* bias,
+             float* out) {
+  for (int i = 0; i < rows; ++i) {
+    const float* xr = x + static_cast<long>(i) * cols;
+    float* or_ = out + static_cast<long>(i) * cols;
+    int j = 0;
+    for (; j + 8 <= cols; j += 8) {
+      _mm256_storeu_ps(or_ + j, _mm256_add_ps(_mm256_loadu_ps(xr + j),
+                                              _mm256_loadu_ps(bias + j)));
+    }
+    for (; j < cols; ++j) or_[j] = xr[j] + bias[j];
+  }
+}
+
+void AddBiasTanh(int rows, int cols, const float* x, const float* bias,
+                 float* out) {
+  for (int i = 0; i < rows; ++i) {
+    const float* xr = x + static_cast<long>(i) * cols;
+    float* or_ = out + static_cast<long>(i) * cols;
+    int j = 0;
+    for (; j + 8 <= cols; j += 8) {
+      _mm256_storeu_ps(or_ + j,
+                       TanhPs(_mm256_add_ps(_mm256_loadu_ps(xr + j),
+                                            _mm256_loadu_ps(bias + j))));
+    }
+    for (; j < cols; ++j) or_[j] = std::tanh(xr[j] + bias[j]);
+  }
+}
+
+void AddBiasRelu(int rows, int cols, const float* x, const float* bias,
+                 float* out) {
+  const __m256 zero = _mm256_setzero_ps();
+  for (int i = 0; i < rows; ++i) {
+    const float* xr = x + static_cast<long>(i) * cols;
+    float* or_ = out + static_cast<long>(i) * cols;
+    int j = 0;
+    for (; j + 8 <= cols; j += 8) {
+      _mm256_storeu_ps(
+          or_ + j, _mm256_max_ps(_mm256_add_ps(_mm256_loadu_ps(xr + j),
+                                               _mm256_loadu_ps(bias + j)),
+                                 zero));
+    }
+    for (; j < cols; ++j) {
+      const float v = xr[j] + bias[j];
+      or_[j] = v > 0.0f ? v : 0.0f;
+    }
+  }
+}
+
+// ---- quantized kernels ---------------------------------------------------
+
+// 32-lane int8 dot product as int32x8. maddubs needs an unsigned lhs, so
+// move A's sign onto B (sign(b, a) = b * signum(a), |a| stays in [0,127]);
+// u8*s8 pair sums are then bounded by 2*127*127 = 32258 < 32767, so the
+// int16 intermediate cannot saturate.
+inline __m256i DotQ8Block(__m256i va, __m256i vb) {
+  const __m256i ua = _mm256_sign_epi8(va, va);
+  const __m256i sb = _mm256_sign_epi8(vb, va);
+  const __m256i pairs = _mm256_maddubs_epi16(ua, sb);
+  return _mm256_madd_epi16(pairs, _mm256_set1_epi16(1));
+}
+
+inline float HSumI32(__m256i v) {
+  const __m128 f = _mm_cvtepi32_ps(_mm_add_epi32(
+      _mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1)));
+  __m128 s = _mm_add_ps(f, _mm_movehl_ps(f, f));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+void Q8GemmDotAccum(int m, int k, int n, const int8_t* aq,
+                    const float* ascales, const int8_t* bq,
+                    const float* bscales, float* c) {
+  const int blocks = Q8Blocks(k);
+  const long row_q = static_cast<long>(blocks) * kQ8Block;
+  for (int i = 0; i < m; ++i) {
+    const int8_t* ar = aq + i * row_q;
+    const float* as = ascales + static_cast<long>(i) * blocks;
+    float* cr = c + static_cast<long>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const int8_t* br = bq + j * row_q;
+      const float* bs = bscales + static_cast<long>(j) * blocks;
+      float acc = 0.0f;
+      for (int blk = 0; blk < blocks; ++blk) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(ar + blk * kQ8Block));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(br + blk * kQ8Block));
+        acc += as[blk] * bs[blk] * HSumI32(DotQ8Block(va, vb));
+      }
+      cr[j] += acc;
+    }
+  }
+}
+
+void Fp16GemmTransBAccum(int m, int k, int n, const float* a,
+                         const uint16_t* b, float* c) {
+  for (int i = 0; i < m; ++i) {
+    const float* ar = a + static_cast<long>(i) * k;
+    float* cr = c + static_cast<long>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const uint16_t* br = b + static_cast<long>(j) * k;
+      __m256 s = _mm256_setzero_ps();
+      int p = 0;
+      for (; p + 8 <= k; p += 8) {
+        const __m256 bw = _mm256_cvtph_ps(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(br + p)));
+        s = _mm256_fmadd_ps(_mm256_loadu_ps(ar + p), bw, s);
+      }
+      float acc = HSum(s);
+      for (; p < k; ++p) {
+        acc += ar[p] * _cvtsh_ss(br[p]);
+      }
+      cr[j] += acc;
+    }
+  }
+}
+
+void Fp32ToFp16(const float* src, uint16_t* dst, int n) {
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm256_cvtps_ph(_mm256_loadu_ps(src + i),
+                        _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+  }
+  for (; i < n; ++i) {
+    dst[i] = _cvtss_sh(src[i], _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  }
+}
+
+void Fp16ToFp32(const uint16_t* src, float* dst, int n) {
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i,
+                     _mm256_cvtph_ps(_mm_loadu_si128(
+                         reinterpret_cast<const __m128i*>(src + i))));
+  }
+  for (; i < n; ++i) dst[i] = _cvtsh_ss(src[i]);
+}
+
+constexpr KernelDispatch kAvx2Table = {
+    "avx2",
+    GemmAccum,
+    GemmTransBAccum,
+    GemmTransAAccum,
+    AddBias,
+    AddBiasTanh,
+    AddBiasRelu,
+    Q8GemmDotAccum,
+    Fp16GemmTransBAccum,
+    Fp32ToFp16,
+    Fp16ToFp32,
+};
+
+}  // namespace
+
+const KernelDispatch* Table() {
+  static const KernelDispatch* table = [] {
+    const bool ok = __builtin_cpu_supports("avx2") &&
+                    __builtin_cpu_supports("fma") &&
+                    __builtin_cpu_supports("f16c");
+    return ok ? &kAvx2Table : nullptr;
+  }();
+  return table;
+}
+
+}  // namespace alicoco::nn::kernels::avx2
+
+#else  // !x86
+
+namespace alicoco::nn::kernels::avx2 {
+
+const KernelDispatch* Table() { return nullptr; }
+
+}  // namespace alicoco::nn::kernels::avx2
+
+#endif

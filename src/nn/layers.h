@@ -1,4 +1,12 @@
 // Reusable neural layers built on the autodiff graph.
+//
+// Quantized inference: each layer that owns weight matrices can (a) report
+// which parameters to quantize via AppendQuantPlan, (b) bind to the
+// quantized tensors of a QuantizedStore via AttachQuantized — after which
+// Apply/Lookup route through the quantized forward-only graph ops — and
+// (c) revert to the fp32 parameters via DetachQuantized. Bias vectors stay
+// fp32 (they ride the store's passthrough section). Attach state is plain
+// pointers into the store, so the store must outlive the attached layer.
 
 #ifndef ALICOCO_NN_LAYERS_H_
 #define ALICOCO_NN_LAYERS_H_
@@ -7,6 +15,7 @@
 #include <vector>
 
 #include "nn/graph.h"
+#include "nn/quant.h"
 
 namespace alicoco::nn {
 
@@ -22,6 +31,15 @@ class Linear {
   /// Fused relu(x*W + b).
   Graph::Var ApplyRelu(Graph* g, Graph::Var x) const;
 
+  /// Adds W to `plan` (stored transposed: consumed as x * W^T). The bias
+  /// stays fp32.
+  void AppendQuantPlan(quant::QuantPlan* plan) const;
+  /// Binds Apply* to the quantized copy of W in `store` (CHECKs that the
+  /// store has it with the right shape).
+  void AttachQuantized(const quant::QuantizedStore& store);
+  /// Reverts Apply* to the fp32 parameter.
+  void DetachQuantized() { qw_ = nullptr; }
+
   int in_dim() const { return in_dim_; }
   int out_dim() const { return out_dim_; }
 
@@ -29,6 +47,7 @@ class Linear {
   int in_dim_, out_dim_;
   Parameter* w_;
   Parameter* b_;
+  const quant::QuantizedTensor* qw_ = nullptr;  ///< W^T when attached
 };
 
 /// Trainable embedding table (vocab x dim).
@@ -43,6 +62,13 @@ class Embedding {
   /// Overwrites the table with pre-trained vectors (row-major vocab x dim).
   void LoadPretrained(const std::vector<float>& table);
 
+  /// Adds the table to `plan` (stored as-is: rows are gathered, not
+  /// contracted).
+  void AppendQuantPlan(quant::QuantPlan* plan) const;
+  /// Binds Lookup to the quantized table in `store`.
+  void AttachQuantized(const quant::QuantizedStore& store);
+  void DetachQuantized() { qt_ = nullptr; }
+
   int dim() const { return dim_; }
   int vocab() const { return vocab_; }
   Parameter* parameter() const { return table_; }
@@ -50,6 +76,7 @@ class Embedding {
  private:
   int vocab_, dim_;
   Parameter* table_;
+  const quant::QuantizedTensor* qt_ = nullptr;
 };
 
 /// 1-D convolution over sequence rows with ReLU: T x D -> T x filters.
@@ -60,6 +87,10 @@ class Conv1D {
          int filters, int window, Rng* rng);
 
   Graph::Var Apply(Graph* g, Graph::Var x) const;
+
+  void AppendQuantPlan(quant::QuantPlan* plan) const;
+  void AttachQuantized(const quant::QuantizedStore& store);
+  void DetachQuantized() { proj_.DetachQuantized(); }
 
   int filters() const { return proj_.out_dim(); }
   int window() const { return window_; }
@@ -78,6 +109,10 @@ class SelfAttention {
 
   Graph::Var Apply(Graph* g, Graph::Var x) const;
 
+  void AppendQuantPlan(quant::QuantPlan* plan) const;
+  void AttachQuantized(const quant::QuantizedStore& store);
+  void DetachQuantized();
+
  private:
   int dim_;
   bool residual_;
@@ -92,6 +127,10 @@ class Mlp {
       const std::vector<int>& dims, Rng* rng);
 
   Graph::Var Apply(Graph* g, Graph::Var x) const;
+
+  void AppendQuantPlan(quant::QuantPlan* plan) const;
+  void AttachQuantized(const quant::QuantizedStore& store);
+  void DetachQuantized();
 
  private:
   std::vector<Linear> layers_;

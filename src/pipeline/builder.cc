@@ -531,6 +531,12 @@ Result<kg::ConceptNet> AliCoCoBuilder::Build(BuildReport* report) {
   matching::MatchingDataset md = matching::BuildMatchingDataset(*world_,
                                                                 md_cfg);
   matcher.Train(md);
+  // Quantized association scoring: calibration below and the concurrent
+  // candidate scoring both run through the quantized kernels, so the
+  // calibrated threshold matches the scores actually deployed.
+  if (config_.association_quant != nn::quant::QuantMode::kNone) {
+    matcher.EnableQuantizedInference(config_.association_quant);
+  }
 
   // Calibrate the acceptance threshold on the held-out split so dynamic
   // edges meet the target precision AT DEPLOYMENT PRIOR: the calibration

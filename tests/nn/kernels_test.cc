@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "common/rng.h"
@@ -101,6 +103,35 @@ TEST(KernelsTest, AddBiasVariantsMatchScalarMath) {
       EXPECT_FLOAT_EQ(relu[at], v > 0.0f ? v : 0.0f);
     }
   }
+}
+
+TEST(KernelsTest, ForcedScalarTierMatchesDispatched) {
+  // Whatever tier CPUID picked, pinning the scalar table must keep every
+  // dispatched kernel equivalent (up to float reassociation) — this is the
+  // same guarantee CI checks by re-running the suite with
+  // ALICOCO_SIMD=scalar, exercised here in-process via the test hook.
+  Rng rng(106);
+  const Shape s{9, 70, 33};  // straddles the 8-wide vector and tail lanes
+  auto a = RandomVec(static_cast<size_t>(s.m) * s.k, &rng);
+  auto b = RandomVec(static_cast<size_t>(s.k) * s.n, &rng);
+  auto c0 = RandomVec(static_cast<size_t>(s.m) * s.n, &rng);
+  auto dispatched = c0;
+  GemmAccum(s.m, s.k, s.n, a.data(), b.data(), dispatched.data());
+  ForceScalarKernels(true);
+  EXPECT_STREQ(ActiveKernelTier(), "scalar");
+  auto forced = c0;
+  GemmAccum(s.m, s.k, s.n, a.data(), b.data(), forced.data());
+  ForceScalarKernels(false);
+  // Un-forcing restores the startup choice: avx2 on capable hardware
+  // unless ALICOCO_SIMD=scalar pinned the portable tier for the process.
+  const char* env = std::getenv("ALICOCO_SIMD");
+  const bool env_pinned = env != nullptr && std::strcmp(env, "scalar") == 0;
+  if (KernelsHaveAvx2() && !env_pinned) {
+    EXPECT_STREQ(ActiveKernelTier(), "avx2");
+  } else {
+    EXPECT_STREQ(ActiveKernelTier(), "scalar");
+  }
+  ExpectClose(forced, dispatched, s.m, s.k);
 }
 
 TEST(KernelsTest, AddBiasInPlaceAliasing) {

@@ -1,0 +1,383 @@
+// Quantization-tier tests: blockwise-Q8 and fp16 round-trip error bounds,
+// the quantized GEMM kernels against an fp32 reference over the same
+// tile-boundary shapes kernels_test uses, scalar/AVX2 dispatch equivalence
+// (fp16 conversions must be bit-identical between tiers), and the
+// QuantizedStore built from a trained ParameterStore.
+
+#include "nn/quant.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/graph.h"
+#include "nn/kernels.h"
+#include "nn/tensor.h"
+
+namespace alicoco::nn::quant {
+namespace {
+
+using kernels::kQ8Block;
+using kernels::Q8Blocks;
+
+struct Shape {
+  int m, k, n;
+};
+
+// Same shapes as kernels_test: every edge of the blocking scheme, plus the
+// Q8 block boundary (32) is straddled by 31, 63/64/65, 127/128/129, 200.
+const Shape kShapes[] = {
+    {1, 1, 1},    {1, 7, 1},    {7, 1, 1},   {1, 1, 7},    {4, 4, 4},
+    {3, 5, 2},    {5, 64, 128}, {4, 65, 129}, {8, 63, 127}, {2, 24, 96},
+    {1, 24, 96},  {17, 31, 23}, {6, 130, 5},  {9, 3, 260},  {13, 200, 40},
+};
+
+std::vector<float> RandomVec(size_t size, Rng* rng) {
+  std::vector<float> v(size);
+  for (auto& x : v) x = rng->UniformFloat(-1.0f, 1.0f);
+  return v;
+}
+
+Tensor RandomTensor(int rows, int cols, Rng* rng) {
+  return Tensor::FromVector(
+      rows, cols, RandomVec(static_cast<size_t>(rows) * cols, rng));
+}
+
+TEST(QuantTest, Q8RoundTripWithinHalfScale) {
+  Rng rng(201);
+  const int rows = 7, cols = 100;  // 4 blocks, last one 4/32 full
+  Tensor t = RandomTensor(rows, cols, &rng);
+  QuantizedTensor q = QuantizedTensor::Quantize(t, QuantMode::kInt8);
+  ASSERT_EQ(q.mode(), QuantMode::kInt8);
+  ASSERT_EQ(q.rows(), rows);
+  ASSERT_EQ(q.cols(), cols);
+  ASSERT_EQ(q.blocks_per_row(), Q8Blocks(cols));
+  Tensor back = q.Dequantize();
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      // Rounding to the nearest code is off by at most half a step.
+      const float scale = q.q8_scales()[r * q.blocks_per_row() + c / kQ8Block];
+      EXPECT_NEAR(back.At(r, c), t.At(r, c), 0.5f * scale + 1e-7f)
+          << "(" << r << ", " << c << ")";
+    }
+  }
+  // Tail lanes of the last block must be zero codes.
+  const int bpr = q.blocks_per_row();
+  for (int r = 0; r < rows; ++r) {
+    for (int lane = cols % kQ8Block; lane < kQ8Block; ++lane) {
+      EXPECT_EQ(q.q8_data()[(r * bpr + bpr - 1) * kQ8Block + lane], 0);
+    }
+  }
+}
+
+TEST(QuantTest, Q8CodesStayInSymmetricRange) {
+  // Clamping to [-127, 127] is what keeps the maddubs pairing in the AVX2
+  // int8 dot from saturating; -128 must never be emitted.
+  Rng rng(202);
+  Tensor t = RandomTensor(9, 70, &rng);
+  t.At(3, 5) = -123.0f;  // block absmax is a large negative value
+  QuantizedTensor q = QuantizedTensor::Quantize(t, QuantMode::kInt8);
+  for (int8_t code : q.q8_vector()) {
+    EXPECT_GE(code, -127);
+    EXPECT_LE(code, 127);
+  }
+}
+
+TEST(QuantTest, Fp16RoundTripRelativeBound) {
+  Rng rng(203);
+  const int rows = 5, cols = 37;
+  Tensor t = RandomTensor(rows, cols, &rng);
+  QuantizedTensor q = QuantizedTensor::Quantize(t, QuantMode::kFp16);
+  ASSERT_EQ(q.mode(), QuantMode::kFp16);
+  Tensor back = q.Dequantize();
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      // binary16 has 11 significand bits: RNE error <= 2^-11 relative.
+      const float tol = std::fabs(t.At(r, c)) * (1.0f / 2048.0f) + 1e-7f;
+      EXPECT_NEAR(back.At(r, c), t.At(r, c), tol);
+    }
+  }
+}
+
+TEST(QuantTest, Fp16ConversionHandlesSpecialValues) {
+  const float specials[] = {0.0f,    -0.0f,   1.0f,     -2.0f,
+                            65504.0f,  // largest normal half
+                            1e-7f,     // subnormal in half precision
+                            70000.0f,  // overflows to +inf
+                            -70000.0f};
+  uint16_t half[8];
+  float back[8];
+  kernels::Fp32ToFp16(specials, half, 8);
+  kernels::Fp16ToFp32(half, back, 8);
+  EXPECT_EQ(back[0], 0.0f);
+  EXPECT_EQ(back[1], 0.0f);
+  EXPECT_TRUE(std::signbit(back[1]));
+  EXPECT_EQ(back[2], 1.0f);
+  EXPECT_EQ(back[3], -2.0f);
+  EXPECT_EQ(back[4], 65504.0f);
+  // Subnormal halves step by 2^-24, so RNE is off by at most 2^-25.
+  EXPECT_NEAR(back[5], 1e-7f, 3e-8f);
+  EXPECT_TRUE(std::isinf(back[6]) && back[6] > 0);
+  EXPECT_TRUE(std::isinf(back[7]) && back[7] < 0);
+}
+
+// fp32 reference for the quantized x * W^T product: dequantize W and run
+// the naive triple loop on the decoded values. The quantized kernels must
+// agree with this up to activation-quantization error (int8 only).
+Tensor DequantReference(const Tensor& x, const QuantizedTensor& wt) {
+  Tensor w = wt.Dequantize();  // wt.rows x wt.cols = n x k
+  Tensor y(x.rows(), wt.rows());
+  kernels::naive::GemmTransBAccum(x.rows(), x.cols(), wt.rows(), x.data(),
+                                  w.data(), y.data());
+  return y;
+}
+
+TEST(QuantTest, GemmTransWFp16MatchesDequantizedReference) {
+  Rng rng(204);
+  for (const Shape& s : kShapes) {
+    Tensor x = RandomTensor(s.m, s.k, &rng);
+    Tensor w = RandomTensor(s.n, s.k, &rng);  // W^T layout: n x k
+    QuantizedTensor wt = QuantizedTensor::Quantize(w, QuantMode::kFp16);
+    Tensor want = DequantReference(x, wt);
+    Tensor got(s.m, s.n);
+    GemmTransW(x, wt, &got);
+    const float tol = 1e-5f * static_cast<float>(s.k + 8);
+    for (int r = 0; r < s.m; ++r) {
+      for (int c = 0; c < s.n; ++c) {
+        EXPECT_NEAR(got.At(r, c), want.At(r, c),
+                    tol + 1e-4f * std::fabs(want.At(r, c)))
+            << s.m << "x" << s.k << "x" << s.n << " at (" << r << "," << c
+            << ")";
+      }
+    }
+  }
+}
+
+TEST(QuantTest, GemmTransWInt8WithinActivationQuantError) {
+  // The int8 path also quantizes the activations, so the comparison is
+  // against the true fp32 product with a bound that accounts for both
+  // sides' rounding: per k-element error is at most half an activation
+  // step + half a weight step, each scaled by the other side's magnitude.
+  Rng rng(205);
+  for (const Shape& s : kShapes) {
+    Tensor x = RandomTensor(s.m, s.k, &rng);
+    Tensor w = RandomTensor(s.n, s.k, &rng);
+    QuantizedTensor wt = QuantizedTensor::Quantize(w, QuantMode::kInt8);
+    Tensor want(s.m, s.n);
+    kernels::naive::GemmTransBAccum(s.m, s.k, s.n, x.data(), w.data(),
+                                    want.data());
+    Tensor got(s.m, s.n);
+    GemmTransW(x, wt, &got);
+    // Values are in [-1, 1] so each step is <= 1/127; error per element of
+    // the k-sum <= (1/254) * (|a| + |b|) <= 2/254.
+    const float tol = static_cast<float>(s.k) * (2.0f / 254.0f) * 1.1f + 1e-5f;
+    for (int r = 0; r < s.m; ++r) {
+      for (int c = 0; c < s.n; ++c) {
+        EXPECT_NEAR(got.At(r, c), want.At(r, c), tol)
+            << s.m << "x" << s.k << "x" << s.n << " at (" << r << "," << c
+            << ")";
+      }
+    }
+  }
+}
+
+TEST(QuantTest, QuantizeTransposedStoresContractionContiguous) {
+  Rng rng(206);
+  Tensor w = RandomTensor(6, 10, &rng);  // stored in x out layout
+  QuantizedTensor wt = QuantizedTensor::QuantizeTransposed(w, QuantMode::kFp16);
+  ASSERT_EQ(wt.rows(), 10);
+  ASSERT_EQ(wt.cols(), 6);
+  Tensor back = wt.Dequantize();
+  for (int r = 0; r < 10; ++r) {
+    for (int c = 0; c < 6; ++c) {
+      EXPECT_NEAR(back.At(r, c), w.At(c, r),
+                  std::fabs(w.At(c, r)) / 2048.0f + 1e-7f);
+    }
+  }
+}
+
+// ---- dispatch-tier equivalence ------------------------------------------
+
+class ScalarTierGuard {
+ public:
+  ScalarTierGuard() { kernels::ForceScalarKernels(true); }
+  ~ScalarTierGuard() { kernels::ForceScalarKernels(false); }
+};
+
+TEST(QuantDispatchTest, ForceScalarSwitchesTier) {
+  {
+    ScalarTierGuard guard;
+    EXPECT_STREQ(kernels::ActiveKernelTier(), "scalar");
+  }
+  // Un-forcing restores the startup choice, which ALICOCO_SIMD=scalar may
+  // itself have pinned to the portable tier.
+  const char* env = std::getenv("ALICOCO_SIMD");
+  const bool env_pinned = env != nullptr && std::strcmp(env, "scalar") == 0;
+  if (kernels::KernelsHaveAvx2() && !env_pinned) {
+    EXPECT_STREQ(kernels::ActiveKernelTier(), "avx2");
+  } else {
+    EXPECT_STREQ(kernels::ActiveKernelTier(), "scalar");
+  }
+}
+
+TEST(QuantDispatchTest, Fp16ConversionBitIdenticalAcrossTiers) {
+  if (!kernels::KernelsHaveAvx2()) GTEST_SKIP() << "no AVX2 tier on host";
+  Rng rng(207);
+  std::vector<float> src = RandomVec(1000, &rng);
+  // Mix in magnitudes that exercise subnormals, overflow and exact powers.
+  src.insert(src.end(), {0.0f, -0.0f, 1e-8f, -1e-8f, 65504.0f, 65520.0f,
+                         70000.0f, 0.5f, 2.0f, 6.1035156e-5f});
+  const int n = static_cast<int>(src.size());
+  std::vector<uint16_t> half_scalar(n), half_avx2(n);
+  kernels::scalar::Fp32ToFp16(src.data(), half_scalar.data(), n);
+  kernels::avx2::Table()->fp32_to_fp16(src.data(), half_avx2.data(), n);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(half_scalar[i], half_avx2[i]) << "fp32->fp16 of " << src[i];
+  }
+  std::vector<float> back_scalar(n), back_avx2(n);
+  kernels::scalar::Fp16ToFp32(half_scalar.data(), back_scalar.data(), n);
+  kernels::avx2::Table()->fp16_to_fp32(half_scalar.data(), back_avx2.data(),
+                                       n);
+  for (int i = 0; i < n; ++i) {
+    uint32_t bits_scalar, bits_avx2;
+    std::memcpy(&bits_scalar, &back_scalar[i], 4);
+    std::memcpy(&bits_avx2, &back_avx2[i], 4);
+    EXPECT_EQ(bits_scalar, bits_avx2) << "fp16->fp32 of code "
+                                      << half_scalar[i];
+  }
+}
+
+TEST(QuantDispatchTest, Q8DotKernelAgreesAcrossTiers) {
+  if (!kernels::KernelsHaveAvx2()) GTEST_SKIP() << "no AVX2 tier on host";
+  Rng rng(208);
+  for (const Shape& s : kShapes) {
+    const int bpr = Q8Blocks(s.k);
+    std::vector<int8_t> aq(static_cast<size_t>(s.m) * bpr * kQ8Block);
+    std::vector<int8_t> bq(static_cast<size_t>(s.n) * bpr * kQ8Block);
+    std::vector<float> ascales(static_cast<size_t>(s.m) * bpr);
+    std::vector<float> bscales(static_cast<size_t>(s.n) * bpr);
+    auto xa = RandomVec(static_cast<size_t>(s.m) * s.k, &rng);
+    auto xb = RandomVec(static_cast<size_t>(s.n) * s.k, &rng);
+    QuantizeRowsQ8(xa.data(), s.m, s.k, aq.data(), ascales.data());
+    QuantizeRowsQ8(xb.data(), s.n, s.k, bq.data(), bscales.data());
+    std::vector<float> c_scalar(static_cast<size_t>(s.m) * s.n, 0.5f);
+    std::vector<float> c_avx2 = c_scalar;
+    kernels::scalar::Q8GemmDotAccum(s.m, s.k, s.n, aq.data(), ascales.data(),
+                                    bq.data(), bscales.data(),
+                                    c_scalar.data());
+    kernels::avx2::Table()->q8_gemm_dot(s.m, s.k, s.n, aq.data(),
+                                        ascales.data(), bq.data(),
+                                        bscales.data(), c_avx2.data());
+    // Both tiers compute exact int32 block dots; only the float combine
+    // order differs.
+    for (size_t i = 0; i < c_scalar.size(); ++i) {
+      EXPECT_NEAR(c_scalar[i], c_avx2[i],
+                  1e-5f + 1e-5f * std::fabs(c_scalar[i]))
+          << s.m << "x" << s.k << "x" << s.n << " index " << i;
+    }
+  }
+}
+
+TEST(QuantDispatchTest, Fp16GemmAgreesAcrossTiers) {
+  if (!kernels::KernelsHaveAvx2()) GTEST_SKIP() << "no AVX2 tier on host";
+  Rng rng(209);
+  for (const Shape& s : kShapes) {
+    auto a = RandomVec(static_cast<size_t>(s.m) * s.k, &rng);
+    auto wf = RandomVec(static_cast<size_t>(s.n) * s.k, &rng);
+    std::vector<uint16_t> wh(wf.size());
+    kernels::Fp32ToFp16(wf.data(), wh.data(), static_cast<int>(wf.size()));
+    std::vector<float> c_scalar(static_cast<size_t>(s.m) * s.n, -0.25f);
+    std::vector<float> c_avx2 = c_scalar;
+    kernels::scalar::Fp16GemmTransBAccum(s.m, s.k, s.n, a.data(), wh.data(),
+                                         c_scalar.data());
+    kernels::avx2::Table()->fp16_gemm_transb(s.m, s.k, s.n, a.data(),
+                                             wh.data(), c_avx2.data());
+    const float tol = 1e-5f * static_cast<float>(s.k + 8);
+    for (size_t i = 0; i < c_scalar.size(); ++i) {
+      EXPECT_NEAR(c_scalar[i], c_avx2[i],
+                  tol + 1e-4f * std::fabs(c_scalar[i]))
+          << s.m << "x" << s.k << "x" << s.n << " index " << i;
+    }
+  }
+}
+
+TEST(QuantDispatchTest, GemmTransWIdenticalResultsUnderForcedScalar) {
+  // The quantized product must not depend on which tier executes it beyond
+  // float reassociation — guards against the AVX2 path dropping tail lanes.
+  Rng rng(210);
+  Tensor x = RandomTensor(5, 70, &rng);
+  Tensor w = RandomTensor(11, 70, &rng);
+  for (QuantMode mode : {QuantMode::kInt8, QuantMode::kFp16}) {
+    QuantizedTensor wt = QuantizedTensor::Quantize(w, mode);
+    Tensor dispatched(5, 11);
+    GemmTransW(x, wt, &dispatched);
+    Tensor forced(5, 11);
+    {
+      ScalarTierGuard guard;
+      GemmTransW(x, wt, &forced);
+    }
+    for (int r = 0; r < 5; ++r) {
+      for (int c = 0; c < 11; ++c) {
+        EXPECT_NEAR(dispatched.At(r, c), forced.At(r, c),
+                    1e-4f + 1e-4f * std::fabs(forced.At(r, c)))
+            << QuantModeName(mode);
+      }
+    }
+  }
+}
+
+// ---- store construction --------------------------------------------------
+
+TEST(QuantStoreTest, QuantizeParamsSplitsPlanFromPassthrough) {
+  Rng rng(211);
+  ParameterStore store;
+  // Contraction dims are multiples of the 32-lane block so the compression
+  // assertion below is not distorted by tail padding.
+  Parameter* w =
+      store.Create("fc.W", 64, 6, ParameterStore::Init::kXavier, &rng);
+  Parameter* b =
+      store.Create("fc.b", 1, 6, ParameterStore::Init::kGaussian, &rng);
+  Parameter* emb = store.Create("emb.table", 20, 64,
+                                ParameterStore::Init::kGaussian, &rng);
+  QuantPlan plan;
+  plan.push_back({w, /*transpose=*/true});
+  plan.push_back({emb, /*transpose=*/false});
+  QuantizedStore qs = QuantizeParams(store, plan, QuantMode::kInt8);
+  EXPECT_EQ(qs.mode(), QuantMode::kInt8);
+  ASSERT_EQ(qs.quantized().size(), 2u);
+  ASSERT_EQ(qs.fp32().size(), 1u);
+  const QuantizedTensor* qw = qs.FindQuantized("fc.W");
+  ASSERT_NE(qw, nullptr);
+  EXPECT_EQ(qw->rows(), 6);  // 64x6 stored transposed as 6x64
+  EXPECT_EQ(qw->cols(), 64);
+  const QuantizedTensor* qe = qs.FindQuantized("emb.table");
+  ASSERT_NE(qe, nullptr);
+  EXPECT_EQ(qe->rows(), 20);
+  EXPECT_EQ(qe->cols(), 64);
+  const Tensor* pb = qs.FindFp32("fc.b");
+  ASSERT_NE(pb, nullptr);
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_FLOAT_EQ(pb->At(0, j), b->value.At(0, j));
+  }
+  EXPECT_EQ(qs.FindQuantized("fc.b"), nullptr);
+  EXPECT_EQ(qs.FindFp32("fc.W"), nullptr);
+  EXPECT_GT(qs.TotalBytes(), 0u);
+  // int8 payload (codes + one scale per 32 lanes) is roughly a quarter of
+  // the fp32 weights it replaces.
+  const size_t fp32_bytes = (64 * 6 + 20 * 64) * sizeof(float);
+  EXPECT_LT(qs.TotalBytes(), fp32_bytes / 2);
+}
+
+TEST(QuantStoreTest, ModeNames) {
+  EXPECT_STREQ(QuantModeName(QuantMode::kNone), "none");
+  EXPECT_STREQ(QuantModeName(QuantMode::kInt8), "int8");
+  EXPECT_STREQ(QuantModeName(QuantMode::kFp16), "fp16");
+}
+
+}  // namespace
+}  // namespace alicoco::nn::quant

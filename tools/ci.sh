@@ -5,7 +5,9 @@
 #      the cross-file passes (include-graph layering, lock-order deadlock
 #      detection, discarded-result, CFG dataflow) via `alicoco_lint --project src`,
 #      leaving build/lint/alicoco_lint.sarif for CI artifact upload
-#   2. plain RelWithDebInfo build + full ctest
+#   2. plain RelWithDebInfo build + full ctest, then the suite again with
+#      ALICOCO_SIMD=scalar so the portable kernel tier stays covered on
+#      AVX2 hardware
 #   3. pipeline profile gate (obs_report vs committed BENCH_pipeline.json)
 #      + profiling-tier gate: per-stage cpu attribution vs the committed
 #      BENCH_profile.json, collapsed-stack smoke, disabled-overhead <1%
@@ -37,6 +39,12 @@ step "plain build + tests"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "${JOBS}"
 ctest --preset default
+
+step "forced-scalar kernel tier + tests"
+# Re-run the suite with the kernel dispatcher pinned to the portable tier,
+# so CI covers the scalar fp32/int8/fp16 kernels (and the quantized formats
+# on top of them) even on AVX2 hardware where CPUID would pick SIMD.
+ALICOCO_SIMD=scalar ctest --preset default
 
 step "analyzer self-bench gate"
 # Cold vs warm analysis of the real tree on the simulated cost clock, plus
