@@ -10,6 +10,53 @@ namespace alicoco::kg {
 namespace {
 constexpr const char* kHeader = "ALICOCO_NET v1";
 
+/// Plausibility cap for any single section's element count. A snapshot
+/// section bigger than this cannot come from a real net; treating it as
+/// corruption keeps one flipped length field from driving the load loops
+/// (and every allocation behind them) to arbitrary sizes.
+constexpr size_t kMaxSectionCount = size_t{1} << 26;
+
+/// Exception-safe numeric field parsers. std::stoul/std::stod throw on
+/// garbage and silently accept trailing junk; a corrupt snapshot must
+/// surface as Status::Corruption instead of an uncaught exception.
+Status ParseU64(const std::string& field, uint64_t* out) {
+  try {
+    size_t used = 0;
+    unsigned long long v = std::stoull(field, &used);
+    if (used != field.size()) {
+      return Status::Corruption("bad numeric field: " + field);
+    }
+    *out = v;
+    return Status::OK();
+  } catch (...) {
+    return Status::Corruption("bad numeric field: " + field);
+  }
+}
+
+Status ParseU32(const std::string& field, uint32_t* out) {
+  uint64_t wide = 0;
+  ALICOCO_RETURN_NOT_OK(ParseU64(field, &wide));
+  if (wide > 0xFFFFFFFFull) {
+    return Status::Corruption("id field out of range: " + field);
+  }
+  *out = static_cast<uint32_t>(wide);
+  return Status::OK();
+}
+
+Status ParseF64(const std::string& field, double* out) {
+  try {
+    size_t used = 0;
+    double v = std::stod(field, &used);
+    if (used != field.size()) {
+      return Status::Corruption("bad numeric field: " + field);
+    }
+    *out = v;
+    return Status::OK();
+  } catch (...) {
+    return Status::Corruption("bad numeric field: " + field);
+  }
+}
+
 std::vector<std::string> SplitTabs(const std::string& line) {
   std::vector<std::string> out;
   size_t start = 0;
@@ -33,7 +80,13 @@ Status ReadSectionHeader(std::istream& in, const std::string& expect,
     return Status::Corruption("bad section header, expected " + expect +
                               " got: " + line);
   }
-  *count = std::stoull(parts[1]);
+  uint64_t value = 0;
+  ALICOCO_RETURN_NOT_OK(ParseU64(parts[1], &value));
+  if (value > kMaxSectionCount) {
+    return Status::Corruption("implausible count in section " + expect +
+                              ": " + parts[1]);
+  }
+  *count = value;
   return Status::OK();
 }
 
@@ -136,8 +189,9 @@ Result<ConceptNet> LoadConceptNet(const std::string& path) {
     if (!std::getline(in, line)) return Status::Corruption("truncated TAXONOMY");
     auto parts = SplitTabs(line);
     if (parts.size() != 2) return Status::Corruption("bad taxonomy line");
-    auto res = net.taxonomy().AddClass(
-        parts[1], ClassId(static_cast<uint32_t>(std::stoul(parts[0]))));
+    uint32_t parent = 0;
+    ALICOCO_RETURN_NOT_OK(ParseU32(parts[0], &parent));
+    auto res = net.taxonomy().AddClass(parts[1], ClassId(parent));
     ALICOCO_RETURN_NOT_OK(res.status());
   }
 
@@ -146,9 +200,11 @@ Result<ConceptNet> LoadConceptNet(const std::string& path) {
     if (!std::getline(in, line)) return Status::Corruption("truncated SCHEMA");
     auto parts = SplitTabs(line);
     if (parts.size() != 3) return Status::Corruption("bad schema line");
-    ALICOCO_RETURN_NOT_OK(net.AddRelation(
-        parts[2], ClassId(static_cast<uint32_t>(std::stoul(parts[0]))),
-        ClassId(static_cast<uint32_t>(std::stoul(parts[1])))));
+    uint32_t domain = 0, range = 0;
+    ALICOCO_RETURN_NOT_OK(ParseU32(parts[0], &domain));
+    ALICOCO_RETURN_NOT_OK(ParseU32(parts[1], &range));
+    ALICOCO_RETURN_NOT_OK(
+        net.AddRelation(parts[2], ClassId(domain), ClassId(range)));
   }
 
   ALICOCO_RETURN_NOT_OK(ReadSectionHeader(in, "PRIMITIVE", &count));
@@ -156,8 +212,9 @@ Result<ConceptNet> LoadConceptNet(const std::string& path) {
     if (!std::getline(in, line)) return Status::Corruption("truncated PRIMITIVE");
     auto parts = SplitTabs(line);
     if (parts.size() != 3) return Status::Corruption("bad primitive line");
-    auto res = net.GetOrAddPrimitiveConcept(
-        parts[1], ClassId(static_cast<uint32_t>(std::stoul(parts[0]))));
+    uint32_t cls = 0;
+    ALICOCO_RETURN_NOT_OK(ParseU32(parts[0], &cls));
+    auto res = net.GetOrAddPrimitiveConcept(parts[1], ClassId(cls));
     ALICOCO_RETURN_NOT_OK(res.status());
     if (!parts[2].empty()) {
       ALICOCO_RETURN_NOT_OK(
@@ -177,9 +234,9 @@ Result<ConceptNet> LoadConceptNet(const std::string& path) {
     if (!std::getline(in, line)) return Status::Corruption("truncated ITEM");
     auto parts = SplitTabs(line);
     if (parts.size() != 2) return Status::Corruption("bad item line");
-    auto res = net.AddItem(
-        SplitWhitespace(parts[1]),
-        ClassId(static_cast<uint32_t>(std::stoul(parts[0]))));
+    uint32_t category = 0;
+    ALICOCO_RETURN_NOT_OK(ParseU32(parts[0], &category));
+    auto res = net.AddItem(SplitWhitespace(parts[1]), ClassId(category));
     ALICOCO_RETURN_NOT_OK(res.status());
   }
 
@@ -198,10 +255,11 @@ Result<ConceptNet> LoadConceptNet(const std::string& path) {
       if (parts.size() != expect) {
         return Status::Corruption(std::string("bad edge line in ") + section);
       }
+      uint32_t subject = 0, object = 0;
+      ALICOCO_RETURN_NOT_OK(ParseU32(parts[0], &subject));
+      ALICOCO_RETURN_NOT_OK(ParseU32(parts[1], &object));
       ALICOCO_RETURN_NOT_OK(
-          add(static_cast<uint32_t>(std::stoul(parts[0])),
-              static_cast<uint32_t>(std::stoul(parts[1])),
-              has_label ? parts[2] : std::string()));
+          add(subject, object, has_label ? parts[2] : std::string()));
     }
     return Status::OK();
   };
@@ -243,11 +301,15 @@ Result<ConceptNet> LoadConceptNet(const std::string& path) {
       if (parts.size() != 2 && parts.size() != 3) {
         return Status::Corruption("bad edge line in ITEM_EC");
       }
-      double probability = parts.size() == 3 ? std::stod(parts[2]) : 1.0;
-      ALICOCO_RETURN_NOT_OK(net.LinkItemToEc(
-          ItemId(static_cast<uint32_t>(std::stoul(parts[0]))),
-          EcConceptId(static_cast<uint32_t>(std::stoul(parts[1]))),
-          probability));
+      double probability = 1.0;
+      if (parts.size() == 3) {
+        ALICOCO_RETURN_NOT_OK(ParseF64(parts[2], &probability));
+      }
+      uint32_t item = 0, ec = 0;
+      ALICOCO_RETURN_NOT_OK(ParseU32(parts[0], &item));
+      ALICOCO_RETURN_NOT_OK(ParseU32(parts[1], &ec));
+      ALICOCO_RETURN_NOT_OK(
+          net.LinkItemToEc(ItemId(item), EcConceptId(ec), probability));
     }
   }
   ALICOCO_RETURN_NOT_OK(load_edges(

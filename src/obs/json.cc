@@ -44,9 +44,16 @@ class JsonParser {
   Result<JsonValue> ParseValue() {
     SkipSpace();
     if (pos_ >= text_.size()) return Error("unexpected end of input");
+    // A profile document is a few levels deep; a crafted file of nothing
+    // but '[' must hit a corruption error, not exhaust the stack.
+    if (depth_ >= kMaxDepth) return Error("nesting too deep");
     char c = text_[pos_];
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
+    if (c == '{' || c == '[') {
+      ++depth_;
+      Result<JsonValue> out = c == '{' ? ParseObject() : ParseArray();
+      --depth_;
+      return out;
+    }
     if (c == '"') return ParseString();
     if (c == 't' || c == 'f' || c == 'n') return ParseKeyword();
     return ParseNumber();
@@ -188,12 +195,21 @@ class JsonParser {
     if (!digits) return Error("expected a number");
     JsonValue out;
     out.kind = JsonValue::Kind::kNumber;
-    out.number = std::stod(text_.substr(start, pos_ - start));
+    try {
+      out.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      // stod throws on out-of-range exponents like 1e999999999; a corrupt
+      // profile must parse-fail, not unwind through the caller.
+      return Error("number out of range");
+    }
     return out;
   }
 
+  static constexpr int kMaxDepth = 64;
+
   const std::string& text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

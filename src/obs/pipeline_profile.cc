@@ -67,6 +67,14 @@ Result<PipelineProfile> PipelineProfile::FromJson(const std::string& text) {
   if (stages == nullptr || stages->kind != JsonValue::Kind::kArray) {
     return Status::Corruption("missing 'stages' array");
   }
+  // Plausibility caps: a real pipeline has a handful of stages and a few
+  // counters each; a profile claiming thousands is corrupt input, not a
+  // request to build an arbitrarily large report.
+  constexpr size_t kMaxStages = 1024;
+  constexpr size_t kMaxCountersPerStage = 4096;
+  if (stages->array.size() > kMaxStages) {
+    return Status::Corruption("implausible stage count in profile");
+  }
   for (const JsonValue& entry : stages->array) {
     if (entry.kind != JsonValue::Kind::kObject) {
       return Status::Corruption("stage entries must be objects");
@@ -79,6 +87,9 @@ Result<PipelineProfile> PipelineProfile::FromJson(const std::string& text) {
     if (counters != nullptr) {
       if (counters->kind != JsonValue::Kind::kObject) {
         return Status::Corruption("stage 'counters' must be an object");
+      }
+      if (counters->object.size() > kMaxCountersPerStage) {
+        return Status::Corruption("implausible counter count in profile");
       }
       for (const auto& [key, value] : counters->object) {
         if (value.kind != JsonValue::Kind::kNumber) {

@@ -104,5 +104,107 @@ TEST(PersistenceTest, TruncatedFileRejected) {
   EXPECT_TRUE(LoadConceptNet(path).status().IsCorruption());
 }
 
+// ---------------------------------------------------------------------------
+// Corrupted-snapshot behavior: every mutation below must surface as
+// Status::Corruption — never a crash, an uncaught exception, or a
+// count-driven over-allocation.
+
+std::string SaveNetToString(const char* name) {
+  ConceptNet net = BuildNet();
+  std::string path = TempPath(name);
+  EXPECT_TRUE(SaveConceptNet(net, path).ok());
+  std::ifstream in(path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+Status LoadFromString(const char* name, const std::string& content) {
+  std::string path = TempPath(name);
+  std::ofstream(path) << content;
+  return LoadConceptNet(path).status();
+}
+
+/// Replaces the whole line beginning with `prefix` (e.g. a section
+/// header) with `replacement`.
+std::string WithLineReplaced(std::string content, const std::string& prefix,
+                             const std::string& replacement) {
+  size_t at = content.rfind("\n" + prefix + " ");
+  EXPECT_NE(at, std::string::npos) << prefix;
+  size_t line_start = at + 1;
+  size_t line_end = content.find('\n', line_start);
+  content.replace(line_start, line_end - line_start, replacement);
+  return content;
+}
+
+TEST(PersistenceTest, BitFlippedMagicRejected) {
+  std::string content = SaveNetToString("flip_src.txt");
+  content[0] ^= 0x20;  // 'A' -> 'a' in ALICOCO_NET
+  EXPECT_TRUE(LoadFromString("flip.txt", content).IsCorruption());
+}
+
+TEST(PersistenceTest, GarbageCountRejected) {
+  // std::stoull throws on this; the loader must catch and report, not die.
+  std::string content = SaveNetToString("garbage_src.txt");
+  EXPECT_TRUE(LoadFromString("garbage.txt",
+                             WithLineReplaced(content, "SCHEMA",
+                                              "SCHEMA banana"))
+                  .IsCorruption());
+}
+
+TEST(PersistenceTest, TrailingJunkInCountRejected) {
+  // stoull alone would silently accept "3x" as 3.
+  std::string content = SaveNetToString("junkcount_src.txt");
+  EXPECT_TRUE(LoadFromString("junkcount.txt",
+                             WithLineReplaced(content, "SCHEMA", "SCHEMA 1x"))
+                  .IsCorruption());
+}
+
+TEST(PersistenceTest, ImplausibleCountRejected) {
+  // One flipped length field must not drive the load loop (and every
+  // allocation behind it) to an astronomical trip count.
+  std::string content = SaveNetToString("bigcount_src.txt");
+  EXPECT_TRUE(LoadFromString(
+                  "bigcount.txt",
+                  WithLineReplaced(content, "PRIMITIVE",
+                                   "PRIMITIVE 99999999999999999"))
+                  .IsCorruption());
+}
+
+TEST(PersistenceTest, NegativeCountRejected) {
+  // stoull wraps "-1" to ULLONG_MAX; the plausibility cap catches it.
+  std::string content = SaveNetToString("negcount_src.txt");
+  EXPECT_TRUE(LoadFromString("negcount.txt",
+                             WithLineReplaced(content, "ISA", "ISA -1"))
+                  .IsCorruption());
+}
+
+TEST(PersistenceTest, OversizedIdFieldRejected) {
+  // An id that cannot fit in 32 bits must be corruption, not a silent
+  // truncating cast.
+  std::string content = SaveNetToString("bigid_src.txt");
+  const std::string needle = "\tCategory\n";
+  size_t at = content.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  size_t line_start = content.rfind('\n', at) + 1;
+  content.replace(line_start, at - line_start, "8589934592");
+  EXPECT_TRUE(LoadFromString("bigid.txt", content).IsCorruption());
+}
+
+TEST(PersistenceTest, GarbageEdgeProbabilityRejected) {
+  std::string content = SaveNetToString("badprob_src.txt");
+  // The ITEM_EC payload line is `item \t ec \t probability`.
+  size_t header = content.find("\nITEM_EC ");
+  ASSERT_NE(header, std::string::npos);
+  size_t line_start = content.find('\n', header + 1) + 1;
+  size_t line_end = content.find('\n', line_start);
+  ASSERT_NE(line_end, std::string::npos);
+  std::string edge = content.substr(line_start, line_end - line_start);
+  size_t last_tab = edge.rfind('\t');
+  ASSERT_NE(last_tab, std::string::npos);
+  edge.replace(last_tab + 1, std::string::npos, "not-a-number");
+  content.replace(line_start, line_end - line_start, edge);
+  EXPECT_TRUE(LoadFromString("badprob.txt", content).IsCorruption());
+}
+
 }  // namespace
 }  // namespace alicoco::kg

@@ -1,0 +1,69 @@
+// lint-fixture: sizes read from a stream reach resize(), memcpy(), and
+// new[] without a dominating cap; the capped twin compares against a
+// compile-time constant first and stays quiet.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace fixture {
+
+constexpr uint32_t kMaxParams = 1u << 20;
+
+bool ReadU32(FILE* f, uint32_t* out) {
+  return std::fread(out, sizeof(*out), 1, f) == 1;
+}
+
+bool LoadUncapped(FILE* f, std::vector<float>* out) {
+  uint32_t count = 0;
+  if (!ReadU32(f, &count)) return false;
+  out->resize(count);  // untrusted size straight into an allocation
+  return true;
+}
+
+bool LoadCapped(FILE* f, std::vector<float>* out) {
+  uint32_t count = 0;
+  if (!ReadU32(f, &count)) return false;
+  if (count > kMaxParams) return false;
+  out->resize(count);
+  return true;
+}
+
+bool CopyUncapped(FILE* f, char* dst, const char* src) {
+  uint32_t len = 0;
+  if (std::fread(&len, sizeof(len), 1, f) != 1) return false;
+  std::memcpy(dst, src, len);  // builtin source, no cap before the copy
+  return true;
+}
+
+bool NewUncapped(FILE* f, float** out) {
+  uint32_t n = 0;
+  if (!ReadU32(f, &n)) return false;
+  *out = new float[n];  // untrusted array-new extent
+  return true;
+}
+
+void FillBuffer(std::vector<float>* out, uint32_t n) {
+  out->resize(n);  // parameter used as an allocation size
+}
+
+void FillCapped(std::vector<float>* out, uint32_t n) {
+  if (n > kMaxParams) return;
+  out->resize(n);
+}
+
+bool LoadViaHelper(FILE* f, std::vector<float>* out) {
+  uint32_t n = 0;
+  if (!ReadU32(f, &n)) return false;
+  FillBuffer(out, n);  // untrusted size handed to an uncapped callee
+  return true;
+}
+
+bool LoadViaCappedHelper(FILE* f, std::vector<float>* out) {
+  uint32_t n = 0;
+  if (!ReadU32(f, &n)) return false;
+  FillCapped(out, n);
+  return true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,50 @@
+// lint-fixture: a stream-read index subscripts a table and a stream-read
+// count bounds a loop, both unchecked; the `.size()` guard and the
+// compile-time clamp silence the checked twins.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+namespace fixture {
+
+constexpr uint32_t kMaxRows = 4096;
+
+bool ReadU32(FILE* f, uint32_t* out) {
+  return std::fread(out, sizeof(*out), 1, f) == 1;
+}
+
+float LookupUnchecked(FILE* f, const std::vector<float>& table) {
+  uint32_t idx = 0;
+  if (!ReadU32(f, &idx)) return 0.0f;
+  return table[idx];  // untrusted subscript
+}
+
+float LookupChecked(FILE* f, const std::vector<float>& table) {
+  uint32_t idx = 0;
+  if (!ReadU32(f, &idx)) return 0.0f;
+  if (idx >= table.size()) return 0.0f;
+  return table[idx];
+}
+
+float SumUnchecked(FILE* f, const std::vector<float>& table) {
+  uint32_t n = 0;
+  if (!ReadU32(f, &n)) return 0.0f;
+  float total = 0.0f;
+  for (uint32_t i = 0; i < n; ++i) {  // untrusted loop bound
+    total += table[i];
+  }
+  return total;
+}
+
+float SumClamped(FILE* f, const std::vector<float>& table) {
+  uint32_t n = 0;
+  if (!ReadU32(f, &n)) return 0.0f;
+  if (n > kMaxRows) n = kMaxRows;
+  float total = 0.0f;
+  for (uint32_t i = 0; i < n; ++i) {
+    total += table[i];
+  }
+  return total;
+}
+
+}  // namespace fixture

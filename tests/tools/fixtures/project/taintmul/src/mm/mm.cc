@@ -1,0 +1,34 @@
+// lint-fixture: two stream-read dims are capped (so the raw allocation
+// rule is satisfied) but their 32-bit product can still wrap before the
+// resize; widening one operand to size_t discharges the overflow.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+namespace fixture {
+
+constexpr uint32_t kMaxDim = 1u << 15;
+
+bool ReadU32(FILE* f, uint32_t* out) {
+  return std::fread(out, sizeof(*out), 1, f) == 1;
+}
+
+bool LoadNarrow(FILE* f, std::vector<float>* out) {
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  if (!ReadU32(f, &rows) || !ReadU32(f, &cols)) return false;
+  if (rows > kMaxDim || cols > kMaxDim) return false;
+  out->resize(rows * cols);  // 32-bit product of untrusted dims
+  return true;
+}
+
+bool LoadWidened(FILE* f, std::vector<float>* out) {
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  if (!ReadU32(f, &rows) || !ReadU32(f, &cols)) return false;
+  if (rows > kMaxDim || cols > kMaxDim) return false;
+  out->resize(static_cast<size_t>(rows) * cols);
+  return true;
+}
+
+}  // namespace fixture

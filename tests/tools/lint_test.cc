@@ -87,6 +87,52 @@ TEST(LexerTest, DigitSeparatorsStayOneNumber) {
   EXPECT_EQ(it->text, "1'000'000");
 }
 
+TEST(LexerTest, HexDigitSeparatorsStayOneNumber) {
+  auto tokens = Lex("uint32_t m = 0xFF'FF;");
+  auto it = std::find_if(tokens.begin(), tokens.end(), [](const Token& t) {
+    return t.kind == TokenKind::kNumber;
+  });
+  ASSERT_NE(it, tokens.end());
+  EXPECT_EQ(it->text, "0xFF'FF");
+}
+
+TEST(LexerTest, HexFloatExponentStaysOneNumber) {
+  // `p` (not `e`) introduces the exponent of a hex float, and its sign
+  // belongs to the literal.
+  for (const char* src : {"double d = 0x1.8p3;", "double d = 0x1.8p-3;",
+                          "double d = 0x1p+4;"}) {
+    auto tokens = Lex(src);
+    size_t numbers = 0;
+    for (const Token& t : tokens) {
+      numbers += t.kind == TokenKind::kNumber ? 1 : 0;
+    }
+    EXPECT_EQ(numbers, 1u) << src;
+  }
+}
+
+TEST(LexerTest, HexDigitEIsNotAnExponent) {
+  // In a hex literal E is a digit: `0x1E+2` is the number 0x1E, then a
+  // binary '+', then 2 — not one pp-number.
+  auto tokens = Lex("int v = 0x1E+2;");
+  std::vector<std::string> numbers;
+  bool saw_plus = false;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kNumber) numbers.push_back(t.text);
+    if (t.kind == TokenKind::kPunct && t.text == "+") saw_plus = true;
+  }
+  EXPECT_EQ(numbers, (std::vector<std::string>{"0x1E", "2"}));
+  EXPECT_TRUE(saw_plus);
+}
+
+TEST(LexerTest, DecimalExponentSignStaysAttached) {
+  auto tokens = Lex("double d = 1.5e+10;");
+  auto it = std::find_if(tokens.begin(), tokens.end(), [](const Token& t) {
+    return t.kind == TokenKind::kNumber;
+  });
+  ASSERT_NE(it, tokens.end());
+  EXPECT_EQ(it->text, "1.5e+10");
+}
+
 TEST(LexerTest, LineNumbersSurviveMultilineConstructs) {
   auto tokens = Lex(
       "/* line one\n"

@@ -371,7 +371,9 @@ INSTANTIATE_TEST_SUITE_P(AllFixtures, ProjectFixtureTest,
                                            "nodiscard", "useaftermove",
                                            "danglingview", "hotloop",
                                            "paramheavy", "guardedby",
-                                           "blockinglock", "viewescape"));
+                                           "blockinglock", "viewescape",
+                                           "taintalloc", "taintmul",
+                                           "taintindex"));
 
 // ---------------------------------------------------------------------------
 // SARIF
@@ -556,6 +558,72 @@ TEST(ProjectIndexTest, InterprocSummaryFieldsSurviveSerialization) {
   }
 }
 
+TEST(ProjectIndexTest, TaintSummaryFieldsSurviveSerialization) {
+  bool saw_taint_out = false;
+  bool saw_call = false;
+  bool saw_pending = false;
+  for (const char* fixture : {"taintalloc", "taintmul", "taintindex"}) {
+    ProjectIndex::Options options;
+    auto index = ProjectIndex::Build(FixtureRoot(fixture).generic_string(),
+                                     {"src"}, options);
+    ASSERT_TRUE(index.ok());
+    auto round = DeserializeSummaries(SerializeSummaries(index->files()));
+    ASSERT_TRUE(round.ok()) << fixture << ": " << round.status().ToString();
+    ASSERT_EQ(round->size(), index->files().size());
+    for (size_t i = 0; i < round->size(); ++i) {
+      const FileSummary& a = index->files()[i];
+      const FileSummary& b = (*round)[i];
+      ASSERT_EQ(a.decls.size(), b.decls.size());
+      for (size_t j = 0; j < a.decls.size(); ++j) {
+        EXPECT_EQ(a.decls[j].returns_tainted, b.decls[j].returns_tainted);
+        ASSERT_EQ(a.decls[j].params.size(), b.decls[j].params.size());
+        for (size_t k = 0; k < a.decls[j].params.size(); ++k) {
+          EXPECT_EQ(a.decls[j].params[k].taint_sink_mask,
+                    b.decls[j].params[k].taint_sink_mask);
+          EXPECT_EQ(a.decls[j].params[k].taint_out,
+                    b.decls[j].params[k].taint_out);
+          saw_taint_out |= a.decls[j].params[k].taint_out;
+        }
+      }
+      ASSERT_EQ(a.taint_calls.size(), b.taint_calls.size());
+      for (size_t j = 0; j < a.taint_calls.size(); ++j) {
+        const TaintCallArg& ca = a.taint_calls[j];
+        const TaintCallArg& cb = b.taint_calls[j];
+        EXPECT_EQ(ca.line, cb.line);
+        EXPECT_EQ(ca.kind, cb.kind);
+        EXPECT_EQ(ca.arg_index, cb.arg_index);
+        EXPECT_EQ(ca.origin, cb.origin);
+        EXPECT_EQ(ca.guard_param, cb.guard_param);
+        EXPECT_EQ(ca.source_line, cb.source_line);
+        EXPECT_EQ(ca.param_mask, cb.param_mask);
+        EXPECT_EQ(ca.caller, cb.caller);
+        EXPECT_EQ(ca.caller_class, cb.caller_class);
+        EXPECT_EQ(ca.callee, cb.callee);
+        EXPECT_EQ(ca.qualifier, cb.qualifier);
+        EXPECT_EQ(ca.var, cb.var);
+        EXPECT_EQ(ca.source, cb.source);
+        saw_call = true;
+      }
+      ASSERT_EQ(a.taint_pending.size(), b.taint_pending.size());
+      for (size_t j = 0; j < a.taint_pending.size(); ++j) {
+        EXPECT_EQ(a.taint_pending[j].line, b.taint_pending[j].line);
+        EXPECT_EQ(a.taint_pending[j].rule, b.taint_pending[j].rule);
+        EXPECT_EQ(a.taint_pending[j].message, b.taint_pending[j].message);
+        EXPECT_EQ(a.taint_pending[j].guard_callee,
+                  b.taint_pending[j].guard_callee);
+        EXPECT_EQ(a.taint_pending[j].guard_param,
+                  b.taint_pending[j].guard_param);
+        saw_pending = true;
+      }
+    }
+  }
+  // The fixtures exist to exercise these fields; if extraction stops
+  // producing them the round-trips above are vacuous.
+  EXPECT_TRUE(saw_taint_out);
+  EXPECT_TRUE(saw_call);
+  EXPECT_TRUE(saw_pending);
+}
+
 TEST(ProjectIndexTest, OlderCacheFormatIsDiscardedNotTrusted) {
   fs::path root = CloneFixture("guardedby", "v2cache");
   std::string cache = (root / "cache.bin").generic_string();
@@ -573,6 +641,26 @@ TEST(ProjectIndexTest, OlderCacheFormatIsDiscardedNotTrusted) {
   auto rebuilt = ProjectIndex::Build(root.generic_string(), {"src"}, options);
   ASSERT_TRUE(rebuilt.ok());
   EXPECT_EQ(rebuilt->stats().lexed, 2u);
+  EXPECT_EQ(rebuilt->stats().cache_hits, 0u);
+}
+
+TEST(ProjectIndexTest, V3CacheFormatIsDiscardedNotTrusted) {
+  fs::path root = CloneFixture("taintalloc", "v3cache");
+  std::string cache = (root / "cache.bin").generic_string();
+  ProjectIndex::Options options;
+  options.cache_path = cache;
+  auto cold = ProjectIndex::Build(root.generic_string(), {"src"}, options);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->stats().lexed, 1u);
+  {
+    // A v3-era cache: the P/D records lack the taint columns added in v4,
+    // so trusting it would silently drop every taint fact. Discard it.
+    std::ofstream clobber(cache, std::ios::trunc);
+    clobber << "alicoco_lint_cache_v3 " << AnalyzerCacheVersion() << "\n";
+  }
+  auto rebuilt = ProjectIndex::Build(root.generic_string(), {"src"}, options);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->stats().lexed, 1u);
   EXPECT_EQ(rebuilt->stats().cache_hits, 0u);
 }
 
@@ -605,6 +693,23 @@ TEST(ProjectIndexTest, WarmRunIsAtLeastFiveTimesFasterThanCold) {
 
   EXPECT_GE(cold_clock.NowUs(), 5 * warm_clock.NowUs())
       << "cold=" << cold_clock.NowUs() << " warm=" << warm_clock.NowUs();
+}
+
+TEST(ProjectLintTest, TaintFindingsSurviveAWarmCacheRun) {
+  // The taint pass runs over deserialized summaries on a warm run; if the
+  // T/W/P/D cache records drop a column the findings silently vanish.
+  std::string cache =
+      (fs::path(::testing::TempDir()) / "taint_warm.cache").generic_string();
+  fs::remove(cache);
+  ProjectReport cold = AnalyzeFixture("taintalloc", cache);
+  ProjectReport warm = AnalyzeFixture("taintalloc", cache);
+  ASSERT_FALSE(cold.findings.empty());
+  ASSERT_EQ(warm.findings.size(), cold.findings.size());
+  for (size_t i = 0; i < cold.findings.size(); ++i) {
+    EXPECT_EQ(FormatFinding(warm.findings[i]),
+              FormatFinding(cold.findings[i]));
+  }
+  EXPECT_GT(warm.taint.sink_params, 0u);
 }
 
 TEST(ProjectLintTest, ChangedOnlyModeReportsTouchedFilesOnly) {

@@ -3,8 +3,9 @@
 #
 #   1. lint gate (tools/lint.sh): per-file rules over the whole tree, then
 #      the cross-file passes (include-graph layering, lock-order deadlock
-#      detection, discarded-result, CFG dataflow) via `alicoco_lint --project src`,
-#      leaving build/lint/alicoco_lint.sarif for CI artifact upload
+#      detection, discarded-result, CFG dataflow, untrusted-input taint)
+#      via `alicoco_lint --project src`, leaving
+#      build/lint/alicoco_lint.sarif for CI artifact upload
 #   2. plain RelWithDebInfo build + full ctest, then the suite again with
 #      ALICOCO_SIMD=scalar so the portable kernel tier stays covered on
 #      AVX2 hardware
@@ -12,7 +13,9 @@
 #      + profiling-tier gate: per-stage cpu attribution vs the committed
 #      BENCH_profile.json, collapsed-stack smoke, disabled-overhead <1%
 #   4. kernel smoke gate (bench_micro vs committed BENCH_kernels.json)
-#   5. ASan+UBSan build + full ctest   (DCHECKs forced on)
+#   5. ASan+UBSan build + full ctest   (DCHECKs forced on), then an
+#      explicit corrupted-checkpoint corpus replay: every deserializer
+#      over the committed truncated/bit-flipped inputs in tests/corpus/
 #   6. TSan build + threaded tests     (DCHECKs forced on)
 #
 # Any sanitizer report aborts the offending test (halt_on_error /
@@ -94,6 +97,15 @@ cmake --build --preset asan -j "${JOBS}"
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
   ctest --preset asan
+
+step "corrupted-checkpoint corpus replay (ASan)"
+# Replays tests/corpus/ — truncated, bit-flipped, and oversized-count
+# inputs for every deserializer (kg snapshot, nn checkpoint + quantized
+# store, pipeline profile, SARIF, lint cache) — under ASan explicitly,
+# so a corrupt-input regression is named by the gate that catches it.
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --preset asan -R CorpusReplay --output-on-failure
 
 step "TSan build + threaded tests"
 cmake --preset tsan >/dev/null

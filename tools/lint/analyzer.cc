@@ -205,11 +205,13 @@ Result<ProjectReport> AnalyzeProject(const std::string& root,
                     file.findings.end());
   }
   InterprocStats interproc_stats;
+  TaintStats taint_stats;
   std::vector<Finding> pass_findings =
-      RunAllPasses(index, layers, &interproc_stats);
+      RunAllPasses(index, layers, &interproc_stats, &taint_stats);
   findings.insert(findings.end(), pass_findings.begin(), pass_findings.end());
   if (options.cost_clock != nullptr) {
     options.cost_clock->AdvanceUs(interproc_stats.cost_us);
+    options.cost_clock->AdvanceUs(taint_stats.cost_us);
   }
 
   std::set<std::string> changed(index.changed().begin(),
@@ -237,6 +239,7 @@ Result<ProjectReport> AnalyzeProject(const std::string& root,
   report.findings = std::move(findings);
   report.stats = index.stats();
   report.interproc = interproc_stats;
+  report.taint = taint_stats;
   return report;
 }
 

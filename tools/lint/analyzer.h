@@ -19,6 +19,7 @@
 #include "common/status.h"
 #include "tools/lint/index.h"
 #include "tools/lint/passes/interproc.h"
+#include "tools/lint/passes/passes.h"
 #include "tools/lint/rules.h"
 
 namespace alicoco::lint {
@@ -89,6 +90,9 @@ struct ProjectReport {
   /// condensation + fixpoints); its cost_us is also charged to the
   /// options cost clock.
   InterprocStats interproc;
+  /// Size/cost counters of the cross-file taint pass; its cost_us is
+  /// charged to the options cost clock the same way.
+  TaintStats taint;
 };
 
 /// Builds the ProjectIndex for `<root>/<project_dir>`, runs every

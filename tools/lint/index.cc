@@ -1057,7 +1057,7 @@ Result<std::vector<int>> ParseHeld(const std::string& field) {
   return held;
 }
 
-constexpr char kCacheMagic[] = "alicoco_lint_cache_v3";
+constexpr char kCacheMagic[] = "alicoco_lint_cache_v4";
 
 }  // namespace
 
@@ -1132,6 +1132,11 @@ FileSummary SummarizeSource(const std::string& path,
       RunFunctionDataflowChecks(path, code, extractor.bodies());
   summary.findings.insert(summary.findings.end(), flow.begin(), flow.end());
 
+  // The taint tier runs here too: builtin-source findings are appended to
+  // summary.findings, while Read*/Parse*-guarded hits and call-site taint
+  // facts land in taint_pending / taint_calls for the cross-file pass.
+  RunTaintChecks(path, code, extractor.bodies(), &summary);
+
   std::sort(summary.findings.begin(), summary.findings.end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.line, a.rule, a.message) <
@@ -1143,7 +1148,7 @@ FileSummary SummarizeSource(const std::string& path,
 uint64_t AnalyzerCacheVersion() {
   // Hand-bumped when the FileSummary shape or cache line protocol changes
   // in a way the tag set alone doesn't reveal.
-  std::string ident = "summary-format-3";
+  std::string ident = "summary-format-4";
   for (const auto& rule : RuleRegistry()) {
     ident.push_back('|');
     ident.append(rule->id());
@@ -1319,7 +1324,8 @@ std::string SerializeSummaries(const std::vector<FileSummary>& files) {
     }
     for (const DeclInfo& d : f.decls) {
       out.append("D " + std::to_string(d.line) + (d.checked ? " 1" : " 0") +
-                 (d.has_body ? " 1 " : " 0 "));
+                 (d.has_body ? " 1" : " 0") +
+                 (d.returns_tainted ? " 1 " : " 0 "));
       AppendEscaped(d.name, &out);
       out.push_back(' ');
       AppendEscaped(d.class_name, &out);
@@ -1327,7 +1333,9 @@ std::string SerializeSummaries(const std::vector<FileSummary>& files) {
       for (const ParamInfo& p : d.params) {
         out.append(std::string("P ") + (p.by_value ? "1" : "0") +
                    (p.moved ? " 1" : " 0") +
-                   (p.escapes_return ? " 1 " : " 0 "));
+                   (p.escapes_return ? " 1 " : " 0 ") +
+                   std::to_string(static_cast<int>(p.taint_sink_mask)) +
+                   (p.taint_out ? " 1 " : " 0 "));
         AppendEscaped(p.type, &out);
         out.push_back(' ');
         AppendEscaped(p.name, &out);
@@ -1342,6 +1350,37 @@ std::string SerializeSummaries(const std::vector<FileSummary>& files) {
     for (const CallStatement& s : f.call_statements) {
       out.append("S " + std::to_string(s.line) + " ");
       AppendEscaped(s.callee, &out);
+      out.push_back('\n');
+    }
+    for (const TaintCallArg& t : f.taint_calls) {
+      out.append("T " + std::to_string(t.line) + " " +
+                 std::to_string(static_cast<int>(t.kind)) + " " +
+                 std::to_string(t.arg_index) + " " +
+                 std::to_string(static_cast<int>(t.origin)) + " " +
+                 std::to_string(t.guard_param) + " " +
+                 std::to_string(t.source_line) + " " +
+                 std::to_string(t.param_mask) + " ");
+      AppendEscaped(t.caller, &out);
+      out.push_back(' ');
+      AppendEscaped(t.caller_class, &out);
+      out.push_back(' ');
+      AppendEscaped(t.callee, &out);
+      out.push_back(' ');
+      AppendEscaped(t.qualifier, &out);
+      out.push_back(' ');
+      AppendEscaped(t.var, &out);
+      out.push_back(' ');
+      AppendEscaped(t.source, &out);
+      out.push_back('\n');
+    }
+    for (const PendingTaintFinding& w : f.taint_pending) {
+      out.append("W " + std::to_string(w.line) + " " +
+                 std::to_string(w.guard_param) + " ");
+      AppendEscaped(w.rule, &out);
+      out.push_back(' ');
+      AppendEscaped(w.guard_callee, &out);
+      out.push_back(' ');
+      AppendEscaped(w.message, &out);
       out.push_back('\n');
     }
     for (const Finding& g : f.findings) {
@@ -1487,6 +1526,9 @@ Result<std::vector<FileSummary>> DeserializeSummaries(
       size_t nargs = 0;
       std::string callee;
       if (!(fields >> ln >> callee >> nargs)) return bad("truncated V");
+      // Plausibility cap: a V record with an absurd argument count is
+      // corruption, not a request to loop that many times.
+      if (nargs > 4096) return bad("implausible V arg count");
       ViewReturnCall v;
       v.line = ln;
       ALICOCO_ASSIGN_OR_RETURN(v.callee, Unescape(callee));
@@ -1501,33 +1543,83 @@ Result<std::vector<FileSummary>> DeserializeSummaries(
       }
       fn->view_returns.push_back(std::move(v));
     } else if (tag == "D") {
-      int ln = 0, checked = 0, has_body = 0;
+      int ln = 0, checked = 0, has_body = 0, returns_tainted = 0;
       std::string name, cls;
-      if (!(fields >> ln >> checked >> has_body >> name >> cls)) {
+      if (!(fields >> ln >> checked >> has_body >> returns_tainted >> name >>
+            cls)) {
         return bad("truncated D");
       }
       DeclInfo d;
       d.line = ln;
       d.checked = checked != 0;
       d.has_body = has_body != 0;
+      d.returns_tainted = returns_tainted != 0;
       ALICOCO_ASSIGN_OR_RETURN(d.name, Unescape(name));
       ALICOCO_ASSIGN_OR_RETURN(d.class_name, Unescape(cls));
       cur->decls.push_back(std::move(d));
       decl = &cur->decls.back();
     } else if (tag == "P") {
       if (decl == nullptr) return bad("P before D");
-      int by_value = 0, moved = 0, escapes = 0;
+      int by_value = 0, moved = 0, escapes = 0, sink_mask = 0, taint_out = 0;
       std::string type, name;
-      if (!(fields >> by_value >> moved >> escapes >> type >> name)) {
+      if (!(fields >> by_value >> moved >> escapes >> sink_mask >> taint_out >>
+            type >> name)) {
         return bad("truncated P");
       }
+      if (sink_mask < 0 || sink_mask > 3) return bad("bad P sink mask");
       ParamInfo p;
       p.by_value = by_value != 0;
       p.moved = moved != 0;
       p.escapes_return = escapes != 0;
+      p.taint_sink_mask = static_cast<uint8_t>(sink_mask);
+      p.taint_out = taint_out != 0;
       ALICOCO_ASSIGN_OR_RETURN(p.type, Unescape(type));
       ALICOCO_ASSIGN_OR_RETURN(p.name, Unescape(name));
       decl->params.push_back(std::move(p));
+    } else if (tag == "T") {
+      int ln = 0, kind = 0, arg_index = 0, origin = 0, guard_param = 0,
+          source_line = 0;
+      uint32_t param_mask = 0;
+      std::string caller, caller_class, callee, qualifier, var, source;
+      if (!(fields >> ln >> kind >> arg_index >> origin >> guard_param >>
+            source_line >> param_mask >> caller >> caller_class >> callee >>
+            qualifier >> var >> source)) {
+        return bad("truncated T");
+      }
+      if (kind < 0 || kind > static_cast<int>(CallKind::kMember)) {
+        return bad("bad T call kind");
+      }
+      if (origin < 0 || origin > static_cast<int>(TaintOrigin::kCalleeReturn)) {
+        return bad("bad T origin");
+      }
+      TaintCallArg t;
+      t.line = ln;
+      t.kind = static_cast<CallKind>(kind);
+      t.arg_index = arg_index;
+      t.origin = static_cast<TaintOrigin>(origin);
+      t.guard_param = guard_param;
+      t.source_line = source_line;
+      t.param_mask = param_mask;
+      ALICOCO_ASSIGN_OR_RETURN(t.caller, Unescape(caller));
+      ALICOCO_ASSIGN_OR_RETURN(t.caller_class, Unescape(caller_class));
+      ALICOCO_ASSIGN_OR_RETURN(t.callee, Unescape(callee));
+      ALICOCO_ASSIGN_OR_RETURN(t.qualifier, Unescape(qualifier));
+      ALICOCO_ASSIGN_OR_RETURN(t.var, Unescape(var));
+      ALICOCO_ASSIGN_OR_RETURN(t.source, Unescape(source));
+      cur->taint_calls.push_back(std::move(t));
+    } else if (tag == "W") {
+      int ln = 0, guard_param = 0;
+      std::string rule, guard, message;
+      if (!(fields >> ln >> guard_param >> rule >> guard >> message)) {
+        return bad("truncated W");
+      }
+      PendingTaintFinding w;
+      w.line = ln;
+      w.guard_param = guard_param;
+      ALICOCO_ASSIGN_OR_RETURN(w.rule, Unescape(rule));
+      ALICOCO_ASSIGN_OR_RETURN(w.guard_callee, Unescape(guard));
+      ALICOCO_ASSIGN_OR_RETURN(w.message, Unescape(message));
+      cur->taint_pending.push_back(std::move(w));
     } else if (tag == "Q") {
       if (decl == nullptr) return bad("Q before D");
       std::string req;

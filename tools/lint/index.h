@@ -135,7 +135,21 @@ struct ParamInfo {
   /// parameter is named in a return expression, so the returned view may
   /// alias it. The view-escapes-call pass propagates this across calls.
   bool escapes_return = false;
+  /// Definition sites only: untrusted-value sinks this parameter reaches
+  /// uncapped inside the body — a bitmask of kTaintSinkAlloc /
+  /// kTaintSinkIndex. The cross-file taint pass composes these with
+  /// tainted arguments at call sites.
+  uint8_t taint_sink_mask = 0;
+  /// Definition sites only: the body writes a source-derived, uncapped
+  /// value through this pointer/reference parameter (the `ReadU32(f, &x)`
+  /// out-param shape). Callers' taint from this parameter is real.
+  bool taint_out = false;
 };
+
+/// taint_sink_mask bits: the value is used as an allocation / IO-length
+/// size, or as a container index / loop bound.
+inline constexpr uint8_t kTaintSinkAlloc = 1;
+inline constexpr uint8_t kTaintSinkIndex = 2;
 
 /// A function declaration or definition seen at class or namespace scope.
 struct DeclInfo {
@@ -151,6 +165,9 @@ struct DeclInfo {
   /// Locks named by an ALICOCO_REQUIRES annotation on this declaration —
   /// the caller-must-hold contract the guarded-by pass honors.
   std::vector<std::string> requires_locks;
+  /// Definition sites only: a return expression carries a source-derived,
+  /// uncapped value, so `x = ThisFn(...)` taints x in the caller.
+  bool returns_tainted = false;
 };
 
 /// A statement that consists of nothing but a call — the shape that
@@ -158,6 +175,51 @@ struct DeclInfo {
 struct CallStatement {
   int line = 0;
   std::string callee;
+};
+
+/// Where a suspect value's taint came from. Builtin sources (fread, recv,
+/// std::sto*) taint unconditionally; a Read*/Parse*-named project call
+/// taints only if its definition really writes untrusted data — a claim
+/// the cross-file taint pass checks against the callee's summary before
+/// believing it.
+enum class TaintOrigin {
+  kNone = 0,          ///< not tainted; recorded for its param_mask only
+  kBuiltin = 1,       ///< direct read of program input
+  kCalleeOut = 2,     ///< out-param of a Read*/Parse*-named call
+  kCalleeReturn = 3,  ///< return value of a Read*/Parse*-named call
+};
+
+/// A call site passing a suspect integer argument (tainted, or flowing
+/// from the caller's own parameters) to a project function. The
+/// cross-file taint pass joins these against the callee's per-parameter
+/// taint_sink_mask to report flows that cross function boundaries.
+struct TaintCallArg {
+  int line = 0;
+  std::string caller;
+  std::string caller_class;  ///< "" for free functions
+  std::string callee;        ///< unqualified callee name
+  CallKind kind = CallKind::kPlain;
+  std::string qualifier;  ///< class/namespace before ::, kQualified only
+  int arg_index = 0;
+  std::string var;  ///< the argument, a single identifier
+  TaintOrigin origin = TaintOrigin::kNone;
+  std::string source;   ///< builtin source name, or the guard callee
+  int source_line = 0;  ///< line the taint entered
+  int guard_param = -1;  ///< kCalleeOut: out-param index of the guard call
+  uint32_t param_mask = 0;  ///< caller params feeding the arg, uncapped
+};
+
+/// A local sink hit whose only taint evidence is a Read*/Parse*-named
+/// call. Held in the summary until the cross-file pass confirms the named
+/// callee really produces untrusted data (taint_out / returns_tainted on
+/// its definition), so a reader that caps internally silences every
+/// caller without per-site edits.
+struct PendingTaintFinding {
+  int line = 0;
+  std::string rule;
+  std::string message;
+  std::string guard_callee;
+  int guard_param = -1;  ///< out-param index; -1 = return value
 };
 
 struct FunctionSummary {
@@ -179,6 +241,8 @@ struct FileSummary {
   std::vector<FunctionSummary> functions;
   std::vector<DeclInfo> decls;
   std::vector<CallStatement> call_statements;
+  std::vector<TaintCallArg> taint_calls;
+  std::vector<PendingTaintFinding> taint_pending;
   std::vector<Finding> findings;  ///< per-file rule findings, unsuppressed
   /// line -> rules allowed there via inline `lint:allow(...)` comments.
   std::map<int, std::set<std::string>> allowances;

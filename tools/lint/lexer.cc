@@ -211,6 +211,8 @@ class Lexer {
 
   void LexNumber() {
     size_t begin = pos_;
+    const bool hex =
+        src_[pos_] == '0' && (Peek(1) == 'x' || Peek(1) == 'X');
     while (pos_ < src_.size() && IsNumberChar(src_[pos_])) {
       char c = src_[pos_];
       // A separator only continues the number when followed by a digit
@@ -220,9 +222,12 @@ class Lexer {
         break;
       }
       ++pos_;
-      // Exponent signs: 1e+5, 0x1p-3.
-      if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
-          (Peek(0) == '+' || Peek(0) == '-')) {
+      // Exponent signs: 1e+5 in decimal, 0x1p-3 in hex floats. In a hex
+      // literal E is a digit, never an exponent — `0x1E+2` is the number
+      // 0x1E followed by `+` and `2`, not one token.
+      const bool exponent =
+          hex ? (c == 'p' || c == 'P') : (c == 'e' || c == 'E');
+      if (exponent && (Peek(0) == '+' || Peek(0) == '-')) {
         ++pos_;
       }
     }

@@ -15,8 +15,10 @@
 //
 // `--project DIR` switches to whole-program mode: the subtree is indexed
 // once and the cross-file passes (include-cycle, layer-violation,
-// lock-order-cycle, discarded-result, and the interprocedural tier:
-// guarded-by-violation, blocking-under-lock, view-escapes-call) run
+// lock-order-cycle, discarded-result, the interprocedural tier:
+// guarded-by-violation, blocking-under-lock, view-escapes-call, and the
+// taint tier: tainted-alloc-size, unchecked-mul-overflow, tainted-index)
+// run
 // alongside every per-file rule. `--cache` makes repeat runs incremental;
 // `--changed-only` additionally restricts the report to files the cache
 // saw change. `--sarif` writes the findings as a SARIF 2.1.0 document for
@@ -104,6 +106,7 @@ struct BenchFigures {
   uint64_t cold_cost_us = 0;
   uint64_t warm_cost_us = 0;
   uint64_t interproc_cost_us = 0;
+  uint64_t taint_cost_us = 0;
 };
 
 std::string WriteBenchJson(const BenchFigures& b) {
@@ -114,7 +117,8 @@ std::string WriteBenchJson(const BenchFigures& b) {
       << "  \"bytes_lexed\": " << b.bytes_lexed << ",\n"
       << "  \"cold_cost_us\": " << b.cold_cost_us << ",\n"
       << "  \"warm_cost_us\": " << b.warm_cost_us << ",\n"
-      << "  \"interproc_cost_us\": " << b.interproc_cost_us << "\n"
+      << "  \"interproc_cost_us\": " << b.interproc_cost_us << ",\n"
+      << "  \"taint_cost_us\": " << b.taint_cost_us << "\n"
       << "}\n";
   return out.str();
 }
@@ -265,6 +269,7 @@ int main(int argc, char** argv) {
     figures.bytes_lexed = cold->stats.bytes_lexed;
     figures.cold_cost_us = cold_clock.NowUs();
     figures.interproc_cost_us = cold->interproc.cost_us;
+    figures.taint_cost_us = cold->taint.cost_us;
 
     alicoco::lint::SimulatedClock warm_clock;
     options.cost_clock = &warm_clock;
@@ -282,7 +287,8 @@ int main(int argc, char** argv) {
     std::cerr << "alicoco_lint: self-bench " << figures.files << " files, "
               << "cold " << figures.cold_cost_us << "us, warm "
               << figures.warm_cost_us << "us (interproc "
-              << figures.interproc_cost_us << "us)\n";
+              << figures.interproc_cost_us << "us, taint "
+              << figures.taint_cost_us << "us)\n";
 
     if (!bench_baseline_path.empty()) {
       std::ifstream baseline_in(bench_baseline_path, std::ios::binary);
@@ -353,6 +359,10 @@ int main(int argc, char** argv) {
                 << " functions, " << ip.sccs << " sccs, " << ip.edges
                 << " edges, " << ip.may_block << " may-block, " << ip.cost_us
                 << " cost units\n";
+      const alicoco::lint::TaintStats& ts = report->taint;
+      std::cerr << "alicoco_lint: taint " << ts.call_args << " call args, "
+                << ts.pending << " pending, " << ts.sink_params
+                << " sink params, " << ts.cost_us << " cost units\n";
     }
   } else if (files.empty()) {
     auto result = alicoco::lint::AnalyzeTree(root, &suppressions);

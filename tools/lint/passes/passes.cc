@@ -84,13 +84,39 @@ const std::vector<PassInfo>& PassRegistry() {
        "std::string Name() {  // return an owning value across the boundary\n"
        "  std::string local = Build();\n"
        "  return std::string(Head(local));\n}"},
+      {"tainted-alloc-size",
+       "an allocation sized by raw input lets one corrupt length field "
+       "take the whole process: resize(count) on an attacker's count is an "
+       "OOM or a multi-gigabyte write",
+       "uint32_t count;\nReadU32(f, &count);\n"
+       "weights.resize(count);  // count is whatever the file says",
+       "uint32_t count;\nReadU32(f, &count);\n"
+       "if (count > kMaxParams) return Status::Corruption(\"count\");\n"
+       "weights.resize(count);  // bounded by a compile-time cap"},
+      {"unchecked-mul-overflow",
+       "the product of two untrusted 32-bit sizes wraps before anyone "
+       "checks it: rows*cols overflows to a small number, the buffer is "
+       "allocated short, and the copy that follows writes past it",
+       "uint32_t rows, cols;  // both from the file\n"
+       "buf.resize(rows * cols);  // 32-bit product wraps silently",
+       "buf.resize(static_cast<size_t>(rows) * cols);  // 64-bit product\n"
+       "// caps on rows and cols still belong before the resize"},
+      {"tainted-index",
+       "an index or loop bound taken from input without a dominating range "
+       "check reads or writes out of bounds on the first malformed file",
+       "uint32_t idx = ReadU32(f);\n"
+       "return table[idx];  // idx is unchecked input",
+       "uint32_t idx = ReadU32(f);\n"
+       "if (idx >= table.size()) return Status::Corruption(\"idx\");\n"
+       "return table[idx];"},
   };
   return kPasses;
 }
 
 std::vector<Finding> RunAllPasses(const ProjectIndex& index,
                                   const Layers& layers,
-                                  InterprocStats* interproc_stats) {
+                                  InterprocStats* interproc_stats,
+                                  TaintStats* taint_stats) {
   std::vector<Finding> findings = RunIncludeGraphPass(index, layers);
   std::vector<Finding> locks = RunLockOrderPass(index);
   findings.insert(findings.end(), locks.begin(), locks.end());
@@ -107,6 +133,8 @@ std::vector<Finding> RunAllPasses(const ProjectIndex& index,
   findings.insert(findings.end(), blocking.begin(), blocking.end());
   std::vector<Finding> escapes = RunViewEscapePass(index);
   findings.insert(findings.end(), escapes.begin(), escapes.end());
+  std::vector<Finding> taints = RunTaintPass(index, taint_stats);
+  findings.insert(findings.end(), taints.begin(), taints.end());
 
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {

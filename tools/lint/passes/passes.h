@@ -86,6 +86,28 @@ std::vector<Finding> RunBlockingLockPass(const ProjectIndex& index,
 /// definition of F returns a view aliasing that parameter.
 std::vector<Finding> RunViewEscapePass(const ProjectIndex& index);
 
+/// Size/cost counters of the cross-file taint tier, for `--stats` and the
+/// self-bench. Cost is simulated (proportional to the records processed),
+/// never wall-clock, like every other figure in the analyzer.
+struct TaintStats {
+  size_t call_args = 0;    ///< suspect call-site arguments examined
+  size_t pending = 0;      ///< guard-checked local sink hits
+  size_t sink_params = 0;  ///< parameters proven to reach a sink
+  uint64_t cost_us = 0;
+};
+
+/// Pass 8 — taint flow across calls. Resolves the taint_calls /
+/// taint_pending records of every summary against callee definitions:
+/// confirms Read*/Parse*-guarded local findings (the callee's taint_out /
+/// returns_tainted bit), propagates parameter sink masks bottom-up
+/// through argument-forwarding call sites, and reports tainted arguments
+/// that land on a sink parameter. Unknown callees are assumed clean for
+/// sinks (silence) and tainting for Read*/Parse*-named guards (the naming
+/// convention is the contract); resolved callees use unanimity over every
+/// definition so overloads cannot false-positive.
+std::vector<Finding> RunTaintPass(const ProjectIndex& index,
+                                  TaintStats* stats = nullptr);
+
 /// Runs all cross-file passes in registry order and returns the merged
 /// findings sorted by (file, line, rule, message). The interprocedural
 /// tier (call-graph condensation + fixpoints) is built once and shared by
@@ -93,7 +115,8 @@ std::vector<Finding> RunViewEscapePass(const ProjectIndex& index);
 /// receives that tier's size/cost counters for `--stats`.
 std::vector<Finding> RunAllPasses(const ProjectIndex& index,
                                   const Layers& layers,
-                                  InterprocStats* interproc_stats = nullptr);
+                                  InterprocStats* interproc_stats = nullptr,
+                                  TaintStats* taint_stats = nullptr);
 
 // ---------------------------------------------------------------------------
 // Intraprocedural dataflow checks.
@@ -127,12 +150,32 @@ void CheckHotLoopAlloc(const std::string& path,
                        const FunctionBody& fn, const Cfg& cfg,
                        std::vector<Finding>* out);
 
+/// tainted-alloc-size / unchecked-mul-overflow / tainted-index: forward
+/// taint + interval analysis over the function CFG. Lattice values carry
+/// taint provenance, declared width, a coarse upper bound, and the set of
+/// enclosing parameters they derive from. Builtin-source findings go to
+/// `out`; sink hits whose taint hinges on a Read*/Parse*-named callee go
+/// to summary->taint_pending; suspect call arguments and per-parameter
+/// sink facts are recorded on the summary for the cross-file pass.
+void CheckTaintFlow(const std::string& path,
+                    const std::vector<const Token*>& code,
+                    const FunctionBody& fn, const Cfg& cfg,
+                    FileSummary* summary, std::vector<Finding>* out);
+
 /// Driver used by SummarizeSource: builds each function's CFG once and
 /// runs the three checks above, returning findings sorted by
 /// (line, rule, message).
 std::vector<Finding> RunFunctionDataflowChecks(
     const std::string& path, const std::vector<const Token*>& code,
     const std::vector<FunctionBody>& functions);
+
+/// Driver used by SummarizeSource alongside RunFunctionDataflowChecks:
+/// runs CheckTaintFlow over every function, appending builtin-source
+/// findings to summary->findings and taint records to the summary.
+void RunTaintChecks(const std::string& path,
+                    const std::vector<const Token*>& code,
+                    const std::vector<FunctionBody>& functions,
+                    FileSummary* summary);
 
 }  // namespace alicoco::lint
 

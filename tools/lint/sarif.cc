@@ -82,9 +82,16 @@ class JsonReader {
   Result<JsonValue> ParseValue() {
     SkipSpace();
     if (pos_ >= text_.size()) return Fail("unexpected end");
+    // A SARIF document is ~6 levels deep; a crafted file of nothing but
+    // '[' must hit a corruption error, not exhaust the stack.
+    if (depth_ >= kMaxDepth) return Fail("nesting too deep");
     char c = text_[pos_];
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
+    if (c == '{' || c == '[') {
+      ++depth_;
+      Result<JsonValue> out = c == '{' ? ParseObject() : ParseArray();
+      --depth_;
+      return out;
+    }
     if (c == '"') return ParseString();
     if (c == 't' || c == 'f' || c == 'n') return ParseKeyword();
     return ParseNumber();
@@ -237,8 +244,11 @@ class JsonReader {
     return out;
   }
 
+  static constexpr int kMaxDepth = 64;
+
   const std::string& text_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace
